@@ -1,0 +1,78 @@
+// Ablation for Phasenprüfer's pivot search (§IV-C.1). The paper claims the
+// phases "can be determined in milliseconds, even for thousands of data
+// points". This google-benchmark compares:
+//   * the literal algorithm (two least-squares refits per candidate pivot),
+//   * the O(n) incremental scan over prefix sums (same optimum),
+//   * the k-segment dynamic program of the outlook extension.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "stats/segmented.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace npat;
+
+void make_trace(usize n, std::vector<double>& x, std::vector<double>& y) {
+  util::Xoshiro256ss rng(99);
+  x.clear();
+  y.clear();
+  const usize knee = n * 3 / 5;
+  for (usize i = 0; i < n; ++i) {
+    x.push_back(static_cast<double>(i));
+    const double base = i < knee ? 2.0 * static_cast<double>(i)
+                                 : 2.0 * static_cast<double>(knee) +
+                                       0.05 * static_cast<double>(i - knee);
+    y.push_back(base + rng.normal(0.0, 1.0));
+  }
+}
+
+void BM_TwoPhaseNaive(benchmark::State& state) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_trace(static_cast<usize>(state.range(0)), x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::detect_two_phases_naive(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TwoPhaseNaive)->Range(128, 4096)->Complexity();
+
+void BM_TwoPhaseFast(benchmark::State& state) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_trace(static_cast<usize>(state.range(0)), x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::detect_two_phases(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TwoPhaseFast)->Range(128, 65536)->Complexity();
+
+void BM_KPhaseDp(benchmark::State& state) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_trace(static_cast<usize>(state.range(0)), x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::detect_k_phases(x, y, 3));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KPhaseDp)->Range(128, 2048)->Complexity();
+
+void BM_SegmentCostConstruction(benchmark::State& state) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_trace(static_cast<usize>(state.range(0)), x, y);
+  for (auto _ : state) {
+    stats::SegmentCost cost(x, y);
+    benchmark::DoNotOptimize(cost.sse(0, x.size()));
+  }
+}
+BENCHMARK(BM_SegmentCostConstruction)->Range(1024, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Reproduces Fig. 10: Memhist latency histograms.
+//   (a) a NUMA-optimized SIFT-like implementation that "acts almost
+//       entirely on local memory" — occurrences mode; peaks annotated at
+//       L2, L3 and local memory, with the L2 peak truncated for
+//       readability;
+//   (b) induced remote accesses (Intel mlc analogue) — costs mode; the
+//       remote-memory interval dominates the spent cycles.
+#include <cstdio>
+
+#include "memhist/builder.hpp"
+#include "sim/presets.hpp"
+#include "trace/runner.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workloads/mlc_remote.hpp"
+#include "workloads/sift_like.hpp"
+
+namespace {
+
+using namespace npat;
+
+memhist::LatencyHistogram run_with_memhist(const sim::MachineConfig& config,
+                                           const trace::Program& program,
+                                           memhist::HistogramMode mode) {
+  sim::Machine machine(config);
+  os::AddressSpace space(machine.topology());
+  trace::Runner runner(machine, space);
+  memhist::MemhistOptions options;
+  options.slice_cycles = 400000;  // fast-forward stand-in for 10 ms slices
+  options.mode = mode;
+  memhist::MemhistBuilder builder(machine, runner, options);
+  builder.start();
+  runner.run(program);
+  auto histogram = builder.finish();
+  memhist::annotate_with_machine_levels(histogram, config);
+  return histogram;
+}
+
+void report_peak(const memhist::LatencyHistogram& histogram, const char* paper_expectation) {
+  const auto peak = histogram.peak_bin();
+  if (peak) {
+    const auto& bin = histogram.bins()[*peak];
+    std::printf("peak interval: [%llu, %llu) %s   |   paper: %s\n",
+                static_cast<unsigned long long>(bin.lo),
+                static_cast<unsigned long long>(bin.hi),
+                bin.annotation.empty() ? "" : ("<- " + bin.annotation).c_str(),
+                paper_expectation);
+  }
+  std::printf("uncertain bins: %zu\n\n", histogram.uncertain_bins());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  i64 tile_kb = 3072;
+  i64 chase_steps = 300000;
+  util::Cli cli("Fig. 10: Memhist histograms for NUMA-SIFT and mlc-remote");
+  cli.add_flag("tile-kb", &tile_kb, "SIFT tile size per thread (KiB)");
+  cli.add_flag("chase-steps", &chase_steps, "mlc pointer-chase steps");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sim::MachineConfig config = sim::hpe_dl580_gen9(2);
+  // Substitution for tractability: the E7's 45 MiB L3 would require
+  // working sets (and simulated access counts) ~10x larger to spill to
+  // DRAM; scaling the L3 to 4 MiB preserves the capacity relationships
+  // (tile > per-thread L3 share, chase buffer >> L3) at simulation speed.
+  config.l3.size_bytes = MiB(4);
+
+  // --- (a) NUMA-optimized SIFT: local-memory behaviour, occurrences ---
+  workloads::SiftLikeParams sift;
+  sift.threads = 4;
+  sift.tile_bytes = static_cast<usize>(tile_kb) * 1024;
+  sift.octaves = 2;
+  const auto sift_histogram = run_with_memhist(config, workloads::sift_like_program(sift),
+                                               memhist::HistogramMode::kOccurrences);
+  std::fputs(sift_histogram.render("Fig. 10a — NUMA SIFT implementation").c_str(), stdout);
+  report_peak(sift_histogram, "caches + local memory only, no remote peak");
+
+  // --- (b) mlc-induced remote accesses: costs mode ---
+  workloads::MlcParams mlc = workloads::mlc_remote(config.topology);
+  mlc.chase_steps = static_cast<u64>(chase_steps);
+  const auto mlc_histogram = run_with_memhist(config, workloads::mlc_program(mlc),
+                                              memhist::HistogramMode::kCosts);
+  std::fputs(mlc_histogram.render("Fig. 10b — Intel mlc remote latencies").c_str(), stdout);
+  report_peak(mlc_histogram, "costs dominated by the remote memory interval");
+
+  // Verification sweep (the paper validated Memhist peaks against mlc):
+  // chase locally and on every remote distance, reporting the measured
+  // median latency per placement.
+  std::puts("mlc verification: median chase latencies by placement");
+  for (sim::NodeId node = 0; node < config.topology.nodes; ++node) {
+    workloads::MlcParams params = workloads::mlc_local();
+    params.target_node = node;
+    params.chase_steps = static_cast<u64>(chase_steps) / 4;
+    params.think_instructions = 24;  // dependent chase: low MLP
+
+    sim::Machine machine(config);
+    os::AddressSpace space(machine.topology());
+    trace::Runner runner(machine, space);
+    perf::LoadLatencySession session(machine);
+    runner.run(workloads::mlc_program(params));  // warm-up / init phase
+    session.arm(1, 16);
+    runner.run(workloads::mlc_program(params));
+    const auto reading = session.disarm();
+    std::vector<double> latencies;
+    for (const auto& sample : reading.samples) {
+      latencies.push_back(static_cast<double>(sample.latency));
+    }
+    if (latencies.empty()) continue;
+    std::sort(latencies.begin(), latencies.end());
+    std::printf("  node %u (%u hop%s): median %.0f cycles\n", node,
+                config.topology.hops(0, node), config.topology.hops(0, node) == 1 ? "" : "s",
+                latencies[latencies.size() / 2]);
+  }
+  return 0;
+}

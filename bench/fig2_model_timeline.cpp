@@ -1,0 +1,11 @@
+// Reproduces Fig. 2: the timeline of historic models of parallel
+// computation across the three eras (shared bus, cluster/message passing,
+// hierarchical memory), extended with the NUMA models surveyed in §II-D.
+#include <cstdio>
+
+#include "evsel/model_catalog.hpp"
+
+int main() {
+  std::fputs(npat::evsel::render_model_timeline().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks of the simulator and statistics
+// kernels: per-access simulation cost (the toolkit's throughput limit),
+// cache/TLB lookup costs, and the statistical primitives EvSel runs per
+// event.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/presets.hpp"
+#include "stats/regression.hpp"
+#include "stats/ttest.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace npat;
+
+void BM_MachineL1Hit(benchmark::State& state) {
+  sim::Machine machine(sim::uma_single_node(1));
+  machine.load(0, sim::make_paddr(0, 0), 0x10000);  // warm the line
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.load(0, sim::make_paddr(0, 0), 0x10000));
+  }
+}
+BENCHMARK(BM_MachineL1Hit);
+
+void BM_MachineStreamingLoad(benchmark::State& state) {
+  sim::Machine machine(sim::uma_single_node(1));
+  u64 offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.load(0, sim::make_paddr(0, offset), 0x10000 + offset));
+    offset = (offset + kCacheLineBytes) % (1ULL << 30);
+  }
+}
+BENCHMARK(BM_MachineStreamingLoad);
+
+void BM_MachineRandomLoad(benchmark::State& state) {
+  sim::Machine machine(sim::dual_socket_small(1));
+  util::Xoshiro256ss rng(5);
+  for (auto _ : state) {
+    const u64 offset = rng.below(1ULL << 28) & ~63ULL;
+    benchmark::DoNotOptimize(
+        machine.load(0, sim::make_paddr(rng.below(2) ? 1 : 0, offset), 0x10000 + offset));
+  }
+}
+BENCHMARK(BM_MachineRandomLoad);
+
+void BM_MachineBranch(benchmark::State& state) {
+  sim::Machine machine(sim::uma_single_node(1));
+  util::Xoshiro256ss rng(7);
+  for (auto _ : state) {
+    machine.branch(0, 42, rng.chance(0.5));
+  }
+}
+BENCHMARK(BM_MachineBranch);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::Cache cache(sim::CacheConfig{"bench", 32 * 1024, 8, 64, 4});
+  util::Xoshiro256ss rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 16), false));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_WelchTTest(benchmark::State& state) {
+  util::Xoshiro256ss rng(13);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (i64 i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.normal(100, 10));
+    b.push_back(rng.normal(105, 10));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::welch_t_test(a, b));
+  }
+}
+BENCHMARK(BM_WelchTTest)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_FitAll(benchmark::State& state) {
+  util::Xoshiro256ss rng(17);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (i64 i = 1; i <= state.range(0); ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(3.0 * static_cast<double>(i) + rng.normal(0, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_all(x, y));
+  }
+}
+BENCHMARK(BM_FitAll)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Reproduces Table I: "Specifications of the test systems" — here, the
+// simulated stand-in for the paper's HPE ProLiant DL580 Gen9, plus the
+// derived latency map the simulator implements for it.
+#include <cstdio>
+
+#include "sim/presets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace npat;
+
+  const sim::SystemSpec spec = sim::hpe_dl580_gen9_spec();
+  util::Table table({"Property", "Value"});
+  table.set_title("Table I: Specifications of the test system (simulated)");
+  table.add_row({"Server Model", spec.server_model});
+  table.add_row({"Processor", spec.processor});
+  table.add_row({"NUMA Topology", spec.numa_topology});
+  table.add_row({"Memory", spec.memory});
+  table.add_row({"Operating System", spec.operating_system});
+  table.add_row({"Kernel Version", spec.kernel_version});
+  std::fputs(table.render().c_str(), stdout);
+
+  const sim::MachineConfig config = sim::hpe_dl580_gen9();
+  std::puts("");
+  std::fputs(config.topology.describe().c_str(), stdout);
+
+  util::Table latency({"Level", "Latency (cycles)"});
+  latency.set_title("Simulator latency map");
+  latency.set_align(1, util::Align::kRight);
+  latency.add_row({"L1D hit", std::to_string(config.l1.hit_latency)});
+  latency.add_row({"L2 hit", std::to_string(config.l2.hit_latency)});
+  latency.add_row({"L3 hit", std::to_string(config.l3.hit_latency)});
+  latency.add_row({"local DRAM", std::to_string(config.memory.local_dram_latency)});
+  latency.add_row({"remote DRAM (1 hop)",
+                   std::to_string(config.memory.local_dram_latency +
+                                  config.memory.per_hop_latency)});
+  std::puts("");
+  std::fputs(latency.render().c_str(), stdout);
+  return 0;
+}

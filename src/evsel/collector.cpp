@@ -1,0 +1,69 @@
+#include "evsel/collector.hpp"
+
+#include "perf/multiplex.hpp"
+#include "perf/registry.hpp"
+#include "perf/session.hpp"
+#include "util/check.hpp"
+
+namespace npat::evsel {
+
+Collector::Collector(sim::MachineConfig config)
+    : config_(std::move(config)), machine_(config_) {}
+
+void Collector::run_once(const ProgramFactory& factory, u64 seed,
+                         os::AffinityPolicy affinity,
+                         const std::function<void(trace::Runner&)>& before,
+                         const std::function<void(trace::Runner&)>& after) {
+  machine_.reset();
+  os::AddressSpace space(machine_.topology());
+  trace::RunnerConfig runner_config;
+  runner_config.seed = seed;
+  runner_config.affinity = affinity;
+  trace::Runner runner(machine_, space, runner_config);
+  if (before) before(runner);
+  runner.run(factory());
+  if (after) after(runner);
+  ++runs_executed_;
+}
+
+Measurement Collector::measure(const std::string& label, const ProgramFactory& factory,
+                               const CollectOptions& options) {
+  NPAT_CHECK_MSG(options.repetitions >= 1, "need at least one repetition");
+  const std::vector<sim::Event> events =
+      options.events.empty() ? perf::available_events() : options.events;
+
+  Measurement measurement(label);
+
+  if (options.strategy == CollectionStrategy::kBatchedRuns) {
+    const auto groups = perf::plan_event_groups(events);
+    for (u32 rep = 0; rep < options.repetitions; ++rep) {
+      for (usize g = 0; g < groups.size(); ++g) {
+        // Arm only this group's registers; re-run the whole program.
+        perf::CountingSession session(machine_, groups[g]);
+        const u64 seed = options.seed + 0x1000003ULL * rep + 0x10001ULL * g;
+        run_once(
+            factory, seed, options.affinity,
+            [&](trace::Runner&) { session.start(); },
+            [&](trace::Runner&) { measurement.add_values(session.stop()); });
+      }
+    }
+  } else {
+    for (u32 rep = 0; rep < options.repetitions; ++rep) {
+      const u64 seed = options.seed + 0x1000003ULL * rep;
+      machine_.reset();
+      os::AddressSpace space(machine_.topology());
+      trace::RunnerConfig runner_config;
+      runner_config.seed = seed;
+      runner_config.affinity = options.affinity;
+      trace::Runner runner(machine_, space, runner_config);
+      perf::MultiplexedSession session(machine_, runner, events, options.rotation_interval);
+      session.start();
+      runner.run(factory());
+      measurement.add_values(session.stop());
+      ++runs_executed_;
+    }
+  }
+  return measurement;
+}
+
+}  // namespace npat::evsel

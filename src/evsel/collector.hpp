@@ -1,0 +1,67 @@
+// EvSel's measurement engine. Two strategies:
+//
+//  * kBatchedRuns (EvSel's design, §IV-A.1): all requested events are
+//    partitioned into register-sized groups; the *whole program* is re-run
+//    once per group, per repetition. No event cycling; every value is an
+//    exact whole-run count.
+//  * kMultiplexed (the alternative EvSel argues against): one run per
+//    repetition with in-run group rotation and enabled/running scaling.
+//
+// bench/ablation_event_cycling compares their accuracy head-to-head.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "evsel/measurement.hpp"
+#include "sim/machine.hpp"
+#include "trace/runner.hpp"
+
+namespace npat::evsel {
+
+enum class CollectionStrategy : u8 { kBatchedRuns, kMultiplexed };
+
+struct CollectOptions {
+  u32 repetitions = 5;
+  /// Events to measure; empty = every event the platform exposes.
+  std::vector<sim::Event> events;
+  CollectionStrategy strategy = CollectionStrategy::kBatchedRuns;
+  /// Group rotation period for kMultiplexed.
+  Cycles rotation_interval = 500000;
+  /// Base seed; every (repetition, group) run gets a distinct derived seed,
+  /// honestly modelling that separate runs are never bit-identical.
+  u64 seed = 2017;
+  os::AffinityPolicy affinity = os::AffinityPolicy::kCompact;
+};
+
+/// Builds a fresh program for one run. Called once per (repetition, group).
+using ProgramFactory = std::function<trace::Program()>;
+
+class Collector {
+ public:
+  /// The collector owns a machine built from `config` and reuses it
+  /// (reset) across runs.
+  explicit Collector(sim::MachineConfig config);
+
+  /// Measures `factory`'s program under `options`; `label` names the
+  /// resulting measurement.
+  Measurement measure(const std::string& label, const ProgramFactory& factory,
+                      const CollectOptions& options = {});
+
+  /// Total program runs executed so far (the cost of batching).
+  u64 runs_executed() const noexcept { return runs_executed_; }
+
+  sim::Machine& machine() noexcept { return machine_; }
+
+ private:
+  void run_once(const ProgramFactory& factory, u64 seed, os::AffinityPolicy affinity,
+                const std::function<void(trace::Runner&)>& before,
+                const std::function<void(trace::Runner&)>& after);
+
+  sim::MachineConfig config_;
+  sim::Machine machine_;
+  u64 runs_executed_ = 0;
+};
+
+}  // namespace npat::evsel

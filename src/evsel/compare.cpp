@@ -1,0 +1,61 @@
+#include "evsel/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/multiple_comparisons.hpp"
+#include "util/check.hpp"
+
+namespace npat::evsel {
+
+const ComparisonRow& Comparison::row(sim::Event event) const {
+  for (const auto& r : rows) {
+    if (r.event == event) return r;
+  }
+  NPAT_CHECK_MSG(false, "event not present in comparison");
+  static const ComparisonRow kUnreachable{};
+  return kUnreachable;
+}
+
+std::vector<ComparisonRow> Comparison::significant_rows(double alpha) const {
+  std::vector<ComparisonRow> out;
+  for (const auto& r : rows) {
+    if (r.significant(alpha)) out.push_back(r);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const ComparisonRow& x, const ComparisonRow& y) {
+    return std::fabs(x.test.relative_delta) > std::fabs(y.test.relative_delta);
+  });
+  return out;
+}
+
+Comparison compare(const Measurement& a, const Measurement& b, const CompareOptions& options) {
+  Comparison out;
+  out.label_a = a.label();
+  out.label_b = b.label();
+
+  for (const auto& info : sim::all_events()) {
+    const auto& samples_a = a.samples(info.event);
+    const auto& samples_b = b.samples(info.event);
+    if (samples_a.size() < 2 || samples_b.size() < 2) continue;
+
+    ComparisonRow row;
+    row.event = info.event;
+    row.repetitions_a = samples_a.size();
+    row.repetitions_b = samples_b.size();
+    row.zero_in_both = a.all_zero(info.event) && b.all_zero(info.event);
+    row.test = stats::t_test(samples_a, samples_b, options.test);
+    row.adjusted_p = row.test.p_two_tailed;
+    out.rows.push_back(row);
+  }
+
+  if (options.adjust_for_multiple_comparisons && !out.rows.empty()) {
+    std::vector<double> p_values;
+    p_values.reserve(out.rows.size());
+    for (const auto& row : out.rows) p_values.push_back(row.test.p_two_tailed);
+    const auto adjusted = stats::holm_adjust(p_values);
+    for (usize i = 0; i < out.rows.size(); ++i) out.rows[i].adjusted_p = adjusted[i];
+  }
+  return out;
+}
+
+}  // namespace npat::evsel

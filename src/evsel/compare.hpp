@@ -1,0 +1,50 @@
+// Run comparison (EvSel Fig. 5/8): for every event measured in two
+// configurations, a Welch t-test (Bessel-corrected sample variances)
+// decides whether the counter changed significantly; the relative delta
+// and confidence are reported, with multiple-comparisons-adjusted p-values
+// because dozens of counters are screened at once (§III-B.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evsel/measurement.hpp"
+#include "stats/ttest.hpp"
+
+namespace npat::evsel {
+
+struct ComparisonRow {
+  sim::Event event = sim::Event::kCycles;
+  stats::TTestResult test;
+  double adjusted_p = 1.0;  // Holm–Bonferroni family-wise adjusted
+  bool zero_in_both = false;
+  usize repetitions_a = 0;
+  usize repetitions_b = 0;
+
+  bool significant(double alpha = 0.05) const {
+    return !zero_in_both && !test.degenerate && adjusted_p < alpha;
+  }
+};
+
+struct Comparison {
+  std::string label_a;
+  std::string label_b;
+  std::vector<ComparisonRow> rows;  // registry order
+
+  const ComparisonRow& row(sim::Event event) const;
+  /// Rows significant at `alpha` (after adjustment), largest |relative
+  /// delta| first.
+  std::vector<ComparisonRow> significant_rows(double alpha = 0.05) const;
+};
+
+struct CompareOptions {
+  stats::TTestKind test = stats::TTestKind::kWelch;
+  /// Apply Holm–Bonferroni across all compared events.
+  bool adjust_for_multiple_comparisons = true;
+};
+
+/// Compares every event present in both measurements (>= 2 reps each side).
+Comparison compare(const Measurement& a, const Measurement& b,
+                   const CompareOptions& options = {});
+
+}  // namespace npat::evsel

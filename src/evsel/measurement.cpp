@@ -1,0 +1,85 @@
+#include "evsel/measurement.hpp"
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace npat::evsel {
+
+double Measurement::parameter(const std::string& name) const {
+  const auto it = parameters_.find(name);
+  NPAT_CHECK_MSG(it != parameters_.end(), "unknown measurement parameter: " + name);
+  return it->second;
+}
+
+void Measurement::add_values(const std::vector<perf::EventValue>& values) {
+  for (const auto& value : values) values_[value.event].push_back(value.value);
+}
+
+void Measurement::add_value(sim::Event event, double value) {
+  values_[event].push_back(value);
+}
+
+bool Measurement::has(sim::Event event) const { return values_.count(event) > 0; }
+
+const std::vector<double>& Measurement::samples(sim::Event event) const {
+  static const std::vector<double> kEmpty;
+  const auto it = values_.find(event);
+  return it == values_.end() ? kEmpty : it->second;
+}
+
+double Measurement::mean(sim::Event event) const {
+  const auto& s = samples(event);
+  return s.empty() ? 0.0 : stats::mean(s);
+}
+
+std::vector<sim::Event> Measurement::recorded_events() const {
+  std::vector<sim::Event> out;
+  for (const auto& info : sim::all_events()) {
+    if (has(info.event)) out.push_back(info.event);
+  }
+  return out;
+}
+
+bool Measurement::all_zero(sim::Event event) const {
+  const auto& s = samples(event);
+  if (s.empty()) return true;
+  for (double v : s) {
+    if (v != 0.0) return false;
+  }
+  return true;
+}
+
+util::Json Measurement::to_json() const {
+  util::JsonObject doc;
+  doc["label"] = label_;
+  util::JsonObject params;
+  for (const auto& [name, value] : parameters_) params[name] = value;
+  doc["parameters"] = std::move(params);
+  util::JsonObject events;
+  for (const auto& [event, samples] : values_) {
+    util::JsonArray arr;
+    for (double v : samples) arr.emplace_back(v);
+    events[std::string(sim::event_name(event))] = std::move(arr);
+  }
+  doc["events"] = std::move(events);
+  return util::Json(std::move(doc));
+}
+
+Measurement Measurement::from_json(const util::Json& doc) {
+  Measurement m(doc.get_string("label"));
+  if (const util::Json* params = doc.find("parameters")) {
+    for (const auto& [name, value] : params->as_object()) {
+      m.set_parameter(name, value.as_number());
+    }
+  }
+  if (const util::Json* events = doc.find("events")) {
+    for (const auto& [name, arr] : events->as_object()) {
+      const auto event = sim::event_by_name(name);
+      if (!event) continue;  // event unknown on this platform
+      for (const auto& v : arr.as_array()) m.add_value(*event, v.as_number());
+    }
+  }
+  return m;
+}
+
+}  // namespace npat::evsel

@@ -1,0 +1,58 @@
+// A Measurement is EvSel's unit of data: one program configuration,
+// measured over several identically-configured repetitions, with (ideally)
+// every platform event recorded per repetition.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/session.hpp"
+#include "sim/events.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npat::evsel {
+
+class Measurement {
+ public:
+  Measurement() = default;
+  explicit Measurement(std::string label) : label_(std::move(label)) {}
+
+  const std::string& label() const noexcept { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Named input parameters of the run (e.g. {"threads", 8}); regressions
+  /// correlate these with the events.
+  void set_parameter(const std::string& name, double value) { parameters_[name] = value; }
+  double parameter(const std::string& name) const;
+  const std::map<std::string, double>& parameters() const noexcept { return parameters_; }
+
+  /// Appends the values of one repetition (possibly a partial event set —
+  /// batched collection adds one group at a time).
+  void add_values(const std::vector<perf::EventValue>& values);
+  void add_value(sim::Event event, double value);
+
+  bool has(sim::Event event) const;
+  /// Per-repetition samples for an event (empty if never measured).
+  const std::vector<double>& samples(sim::Event event) const;
+  double mean(sim::Event event) const;
+  usize repetitions(sim::Event event) const { return samples(event).size(); }
+
+  /// Events with at least one recorded sample, in registry order.
+  std::vector<sim::Event> recorded_events() const;
+
+  /// True if every recorded sample of the event is zero (EvSel grays those
+  /// rows out).
+  bool all_zero(sim::Event event) const;
+
+  util::Json to_json() const;
+  static Measurement from_json(const util::Json& doc);
+
+ private:
+  std::string label_;
+  std::map<std::string, double> parameters_;
+  std::map<sim::Event, std::vector<double>> values_;
+};
+
+}  // namespace npat::evsel

@@ -1,0 +1,102 @@
+// Lazily evaluated processing chain — the paper's §IV-A.1: "a chain of
+// lazily evaluated C++11 functors (lambdas) and functions is applied in
+// order to filter and aggregate the raw data. This architecture does not
+// pre-aggregate or reject values and thus aims for extensibility."
+//
+// Pipeline<T> wraps a pull-based generator; combinators build new lazy
+// pipelines without touching the source data until a terminal operation
+// (collect / reduce / count / for_each) runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::evsel {
+
+template <typename T>
+class Pipeline {
+ public:
+  using Generator = std::function<std::optional<T>()>;
+
+  explicit Pipeline(Generator next) : next_(std::move(next)) {}
+
+  /// Lazily wraps a container (copies it into the closure; the pipeline
+  /// can outlive the source).
+  static Pipeline from(std::vector<T> items) {
+    auto index = std::make_shared<usize>(0);
+    auto data = std::make_shared<std::vector<T>>(std::move(items));
+    return Pipeline([index, data]() -> std::optional<T> {
+      if (*index >= data->size()) return std::nullopt;
+      return (*data)[(*index)++];
+    });
+  }
+
+  /// Keeps elements satisfying `predicate`.
+  Pipeline filter(std::function<bool(const T&)> predicate) && {
+    Generator source = std::move(next_);
+    return Pipeline([source = std::move(source),
+                     predicate = std::move(predicate)]() -> std::optional<T> {
+      for (;;) {
+        auto item = source();
+        if (!item) return std::nullopt;
+        if (predicate(*item)) return item;
+      }
+    });
+  }
+
+  /// Transforms elements.
+  template <typename U>
+  Pipeline<U> map(std::function<U(const T&)> fn) && {
+    Generator source = std::move(next_);
+    return Pipeline<U>([source = std::move(source), fn = std::move(fn)]() -> std::optional<U> {
+      auto item = source();
+      if (!item) return std::nullopt;
+      return fn(*item);
+    });
+  }
+
+  /// Passes through at most `n` elements.
+  Pipeline take(usize n) && {
+    Generator source = std::move(next_);
+    auto remaining = std::make_shared<usize>(n);
+    return Pipeline([source = std::move(source), remaining]() -> std::optional<T> {
+      if (*remaining == 0) return std::nullopt;
+      auto item = source();
+      if (item) --*remaining;
+      return item;
+    });
+  }
+
+  // --- terminal operations (these finally pull the data through) ---
+
+  std::vector<T> collect() && {
+    std::vector<T> out;
+    while (auto item = next_()) out.push_back(std::move(*item));
+    return out;
+  }
+
+  template <typename Acc>
+  Acc reduce(Acc init, std::function<Acc(Acc, const T&)> fn) && {
+    while (auto item = next_()) init = fn(std::move(init), *item);
+    return init;
+  }
+
+  usize count() && {
+    usize n = 0;
+    while (next_()) ++n;
+    return n;
+  }
+
+  void for_each(std::function<void(const T&)> fn) && {
+    while (auto item = next_()) fn(*item);
+  }
+
+ private:
+  Generator next_;
+};
+
+}  // namespace npat::evsel

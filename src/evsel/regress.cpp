@@ -1,0 +1,76 @@
+#include "evsel/regress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace npat::evsel {
+
+const CorrelationRow* SweepResult::correlation(sim::Event event) const {
+  for (const auto& row : correlations) {
+    if (row.event == event) return &row;
+  }
+  return nullptr;
+}
+
+std::vector<CorrelationRow> SweepResult::strongest(double min_abs_r) const {
+  std::vector<CorrelationRow> out;
+  for (const auto& row : correlations) {
+    if (std::fabs(row.best.r) >= min_abs_r) out.push_back(row);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const CorrelationRow& a, const CorrelationRow& b) {
+    return std::fabs(a.best.r) > std::fabs(b.best.r);
+  });
+  return out;
+}
+
+SweepResult correlate(const std::string& parameter_name,
+                      std::vector<Measurement> measurements) {
+  NPAT_CHECK_MSG(measurements.size() >= 3, "a sweep needs at least three parameter values");
+  SweepResult result;
+  result.parameter_name = parameter_name;
+  result.measurements = std::move(measurements);
+
+  for (const auto& info : sim::all_events()) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (const auto& m : result.measurements) {
+      const double value = m.parameter(parameter_name);
+      for (double sample : m.samples(info.event)) {
+        x.push_back(value);
+        y.push_back(sample);
+      }
+    }
+    if (x.size() < 4) continue;
+
+    CorrelationRow row;
+    row.event = info.event;
+    row.points = x.size();
+    row.all = stats::fit_all(x, y);
+    if (row.all.empty()) continue;  // constant response
+    row.best = row.all.front();
+    result.correlations.push_back(std::move(row));
+  }
+  return result;
+}
+
+SweepResult sweep(Collector& collector, const std::string& parameter_name,
+                  const std::vector<double>& values, const SweepFactory& factory,
+                  const CollectOptions& options) {
+  NPAT_CHECK_MSG(values.size() >= 3, "a sweep needs at least three parameter values");
+  std::vector<Measurement> measurements;
+  measurements.reserve(values.size());
+  for (double value : values) {
+    const std::string label =
+        parameter_name + "=" + util::compact_double(value);
+    Measurement m = collector.measure(
+        label, [&factory, value] { return factory(value); }, options);
+    m.set_parameter(parameter_name, value);
+    measurements.push_back(std::move(m));
+  }
+  return correlate(parameter_name, std::move(measurements));
+}
+
+}  // namespace npat::evsel

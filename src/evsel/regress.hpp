@@ -1,0 +1,47 @@
+// Parameter regressions (EvSel Fig. 9): a program parameter (e.g. thread
+// count) is swept; for every event, linear / quadratic / exponential models
+// are fitted against the parameter and the best fit with its R is reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "evsel/collector.hpp"
+#include "evsel/measurement.hpp"
+#include "stats/regression.hpp"
+
+namespace npat::evsel {
+
+struct CorrelationRow {
+  sim::Event event = sim::Event::kCycles;
+  stats::Fit best;                 // best-R² model
+  std::vector<stats::Fit> all;     // every converged model family
+  usize points = 0;                // (parameter, value) pairs fitted
+};
+
+struct SweepResult {
+  std::string parameter_name;
+  std::vector<Measurement> measurements;  // one per swept value
+  std::vector<CorrelationRow> correlations;  // registry order
+
+  const CorrelationRow* correlation(sim::Event event) const;
+  /// Correlations with |r| >= threshold, strongest first. Constant events
+  /// never appear (no meaningful fit exists).
+  std::vector<CorrelationRow> strongest(double min_abs_r = 0.0) const;
+};
+
+/// Builds a program for one swept parameter value.
+using SweepFactory = std::function<trace::Program(double parameter_value)>;
+
+/// Measures `factory` at each value and regresses every collected event
+/// against the parameter (each repetition is its own data point).
+SweepResult sweep(Collector& collector, const std::string& parameter_name,
+                  const std::vector<double>& values, const SweepFactory& factory,
+                  const CollectOptions& options = {});
+
+/// Regression-only entry point for pre-collected measurements, each of
+/// which must carry `parameter_name` in its parameters().
+SweepResult correlate(const std::string& parameter_name,
+                      std::vector<Measurement> measurements);
+
+}  // namespace npat::evsel

@@ -1,0 +1,204 @@
+#include "evsel/report.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace npat::evsel {
+
+namespace {
+
+using util::Style;
+
+std::string confidence_text(double confidence) {
+  if (confidence >= 0.9995) return ">99.9 %";
+  return util::format("%.1f %%", confidence * 100.0);
+}
+
+/// Icon cues from the EvSel GUI: significant increase, significant
+/// decrease, or no significant change.
+util::Cell significance_cell(const ComparisonRow& row, double alpha) {
+  if (row.zero_in_both) return {"0", Style::kDim};
+  if (!row.significant(alpha)) return {"·", Style::kNone};
+  const bool increase = row.test.mean_delta > 0;
+  return {std::string(increase ? "▲ " : "▼ ") + confidence_text(row.test.confidence),
+          increase ? Style::kRed : Style::kGreen};
+}
+
+std::string delta_text(const ComparisonRow& row) {
+  if (row.test.mean_a == 0.0 && row.test.mean_b != 0.0) return "new";
+  if (row.test.mean_a == 0.0) return "—";
+  const double ratio = row.test.relative_delta;
+  if (std::fabs(ratio) >= 99.5) {
+    return util::format("x%.0f", ratio + 1.0);
+  }
+  return util::percent_delta(ratio);
+}
+
+}  // namespace
+
+std::string render_comparison(const Comparison& comparison, const ReportOptions& options) {
+  std::vector<std::string> headers = {"event", comparison.label_a, comparison.label_b,
+                                      "Δ", "significance"};
+  if (options.show_descriptions) headers.push_back("description");
+  util::Table table(headers);
+  table.set_title("EvSel comparison: " + comparison.label_a + " vs " + comparison.label_b);
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  table.set_align(3, util::Align::kRight);
+
+  usize rendered = 0;
+  for (const auto& row : comparison.rows) {
+    if (!options.include_all_events && !row.significant(options.alpha)) continue;
+    if (options.max_rows > 0 && rendered >= options.max_rows) break;
+    ++rendered;
+
+    const auto& info = sim::event_info(row.event);
+    const Style row_style = row.zero_in_both ? Style::kDim : Style::kNone;
+    std::vector<util::Cell> cells;
+    cells.push_back({std::string(info.name), row_style});
+    cells.push_back({util::si_scaled(row.test.mean_a), row_style});
+    cells.push_back({util::si_scaled(row.test.mean_b), row_style});
+    cells.push_back({delta_text(row), row_style});
+    cells.push_back(significance_cell(row, options.alpha));
+    if (options.show_descriptions) {
+      std::string desc(info.description);
+      if (desc.size() > 56) desc = desc.substr(0, 53) + "...";
+      cells.push_back({desc, Style::kDim});
+    }
+    table.add_styled_row(std::move(cells));
+  }
+  if (rendered == 0) {
+    std::vector<util::Cell> cells(headers.size(), util::Cell{"", Style::kNone});
+    cells[0] = {"(no significant differences)", Style::kDim};
+    table.add_styled_row(std::move(cells));
+  }
+  return table.render();
+}
+
+std::string render_correlations(const SweepResult& result, double min_abs_r,
+                                const ReportOptions& options) {
+  std::vector<std::string> headers = {"event", "fit", "function", "R"};
+  if (options.show_descriptions) headers.push_back("description");
+  util::Table table(headers);
+  table.set_title("EvSel correlations against '" + result.parameter_name + "'");
+  table.set_align(3, util::Align::kRight);
+
+  usize rendered = 0;
+  for (const auto& row : result.strongest(min_abs_r)) {
+    if (options.max_rows > 0 && rendered >= options.max_rows) break;
+    ++rendered;
+    const auto& info = sim::event_info(row.event);
+    const Style color = std::fabs(row.best.r) >= 0.95
+                            ? (row.best.r > 0 ? Style::kRed : Style::kBlue)
+                            : Style::kNone;
+    std::vector<util::Cell> cells;
+    cells.push_back({std::string(info.name), Style::kNone});
+    cells.push_back({stats::fit_kind_name(row.best.kind), Style::kNone});
+    cells.push_back({row.best.formula(3), Style::kNone});
+    cells.push_back({util::format("%+.4f", row.best.r), color});
+    if (options.show_descriptions) {
+      std::string desc(info.description);
+      if (desc.size() > 48) desc = desc.substr(0, 45) + "...";
+      cells.push_back({desc, Style::kDim});
+    }
+    table.add_styled_row(std::move(cells));
+  }
+  if (rendered == 0) {
+    std::vector<util::Cell> cells(headers.size(), util::Cell{"", Style::kNone});
+    cells[0] = {"(no correlations above threshold)", Style::kDim};
+    table.add_styled_row(std::move(cells));
+  }
+  return table.render();
+}
+
+std::string render_measurement(const Measurement& measurement, const ReportOptions& options) {
+  std::vector<std::string> headers = {"event", "mean", "stddev", "reps"};
+  if (options.show_descriptions) headers.push_back("description");
+  util::Table table(headers);
+  table.set_title("EvSel measurement: " + measurement.label());
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  table.set_align(3, util::Align::kRight);
+
+  usize rendered = 0;
+  for (const sim::Event event : measurement.recorded_events()) {
+    if (options.max_rows > 0 && rendered >= options.max_rows) break;
+    ++rendered;
+    const auto& info = sim::event_info(event);
+    const auto& samples = measurement.samples(event);
+    const Style style = measurement.all_zero(event) ? Style::kDim : Style::kNone;
+    std::vector<util::Cell> cells;
+    cells.push_back({std::string(info.name), style});
+    cells.push_back({util::si_scaled(measurement.mean(event)), style});
+    cells.push_back({util::si_scaled(stats::stddev(samples)), style});
+    cells.push_back({std::to_string(samples.size()), style});
+    if (options.show_descriptions) {
+      std::string desc(info.description);
+      if (desc.size() > 56) desc = desc.substr(0, 53) + "...";
+      cells.push_back({desc, Style::kDim});
+    }
+    table.add_styled_row(std::move(cells));
+  }
+  return table.render();
+}
+
+util::Json comparison_to_json(const Comparison& comparison) {
+  util::JsonObject doc;
+  doc["a"] = comparison.label_a;
+  doc["b"] = comparison.label_b;
+  util::JsonArray rows;
+  for (const auto& row : comparison.rows) {
+    util::JsonObject r;
+    r["event"] = std::string(sim::event_name(row.event));
+    r["mean_a"] = row.test.mean_a;
+    r["mean_b"] = row.test.mean_b;
+    r["relative_delta"] = row.test.relative_delta;
+    r["t"] = row.test.t;
+    r["df"] = row.test.df;
+    r["p"] = row.test.p_two_tailed;
+    r["p_adjusted"] = row.adjusted_p;
+    r["confidence"] = row.test.confidence;
+    rows.emplace_back(std::move(r));
+  }
+  doc["rows"] = std::move(rows);
+  return util::Json(std::move(doc));
+}
+
+util::Json sweep_to_json(const SweepResult& result) {
+  util::JsonObject doc;
+  doc["parameter"] = result.parameter_name;
+  util::JsonArray rows;
+  for (const auto& row : result.correlations) {
+    util::JsonObject r;
+    r["event"] = std::string(sim::event_name(row.event));
+    r["fit"] = stats::fit_kind_name(row.best.kind);
+    r["formula"] = row.best.formula();
+    r["r"] = row.best.r;
+    r["r_squared"] = row.best.r_squared;
+    r["points"] = static_cast<u64>(row.points);
+    rows.emplace_back(std::move(r));
+  }
+  doc["correlations"] = std::move(rows);
+  return util::Json(std::move(doc));
+}
+
+std::string sweep_to_csv(const SweepResult& result) {
+  util::CsvWriter csv({result.parameter_name, "event", "repetition", "value"});
+  for (const auto& m : result.measurements) {
+    const double param = m.parameter(result.parameter_name);
+    for (const sim::Event event : m.recorded_events()) {
+      const auto& samples = m.samples(event);
+      for (usize rep = 0; rep < samples.size(); ++rep) {
+        csv.add_row({util::compact_double(param), std::string(sim::event_name(event)),
+                     std::to_string(rep), util::compact_double(samples[rep], 9)});
+      }
+    }
+  }
+  return csv.str();
+}
+
+}  // namespace npat::evsel

@@ -1,0 +1,154 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace npat::linalg {
+
+std::optional<Vector> cholesky_solve(const Matrix& a, const Vector& b) {
+  NPAT_CHECK_MSG(a.rows() == a.cols(), "cholesky needs a square matrix");
+  NPAT_CHECK_MSG(a.rows() == b.size(), "dimension mismatch");
+  const usize n = a.rows();
+  Matrix l(n, n);
+
+  for (usize j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (usize k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    l(j, j) = std::sqrt(diag);
+    for (usize i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (usize k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+
+  // Forward substitution: L·y = b.
+  Vector y(n);
+  for (usize i = 0; i < n; ++i) {
+    double v = b[i];
+    for (usize k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  // Back substitution: Lᵀ·x = y.
+  Vector x(n);
+  for (usize ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (usize k = ii + 1; k < n; ++k) v -= l(k, ii) * x[k];
+    x[ii] = v / l(ii, ii);
+  }
+  return x;
+}
+
+std::optional<QrDecomposition> qr_decompose(const Matrix& a) {
+  const usize m = a.rows();
+  const usize n = a.cols();
+  NPAT_CHECK_MSG(m >= n, "QR requires rows >= cols");
+
+  // Work on a copy; accumulate Householder reflectors into R in place and
+  // apply them to an identity block to form thin Q.
+  Matrix r_full = a;
+  Matrix q_full = Matrix::identity(m);
+
+  for (usize k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    double norm_x = 0.0;
+    for (usize i = k; i < m; ++i) norm_x += r_full(i, k) * r_full(i, k);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x < 1e-300) return std::nullopt;  // rank deficient
+
+    const double alpha = r_full(k, k) >= 0.0 ? -norm_x : norm_x;
+    Vector v(m, 0.0);
+    for (usize i = k; i < m; ++i) v[i] = r_full(i, k);
+    v[k] -= alpha;
+    double v_norm_sq = 0.0;
+    for (usize i = k; i < m; ++i) v_norm_sq += v[i] * v[i];
+    if (v_norm_sq < 1e-300) continue;  // already triangular in this column
+
+    // Apply H = I − 2·v·vᵀ/(vᵀv) to R (columns k..n−1) and to Q (all cols).
+    for (usize j = k; j < n; ++j) {
+      double s = 0.0;
+      for (usize i = k; i < m; ++i) s += v[i] * r_full(i, j);
+      s = 2.0 * s / v_norm_sq;
+      for (usize i = k; i < m; ++i) r_full(i, j) -= s * v[i];
+    }
+    for (usize j = 0; j < m; ++j) {
+      double s = 0.0;
+      for (usize i = k; i < m; ++i) s += v[i] * q_full(i, j);
+      s = 2.0 * s / v_norm_sq;
+      for (usize i = k; i < m; ++i) q_full(i, j) -= s * v[i];
+    }
+  }
+
+  // q_full now holds Hₙ…H₁ = Qᵀ. Extract thin Q (first n rows of Qᵀ,
+  // transposed) and the n×n upper triangle of R.
+  QrDecomposition out;
+  out.q = Matrix(m, n);
+  for (usize i = 0; i < m; ++i) {
+    for (usize j = 0; j < n; ++j) out.q(i, j) = q_full(j, i);
+  }
+  out.r = Matrix(n, n);
+  for (usize i = 0; i < n; ++i) {
+    for (usize j = i; j < n; ++j) out.r(i, j) = r_full(i, j);
+  }
+  // Rank check on the diagonal of R relative to its largest entry.
+  double max_diag = 0.0;
+  for (usize i = 0; i < n; ++i) max_diag = std::max(max_diag, std::fabs(out.r(i, i)));
+  for (usize i = 0; i < n; ++i) {
+    if (std::fabs(out.r(i, i)) < 1e-12 * std::max(1.0, max_diag)) return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<Vector> qr_least_squares(const Matrix& a, const Vector& b) {
+  NPAT_CHECK_MSG(a.rows() == b.size(), "dimension mismatch");
+  auto qr = qr_decompose(a);
+  if (!qr) return std::nullopt;
+  const usize n = a.cols();
+  // x = R⁻¹ Qᵀ b.
+  Vector qtb(n, 0.0);
+  for (usize j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (usize i = 0; i < a.rows(); ++i) s += qr->q(i, j) * b[i];
+    qtb[j] = s;
+  }
+  Vector x(n);
+  for (usize ii = n; ii-- > 0;) {
+    double v = qtb[ii];
+    for (usize k = ii + 1; k < n; ++k) v -= qr->r(ii, k) * x[k];
+    x[ii] = v / qr->r(ii, ii);
+  }
+  return x;
+}
+
+std::optional<LeastSquaresResult> least_squares(const Matrix& a, const Vector& b) {
+  NPAT_CHECK_MSG(a.rows() == b.size(), "dimension mismatch");
+  NPAT_CHECK_MSG(a.rows() >= a.cols(), "least squares needs rows >= cols");
+
+  LeastSquaresResult out;
+  out.used_qr_fallback = false;
+
+  const Matrix at = a.transposed();
+  const Matrix ata = at * a;
+  const Vector atb = at * b;
+  if (auto beta = cholesky_solve(ata, atb)) {
+    out.beta = std::move(*beta);
+  } else if (auto beta_qr = qr_least_squares(a, b)) {
+    out.beta = std::move(*beta_qr);
+    out.used_qr_fallback = true;
+  } else {
+    return std::nullopt;
+  }
+
+  const Vector fitted = a * out.beta;
+  double ss = 0.0;
+  for (usize i = 0; i < b.size(); ++i) {
+    const double r = b[i] - fitted[i];
+    ss += r * r;
+  }
+  out.residual_ss = ss;
+  return out;
+}
+
+}  // namespace npat::linalg

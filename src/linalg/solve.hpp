@@ -1,0 +1,36 @@
+// Linear solvers: Cholesky for the SPD normal equations (the paper's
+// β̂ = (XᵀX)⁻¹Xᵀy route) and Householder QR as the numerically robust
+// alternative for ill-conditioned design matrices.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace npat::linalg {
+
+/// Solves A·x = b for symmetric positive-definite A via Cholesky.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+std::optional<Vector> cholesky_solve(const Matrix& a, const Vector& b);
+
+/// Householder QR decomposition of an m×n matrix with m >= n.
+struct QrDecomposition {
+  Matrix q;  // m×n with orthonormal columns (thin Q)
+  Matrix r;  // n×n upper triangular
+};
+std::optional<QrDecomposition> qr_decompose(const Matrix& a);
+
+/// Least-squares solve min ||A·x − b||₂ via QR. Returns std::nullopt when A
+/// is rank deficient.
+std::optional<Vector> qr_least_squares(const Matrix& a, const Vector& b);
+
+/// Least squares via the normal equations (faster, less robust); falls back
+/// to QR automatically if Cholesky fails.
+struct LeastSquaresResult {
+  Vector beta;            // fitted coefficients
+  double residual_ss;     // Σ (b − A·β)²
+  bool used_qr_fallback;  // normal equations were unusable
+};
+std::optional<LeastSquaresResult> least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace npat::linalg

@@ -1,0 +1,76 @@
+#include "memhist/remote.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace npat::memhist {
+
+Probe::Probe(std::shared_ptr<util::ByteChannel> channel) : channel_(std::move(channel)) {
+  NPAT_CHECK_MSG(channel_ != nullptr, "probe needs a channel");
+}
+
+void Probe::send_hello(u32 node_count) {
+  channel_->send(wire::encode(wire::Hello{wire::kProtocolVersion, node_count}));
+  ++frames_sent_;
+}
+
+void Probe::send_reading(const ThresholdReading& reading) {
+  channel_->send(wire::encode(wire::ReadingMsg{reading}));
+  ++frames_sent_;
+}
+
+void Probe::send_readings(const std::vector<ThresholdReading>& readings) {
+  for (const auto& reading : readings) send_reading(reading);
+}
+
+void Probe::send_end(Cycles total_cycles) {
+  channel_->send(wire::encode(wire::End{total_cycles}));
+  ++frames_sent_;
+}
+
+GuiCollector::GuiCollector(std::shared_ptr<util::ByteChannel> channel)
+    : channel_(std::move(channel)) {
+  NPAT_CHECK_MSG(channel_ != nullptr, "collector needs a channel");
+}
+
+void GuiCollector::poll() {
+  for (;;) {
+    const auto bytes = channel_->recv(4096);
+    if (bytes.empty()) break;
+    decoder_.feed(bytes);
+  }
+  while (auto message = decoder_.poll()) {
+    if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
+      hello_ = *hello;
+    } else if (const auto* reading = std::get_if<wire::ReadingMsg>(&*message)) {
+      // Accumulate by threshold: multiple sends for the same threshold are
+      // merged, mirroring the probe-side accumulation semantics.
+      bool merged = false;
+      for (auto& existing : readings_) {
+        if (existing.threshold == reading->reading.threshold) {
+          existing.counted += reading->reading.counted;
+          existing.window_cycles += reading->reading.window_cycles;
+          existing.slices += reading->reading.slices;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) readings_.push_back(reading->reading);
+    } else if (const auto* end = std::get_if<wire::End>(&*message)) {
+      total_cycles_ = end->total_cycles;
+    }
+  }
+}
+
+LatencyHistogram GuiCollector::build(HistogramMode mode) const {
+  NPAT_CHECK_MSG(ended(), "collector has not received the end-of-session frame");
+  std::vector<ThresholdReading> sorted = readings_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ThresholdReading& a, const ThresholdReading& b) {
+              return a.threshold < b.threshold;
+            });
+  return MemhistBuilder::build(sorted, *total_cycles_, mode);
+}
+
+}  // namespace npat::memhist

@@ -1,0 +1,63 @@
+// Remote probing (paper Fig. 6): "an additional headless probe was
+// developed, which transfers the measured data via TCP to the GUI
+// application". The Probe runs next to the measured machine and streams
+// threshold readings; the GuiCollector accumulates them on the display
+// side and rebuilds the histogram there.
+#pragma once
+
+#include <memory>
+
+#include "memhist/builder.hpp"
+#include "memhist/wire.hpp"
+#include "util/channel.hpp"
+
+namespace npat::memhist {
+
+/// Server-side endpoint ("Probe + Measure(...)" in Fig. 6).
+class Probe {
+ public:
+  explicit Probe(std::shared_ptr<util::ByteChannel> channel);
+
+  /// Handshake; sends protocol version and machine shape.
+  void send_hello(u32 node_count);
+  /// Streams one accumulated threshold reading.
+  void send_reading(const ThresholdReading& reading);
+  void send_readings(const std::vector<ThresholdReading>& readings);
+  /// Ends the session; the collector can build the histogram afterwards.
+  void send_end(Cycles total_cycles);
+
+  usize frames_sent() const noexcept { return frames_sent_; }
+
+ private:
+  std::shared_ptr<util::ByteChannel> channel_;
+  usize frames_sent_ = 0;
+};
+
+/// GUI-side endpoint ("EventFor(Interval) + Accumulate(...)" in Fig. 6).
+class GuiCollector {
+ public:
+  explicit GuiCollector(std::shared_ptr<util::ByteChannel> channel);
+
+  /// Drains the channel and decodes everything currently available.
+  void poll();
+
+  bool hello_received() const noexcept { return hello_.has_value(); }
+  bool ended() const noexcept { return total_cycles_.has_value(); }
+  const std::vector<ThresholdReading>& readings() const noexcept { return readings_; }
+
+  /// Accumulated transport damage (dropped frames, resyncs).
+  usize dropped_frames() const noexcept { return decoder_.dropped_frames(); }
+  usize resyncs() const noexcept { return decoder_.resyncs(); }
+
+  /// Builds the histogram from everything received; requires ended().
+  LatencyHistogram build(HistogramMode mode) const;
+
+ private:
+  std::shared_ptr<util::ByteChannel> channel_;
+  wire::Decoder decoder_;
+  std::optional<wire::Hello> hello_;
+  std::optional<Cycles> total_cycles_;
+  std::vector<ThresholdReading> readings_;
+};
+
+}  // namespace npat::memhist

@@ -1,0 +1,163 @@
+#include "memhist/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace npat::memhist::wire {
+
+namespace {
+
+constexpr u8 kTypeHello = 1;
+constexpr u8 kTypeReading = 2;
+constexpr u8 kTypeEnd = 3;
+
+// Frame layout: magic(2) type(1) payload_len(2, LE) payload crc32(4, LE).
+constexpr usize kHeaderBytes = 5;
+constexpr usize kCrcBytes = 4;
+
+void put_u16(std::vector<u8>& out, u16 value) {
+  out.push_back(static_cast<u8>(value & 0xFF));
+  out.push_back(static_cast<u8>(value >> 8));
+}
+
+void put_u32(std::vector<u8>& out, u32 value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>((value >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<u8>& out, u64 value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>((value >> (8 * i)) & 0xFF));
+}
+
+u16 get_u16(const u8* p) { return static_cast<u16>(p[0] | (p[1] << 8)); }
+
+u32 get_u32(const u8* p) {
+  u32 v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+u64 get_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+const std::array<u32, 256>& crc_table() {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+u32 crc32(const u8* data, usize length) {
+  const auto& table = crc_table();
+  u32 crc = 0xFFFFFFFFu;
+  for (usize i = 0; i < length; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<u8> encode(const Message& message) {
+  std::vector<u8> payload;
+  u8 type = 0;
+  if (const Hello* hello = std::get_if<Hello>(&message)) {
+    type = kTypeHello;
+    payload.push_back(hello->version);
+    put_u32(payload, hello->node_count);
+  } else if (const ReadingMsg* msg = std::get_if<ReadingMsg>(&message)) {
+    type = kTypeReading;
+    put_u64(payload, msg->reading.threshold);
+    put_u64(payload, msg->reading.counted);
+    put_u64(payload, msg->reading.window_cycles);
+    put_u64(payload, msg->reading.slices);
+  } else {
+    type = kTypeEnd;
+    put_u64(payload, std::get<End>(message).total_cycles);
+  }
+
+  std::vector<u8> frame;
+  frame.reserve(kHeaderBytes + payload.size() + kCrcBytes);
+  frame.push_back(kMagic0);
+  frame.push_back(kMagic1);
+  frame.push_back(type);
+  NPAT_CHECK_MSG(payload.size() <= 0xFFFF, "payload too large for frame");
+  put_u16(frame, static_cast<u16>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  return frame;
+}
+
+void Decoder::feed(const std::vector<u8>& bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Message> Decoder::poll() {
+  for (;;) {
+    // Resync: discard bytes until a magic sequence starts the buffer.
+    usize skipped = 0;
+    while (buffer_.size() >= 2 && !(buffer_[0] == kMagic0 && buffer_[1] == kMagic1)) {
+      buffer_.erase(buffer_.begin());
+      ++skipped;
+    }
+    if (skipped > 0) ++resyncs_;
+    if (buffer_.size() < kHeaderBytes) return std::nullopt;
+
+    const u8 type = buffer_[2];
+    const u16 payload_len = get_u16(&buffer_[3]);
+    const usize frame_len = kHeaderBytes + payload_len + kCrcBytes;
+    if (buffer_.size() < frame_len) return std::nullopt;
+
+    const u8* payload = buffer_.data() + kHeaderBytes;
+    const u32 expected_crc = get_u32(payload + payload_len);
+    const bool crc_ok = crc32(payload, payload_len) == expected_crc;
+
+    std::optional<Message> message;
+    if (crc_ok) {
+      switch (type) {
+        case kTypeHello:
+          if (payload_len == 5) {
+            Hello hello;
+            hello.version = payload[0];
+            hello.node_count = get_u32(payload + 1);
+            message = hello;
+          }
+          break;
+        case kTypeReading:
+          if (payload_len == 32) {
+            ReadingMsg msg;
+            msg.reading.threshold = get_u64(payload);
+            msg.reading.counted = get_u64(payload + 8);
+            msg.reading.window_cycles = get_u64(payload + 16);
+            msg.reading.slices = get_u64(payload + 24);
+            message = msg;
+          }
+          break;
+        case kTypeEnd:
+          if (payload_len == 8) {
+            message = End{get_u64(payload)};
+          }
+          break;
+        default:
+          break;  // unknown type: drop
+      }
+    }
+
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(frame_len));
+    if (message) return message;
+    ++dropped_;
+    // Loop: try the next frame in the buffer.
+  }
+}
+
+}  // namespace npat::memhist::wire

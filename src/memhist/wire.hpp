@@ -1,0 +1,58 @@
+// Wire protocol for Memhist's remote probing (paper Fig. 6): the headless
+// probe on the server ships threshold readings to the GUI over TCP. Frames
+// are length-prefixed, CRC-32 protected, and the decoder resynchronizes on
+// corruption by scanning for the magic bytes — measurements survive a
+// noisy transport with at most the damaged frames lost.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "memhist/builder.hpp"
+#include "util/types.hpp"
+
+namespace npat::memhist::wire {
+
+inline constexpr u8 kMagic0 = 'N';
+inline constexpr u8 kMagic1 = 'P';
+inline constexpr u8 kProtocolVersion = 1;
+
+struct Hello {
+  u8 version = kProtocolVersion;
+  u32 node_count = 0;
+};
+
+struct ReadingMsg {
+  ThresholdReading reading;
+};
+
+struct End {
+  Cycles total_cycles = 0;
+};
+
+using Message = std::variant<Hello, ReadingMsg, End>;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+u32 crc32(const u8* data, usize length);
+
+std::vector<u8> encode(const Message& message);
+
+/// Incremental decoder. Feed bytes as they arrive; poll() yields complete
+/// messages. Frames with bad CRCs or unknown types are dropped and counted;
+/// decoding resumes at the next magic sequence.
+class Decoder {
+ public:
+  void feed(const std::vector<u8>& bytes);
+  std::optional<Message> poll();
+
+  usize dropped_frames() const noexcept { return dropped_; }
+  usize resyncs() const noexcept { return resyncs_; }
+
+ private:
+  std::vector<u8> buffer_;
+  usize dropped_ = 0;
+  usize resyncs_ = 0;
+};
+
+}  // namespace npat::memhist::wire

@@ -1,0 +1,28 @@
+#include "os/procfs.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace npat::os {
+
+std::vector<double> FootprintRecorder::times() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(static_cast<double>(s.timestamp));
+  return out;
+}
+
+std::vector<double> FootprintRecorder::reserved() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(static_cast<double>(s.reserved_bytes));
+  return out;
+}
+
+Cycles cycles_per_sample(double frequency_ghz, double sample_hz) {
+  NPAT_CHECK_MSG(frequency_ghz > 0.0 && sample_hz > 0.0, "rates must be positive");
+  return static_cast<Cycles>(std::llround(frequency_ghz * 1e9 / sample_hz));
+}
+
+}  // namespace npat::os

@@ -1,0 +1,40 @@
+#include "perf/load_latency.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::perf {
+
+LoadLatencySession::LoadLatencySession(sim::Machine& machine) : machine_(&machine) {}
+
+void LoadLatencySession::arm(Cycles threshold, u32 sample_period,
+                             std::optional<sim::DataSource> source_filter) {
+  NPAT_CHECK_MSG(!armed_, "a load-latency event is already armed (only one allowed)");
+  threshold_ = threshold;
+  armed_at_ = machine_->max_clock();
+  baseline_.clear();
+  baseline_.reserve(machine_->cores());
+  for (u32 core = 0; core < machine_->cores(); ++core) {
+    machine_->pmu(core).arm_pebs(sim::PebsConfig{threshold, sample_period, source_filter});
+    baseline_.push_back(machine_->core_counters(core)[sim::Event::kLoadLatencyAbove]);
+  }
+  armed_ = true;
+}
+
+LoadLatencyReading LoadLatencySession::disarm() {
+  NPAT_CHECK_MSG(armed_, "no load-latency event armed");
+  LoadLatencyReading reading;
+  reading.threshold = threshold_;
+  reading.enabled_cycles = machine_->max_clock() - armed_at_;
+  for (u32 core = 0; core < machine_->cores(); ++core) {
+    auto& pmu = machine_->pmu(core);
+    reading.loads_at_or_above +=
+        machine_->core_counters(core)[sim::Event::kLoadLatencyAbove] - baseline_[core];
+    auto samples = pmu.take_samples();
+    reading.samples.insert(reading.samples.end(), samples.begin(), samples.end());
+    pmu.disarm_pebs();
+  }
+  armed_ = false;
+  return reading;
+}
+
+}  // namespace npat::perf

@@ -1,0 +1,48 @@
+// PEBS load-latency access — Memhist's measurement primitive.
+//
+// Hardware restriction (faithfully modelled): only a single load-latency
+// threshold can be armed at a time, and it counts loads *at or above* the
+// threshold. Getting a count for a latency interval therefore requires two
+// threshold measurements and a subtraction; covering a whole latency range
+// requires time-cycling thresholds (Memhist does this at 100 Hz).
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/pmu.hpp"
+
+namespace npat::perf {
+
+struct LoadLatencyReading {
+  Cycles threshold = 0;
+  u64 loads_at_or_above = 0;
+  Cycles enabled_cycles = 0;
+  std::vector<sim::PebsRecord> samples;
+};
+
+class LoadLatencySession {
+ public:
+  explicit LoadLatencySession(sim::Machine& machine);
+
+  /// Arms the given threshold on every core (replacing any previous one).
+  /// `sample_period`: every Nth qualifying load yields a full PEBS record.
+  /// `source_filter` restricts to loads served from one data source.
+  void arm(Cycles threshold, u32 sample_period = 64,
+           std::optional<sim::DataSource> source_filter = std::nullopt);
+
+  /// Disarms and returns the accumulated reading for the armed window.
+  LoadLatencyReading disarm();
+
+  bool armed() const noexcept { return armed_; }
+  Cycles threshold() const noexcept { return threshold_; }
+
+ private:
+  sim::Machine* machine_;
+  bool armed_ = false;
+  Cycles threshold_ = 0;
+  Cycles armed_at_ = 0;
+  std::vector<u64> baseline_;  // per core kLoadLatencyAbove at arm time
+};
+
+}  // namespace npat::perf

@@ -1,0 +1,82 @@
+#include "perf/multiplex.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::perf {
+
+MultiplexedSession::MultiplexedSession(sim::Machine& machine, trace::Runner& runner,
+                                       std::vector<sim::Event> events,
+                                       Cycles rotation_interval)
+    : machine_(&machine), groups_(plan_event_groups(events)) {
+  NPAT_CHECK_MSG(!groups_.empty(), "multiplexed session needs at least one event");
+  NPAT_CHECK_MSG(rotation_interval > 0, "rotation interval must be positive");
+  for (usize g = 0; g < groups_.size(); ++g) {
+    for (sim::Event event : groups_[g]) {
+      flat_.emplace_back(event, per_event_.size());
+      per_event_.push_back(Accumulation{});
+    }
+  }
+  runner.add_sampler(rotation_interval, [this](Cycles now) { rotate(now); });
+}
+
+void MultiplexedSession::start() {
+  NPAT_CHECK_MSG(!running_, "session already started");
+  running_ = true;
+  current_group_ = 0;
+  rotations_ = 0;
+  for (auto& acc : per_event_) acc = Accumulation{};
+  group_baseline_ = machine_->aggregate_counters();
+  session_started_ = machine_->max_clock();
+  group_started_ = session_started_;
+  last_seen_ = session_started_;
+}
+
+void MultiplexedSession::accumulate_current(Cycles now) {
+  const sim::CounterBlock totals = machine_->aggregate_counters();
+  const Cycles window = now > group_started_ ? now - group_started_ : 0;
+  // Find the flat accumulator range of the current group.
+  usize flat_index = 0;
+  for (usize g = 0; g < current_group_; ++g) flat_index += groups_[g].size();
+  for (usize i = 0; i < groups_[current_group_].size(); ++i) {
+    const sim::Event event = groups_[current_group_][i];
+    auto& acc = per_event_[flat_[flat_index + i].second];
+    acc.counted += static_cast<double>(totals[event] - group_baseline_[event]);
+    acc.running += window;
+  }
+  group_baseline_ = totals;
+  group_started_ = now;
+}
+
+void MultiplexedSession::rotate(Cycles now) {
+  if (!running_) return;
+  accumulate_current(now);
+  current_group_ = (current_group_ + 1) % groups_.size();
+  ++rotations_;
+  last_seen_ = now;
+}
+
+std::vector<EventValue> MultiplexedSession::stop() {
+  NPAT_CHECK_MSG(running_, "session not started");
+  const Cycles now = machine_->max_clock();
+  accumulate_current(now);
+  running_ = false;
+
+  const Cycles enabled = now > session_started_ ? now - session_started_ : 1;
+  std::vector<EventValue> out;
+  out.reserve(flat_.size());
+  for (const auto& [event, index] : flat_) {
+    const auto& acc = per_event_[index];
+    EventValue value;
+    value.event = event;
+    // perf's scaling rule: estimate = counted * enabled / running.
+    value.value = acc.running > 0
+                      ? acc.counted * static_cast<double>(enabled) /
+                            static_cast<double>(acc.running)
+                      : 0.0;
+    value.estimated = acc.running < enabled;
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace npat::perf

@@ -1,0 +1,55 @@
+// Event multiplexing ("event cycling"): measure more events than the PMU
+// has registers by rotating groups during a *single* run and scaling each
+// count by its enabled/running ratio. The paper argues EvSel's repeated
+// identically-configured runs "might yield better results when many
+// counters are measured" — bench/ablation_event_cycling quantifies the
+// trade-off using this implementation.
+#pragma once
+
+#include <vector>
+
+#include "perf/session.hpp"
+#include "trace/runner.hpp"
+
+namespace npat::perf {
+
+class MultiplexedSession {
+ public:
+  /// Rotates through the register-sized groups of `events` every
+  /// `rotation_interval` cycles. Registers its rotation hook with `runner`;
+  /// the session must outlive the run.
+  MultiplexedSession(sim::Machine& machine, trace::Runner& runner,
+                     std::vector<sim::Event> events, Cycles rotation_interval);
+
+  void start();
+  /// Scaled estimates: count / (running/enabled). Events never scheduled
+  /// (enabled window shorter than one rotation) report value 0, estimated.
+  std::vector<EventValue> stop();
+
+  usize group_count() const noexcept { return groups_.size(); }
+  /// Rotations that occurred so far (for tests).
+  u64 rotations() const noexcept { return rotations_; }
+
+ private:
+  void rotate(Cycles now);
+  void accumulate_current(Cycles now);
+
+  struct Accumulation {
+    double counted = 0.0;
+    Cycles running = 0;  // cycles this event's group was armed
+  };
+
+  sim::Machine* machine_;
+  std::vector<std::vector<sim::Event>> groups_;
+  std::vector<Accumulation> per_event_;  // indexed by position in flat order
+  std::vector<std::pair<sim::Event, usize>> flat_;  // event -> accumulator idx
+  usize current_group_ = 0;
+  sim::CounterBlock group_baseline_;
+  Cycles group_started_ = 0;
+  Cycles session_started_ = 0;
+  Cycles last_seen_ = 0;
+  u64 rotations_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace npat::perf

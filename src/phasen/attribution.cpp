@@ -1,0 +1,66 @@
+#include "phasen/attribution.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace npat::phasen {
+
+double PhaseCounters::rate(sim::Event event) const {
+  const Cycles span = end_time > start_time ? end_time - start_time : 1;
+  return static_cast<double>(deltas[event]) * 1e6 / static_cast<double>(span);
+}
+
+namespace {
+
+usize nearest_snapshot(const std::vector<CounterSnapshot>& snapshots, Cycles time) {
+  usize best = 0;
+  u64 best_distance = ~0ULL;
+  for (usize i = 0; i < snapshots.size(); ++i) {
+    const u64 distance = snapshots[i].timestamp > time ? snapshots[i].timestamp - time
+                                                       : time - snapshots[i].timestamp;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+sim::CounterBlock delta(const sim::CounterBlock& from, const sim::CounterBlock& to) {
+  sim::CounterBlock out;
+  for (usize i = 0; i < sim::kEventCount; ++i) {
+    out.values[i] = to.values[i] - from.values[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+PhaseAttribution attribute(const CounterTimeline& timeline, const PhaseSplit& split) {
+  const auto& snapshots = timeline.snapshots();
+  NPAT_CHECK_MSG(snapshots.size() >= 2, "need at least two counter snapshots");
+  NPAT_CHECK_MSG(!split.phases.empty(), "phase split has no phases");
+
+  // Boundary snapshot indices: run start, each phase transition, run end.
+  std::vector<usize> boundaries;
+  boundaries.push_back(0);
+  for (usize p = 1; p < split.phases.size(); ++p) {
+    boundaries.push_back(nearest_snapshot(snapshots, split.phases[p].start_time));
+  }
+  boundaries.push_back(snapshots.size() - 1);
+
+  PhaseAttribution out;
+  for (usize p = 0; p + 1 < boundaries.size(); ++p) {
+    const usize from = boundaries[p];
+    const usize to = std::max(boundaries[p + 1], from);  // clamp inversions
+    PhaseCounters counters;
+    counters.start_time = snapshots[from].timestamp;
+    counters.end_time = snapshots[to].timestamp;
+    counters.deltas = delta(snapshots[from].totals, snapshots[to].totals);
+    out.phases.push_back(std::move(counters));
+  }
+  return out;
+}
+
+}  // namespace npat::phasen

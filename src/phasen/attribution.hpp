@@ -1,0 +1,56 @@
+// Per-phase counter attribution (paper §IV-C): "In order to attribute perf
+// event measurements to different phases, Phasenprüfer records and analyzes
+// performance counters for the two phases separately." A CounterTimeline
+// snapshots the system-wide totals alongside the footprint samples; after
+// phase detection the deltas between boundary snapshots attribute every
+// event to its phase.
+#pragma once
+
+#include <vector>
+
+#include "phasen/detector.hpp"
+#include "sim/machine.hpp"
+
+namespace npat::phasen {
+
+struct CounterSnapshot {
+  Cycles timestamp = 0;
+  sim::CounterBlock totals;
+};
+
+class CounterTimeline {
+ public:
+  explicit CounterTimeline(const sim::Machine& machine) : machine_(&machine) {}
+
+  /// Sampler callback; register with the runner at the footprint rate.
+  void sample(Cycles now) {
+    snapshots_.push_back(CounterSnapshot{now, machine_->aggregate_counters()});
+  }
+
+  const std::vector<CounterSnapshot>& snapshots() const noexcept { return snapshots_; }
+  void clear() { snapshots_.clear(); }
+
+ private:
+  const sim::Machine* machine_;
+  std::vector<CounterSnapshot> snapshots_;
+};
+
+struct PhaseCounters {
+  Cycles start_time = 0;
+  Cycles end_time = 0;
+  sim::CounterBlock deltas;
+
+  u64 count(sim::Event event) const { return deltas[event]; }
+  /// Events per million cycles — rate-normalized for phase comparison.
+  double rate(sim::Event event) const;
+};
+
+struct PhaseAttribution {
+  std::vector<PhaseCounters> phases;  // one per detected phase
+};
+
+/// Splits the timeline at each phase boundary of `split` (nearest snapshot
+/// wins) and returns per-phase counter deltas. Requires >= 2 snapshots.
+PhaseAttribution attribute(const CounterTimeline& timeline, const PhaseSplit& split);
+
+}  // namespace npat::phasen

@@ -1,0 +1,95 @@
+#include "phasen/detector.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace npat::phasen {
+
+namespace {
+
+PhaseSplit from_segmented(const stats::SegmentedFit& fit, const std::vector<double>& times,
+                          const std::vector<double>& values) {
+  PhaseSplit split;
+  split.total_sse = fit.total_sse;
+
+  for (const auto& segment : fit.segments) {
+    Phase phase;
+    phase.first_sample = segment.begin;
+    phase.last_sample = segment.end - 1;
+    phase.start_time = static_cast<Cycles>(times[segment.begin]);
+    phase.end_time = static_cast<Cycles>(times[segment.end - 1]);
+    phase.slope_bytes_per_cycle = segment.slope;
+    split.phases.push_back(phase);
+  }
+  if (fit.segments.size() > 1) {
+    split.pivot_sample = fit.segments[1].begin;
+    split.pivot_time = static_cast<Cycles>(times[split.pivot_sample]);
+  }
+
+  // Fit quality: variance explained by the segmented model.
+  const double mean_y = stats::mean(values);
+  double ss_tot = 0.0;
+  for (double v : values) ss_tot += (v - mean_y) * (v - mean_y);
+  split.fit_quality = ss_tot > 0.0 ? std::max(0.0, 1.0 - fit.total_sse / ss_tot) : 1.0;
+  return split;
+}
+
+void extract_series(const std::vector<os::FootprintSample>& samples,
+                    std::vector<double>& times, std::vector<double>& values) {
+  times.reserve(samples.size());
+  values.reserve(samples.size());
+  for (const auto& s : samples) {
+    times.push_back(static_cast<double>(s.timestamp));
+    // Scale to MiB so the normal-equation sums stay in a sane range.
+    values.push_back(static_cast<double>(s.reserved_bytes) / (1024.0 * 1024.0));
+  }
+}
+
+}  // namespace
+
+PhaseSplit detect_phases(const std::vector<os::FootprintSample>& samples,
+                         const DetectorOptions& options) {
+  NPAT_CHECK_MSG(samples.size() >= 2 * options.min_segment,
+                 "not enough footprint samples for two phases");
+  std::vector<double> times;
+  std::vector<double> values;
+  extract_series(samples, times, values);
+  const auto fit = options.naive_scan
+                       ? stats::detect_two_phases_naive(times, values, options.min_segment)
+                       : stats::detect_two_phases(times, values, options.min_segment);
+  return from_segmented(fit, times, values);
+}
+
+PhaseSplit detect_phases_k(const std::vector<os::FootprintSample>& samples, usize k,
+                           const DetectorOptions& options) {
+  NPAT_CHECK_MSG(samples.size() >= k * options.min_segment,
+                 "not enough footprint samples for k phases");
+  std::vector<double> times;
+  std::vector<double> values;
+  extract_series(samples, times, values);
+  const auto fit = stats::detect_k_phases(times, values, k, options.min_segment);
+  return from_segmented(fit, times, values);
+}
+
+PhaseSplit detect_phases_auto(const std::vector<os::FootprintSample>& samples, usize max_k,
+                              const DetectorOptions& options) {
+  NPAT_CHECK_MSG(samples.size() >= options.min_segment, "not enough footprint samples");
+  std::vector<double> times;
+  std::vector<double> values;
+  extract_series(samples, times, values);
+  const auto fit = stats::detect_phases_auto(times, values, max_k, options.min_segment);
+  return from_segmented(fit, times, values);
+}
+
+PhaseSplit detect_on_counter_series(const std::vector<double>& times,
+                                    const std::vector<double>& counter_values,
+                                    const DetectorOptions& options) {
+  NPAT_CHECK_MSG(times.size() == counter_values.size(), "series length mismatch");
+  NPAT_CHECK_MSG(times.size() >= 2 * options.min_segment, "not enough samples");
+  const auto fit = stats::detect_two_phases(times, counter_values, options.min_segment);
+  return from_segmented(fit, times, counter_values);
+}
+
+}  // namespace npat::phasen

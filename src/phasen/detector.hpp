@@ -1,0 +1,62 @@
+// Phasenprüfer's phase detection (paper §IV-C): the memory footprint time
+// series is split into ramp-up and computation phases with segmented linear
+// regression — every sample is a pivot candidate, two least-squares lines
+// are fitted, and the minimal summed error wins. The k-phase extension
+// (BSP supersteps) and an automatic model selector implement the paper's
+// outlook. Counter-based detection is also provided *because the paper
+// reports it failed* — the ablation bench shows why.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "os/procfs.hpp"
+#include "stats/segmented.hpp"
+
+namespace npat::phasen {
+
+struct Phase {
+  usize first_sample = 0;
+  usize last_sample = 0;   // inclusive
+  Cycles start_time = 0;
+  Cycles end_time = 0;
+  double slope_bytes_per_cycle = 0.0;
+};
+
+struct PhaseSplit {
+  std::vector<Phase> phases;
+  Cycles pivot_time = 0;   // transition between phase 0 and 1
+  usize pivot_sample = 0;
+  double total_sse = 0.0;
+  /// 1 − SSE/SStot of the segmented fit: how well two lines explain the
+  /// trace (low values mean the two-phase assumption is dubious).
+  double fit_quality = 0.0;
+};
+
+struct DetectorOptions {
+  usize min_segment = 4;
+  /// Use the literal per-pivot refit from the paper instead of the O(n)
+  /// scan (identical result; kept for the ablation bench).
+  bool naive_scan = false;
+};
+
+/// Two-phase split of a footprint trace (>= 2*min_segment samples).
+PhaseSplit detect_phases(const std::vector<os::FootprintSample>& samples,
+                         const DetectorOptions& options = {});
+
+/// k-phase extension (paper outlook: BSP supersteps).
+PhaseSplit detect_phases_k(const std::vector<os::FootprintSample>& samples, usize k,
+                           const DetectorOptions& options = {});
+
+/// Automatic k selection via the BIC-style criterion in stats::segmented.
+PhaseSplit detect_phases_auto(const std::vector<os::FootprintSample>& samples, usize max_k = 4,
+                              const DetectorOptions& options = {});
+
+/// The approach the paper reports as *failed*: detection on a raw counter
+/// series instead of the footprint. Returned split carries the (usually
+/// poor) fit quality so callers can see the instability themselves.
+PhaseSplit detect_on_counter_series(const std::vector<double>& times,
+                                    const std::vector<double>& counter_values,
+                                    const DetectorOptions& options = {});
+
+}  // namespace npat::phasen

@@ -1,0 +1,133 @@
+#include "phasen/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace npat::phasen {
+
+std::string render_footprint_chart(const std::vector<os::FootprintSample>& samples,
+                                   const PhaseSplit& split, const ChartOptions& options) {
+  NPAT_CHECK_MSG(!samples.empty(), "no footprint samples to chart");
+  NPAT_CHECK_MSG(options.width >= 8 && options.height >= 4, "chart too small");
+
+  const Cycles t0 = samples.front().timestamp;
+  const Cycles t1 = std::max(samples.back().timestamp, t0 + 1);
+  u64 max_bytes = 1;
+  for (const auto& s : samples) max_bytes = std::max(max_bytes, s.reserved_bytes);
+
+  // Map samples onto a grid.
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  auto column_of = [&](Cycles t) {
+    return std::min(options.width - 1,
+                    static_cast<usize>(static_cast<double>(t - t0) /
+                                       static_cast<double>(t1 - t0) *
+                                       static_cast<double>(options.width - 1)));
+  };
+  for (const auto& s : samples) {
+    const usize col = column_of(s.timestamp);
+    const usize row =
+        options.height - 1 -
+        std::min(options.height - 1,
+                 static_cast<usize>(static_cast<double>(s.reserved_bytes) /
+                                    static_cast<double>(max_bytes) *
+                                    static_cast<double>(options.height - 1)));
+    grid[row][col] = '*';
+  }
+  // Phase transition markers.
+  for (usize p = 1; p < split.phases.size(); ++p) {
+    const usize col = column_of(split.phases[p].start_time);
+    for (auto& row : grid) {
+      if (row[col] == ' ') row[col] = '|';
+    }
+  }
+
+  std::string out = "memory footprint (peak " + util::human_bytes(max_bytes) + ")\n";
+  for (const auto& row : grid) out += row + "\n";
+  out += std::string(options.width, '-') + "\n";
+  out += "phases:";
+  for (usize p = 0; p < split.phases.size(); ++p) {
+    out += util::format(" [%zu] %s cycles %llu..%llu slope %.3g MiB/Mcycle", p,
+                        p == 0 ? "ramp-up" : "computation",
+                        static_cast<unsigned long long>(split.phases[p].start_time),
+                        static_cast<unsigned long long>(split.phases[p].end_time),
+                        split.phases[p].slope_bytes_per_cycle * 1e6);
+  }
+  out += util::format("\nfit quality R^2 = %.4f\n", split.fit_quality);
+  return out;
+}
+
+std::string render_phase_counters(const PhaseAttribution& attribution,
+                                  std::vector<sim::Event> highlight, usize max_rows) {
+  NPAT_CHECK_MSG(!attribution.phases.empty(), "no phases to render");
+
+  if (highlight.empty() && attribution.phases.size() >= 2) {
+    // Pick the events whose rate changed most between phase 0 and 1.
+    struct Ranked {
+      sim::Event event;
+      double change;
+    };
+    std::vector<Ranked> ranked;
+    for (const auto& info : sim::all_events()) {
+      const double r0 = attribution.phases[0].rate(info.event);
+      const double r1 = attribution.phases[1].rate(info.event);
+      if (r0 == 0.0 && r1 == 0.0) continue;
+      const double change = std::fabs(r1 - r0) / std::max(1.0, std::max(r0, r1));
+      ranked.push_back({info.event, change * std::log1p(std::max(r0, r1))});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked& a, const Ranked& b) { return a.change > b.change; });
+    for (usize i = 0; i < std::min(max_rows, ranked.size()); ++i) {
+      highlight.push_back(ranked[i].event);
+    }
+  }
+
+  std::vector<std::string> headers = {"event"};
+  for (usize p = 0; p < attribution.phases.size(); ++p) {
+    headers.push_back(util::format("phase %zu", p));
+    headers.push_back(util::format("rate %zu (/Mcyc)", p));
+  }
+  util::Table table(headers);
+  table.set_title("Phasenprüfer: counters attributed per phase");
+  for (usize c = 1; c < headers.size(); ++c) table.set_align(c, util::Align::kRight);
+
+  for (const sim::Event event : highlight) {
+    std::vector<std::string> row = {std::string(sim::event_name(event))};
+    for (const auto& phase : attribution.phases) {
+      row.push_back(util::si_scaled(static_cast<double>(phase.count(event))));
+      row.push_back(util::si_scaled(phase.rate(event)));
+    }
+    table.add_row(row);
+  }
+  return table.render();
+}
+
+util::Json split_to_json(const PhaseSplit& split, const PhaseAttribution* attribution) {
+  util::JsonObject doc;
+  doc["pivot_time"] = split.pivot_time;
+  doc["fit_quality"] = split.fit_quality;
+  doc["total_sse"] = split.total_sse;
+  util::JsonArray phases;
+  for (usize p = 0; p < split.phases.size(); ++p) {
+    util::JsonObject ph;
+    ph["start"] = split.phases[p].start_time;
+    ph["end"] = split.phases[p].end_time;
+    ph["slope_bytes_per_cycle"] = split.phases[p].slope_bytes_per_cycle;
+    if (attribution && p < attribution->phases.size()) {
+      util::JsonObject counters;
+      for (const auto& info : sim::all_events()) {
+        const u64 count = attribution->phases[p].count(info.event);
+        if (count > 0) counters[std::string(info.name)] = count;
+      }
+      ph["counters"] = std::move(counters);
+    }
+    phases.emplace_back(std::move(ph));
+  }
+  doc["phases"] = std::move(phases);
+  return util::Json(std::move(doc));
+}
+
+}  // namespace npat::phasen

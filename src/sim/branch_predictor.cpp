@@ -1,0 +1,35 @@
+#include "sim/branch_predictor.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::sim {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config)
+    : config_(config),
+      mask_((1ULL << config.table_bits) - 1),
+      history_mask_((1ULL << config.history_bits) - 1),
+      counters_(1ULL << config.table_bits, 1) {
+  NPAT_CHECK_MSG(config.table_bits >= 4 && config.table_bits <= 24, "table_bits out of range");
+  NPAT_CHECK_MSG(config.history_bits <= 32, "history_bits out of range");
+}
+
+BranchPredictor::Outcome BranchPredictor::execute(u64 key, bool taken) {
+  const usize idx = index(key);
+  u8& counter = counters_[idx];
+
+  Outcome outcome;
+  outcome.predicted_taken = counter >= 2;
+  outcome.mispredicted = outcome.predicted_taken != taken;
+
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  return outcome;
+}
+
+void BranchPredictor::clear() {
+  for (auto& c : counters_) c = 1;
+  history_ = 0;
+}
+
+}  // namespace npat::sim

@@ -1,0 +1,48 @@
+// Branch predictor: gshare-style table of two-bit saturating counters with
+// a global history register. Drives br_misp.retired and, together with the
+// pipeline stall model, br_inst.spec_exec (speculatively executed jumps).
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::sim {
+
+struct BranchPredictorConfig {
+  u32 table_bits = 12;       // 4096 two-bit counters
+  u32 history_bits = 8;
+  Cycles misprediction_penalty = 15;
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config);
+
+  struct Outcome {
+    bool predicted_taken = false;
+    bool mispredicted = false;
+  };
+
+  /// Predicts branch `key` (a static branch-site identifier), then trains
+  /// on the actual direction.
+  Outcome execute(u64 key, bool taken);
+
+  const BranchPredictorConfig& config() const noexcept { return config_; }
+
+  void clear();
+
+ private:
+  usize index(u64 key) const noexcept {
+    const u64 hashed = key * 0x9e3779b97f4a7c15ULL;
+    return static_cast<usize>((hashed ^ history_) & mask_);
+  }
+
+  BranchPredictorConfig config_;
+  u64 mask_;
+  u64 history_mask_;
+  u64 history_ = 0;
+  std::vector<u8> counters_;  // 0..3, >=2 predicts taken
+};
+
+}  // namespace npat::sim

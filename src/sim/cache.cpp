@@ -1,0 +1,106 @@
+#include "sim/cache.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::sim {
+
+Cache::Cache(const CacheConfig& config) : config_(config), sets_(config.sets()) {
+  NPAT_CHECK_MSG(config_.line_bytes > 0 && config_.ways > 0, "invalid cache geometry");
+  NPAT_CHECK_MSG(config_.size_bytes % (static_cast<u64>(config_.ways) * config_.line_bytes) == 0,
+                 "cache size must be divisible by ways*line");
+  NPAT_CHECK_MSG(sets_ > 0, "cache must have at least one set");
+  lines_.resize(sets_ * config_.ways);
+}
+
+Cache::Line* Cache::find(u64 line_addr) {
+  const usize set = set_index(line_addr);
+  const u64 tag = tag_of(line_addr);
+  Line* base = &lines_[set * config_.ways];
+  for (u32 w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(u64 line_addr) const {
+  return const_cast<Cache*>(this)->find(line_addr);
+}
+
+Cache::Line& Cache::victim(usize set) {
+  Line* base = &lines_[set * config_.ways];
+  Line* best = base;
+  for (u32 w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) return base[w];
+    if (base[w].stamp < best->stamp) best = &base[w];
+  }
+  return *best;
+}
+
+CacheOutcome Cache::access(u64 line_addr, bool is_write) {
+  ++clock_;
+  CacheOutcome outcome;
+  if (Line* line = find(line_addr)) {
+    outcome.hit = true;
+    line->stamp = clock_;
+    line->dirty |= is_write;
+    return outcome;
+  }
+  const usize set = set_index(line_addr);
+  Line& slot = victim(set);
+  if (slot.valid) {
+    // Reconstruct the evicted line address from tag and set.
+    outcome.evicted_line = slot.tag * sets_ + static_cast<u64>(set);
+    outcome.evicted_dirty = slot.dirty;
+  }
+  slot.valid = true;
+  slot.tag = tag_of(line_addr);
+  slot.stamp = clock_;
+  slot.dirty = is_write;
+  return outcome;
+}
+
+CacheOutcome Cache::fill(u64 line_addr) {
+  ++clock_;
+  CacheOutcome outcome;
+  if (find(line_addr) != nullptr) {
+    outcome.hit = true;
+    // Prefetch hits do not refresh LRU: demand traffic dominates recency.
+    return outcome;
+  }
+  const usize set = set_index(line_addr);
+  Line& slot = victim(set);
+  if (slot.valid) {
+    outcome.evicted_line = slot.tag * sets_ + static_cast<u64>(set);
+    outcome.evicted_dirty = slot.dirty;
+  }
+  slot.valid = true;
+  slot.tag = tag_of(line_addr);
+  slot.stamp = clock_;
+  slot.dirty = false;
+  return outcome;
+}
+
+bool Cache::contains(u64 line_addr) const { return find(line_addr) != nullptr; }
+
+bool Cache::invalidate(u64 line_addr) {
+  if (Line* line = find(line_addr)) {
+    const bool dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return dirty;
+  }
+  return false;
+}
+
+u64 Cache::valid_lines() const {
+  u64 count = 0;
+  for (const auto& line : lines_) count += line.valid ? 1 : 0;
+  return count;
+}
+
+void Cache::clear() {
+  for (auto& line : lines_) line = Line{};
+  clock_ = 0;
+}
+
+}  // namespace npat::sim

@@ -1,0 +1,80 @@
+// Set-associative cache model with true-LRU replacement and write-back
+// semantics. Used for private L1D/L2 per core and a shared L3 per socket.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::sim {
+
+struct CacheConfig {
+  std::string name = "cache";
+  u64 size_bytes = 32 * 1024;
+  u32 ways = 8;
+  u32 line_bytes = 64;
+  Cycles hit_latency = 4;
+
+  u64 sets() const noexcept { return size_bytes / (static_cast<u64>(ways) * line_bytes); }
+  u64 lines() const noexcept { return size_bytes / line_bytes; }
+};
+
+/// Result of a cache access.
+struct CacheOutcome {
+  bool hit = false;
+  /// Line evicted to make room (only on misses into a full set).
+  std::optional<u64> evicted_line;
+  bool evicted_dirty = false;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  const CacheConfig& config() const noexcept { return config_; }
+
+  /// Looks up and (on miss) fills `line_addr`, updating LRU and dirty bits.
+  CacheOutcome access(u64 line_addr, bool is_write);
+
+  /// Lookup without fill or LRU update (used by coherence probes).
+  bool contains(u64 line_addr) const;
+
+  /// Removes a line (coherence invalidation); returns whether it was dirty.
+  /// No-op returning false when the line is absent.
+  bool invalidate(u64 line_addr);
+
+  /// Fills a line without a demand access (prefetch). Returns the eviction
+  /// like access(); does nothing if already present.
+  CacheOutcome fill(u64 line_addr);
+
+  /// Number of currently valid lines (for tests / occupancy metrics).
+  u64 valid_lines() const;
+
+  void clear();
+
+ private:
+  struct Line {
+    u64 tag = 0;
+    u64 stamp = 0;  // global LRU stamp; smaller = older
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  usize set_index(u64 line_addr) const noexcept {
+    return static_cast<usize>(line_addr % sets_);
+  }
+  u64 tag_of(u64 line_addr) const noexcept { return line_addr / sets_; }
+
+  Line* find(u64 line_addr);
+  const Line* find(u64 line_addr) const;
+  Line& victim(usize set);
+
+  CacheConfig config_;
+  u64 sets_;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  u64 clock_ = 0;
+};
+
+}  // namespace npat::sim

@@ -1,0 +1,33 @@
+// Where a memory access was satisfied. Matches the data-source encodings
+// PEBS attaches to sampled loads, which Memhist uses to annotate latency
+// peaks (L2 / L3 / local memory / remote memory in Fig. 10).
+#pragma once
+
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace npat::sim {
+
+enum class DataSource : u8 {
+  kL1,
+  kL2,
+  kL3,
+  kLocalDram,
+  kRemoteDram,
+  kRemoteCacheHitm,  // modified line forwarded from a remote cache
+};
+
+constexpr std::string_view data_source_name(DataSource source) {
+  switch (source) {
+    case DataSource::kL1: return "L1";
+    case DataSource::kL2: return "L2";
+    case DataSource::kL3: return "L3";
+    case DataSource::kLocalDram: return "local memory";
+    case DataSource::kRemoteDram: return "remote memory";
+    case DataSource::kRemoteCacheHitm: return "remote cache (HITM)";
+  }
+  return "?";
+}
+
+}  // namespace npat::sim

@@ -1,0 +1,44 @@
+#include "sim/pmu.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::sim {
+
+void CorePmu::arm_pebs(const PebsConfig& config) {
+  NPAT_CHECK_MSG(config.sample_period > 0, "PEBS sample period must be positive");
+  pebs_ = config;
+  pebs_countdown_ = config.sample_period;
+  samples_.clear();
+}
+
+void CorePmu::disarm_pebs() {
+  pebs_.reset();
+  pebs_countdown_ = 0;
+}
+
+void CorePmu::on_load_retired(VirtAddr vaddr, Cycles latency, DataSource source, Cycles now) {
+  if (!pebs_) return;
+  if (latency < pebs_->latency_threshold) return;
+  if (pebs_->source_filter && *pebs_->source_filter != source) return;
+  counters_.add(Event::kLoadLatencyAbove);
+  if (--pebs_countdown_ == 0) {
+    pebs_countdown_ = pebs_->sample_period;
+    if (samples_.size() < kMaxSamples) {
+      samples_.push_back(PebsRecord{vaddr, latency, source, now});
+    }
+  }
+}
+
+std::vector<PebsRecord> CorePmu::take_samples() {
+  std::vector<PebsRecord> out;
+  out.swap(samples_);
+  return out;
+}
+
+void CorePmu::clear() {
+  counters_.clear();
+  disarm_pebs();
+  samples_.clear();
+}
+
+}  // namespace npat::sim

@@ -1,0 +1,77 @@
+// Per-core performance monitoring unit.
+//
+// Like real silicon, events "happen" continuously: the machine increments
+// the full CounterBlock unconditionally and reading a counter returns its
+// free-running total. The perf layer implements the *programming* model on
+// top (limited registers, enable windows, multiplexing) via delta reads —
+// see perf/session.hpp.
+//
+// PEBS load-latency sampling is the one stateful facility: only a single
+// threshold can be armed at a time (the hardware restriction that forces
+// Memhist to time-cycle thresholds), and qualifying loads are counted and
+// periodically recorded with their data source.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/data_source.hpp"
+#include "sim/events.hpp"
+#include "util/types.hpp"
+
+namespace npat::sim {
+
+struct PebsConfig {
+  Cycles latency_threshold = 32;
+  /// Every Nth qualifying load produces a full sample record.
+  u32 sample_period = 64;
+  /// Restrict counting/sampling to loads served from one data source
+  /// (e.g. remote HITM only) — the data-source umask filters real PEBS
+  /// offers, and the hook for the paper's "coherency protocol overhead"
+  /// and "TLB miss cost" follow-ups.
+  std::optional<DataSource> source_filter;
+};
+
+struct PebsRecord {
+  VirtAddr vaddr = 0;
+  Cycles latency = 0;
+  DataSource source = DataSource::kL1;
+  Cycles timestamp = 0;
+};
+
+class CorePmu {
+ public:
+  CorePmu() = default;
+
+  // --- free-running counters ---
+  CounterBlock& counters() noexcept { return counters_; }
+  const CounterBlock& counters() const noexcept { return counters_; }
+  u64 read(Event e) const noexcept { return counters_[e]; }
+
+  // --- PEBS load latency ---
+  /// Arms the single load-latency event; replaces any previous config and
+  /// clears pending samples.
+  void arm_pebs(const PebsConfig& config);
+  void disarm_pebs();
+  bool pebs_armed() const noexcept { return pebs_.has_value(); }
+  const std::optional<PebsConfig>& pebs_config() const noexcept { return pebs_; }
+
+  /// Called by the machine for every retired load.
+  void on_load_retired(VirtAddr vaddr, Cycles latency, DataSource source, Cycles now);
+
+  /// Drains collected sample records.
+  std::vector<PebsRecord> take_samples();
+  usize pending_samples() const noexcept { return samples_.size(); }
+
+  void clear();
+
+ private:
+  CounterBlock counters_;
+  std::optional<PebsConfig> pebs_;
+  u32 pebs_countdown_ = 0;
+  std::vector<PebsRecord> samples_;
+  // Real PEBS buffers are finite; cap so pathological runs cannot OOM.
+  static constexpr usize kMaxSamples = 1 << 20;
+};
+
+}  // namespace npat::sim

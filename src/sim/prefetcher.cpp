@@ -1,0 +1,75 @@
+#include "sim/prefetcher.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace npat::sim {
+
+Prefetcher::Prefetcher(const PrefetcherConfig& config) : config_(config) {
+  NPAT_CHECK_MSG(config.streams > 0, "prefetcher needs at least one stream");
+  NPAT_CHECK_MSG(config.match_distance_lines > 0, "match distance must be positive");
+  streams_.resize(config.streams);
+}
+
+void Prefetcher::observe(u64 line_addr, std::vector<PrefetchRequest>& out) {
+  out.clear();
+  ++clock_;
+
+  // Match the nearest stream within the tracking window (real prefetchers
+  // track a handful of concurrent streams by address proximity).
+  Stream* stream = nullptr;
+  Stream* victim = &streams_[0];
+  i64 best_distance = config_.match_distance_lines + 1;
+  for (auto& s : streams_) {
+    if (!s.valid) {
+      if (victim->valid) victim = &s;  // free slot beats any LRU victim
+      continue;
+    }
+    if (victim->valid && s.stamp < victim->stamp) victim = &s;
+    const i64 distance =
+        std::llabs(static_cast<i64>(line_addr) - static_cast<i64>(s.last_line));
+    if (distance < best_distance) {
+      best_distance = distance;
+      stream = &s;
+    }
+  }
+  if (best_distance > config_.match_distance_lines) stream = nullptr;
+
+  if (stream == nullptr) {
+    *victim = Stream{line_addr, 0, 0, clock_, true};
+    return;
+  }
+
+  const i64 stride = static_cast<i64>(line_addr) - static_cast<i64>(stream->last_line);
+  if (stride == 0) {
+    stream->stamp = clock_;
+    return;  // same line, nothing to learn
+  }
+  if (stride == stream->stride) {
+    stream->confidence = std::min(stream->confidence + 1, 255u);
+  } else {
+    stream->stride = stride;
+    stream->confidence = 1;
+  }
+  stream->last_line = line_addr;
+  stream->stamp = clock_;
+
+  if (stream->confidence < config_.confirmations) return;
+
+  const PrefetchTarget target = std::llabs(stream->stride) <= config_.max_l2_stride_lines
+                                    ? PrefetchTarget::kL2
+                                    : PrefetchTarget::kL3;
+  for (u32 d = 1; d <= config_.degree; ++d) {
+    const i64 next = static_cast<i64>(line_addr) + stream->stride * static_cast<i64>(d);
+    if (next < 0) break;
+    out.push_back(PrefetchRequest{static_cast<u64>(next), target});
+  }
+}
+
+void Prefetcher::clear() {
+  for (auto& s : streams_) s = Stream{};
+  clock_ = 0;
+}
+
+}  // namespace npat::sim

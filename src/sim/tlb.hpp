@@ -1,0 +1,60 @@
+// Two-level data TLB. A DTLB miss consults the STLB; an STLB miss triggers
+// a hardware page walk, which costs cycles and locks the L1D (the paper's
+// Fig. 9 attributes l1d.locks to "TLB page walks by the uncore").
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::sim {
+
+struct TlbConfig {
+  u32 dtlb_entries = 64;
+  u32 dtlb_ways = 4;
+  u32 stlb_entries = 1536;
+  u32 stlb_ways = 12;
+  Cycles walk_latency = 28;  // nominal page-walk duration
+};
+
+enum class TlbOutcome : u8 { kDtlbHit, kStlbHit, kPageWalk };
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  const TlbConfig& config() const noexcept { return config_; }
+
+  /// Translates (looks up) the page; fills both levels on a walk.
+  TlbOutcome access(u64 page);
+
+  /// Removes a page translation everywhere (used on remap/free).
+  void invalidate(u64 page);
+  void flush();
+
+ private:
+  struct Entry {
+    u64 page = 0;
+    u64 stamp = 0;
+    bool valid = false;
+  };
+
+  struct Level {
+    u32 sets;
+    u32 ways;
+    std::vector<Entry> entries;
+
+    Level(u32 total_entries, u32 ways_in);
+    bool lookup_and_touch(u64 page, u64 clock);
+    void insert(u64 page, u64 clock);
+    void invalidate(u64 page);
+    void flush();
+  };
+
+  TlbConfig config_;
+  Level dtlb_;
+  Level stlb_;
+  u64 clock_ = 0;
+};
+
+}  // namespace npat::sim

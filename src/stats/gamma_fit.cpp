@@ -1,0 +1,88 @@
+#include "stats/gamma_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/tdist.hpp"
+#include "util/check.hpp"
+
+namespace npat::stats {
+
+double GammaFit::pdf(double x) const {
+  if (x <= location) return 0.0;
+  const double z = x - location;
+  const double log_pdf = (shape - 1.0) * std::log(z) - z / scale - shape * std::log(scale) -
+                         log_gamma(shape);
+  return std::exp(log_pdf);
+}
+
+namespace {
+
+std::optional<GammaFit> fit_with_location(std::span<const double> samples, double location) {
+  double sum = 0.0;
+  double log_sum = 0.0;
+  usize n = 0;
+  for (double v : samples) {
+    const double z = v - location;
+    if (!(z > 0.0)) return std::nullopt;
+    sum += z;
+    log_sum += std::log(z);
+    ++n;
+  }
+  if (n < 3) return std::nullopt;
+
+  const double mean_z = sum / static_cast<double>(n);
+  const double mean_log = log_sum / static_cast<double>(n);
+  const double s = std::log(mean_z) - mean_log;  // >= 0 by Jensen
+  if (!(s > 0.0)) return std::nullopt;           // degenerate (all equal)
+
+  // Initial guess (Minka 2002), then Newton on f(k) = ln k − ψ(k) − s.
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double f = std::log(k) - digamma(k) - s;
+    const double fprime = 1.0 / k - trigamma(k);
+    const double step = f / fprime;
+    double next = k - step;
+    if (next <= 0.0) next = k / 2.0;
+    if (std::fabs(next - k) < 1e-12 * k) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  if (!(k > 0.0) || !std::isfinite(k)) return std::nullopt;
+
+  GammaFit fit;
+  fit.location = location;
+  fit.shape = k;
+  fit.scale = mean_z / k;
+
+  double ll = 0.0;
+  for (double v : samples) {
+    const double z = v - location;
+    ll += (k - 1.0) * std::log(z) - z / fit.scale;
+  }
+  ll -= static_cast<double>(n) * (k * std::log(fit.scale) + log_gamma(k));
+  fit.log_likelihood = ll;
+  return fit;
+}
+
+}  // namespace
+
+std::optional<GammaFit> fit_gamma(std::span<const double> samples) {
+  return fit_with_location(samples, 0.0);
+}
+
+std::optional<GammaFit> fit_gamma_shifted(std::span<const double> samples) {
+  if (samples.size() < 3) return std::nullopt;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Lower-bound estimator: x₍₁₎ minus the first order-statistic spacing,
+  // which corrects the positive bias of the raw minimum.
+  const double spacing = sorted[1] - sorted[0];
+  const double location = sorted[0] - std::max(spacing, 1e-9 * std::max(1.0, sorted[0]));
+  return fit_with_location(samples, location);
+}
+
+}  // namespace npat::stats

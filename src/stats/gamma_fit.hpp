@@ -1,0 +1,37 @@
+// Three-parameter gamma fit. The paper (§IV-A.2) notes that assuming a
+// normal distribution for counter measurements "can be considered
+// controversial since the measurement is clearly biased towards smaller
+// values" and suggests "determining the aforementioned minimum with a
+// suitable estimator and employing a gamma distribution starting at this
+// minimum point". This module implements that suggested improvement.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace npat::stats {
+
+struct GammaFit {
+  double location = 0.0;  // estimated lower bound (shift)
+  double shape = 1.0;     // k
+  double scale = 1.0;     // θ
+  double log_likelihood = 0.0;
+
+  double mean() const { return location + shape * scale; }
+  double variance() const { return shape * scale * scale; }
+  /// Density at x (0 for x <= location).
+  double pdf(double x) const;
+};
+
+/// Fits location by a downward-biased minimum estimator (min − spacing of
+/// the two smallest order statistics) and shape/scale by Newton iteration
+/// on the MLE equation ln k − ψ(k) = ln(x̄/g̃) (Minka's update).
+/// Requires >= 3 samples with positive spread above the location.
+std::optional<GammaFit> fit_gamma_shifted(std::span<const double> samples);
+
+/// Standard two-parameter gamma MLE (location fixed at 0).
+std::optional<GammaFit> fit_gamma(std::span<const double> samples);
+
+}  // namespace npat::stats

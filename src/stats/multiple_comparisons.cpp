@@ -1,0 +1,51 @@
+#include "stats/multiple_comparisons.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace npat::stats {
+
+std::vector<double> bonferroni_adjust(std::span<const double> p_values) {
+  const double m = static_cast<double>(p_values.size());
+  std::vector<double> out(p_values.size());
+  for (usize i = 0; i < p_values.size(); ++i) {
+    NPAT_CHECK_MSG(p_values[i] >= 0.0 && p_values[i] <= 1.0, "p-values must be in [0,1]");
+    out[i] = std::min(1.0, p_values[i] * m);
+  }
+  return out;
+}
+
+std::vector<double> holm_adjust(std::span<const double> p_values) {
+  const usize m = p_values.size();
+  std::vector<usize> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](usize a, usize b) { return p_values[a] < p_values[b]; });
+
+  std::vector<double> out(m, 0.0);
+  double running_max = 0.0;
+  for (usize rank = 0; rank < m; ++rank) {
+    const usize idx = order[rank];
+    NPAT_CHECK_MSG(p_values[idx] >= 0.0 && p_values[idx] <= 1.0, "p-values must be in [0,1]");
+    const double adjusted = std::min(1.0, p_values[idx] * static_cast<double>(m - rank));
+    running_max = std::max(running_max, adjusted);  // enforce monotonicity
+    out[idx] = running_max;
+  }
+  return out;
+}
+
+usize bonferroni_required_tests(double alpha, usize comparisons) {
+  NPAT_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  NPAT_CHECK_MSG(comparisons > 0, "need at least one comparison");
+  // Detecting at level alpha/m with a t-test needs roughly a factor
+  // ln(m/alpha)/ln(1/alpha) more samples (normal-tail approximation);
+  // round up to whole repetitions.
+  const double m = static_cast<double>(comparisons);
+  const double factor = std::log(m / alpha) / std::log(1.0 / alpha);
+  return static_cast<usize>(std::ceil(factor));
+}
+
+}  // namespace npat::stats

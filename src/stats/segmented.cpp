@@ -1,0 +1,191 @@
+#include "stats/segmented.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/regression.hpp"
+#include "util/check.hpp"
+
+namespace npat::stats {
+
+SegmentCost::SegmentCost(std::span<const double> x, std::span<const double> y) : n_(x.size()) {
+  NPAT_CHECK_MSG(x.size() == y.size(), "segmented fit length mismatch");
+  sx_.resize(n_ + 1, 0.0);
+  sy_.resize(n_ + 1, 0.0);
+  sxx_.resize(n_ + 1, 0.0);
+  sxy_.resize(n_ + 1, 0.0);
+  syy_.resize(n_ + 1, 0.0);
+  for (usize i = 0; i < n_; ++i) {
+    sx_[i + 1] = sx_[i] + x[i];
+    sy_[i + 1] = sy_[i] + y[i];
+    sxx_[i + 1] = sxx_[i] + x[i] * x[i];
+    sxy_[i + 1] = sxy_[i] + x[i] * y[i];
+    syy_[i + 1] = syy_[i] + y[i] * y[i];
+  }
+}
+
+LineSegment SegmentCost::fit(usize begin, usize end) const {
+  NPAT_CHECK_MSG(begin < end && end <= n_, "invalid segment range");
+  NPAT_CHECK_MSG(end - begin >= 2, "segment needs >= 2 samples");
+  const double n = static_cast<double>(end - begin);
+  const double sx = sx_[end] - sx_[begin];
+  const double sy = sy_[end] - sy_[begin];
+  const double sxx = sxx_[end] - sxx_[begin];
+  const double sxy = sxy_[end] - sxy_[begin];
+  const double syy = syy_[end] - syy_[begin];
+
+  // Centered second moments.
+  const double cxx = sxx - sx * sx / n;
+  const double cxy = sxy - sx * sy / n;
+  const double cyy = syy - sy * sy / n;
+
+  LineSegment seg;
+  seg.begin = begin;
+  seg.end = end;
+  if (cxx <= 1e-12 * std::max(1.0, sxx)) {
+    // Degenerate abscissa (all x equal): best "line" is the mean level.
+    seg.slope = 0.0;
+    seg.intercept = sy / n;
+    seg.sse = std::max(0.0, cyy);
+  } else {
+    seg.slope = cxy / cxx;
+    seg.intercept = (sy - seg.slope * sx) / n;
+    seg.sse = std::max(0.0, cyy - seg.slope * cxy);
+  }
+  return seg;
+}
+
+double SegmentCost::sse(usize begin, usize end) const { return fit(begin, end).sse; }
+
+SegmentedFit detect_two_phases(std::span<const double> x, std::span<const double> y,
+                               usize min_segment) {
+  NPAT_CHECK_MSG(min_segment >= 2, "min_segment must be >= 2");
+  NPAT_CHECK_MSG(x.size() >= 2 * min_segment, "not enough samples for two phases");
+  const SegmentCost cost(x, y);
+
+  double best = std::numeric_limits<double>::infinity();
+  usize best_pivot = min_segment;
+  for (usize pivot = min_segment; pivot + min_segment <= x.size(); ++pivot) {
+    const double total = cost.sse(0, pivot) + cost.sse(pivot, x.size());
+    if (total < best) {
+      best = total;
+      best_pivot = pivot;
+    }
+  }
+
+  SegmentedFit out;
+  out.segments = {cost.fit(0, best_pivot), cost.fit(best_pivot, x.size())};
+  out.total_sse = best;
+  return out;
+}
+
+SegmentedFit detect_two_phases_naive(std::span<const double> x, std::span<const double> y,
+                                     usize min_segment) {
+  NPAT_CHECK_MSG(min_segment >= 2, "min_segment must be >= 2");
+  NPAT_CHECK_MSG(x.size() >= 2 * min_segment, "not enough samples for two phases");
+
+  // The paper's formulation: refit y = Xβ from scratch on both sides of
+  // every candidate pivot via the normal equations.
+  auto refit_sse = [&](usize begin, usize end) {
+    std::vector<double> xs(x.begin() + static_cast<std::ptrdiff_t>(begin),
+                           x.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<double> ys(y.begin() + static_cast<std::ptrdiff_t>(begin),
+                           y.begin() + static_cast<std::ptrdiff_t>(end));
+    const auto fit = fit_linear(xs, ys);
+    if (!fit) {
+      // Constant response: SSE against the mean is zero.
+      return 0.0;
+    }
+    return fit->residual_ss;
+  };
+
+  double best = std::numeric_limits<double>::infinity();
+  usize best_pivot = min_segment;
+  for (usize pivot = min_segment; pivot + min_segment <= x.size(); ++pivot) {
+    const double total = refit_sse(0, pivot) + refit_sse(pivot, x.size());
+    if (total < best) {
+      best = total;
+      best_pivot = pivot;
+    }
+  }
+
+  const SegmentCost cost(x, y);
+  SegmentedFit out;
+  out.segments = {cost.fit(0, best_pivot), cost.fit(best_pivot, x.size())};
+  out.total_sse = out.segments[0].sse + out.segments[1].sse;
+  return out;
+}
+
+SegmentedFit detect_k_phases(std::span<const double> x, std::span<const double> y, usize k,
+                             usize min_segment) {
+  NPAT_CHECK_MSG(k >= 1, "need at least one segment");
+  NPAT_CHECK_MSG(min_segment >= 2, "min_segment must be >= 2");
+  const usize n = x.size();
+  NPAT_CHECK_MSG(n >= k * min_segment, "not enough samples for k phases");
+  const SegmentCost cost(x, y);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[s][e] = minimal SSE covering samples [0, e) with s segments.
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<usize>> parent(k + 1, std::vector<usize>(n + 1, 0));
+  dp[0][0] = 0.0;
+
+  for (usize s = 1; s <= k; ++s) {
+    for (usize e = s * min_segment; e <= n; ++e) {
+      // Last segment is [b, e) with b s.t. the prefix holds s−1 segments.
+      const usize b_lo = (s - 1) * min_segment;
+      for (usize b = b_lo; b + min_segment <= e; ++b) {
+        if (dp[s - 1][b] == kInf) continue;
+        const double candidate = dp[s - 1][b] + cost.sse(b, e);
+        if (candidate < dp[s][e]) {
+          dp[s][e] = candidate;
+          parent[s][e] = b;
+        }
+      }
+    }
+  }
+
+  NPAT_CHECK_MSG(dp[k][n] != kInf, "k-phase DP found no feasible split");
+
+  SegmentedFit out;
+  out.total_sse = dp[k][n];
+  std::vector<std::pair<usize, usize>> ranges;
+  usize e = n;
+  for (usize s = k; s >= 1; --s) {
+    const usize b = parent[s][e];
+    ranges.emplace_back(b, e);
+    e = b;
+  }
+  for (auto it = ranges.rbegin(); it != ranges.rend(); ++it) {
+    out.segments.push_back(cost.fit(it->first, it->second));
+  }
+  return out;
+}
+
+SegmentedFit detect_phases_auto(std::span<const double> x, std::span<const double> y,
+                                usize max_k, usize min_segment) {
+  NPAT_CHECK_MSG(max_k >= 1, "max_k must be >= 1");
+  const usize n = x.size();
+  NPAT_CHECK_MSG(n >= min_segment, "not enough samples");
+
+  SegmentedFit best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (usize k = 1; k <= max_k && n >= k * min_segment; ++k) {
+    SegmentedFit candidate =
+        k == 1 ? SegmentedFit{{SegmentCost(x, y).fit(0, n)}, SegmentCost(x, y).sse(0, n)}
+               : detect_k_phases(x, y, k, min_segment);
+    // BIC-style criterion: n·ln(SSE/n) + params·ln(n); each segment adds a
+    // slope, an intercept and (after the first) a breakpoint.
+    const double params = static_cast<double>(3 * k - 1);
+    const double sse = std::max(candidate.total_sse, 1e-12);
+    const double score = static_cast<double>(n) * std::log(sse / static_cast<double>(n)) +
+                         params * std::log(static_cast<double>(n));
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace npat::stats

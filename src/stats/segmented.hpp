@@ -1,0 +1,75 @@
+// Segmented linear regression — the core of Phasenprüfer (§IV-C.1).
+//
+// The paper's algorithm: every data point is iteratively considered a pivot,
+// a least-squares line is fitted before and after it, and the pivot with the
+// minimal summed squared error is the phase transition. Two implementations
+// are provided:
+//  * detect_two_phases_naive — the literal algorithm (refits per pivot),
+//  * detect_two_phases      — an O(n) incremental scan over prefix sums
+//    (same optimum, used by default; the ablation bench compares both).
+// A k-segment dynamic-programming extension covers the paper's outlook of
+// recognizing additional phases (BSP supersteps).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::stats {
+
+struct LineSegment {
+  usize begin = 0;       // first sample index (inclusive)
+  usize end = 0;         // one-past-last sample index
+  double intercept = 0;  // β₀ of y = β₀ + β₁·x on this range
+  double slope = 0;      // β₁
+  double sse = 0;        // residual sum of squares
+};
+
+struct SegmentedFit {
+  std::vector<LineSegment> segments;  // ordered by begin
+  double total_sse = 0.0;
+
+  /// Pivot between segment 0 and 1 (two-phase case): segments[1].begin.
+  usize pivot() const { return segments.size() > 1 ? segments[1].begin : 0; }
+};
+
+/// Precomputed prefix sums enabling O(1) least-squares over any range.
+class SegmentCost {
+ public:
+  SegmentCost(std::span<const double> x, std::span<const double> y);
+
+  usize size() const { return n_; }
+
+  /// Least-squares line over samples [begin, end); end − begin >= 2.
+  LineSegment fit(usize begin, usize end) const;
+
+  /// Residual sum of squares for [begin, end) without building the segment.
+  double sse(usize begin, usize end) const;
+
+ private:
+  usize n_;
+  std::vector<double> sx_, sy_, sxx_, sxy_, syy_;  // prefix sums, index 0 = empty
+};
+
+/// Two-phase split; requires n >= 2*min_segment, min_segment >= 2.
+SegmentedFit detect_two_phases(std::span<const double> x, std::span<const double> y,
+                               usize min_segment = 2);
+
+/// The literal per-pivot refit from the paper (kept for the ablation bench;
+/// produces the same optimum).
+SegmentedFit detect_two_phases_naive(std::span<const double> x, std::span<const double> y,
+                                     usize min_segment = 2);
+
+/// Optimal split into exactly k segments via dynamic programming,
+/// minimizing total SSE. k >= 1; requires n >= k*min_segment.
+SegmentedFit detect_k_phases(std::span<const double> x, std::span<const double> y, usize k,
+                             usize min_segment = 2);
+
+/// Model-selection helper: picks k in [1, max_k] minimizing a BIC-style
+/// score total_sse·n·log(n)-penalized criterion, so flat traces resolve to
+/// one phase instead of hallucinating transitions.
+SegmentedFit detect_phases_auto(std::span<const double> x, std::span<const double> y,
+                                usize max_k = 4, usize min_segment = 4);
+
+}  // namespace npat::stats

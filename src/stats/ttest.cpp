@@ -1,0 +1,149 @@
+#include "stats/ttest.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/tdist.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace npat::stats {
+
+namespace {
+
+TTestResult finish(double mean_a, double mean_b, double t, double df) {
+  TTestResult r;
+  r.mean_a = mean_a;
+  r.mean_b = mean_b;
+  r.mean_delta = mean_b - mean_a;
+  r.relative_delta = mean_a != 0.0 ? r.mean_delta / std::fabs(mean_a) : 0.0;
+  r.t = t;
+  r.df = df;
+  r.p_two_tailed = two_tailed_p(t, df);
+  r.confidence = 1.0 - r.p_two_tailed;
+  return r;
+}
+
+TTestResult degenerate_result(double mean_a, double mean_b) {
+  // Zero variance on both sides: either identical (no evidence of change)
+  // or deterministically different (infinitely strong evidence).
+  TTestResult r;
+  r.mean_a = mean_a;
+  r.mean_b = mean_b;
+  r.mean_delta = mean_b - mean_a;
+  r.relative_delta = mean_a != 0.0 ? r.mean_delta / std::fabs(mean_a) : 0.0;
+  if (mean_a == mean_b) {
+    r.degenerate = true;
+    r.p_two_tailed = 1.0;
+    r.confidence = 0.0;
+  } else {
+    r.t = std::numeric_limits<double>::infinity();
+    r.df = 1.0;
+    r.p_two_tailed = 0.0;
+    r.confidence = 1.0;
+  }
+  return r;
+}
+
+}  // namespace
+
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  NPAT_CHECK_MSG(a.size() >= 2 && b.size() >= 2, "t-test needs >= 2 samples per side");
+  Accumulator acc_a;
+  Accumulator acc_b;
+  for (double v : a) acc_a.add(v);
+  for (double v : b) acc_b.add(v);
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = acc_a.variance();  // Bessel-corrected
+  const double vb = acc_b.variance();
+  const double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) return degenerate_result(acc_a.mean(), acc_b.mean());
+
+  const double t = (acc_b.mean() - acc_a.mean()) / std::sqrt(se2);
+  // Welch–Satterthwaite degrees of freedom.
+  const double df = se2 * se2 /
+                    ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+  return finish(acc_a.mean(), acc_b.mean(), t, df);
+}
+
+TTestResult student_t_test(std::span<const double> a, std::span<const double> b) {
+  NPAT_CHECK_MSG(a.size() >= 2 && b.size() >= 2, "t-test needs >= 2 samples per side");
+  Accumulator acc_a;
+  Accumulator acc_b;
+  for (double v : a) acc_a.add(v);
+  for (double v : b) acc_b.add(v);
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double df = na + nb - 2.0;
+  const double pooled =
+      ((na - 1.0) * acc_a.variance() + (nb - 1.0) * acc_b.variance()) / df;
+  if (pooled <= 0.0) return degenerate_result(acc_a.mean(), acc_b.mean());
+
+  const double t =
+      (acc_b.mean() - acc_a.mean()) / std::sqrt(pooled * (1.0 / na + 1.0 / nb));
+  return finish(acc_a.mean(), acc_b.mean(), t, df);
+}
+
+TTestResult t_test(std::span<const double> a, std::span<const double> b, TTestKind kind) {
+  switch (kind) {
+    case TTestKind::kStudentPooled: return student_t_test(a, b);
+    case TTestKind::kWelch: return welch_t_test(a, b);
+    case TTestKind::kPermutation: return permutation_t_test(a, b);
+  }
+  return welch_t_test(a, b);
+}
+
+TTestResult permutation_t_test(std::span<const double> a, std::span<const double> b,
+                               u32 permutations, u64 seed) {
+  NPAT_CHECK_MSG(a.size() >= 2 && b.size() >= 2, "t-test needs >= 2 samples per side");
+  NPAT_CHECK_MSG(permutations >= 100, "need at least 100 permutations");
+
+  std::vector<double> pooled(a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+
+  auto mean_of = [](const double* begin, usize n) {
+    double sum = 0.0;
+    for (usize i = 0; i < n; ++i) sum += begin[i];
+    return sum / static_cast<double>(n);
+  };
+  const double observed =
+      mean_of(pooled.data() + a.size(), b.size()) - mean_of(pooled.data(), a.size());
+
+  util::Xoshiro256ss rng(seed);
+  u32 at_least_as_extreme = 0;
+  for (u32 p = 0; p < permutations; ++p) {
+    // Fisher–Yates reshuffle of the group labels.
+    for (usize i = pooled.size() - 1; i > 0; --i) {
+      std::swap(pooled[i], pooled[rng.below(i + 1)]);
+    }
+    const double diff =
+        mean_of(pooled.data() + a.size(), b.size()) - mean_of(pooled.data(), a.size());
+    if (std::fabs(diff) >= std::fabs(observed) - 1e-12) ++at_least_as_extreme;
+  }
+
+  TTestResult result;
+  // Means from the *original* grouping.
+  {
+    Accumulator acc_a;
+    Accumulator acc_b;
+    for (double v : a) acc_a.add(v);
+    for (double v : b) acc_b.add(v);
+    result.mean_a = acc_a.mean();
+    result.mean_b = acc_b.mean();
+    result.mean_delta = result.mean_b - result.mean_a;
+    result.relative_delta =
+        result.mean_a != 0.0 ? result.mean_delta / std::fabs(result.mean_a) : 0.0;
+  }
+  result.df = static_cast<double>(a.size() + b.size() - 2);
+  // Add-one smoothing so p is never exactly 0 with finite permutations.
+  result.p_two_tailed = (static_cast<double>(at_least_as_extreme) + 1.0) /
+                        (static_cast<double>(permutations) + 1.0);
+  result.confidence = 1.0 - result.p_two_tailed;
+  result.degenerate = result.mean_delta == 0.0 && result.p_two_tailed >= 1.0;
+  return result;
+}
+
+}  // namespace npat::stats

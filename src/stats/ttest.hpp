@@ -1,0 +1,52 @@
+// Two-sample t-tests as used by EvSel (§IV-A.2 of the paper):
+//  * Student's t assuming equal variances (pooled, Bessel-corrected),
+//  * Welch's t for unequal population sizes — the paper employs Welch's
+//    method "since the test should be possible for any user-chosen program
+//    runs" while assuming similar standard deviations.
+#pragma once
+
+#include <span>
+
+#include "stats/descriptive.hpp"
+
+namespace npat::stats {
+
+enum class TTestKind {
+  kStudentPooled,
+  kWelch,
+  /// Distribution-free permutation test (addresses the paper's §IV-A.2
+  /// concern that counter samples are not really normal).
+  kPermutation,
+};
+
+struct TTestResult {
+  double t = 0.0;
+  double df = 0.0;
+  double p_two_tailed = 1.0;
+  double confidence = 0.0;  // 1 − p, what EvSel displays next to the icon
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  double mean_delta = 0.0;          // mean_b − mean_a
+  double relative_delta = 0.0;      // (mean_b − mean_a) / |mean_a|; 0 if mean_a == 0
+  bool degenerate = false;          // both samples constant and equal -> no test
+
+  bool significant(double alpha = 0.05) const { return !degenerate && p_two_tailed < alpha; }
+};
+
+/// Welch two-sample t-test; samples need >= 2 elements each.
+TTestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+/// Student pooled-variance two-sample t-test; samples need >= 2 elements.
+TTestResult student_t_test(std::span<const double> a, std::span<const double> b);
+
+TTestResult t_test(std::span<const double> a, std::span<const double> b, TTestKind kind);
+
+/// Permutation version of the two-sample test (the paper's reference [38]
+/// compares Welch with its permutation counterpart): the group labels are
+/// reshuffled `permutations` times and the p-value is the fraction of
+/// permutations whose |mean difference| meets or exceeds the observed one.
+/// Distribution-free — no normality assumption at all.
+TTestResult permutation_t_test(std::span<const double> a, std::span<const double> b,
+                               u32 permutations = 2000, u64 seed = 0x9e37);
+
+}  // namespace npat::stats

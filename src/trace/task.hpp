@@ -1,0 +1,76 @@
+// Coroutine handle for simulated threads. Workload bodies are C++20
+// coroutines: every machine operation is awaited, giving the runner a
+// natural preemption point to interleave threads deterministically at
+// quantum granularity without host threads.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace npat::trace {
+
+class SimTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    SimTask get_return_object() { return SimTask{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so the runner can observe done() before the frame
+    // is destroyed by ~SimTask.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  SimTask() = default;
+  explicit SimTask(Handle handle) : handle_(handle) {}
+  SimTask(SimTask&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return !handle_ || handle_.done(); }
+  void resume() { handle_.resume(); }
+  Handle handle() const noexcept { return handle_; }
+
+  /// Rethrows an exception that escaped the coroutine body, if any.
+  void rethrow_if_failed() {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+/// Minimal awaiter: the operation already ran inline; suspension only
+/// happens when the scheduler decided the slice is over or the thread
+/// blocked. The runner resumes via its own stored handle.
+struct OpAwaiter {
+  bool should_suspend = false;
+
+  bool await_ready() const noexcept { return !should_suspend; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace npat::trace

@@ -1,0 +1,43 @@
+// ANSI terminal styling. The paper's tools use GUI colour cues (grayed-out
+// zero counters, colour-coded correlations, significance icons); the
+// terminal renderers reproduce these cues with ANSI SGR codes. Styling is
+// globally switchable so tests and piped output stay plain.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace npat::util {
+
+enum class Style {
+  kNone,
+  kBold,
+  kDim,       // grayed-out (counters that stayed zero)
+  kRed,       // regressions / significant increases
+  kGreen,     // improvements / significant decreases
+  kYellow,    // warnings (uncertain sampling)
+  kBlue,
+  kMagenta,
+  kCyan,
+};
+
+/// Process-wide switch; off by default so output is byte-stable in tests.
+void set_ansi_enabled(bool enabled);
+bool ansi_enabled();
+
+/// Wraps `text` in the SGR sequence for `style` when enabled.
+std::string styled(std::string_view text, Style style);
+
+/// RAII guard for tests that flip the global switch.
+class AnsiGuard {
+ public:
+  explicit AnsiGuard(bool enabled) : previous_(ansi_enabled()) { set_ansi_enabled(enabled); }
+  ~AnsiGuard() { set_ansi_enabled(previous_); }
+  AnsiGuard(const AnsiGuard&) = delete;
+  AnsiGuard& operator=(const AnsiGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace npat::util

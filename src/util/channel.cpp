@@ -1,0 +1,72 @@
+#include "util/channel.hpp"
+
+namespace npat::util {
+
+namespace {
+
+/// Shared duplex state: two directed byte queues.
+struct LoopbackState {
+  std::deque<u8> a_to_b;
+  std::deque<u8> b_to_a;
+  bool a_closed = false;
+  bool b_closed = false;
+};
+
+class LoopbackEndpoint : public ByteChannel {
+ public:
+  LoopbackEndpoint(std::shared_ptr<LoopbackState> state, bool is_a)
+      : state_(std::move(state)), is_a_(is_a) {}
+
+  bool send(const std::vector<u8>& data) override {
+    if (my_closed() || peer_closed()) return false;
+    auto& queue = is_a_ ? state_->a_to_b : state_->b_to_a;
+    queue.insert(queue.end(), data.begin(), data.end());
+    return true;
+  }
+
+  std::vector<u8> recv(usize max_bytes) override {
+    auto& queue = is_a_ ? state_->b_to_a : state_->a_to_b;
+    const usize n = std::min(max_bytes, queue.size());
+    std::vector<u8> out(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(n));
+    queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(n));
+    return out;
+  }
+
+  void close() override { (is_a_ ? state_->a_closed : state_->b_closed) = true; }
+
+  bool closed() const override { return my_closed(); }
+
+ private:
+  bool my_closed() const { return is_a_ ? state_->a_closed : state_->b_closed; }
+  bool peer_closed() const { return is_a_ ? state_->b_closed : state_->a_closed; }
+
+  std::shared_ptr<LoopbackState> state_;
+  bool is_a_;
+};
+
+}  // namespace
+
+ChannelPair make_loopback_pair() {
+  auto state = std::make_shared<LoopbackState>();
+  return ChannelPair{std::make_shared<LoopbackEndpoint>(state, true),
+                     std::make_shared<LoopbackEndpoint>(state, false)};
+}
+
+bool FaultyChannel::send(const std::vector<u8>& data) {
+  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    ++dropped_;
+    return true;  // silently lost in transit
+  }
+  std::vector<u8> payload = data;
+  if (config_.truncate_to > 0 && payload.size() > config_.truncate_to) {
+    payload.resize(config_.truncate_to);
+  }
+  if (!payload.empty() && config_.corrupt_probability > 0.0 &&
+      rng_.chance(config_.corrupt_probability)) {
+    payload[rng_.below(payload.size())] ^= 0xFF;
+    ++corrupted_;
+  }
+  return inner_->send(payload);
+}
+
+}  // namespace npat::util

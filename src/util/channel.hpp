@@ -1,0 +1,76 @@
+// Byte-stream transports for Memhist's remote probing (paper Fig. 6: a
+// headless probe on the server ships measurements to the GUI over TCP).
+// In this offline reproduction the wire protocol runs over an in-memory
+// loopback; the interface matches a blocking TCP socket so a real socket
+// backend can be dropped in.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/types.hpp"
+
+namespace npat::util {
+
+/// Blocking byte-stream endpoint (socket-like).
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  /// Queues `data` for the peer. Returns false if the channel is closed.
+  virtual bool send(const std::vector<u8>& data) = 0;
+
+  /// Reads up to `max_bytes` of available data (at least 1 byte unless the
+  /// channel is drained and closed). Returns an empty vector on EOF.
+  virtual std::vector<u8> recv(usize max_bytes) = 0;
+
+  /// Half-closes the write side; the peer sees EOF after draining.
+  virtual void close() = 0;
+
+  virtual bool closed() const = 0;
+};
+
+/// A connected pair of in-memory endpoints (like socketpair(2)).
+struct ChannelPair {
+  std::shared_ptr<ByteChannel> a;
+  std::shared_ptr<ByteChannel> b;
+};
+
+/// Creates a loopback connection; writes to `a` are read from `b` and
+/// vice versa. Single-threaded semantics: recv never blocks, it returns
+/// whatever is queued (the probe/collector loops are cooperative).
+ChannelPair make_loopback_pair();
+
+/// Decorator that injects faults for protocol robustness tests.
+class FaultyChannel : public ByteChannel {
+ public:
+  struct Config {
+    double drop_probability = 0.0;     // whole send() silently dropped
+    double corrupt_probability = 0.0;  // one byte flipped per send()
+    usize truncate_to = 0;             // 0 = no truncation, else max bytes/send
+    u64 seed = 42;
+  };
+
+  FaultyChannel(std::shared_ptr<ByteChannel> inner, const Config& config)
+      : inner_(std::move(inner)), config_(config), rng_(config.seed) {}
+
+  bool send(const std::vector<u8>& data) override;
+  std::vector<u8> recv(usize max_bytes) override { return inner_->recv(max_bytes); }
+  void close() override { inner_->close(); }
+  bool closed() const override { return inner_->closed(); }
+
+  usize dropped_sends() const { return dropped_; }
+  usize corrupted_sends() const { return corrupted_; }
+
+ private:
+  std::shared_ptr<ByteChannel> inner_;
+  Config config_;
+  Xoshiro256ss rng_;
+  usize dropped_ = 0;
+  usize corrupted_ = 0;
+};
+
+}  // namespace npat::util

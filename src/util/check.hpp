@@ -1,0 +1,38 @@
+// Lightweight precondition checking. Violations throw npat::CheckError so
+// tests can assert on misuse; simulation hot loops use NPAT_DCHECK which
+// compiles out in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace npat {
+
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw CheckError(std::string(file) + ":" + std::to_string(line) + ": check failed: " + expr +
+                   (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace npat
+
+#define NPAT_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::npat::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NPAT_CHECK_MSG(expr, msg)                                  \
+  do {                                                             \
+    if (!(expr)) ::npat::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define NPAT_DCHECK(expr) ((void)0)
+#else
+#define NPAT_DCHECK(expr) NPAT_CHECK(expr)
+#endif

@@ -1,0 +1,100 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace npat::util {
+
+Cli::Cli(std::string program_description) : description_(std::move(program_description)) {}
+
+void Cli::add_flag(const std::string& name, std::string* target, const std::string& help) {
+  flags_[name] = Flag{help, *target, [target](const std::string& v) { *target = v; }, false};
+}
+
+void Cli::add_flag(const std::string& name, i64* target, const std::string& help) {
+  flags_[name] = Flag{help, std::to_string(*target),
+                      [target, name](const std::string& v) {
+                        try {
+                          usize used = 0;
+                          *target = std::stoll(v, &used);
+                          if (used != v.size()) throw std::invalid_argument(v);
+                        } catch (const std::exception&) {
+                          throw CliError("--" + name + " expects an integer, got '" + v + "'");
+                        }
+                      },
+                      false};
+}
+
+void Cli::add_flag(const std::string& name, double* target, const std::string& help) {
+  flags_[name] = Flag{help, compact_double(*target),
+                      [target, name](const std::string& v) {
+                        try {
+                          usize used = 0;
+                          *target = std::stod(v, &used);
+                          if (used != v.size()) throw std::invalid_argument(v);
+                        } catch (const std::exception&) {
+                          throw CliError("--" + name + " expects a number, got '" + v + "'");
+                        }
+                      },
+                      false};
+}
+
+void Cli::add_flag(const std::string& name, bool* target, const std::string& help) {
+  flags_[name] = Flag{help, *target ? "true" : "false",
+                      [target, name](const std::string& v) {
+                        if (v == "true" || v == "1" || v.empty()) {
+                          *target = true;
+                        } else if (v == "false" || v == "0") {
+                          *target = false;
+                        } else {
+                          throw CliError("--" + name + " expects true/false, got '" + v + "'");
+                        }
+                      },
+                      true};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) throw CliError("unknown flag: --" + name);
+    if (!has_value && !it->second.is_bool) {
+      if (i + 1 >= argc) throw CliError("--" + name + " requires a value");
+      value = argv[++i];
+    }
+    it->second.setter(value);
+  }
+  return true;
+}
+
+std::string Cli::help_text() const {
+  std::string out = description_ + "\n\nUsage: " + program_name_ + " [flags]\n\nFlags:\n";
+  usize width = 0;
+  for (const auto& [name, flag] : flags_) width = std::max(width, name.size());
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + pad_right(name, width) + "  " + flag.help + " (default: " +
+           flag.default_value + ")\n";
+  }
+  out += "  --" + pad_right("help", width) + "  show this message\n";
+  return out;
+}
+
+}  // namespace npat::util

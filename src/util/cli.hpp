@@ -1,0 +1,54 @@
+// Tiny declarative command-line flag parser for the examples and bench
+// binaries ("--threads=8", "--mode occurrences", "--help").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::util {
+
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Cli {
+ public:
+  explicit Cli(std::string program_description);
+
+  /// Registers flags; `name` is used as "--name". Defaults are shown in help.
+  void add_flag(const std::string& name, std::string* target, const std::string& help);
+  void add_flag(const std::string& name, i64* target, const std::string& help);
+  void add_flag(const std::string& name, double* target, const std::string& help);
+  void add_flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help printed to
+  /// stdout); throws CliError on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string help_text() const;
+
+  /// Positional arguments left over after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    std::function<void(const std::string&)> setter;
+    bool is_bool = false;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string program_name_ = "program";
+};
+
+}  // namespace npat::util

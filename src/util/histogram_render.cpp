@@ -1,0 +1,59 @@
+#include "util/histogram_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace npat::util {
+
+std::string render_histogram(const std::vector<HistogramBar>& bars,
+                             const HistogramRenderOptions& options) {
+  usize label_width = 0;
+  double max_value = 0.0;
+  for (const auto& bar : bars) {
+    NPAT_CHECK_MSG(!std::isnan(bar.value), "histogram bars must not be NaN");
+    label_width = std::max(label_width, display_width(bar.label));
+    max_value = std::max(max_value, std::fabs(bar.value));
+  }
+
+  double clip = max_value;
+  if (options.truncate_above_fraction > 0.0 && max_value > 0.0) {
+    clip = max_value * options.truncate_above_fraction;
+    // Only meaningful if something actually exceeds the clip level.
+    double second = 0.0;
+    for (const auto& bar : bars) {
+      if (std::fabs(bar.value) < max_value) second = std::max(second, std::fabs(bar.value));
+    }
+    clip = std::max(clip, second);
+  }
+  if (clip <= 0.0) clip = 1.0;
+
+  std::string out;
+  if (!options.title.empty()) out += styled(options.title, Style::kBold) + "\n";
+  for (const auto& bar : bars) {
+    const double magnitude = std::fabs(bar.value);
+    const bool clipped = magnitude > clip;
+    const double shown = std::min(magnitude, clip);
+    const usize width =
+        static_cast<usize>(std::llround(shown / clip * static_cast<double>(options.max_bar_width)));
+
+    std::string line = pad_left(bar.label, label_width) + " │";
+    std::string bar_glyphs(width, '#');
+    if (clipped || bar.truncated) bar_glyphs += "~~";
+    const Style style = bar.uncertain ? Style::kDim : Style::kNone;
+    line += styled(bar_glyphs, style);
+    if (options.show_values) {
+      line += " " + styled(si_scaled(bar.value), style);
+      if (bar.uncertain) line += " (uncertain)";
+      if (clipped || bar.truncated) line += " (truncated)";
+    }
+    if (!bar.annotation.empty()) line += "  ← " + styled(bar.annotation, Style::kCyan);
+    out += line + "\n";
+  }
+  if (!options.footnote.empty()) out += styled(options.footnote, Style::kDim) + "\n";
+  return out;
+}
+
+}  // namespace npat::util

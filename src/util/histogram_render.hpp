@@ -1,0 +1,38 @@
+// ASCII histogram renderer used by Memhist. Reproduces the information of
+// the paper's Fig. 10 screenshots: labelled latency intervals, bar heights,
+// truncation of dominating bins ("L2 results truncated"), and grey/uncertain
+// bins ("grey values: uncertain sampling").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ansi.hpp"
+#include "util/types.hpp"
+
+namespace npat::util {
+
+struct HistogramBar {
+  std::string label;          // e.g. "[32, 64)"
+  double value = 0.0;         // occurrences or cost
+  bool uncertain = false;     // negative/unstable sampling -> rendered dim
+  bool truncated = false;     // bar clipped for readability
+  std::string annotation;     // e.g. "L2", "local memory"
+};
+
+struct HistogramRenderOptions {
+  usize max_bar_width = 60;
+  /// Bars above this fraction of the max are clipped and marked truncated
+  /// (mirrors the paper truncating the L2 peak to half height). 0 disables.
+  double truncate_above_fraction = 0.0;
+  bool show_values = true;
+  std::string title;
+  std::string footnote;
+};
+
+/// Renders a horizontal bar chart; values may be zero but not NaN.
+std::string render_histogram(const std::vector<HistogramBar>& bars,
+                             const HistogramRenderOptions& options);
+
+}  // namespace npat::util

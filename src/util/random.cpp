@@ -1,0 +1,86 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace npat::util {
+
+u64 splitmix64(u64& state) noexcept {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void Xoshiro256ss::reseed(u64 seed) noexcept {
+  u64 sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  has_cached_normal_ = false;
+}
+
+u64 Xoshiro256ss::below(u64 n) noexcept {
+  NPAT_DCHECK(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const u64 threshold = (0 - n) % n;
+  for (;;) {
+    const u64 r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Xoshiro256ss::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Xoshiro256ss::exponential(double rate) noexcept {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Xoshiro256ss::gamma(double shape, double scale) noexcept {
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct (Marsaglia–Tsang §6).
+    const double g = gamma(shape + 1.0, scale);
+    double u = 0.0;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return g * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+}  // namespace npat::util

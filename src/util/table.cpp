@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace npat::util {
+
+namespace {
+std::atomic<bool> g_ansi_enabled{false};
+
+const char* sgr_code(Style style) {
+  switch (style) {
+    case Style::kNone: return "";
+    case Style::kBold: return "\x1b[1m";
+    case Style::kDim: return "\x1b[2m";
+    case Style::kRed: return "\x1b[31m";
+    case Style::kGreen: return "\x1b[32m";
+    case Style::kYellow: return "\x1b[33m";
+    case Style::kBlue: return "\x1b[34m";
+    case Style::kMagenta: return "\x1b[35m";
+    case Style::kCyan: return "\x1b[36m";
+  }
+  return "";
+}
+}  // namespace
+
+void set_ansi_enabled(bool enabled) { g_ansi_enabled.store(enabled, std::memory_order_relaxed); }
+bool ansi_enabled() { return g_ansi_enabled.load(std::memory_order_relaxed); }
+
+std::string styled(std::string_view text, Style style) {
+  if (!ansi_enabled() || style == Style::kNone) return std::string(text);
+  return std::string(sgr_code(style)) + std::string(text) + "\x1b[0m";
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {
+  NPAT_CHECK_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::set_align(usize column, Align align) {
+  NPAT_CHECK(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void Table::add_styled_row(std::vector<Cell> cells) {
+  NPAT_CHECK_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+  rule_before_.push_back(pending_rule_);
+  pending_rule_ = false;
+}
+
+void Table::add_row(const std::vector<std::string>& cells) {
+  std::vector<Cell> styled_cells;
+  styled_cells.reserve(cells.size());
+  for (const auto& c : cells) styled_cells.push_back({c, Style::kNone});
+  add_styled_row(std::move(styled_cells));
+}
+
+void Table::add_rule() {
+  // Marks the next appended row; if no row follows, the marker is ignored.
+  pending_rule_ = true;
+}
+
+namespace {
+std::string aligned(const std::string& text, Align align, usize width) {
+  switch (align) {
+    case Align::kLeft: return pad_right(text, width);
+    case Align::kRight: return pad_left(text, width);
+    case Align::kCenter: return pad_center(text, width);
+  }
+  return text;
+}
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<usize> widths(headers_.size(), 0);
+  for (usize c = 0; c < headers_.size(); ++c) widths[c] = display_width(headers_[c]);
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], display_width(row[c].text));
+    }
+  }
+
+  auto horizontal = [&](const char* left, const char* mid, const char* right) {
+    std::string line(left);
+    for (usize c = 0; c < widths.size(); ++c) {
+      for (usize i = 0; i < widths[c] + 2; ++i) line += "─";
+      line += (c + 1 == widths.size()) ? right : mid;
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += styled(title_, Style::kBold) + "\n";
+  out += horizontal("┌", "┬", "┐");
+  out += "│";
+  for (usize c = 0; c < headers_.size(); ++c) {
+    out += " " + styled(aligned(headers_[c], Align::kCenter, widths[c]), Style::kBold) + " │";
+  }
+  out += '\n';
+  out += horizontal("├", "┼", "┤");
+  for (usize r = 0; r < rows_.size(); ++r) {
+    if (rule_before_[r] && r != 0) out += horizontal("├", "┼", "┤");
+    out += "│";
+    for (usize c = 0; c < rows_[r].size(); ++c) {
+      out += " " + styled(aligned(rows_[r][c].text, aligns_[c], widths[c]), rows_[r][c].style) +
+             " │";
+    }
+    out += '\n';
+  }
+  out += horizontal("└", "┴", "┘");
+  return out;
+}
+
+}  // namespace npat::util

@@ -1,0 +1,50 @@
+// ASCII table renderer. EvSel's GUI presents counters in a sortable table
+// with visual cues; TableRenderer reproduces the layout for terminals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ansi.hpp"
+#include "util/types.hpp"
+
+namespace npat::util {
+
+enum class Align { kLeft, kRight, kCenter };
+
+struct Cell {
+  std::string text;
+  Style style = Style::kNone;
+};
+
+class Table {
+ public:
+  /// Defines the header row; the number of columns is fixed afterwards.
+  explicit Table(std::vector<std::string> headers);
+
+  usize columns() const noexcept { return headers_.size(); }
+  usize rows() const noexcept { return rows_.size(); }
+
+  void set_align(usize column, Align align);
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Appends a row; the row must have exactly columns() cells.
+  void add_styled_row(std::vector<Cell> cells);
+  /// Convenience: plain-text row.
+  void add_row(const std::vector<std::string>& cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  /// Renders with box-drawing borders.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<bool> rule_before_;  // parallel to rows_
+  bool pending_rule_ = false;
+  std::string title_;
+};
+
+}  // namespace npat::util

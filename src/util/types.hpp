@@ -1,0 +1,36 @@
+// Fundamental fixed-width aliases used across the toolkit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace npat {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Simulated clock cycles.
+using Cycles = u64;
+/// Simulated virtual address.
+using VirtAddr = u64;
+/// Simulated physical address.
+using PhysAddr = u64;
+
+inline constexpr usize kCacheLineBytes = 64;
+inline constexpr usize kPageBytes = 4096;
+
+constexpr u64 cache_line_of(u64 addr) noexcept { return addr / kCacheLineBytes; }
+constexpr u64 page_of(u64 addr) noexcept { return addr / kPageBytes; }
+
+constexpr u64 KiB(u64 n) noexcept { return n << 10; }
+constexpr u64 MiB(u64 n) noexcept { return n << 20; }
+constexpr u64 GiB(u64 n) noexcept { return n << 30; }
+
+}  // namespace npat

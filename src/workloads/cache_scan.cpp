@@ -1,0 +1,66 @@
+#include "workloads/cache_scan.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::workloads {
+
+namespace {
+
+trace::SimTask cache_scan_body(trace::ThreadContext& ctx, CacheScanParams params) {
+  const usize n = params.size;
+  const VirtAddr array = ctx.alloc(n * n * sizeof(float));
+  auto element = [&](usize y, usize x) { return array + (y * n + x) * sizeof(float); };
+
+  // Fill phase: "fill array with random values" — sequential stores with
+  // a pinch of data-dependent compute so instruction counts vary slightly
+  // between runs, like real program noise.
+  ctx.set_source_tag(kTagFill);
+  if (params.fill_phase) {
+    for (usize y = 0; y < n; ++y) {
+      for (usize x = 0; x < n; ++x) {
+        co_await ctx.store(element(y, x));
+        co_await ctx.compute(2);
+      }
+      co_await ctx.compute(ctx.rng().below(8));
+    }
+  }
+  ctx.phase_mark(1);
+
+  // Sum phase: the traversal order is the whole experiment.
+  ctx.set_source_tag(kTagSum);
+  constexpr u64 kParityBranchSite = 0xCA5CADEULL;
+  if (params.variant == ScanVariant::kUnitStride) {
+    // Listing 1: y outer, x inner -> addresses advance by 4 bytes.
+    for (usize y = 0; y < n; ++y) {
+      for (usize x = 0; x < n; ++x) {
+        co_await ctx.load(element(y, x));
+        co_await ctx.branch(kParityBranchSite, y % 2 == 0);
+        co_await ctx.compute(params.loop_overhead_instructions);
+      }
+    }
+  } else {
+    // Listing 2: x outer, y inner -> addresses advance by a whole row
+    // (size * 4 bytes, a full page for size = 1024).
+    for (usize x = 0; x < n; ++x) {
+      for (usize y = 0; y < n; ++y) {
+        co_await ctx.load(element(y, x));
+        co_await ctx.branch(kParityBranchSite, x % 2 == 0);
+        co_await ctx.compute(params.loop_overhead_instructions);
+      }
+    }
+  }
+  ctx.phase_mark(2);
+
+  // std::cout << altsum — a handful of trailing instructions.
+  co_await ctx.compute(64);
+}
+
+}  // namespace
+
+trace::Program cache_scan_program(const CacheScanParams& params) {
+  NPAT_CHECK_MSG(params.size >= 8, "array too small to be meaningful");
+  return trace::Program::single(
+      [params](trace::ThreadContext& ctx) { return cache_scan_body(ctx, params); });
+}
+
+}  // namespace npat::workloads

@@ -1,0 +1,35 @@
+// The paper's cache-miss micro-benchmark (Listings 1 and 2): a size×size
+// float array is filled and then summed with alternating signs, traversed
+// either with unit stride (variant A — "hitting cache lines fairly often")
+// or with a row-length stride (variant B — "causing many more cache
+// misses"). Fig. 8 compares the two with EvSel.
+#pragma once
+
+#include "trace/runner.hpp"
+
+namespace npat::workloads {
+
+enum class ScanVariant : u8 {
+  kUnitStride,  // Listing 1: inner loop walks adjacent elements
+  kRowStride,   // Listing 2: inner loop jumps a whole row per access
+};
+
+struct CacheScanParams {
+  usize size = 1024;  // array is size x size floats (the paper's 1024)
+  ScanVariant variant = ScanVariant::kUnitStride;
+  /// Instructions of loop overhead charged per element.
+  u64 loop_overhead_instructions = 2;
+  /// Run the "fill array with random values" phase. The paper's listings
+  /// only carry it as a comment; disabling it measures the sum loop alone,
+  /// which is how Fig. 8's ratios come out cleanest.
+  bool fill_phase = true;
+};
+
+/// Source-region tags emitted via ThreadContext::set_source_tag.
+inline constexpr u32 kTagFill = 1;
+inline constexpr u32 kTagSum = 2;
+
+/// Single-threaded program implementing the listing.
+trace::Program cache_scan_program(const CacheScanParams& params);
+
+}  // namespace npat::workloads

@@ -1,0 +1,65 @@
+#include "workloads/mlc_remote.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::workloads {
+
+namespace {
+
+trace::SimTask mlc_body(trace::ThreadContext& ctx, MlcParams params) {
+  const VirtAddr buffer =
+      ctx.alloc(params.buffer_bytes, os::PagePolicy::kBind, params.target_node);
+  const usize lines = params.buffer_bytes / kCacheLineBytes;
+
+  // mlc initializes its chase buffer first (sequential stores, charged to
+  // the target node via the bind policy).
+  for (usize i = 0; i < lines; ++i) {
+    co_await ctx.store(buffer + i * kCacheLineBytes);
+  }
+  ctx.phase_mark(1);
+
+  // Dependent chase: a pseudo-random walk with line granularity. Using the
+  // thread RNG reproduces the *pattern* of a pointer-chased permutation
+  // (no spatial locality, no learnable stride).
+  for (u64 step = 0; step < params.chase_steps; ++step) {
+    const u64 line = ctx.rng().below(lines);
+    co_await ctx.load(buffer + line * kCacheLineBytes);
+    if (params.think_instructions > 0) co_await ctx.compute(params.think_instructions);
+  }
+  ctx.phase_mark(2);
+}
+
+}  // namespace
+
+trace::Program mlc_program(const MlcParams& params) {
+  NPAT_CHECK_MSG(params.buffer_bytes >= kPageBytes, "buffer must cover at least a page");
+  NPAT_CHECK_MSG(params.chase_steps > 0, "need at least one chase step");
+  return trace::Program::single(
+      [params](trace::ThreadContext& ctx) { return mlc_body(ctx, params); });
+}
+
+MlcParams mlc_local(usize buffer_bytes) {
+  MlcParams params;
+  params.buffer_bytes = buffer_bytes;
+  params.target_node = 0;
+  return params;
+}
+
+MlcParams mlc_remote(const sim::Topology& topology, usize buffer_bytes) {
+  MlcParams params;
+  params.buffer_bytes = buffer_bytes;
+  // Farthest node from node 0 (where core 0 lives).
+  u32 best_hops = 0;
+  for (sim::NodeId node = 0; node < topology.nodes; ++node) {
+    const u32 h = topology.hops(0, node);
+    if (h > best_hops) {
+      best_hops = h;
+      params.target_node = node;
+    }
+  }
+  NPAT_CHECK_MSG(best_hops > 0 || topology.nodes == 1,
+                 "topology has no remote node to target");
+  return params;
+}
+
+}  // namespace npat::workloads

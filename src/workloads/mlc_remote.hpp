@@ -1,0 +1,29 @@
+// Intel Memory Latency Checker analogue. The paper uses mlc both to verify
+// Memhist's latency peaks and (Fig. 10b) to *induce* remote memory
+// accesses. This workload performs a dependent random pointer chase over a
+// buffer bound to a chosen node — every load misses all caches and defeats
+// the prefetchers, exposing raw DRAM + interconnect latency.
+#pragma once
+
+#include "trace/runner.hpp"
+
+namespace npat::workloads {
+
+struct MlcParams {
+  usize buffer_bytes = 32 * 1024 * 1024;  // far beyond LLC capacity
+  u64 chase_steps = 400000;
+  /// Node the buffer is bound to. The chasing thread runs on core 0 (node
+  /// 0), so binding to another node produces pure remote latencies.
+  sim::NodeId target_node = 0;
+  /// Compute instructions between dependent loads (0 = pure latency).
+  u64 think_instructions = 0;
+};
+
+trace::Program mlc_program(const MlcParams& params);
+
+/// Convenience: parameters for a fully local chase on node 0.
+MlcParams mlc_local(usize buffer_bytes = 32 * 1024 * 1024);
+/// Parameters targeting the farthest node of the given topology.
+MlcParams mlc_remote(const sim::Topology& topology, usize buffer_bytes = 32 * 1024 * 1024);
+
+}  // namespace npat::workloads

@@ -1,0 +1,117 @@
+#include "workloads/parallel_sort.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace npat::workloads {
+
+namespace {
+
+struct SharedPlan {
+  VirtAddr data = 0;     // the uint array (allocated and filled by thread 0)
+  VirtAddr scratch = 0;  // merge destination, same size
+  usize elements = 0;
+};
+
+constexpr u64 kCompareBranchSite = 0x50B7ULL;
+
+/// One merge pass over [begin, end): reads the two halves in the
+/// alternating pattern a merge produces and writes the output run.
+trace::SubTask merge_run(trace::ThreadContext& ctx, const SharedPlan& plan, usize begin,
+                         usize mid, usize end, u64 compare_cost) {
+  auto src = [&](usize i) { return plan.data + i * sizeof(u32); };
+  auto dst = [&](usize i) { return plan.scratch + i * sizeof(u32); };
+  usize left = begin;
+  usize right = mid;
+  for (usize out = begin; out < end; ++out) {
+    const bool take_left =
+        left < mid && (right >= end || ctx.rng().chance(0.5));  // data-dependent
+    co_await ctx.branch(kCompareBranchSite, take_left);
+    co_await ctx.compute(compare_cost);
+    if (take_left) {
+      co_await ctx.load(src(left++));
+    } else {
+      co_await ctx.load(src(right++));
+    }
+    co_await ctx.store(dst(out));
+  }
+  // Copy back (the parallel-mode sort's final placement pass).
+  for (usize i = begin; i < end; ++i) {
+    co_await ctx.load(dst(i));
+    co_await ctx.store(src(i));
+  }
+}
+
+trace::SimTask sort_body(trace::ThreadContext& ctx, ParallelSortParams params,
+                         std::shared_ptr<SharedPlan> plan) {
+  const u32 threads = ctx.thread_count();
+  const usize chunk = params.elements / threads;
+
+  ctx.set_source_tag(kSortTagFill);
+  if (ctx.index() == 0) {
+    // Listing 3's sequential fill: the BSD LCG writes every element from
+    // the main thread, so first-touch places the whole array on its node.
+    plan->elements = params.elements;
+    plan->data = ctx.alloc(params.elements * sizeof(u32));
+    plan->scratch = ctx.alloc(params.elements * sizeof(u32));
+    util::BsdLcg lcg(1337);
+    for (usize i = 0; i < params.elements; ++i) {
+      (void)lcg();  // the multiply–add ignoring overflows
+      co_await ctx.compute(2);
+      co_await ctx.store(plan->data + i * sizeof(u32));
+    }
+    ctx.phase_mark(1);
+  }
+  co_await ctx.barrier(0);
+
+  ctx.set_source_tag(kSortTagLocalSort);
+  // Local phase: each thread merge-sorts its chunk (log2(chunk) passes of
+  // sequential read + comparison branch + write).
+  const usize begin = ctx.index() * chunk;
+  const usize end = ctx.index() + 1 == threads ? params.elements : begin + chunk;
+  for (usize width = 1; width < end - begin; width *= 2) {
+    for (usize lo = begin; lo + width < end; lo += 2 * width) {
+      const usize mid = lo + width;
+      const usize hi = std::min(lo + 2 * width, end);
+      co_await merge_run(ctx, *plan, lo, mid, hi, params.compare_cost);
+    }
+  }
+  co_await ctx.barrier(1);
+
+  ctx.set_source_tag(kSortTagMergeTree);
+  // Merge tree: at level l, threads whose index is a multiple of 2^(l+1)
+  // merge their run with their neighbour's; everyone re-synchronizes per
+  // level (the parallel-mode balanced merge).
+  const u32 levels = threads > 1 ? static_cast<u32>(std::bit_width(threads - 1)) : 0;
+  for (u32 level = 0; level < levels; ++level) {
+    const usize width = chunk << level;
+    const u32 stride = 2u << level;
+    if (ctx.index() % stride == 0) {
+      const usize lo = ctx.index() * chunk;
+      const usize mid = std::min(lo + width, params.elements);
+      const usize hi = std::min(lo + 2 * width, params.elements);
+      if (mid < hi) co_await merge_run(ctx, *plan, lo, mid, hi, params.compare_cost);
+    }
+    co_await ctx.barrier(2 + level);
+  }
+
+  if (ctx.index() == 0) ctx.phase_mark(2);
+}
+
+}  // namespace
+
+trace::Program parallel_sort_program(const ParallelSortParams& params) {
+  NPAT_CHECK_MSG(params.threads >= 1, "need at least one thread");
+  NPAT_CHECK_MSG(params.elements >= params.threads * 2, "array too small for thread count");
+  auto plan = std::make_shared<SharedPlan>();
+  return trace::Program::homogeneous(
+      params.threads, [params, plan](trace::ThreadContext& ctx) {
+        return sort_body(ctx, params, plan);
+      });
+}
+
+}  // namespace npat::workloads

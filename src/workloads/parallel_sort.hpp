@@ -1,0 +1,31 @@
+// The paper's parallel-sort micro-benchmark (Listing 3): an array of uints
+// is filled with the BSD linear congruential engine and sorted with the GNU
+// libstdc++ parallel-mode std::sort. We reproduce the *memory and branch
+// behaviour* of that computation: a sequential LCG fill (first-touch places
+// the whole array on the filling thread's node, as the original code does),
+// per-thread local merge sorts, and a barrier-synchronized pairwise merge
+// tree. Comparison branches follow the pseudo-random data, so they
+// mispredict like real sorting of LCG data.
+//
+// Fig. 9 sweeps the thread count and regresses events against it.
+#pragma once
+
+#include "trace/runner.hpp"
+
+namespace npat::workloads {
+
+struct ParallelSortParams {
+  usize elements = 1 << 18;  // uints (paper: 1 Mi elements / 4 MiB)
+  u32 threads = 4;
+  /// Instructions charged per comparison beyond the branch itself.
+  u64 compare_cost = 2;
+};
+
+/// Source-region tags emitted via ThreadContext::set_source_tag.
+inline constexpr u32 kSortTagFill = 1;
+inline constexpr u32 kSortTagLocalSort = 2;
+inline constexpr u32 kSortTagMergeTree = 3;
+
+trace::Program parallel_sort_program(const ParallelSortParams& params);
+
+}  // namespace npat::workloads

@@ -1,0 +1,61 @@
+#include "workloads/rampup_app.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace npat::workloads {
+
+namespace {
+
+trace::SimTask rampup_body(trace::ThreadContext& ctx, RampupParams params) {
+  std::vector<VirtAddr> regions;
+  regions.reserve(params.regions);
+
+  // --- ramp-up: I/O-ish allocation + initialization ---
+  for (u32 r = 0; r < params.regions; ++r) {
+    const VirtAddr region = ctx.alloc(params.region_bytes);
+    regions.push_back(region);
+    const usize lines = params.region_bytes / kCacheLineBytes;
+    for (usize i = 0; i < lines; ++i) {
+      co_await ctx.store(region + i * kCacheLineBytes);
+      co_await ctx.compute(3);  // parse/decode cost
+      co_await ctx.branch(0xB007 + r, ctx.rng().chance(0.7));
+    }
+  }
+  ctx.phase_mark(1);  // ground-truth phase transition
+
+  // --- computation: repeated processing of a working subset ---
+  const usize lines_per_region = params.region_bytes / kCacheLineBytes;
+  const usize touched = static_cast<usize>(static_cast<double>(lines_per_region) *
+                                           params.working_set_fraction);
+  for (u32 round = 0; round < params.compute_rounds; ++round) {
+    for (const VirtAddr region : regions) {
+      for (usize i = 0; i < touched; ++i) {
+        co_await ctx.load(region + (i % lines_per_region) * kCacheLineBytes);
+        co_await ctx.compute(12);
+        co_await ctx.branch(0xC0DE, ctx.rng().chance(0.5));
+      }
+    }
+    // Light allocation churn keeps the computation-phase slope gentle but
+    // realistic (short-lived DOM/JS objects).
+    if (params.churn_bytes > 0 && round % 4 == 1) {
+      const VirtAddr scratch = ctx.alloc(params.churn_bytes);
+      for (usize i = 0; i < params.churn_bytes / kCacheLineBytes; ++i) {
+        co_await ctx.store(scratch + i * kCacheLineBytes);
+      }
+    }
+  }
+  ctx.phase_mark(2);
+}
+
+}  // namespace
+
+trace::Program rampup_app_program(const RampupParams& params) {
+  NPAT_CHECK_MSG(params.regions >= 1, "need at least one ramp-up allocation");
+  NPAT_CHECK_MSG(params.region_bytes >= kCacheLineBytes, "regions must hold a line");
+  return trace::Program::single(
+      [params](trace::ThreadContext& ctx) { return rampup_body(ctx, params); });
+}
+
+}  // namespace npat::workloads

@@ -1,0 +1,28 @@
+// A browser-like end-user application with a pronounced ramp-up phase:
+// it allocates and initializes many regions (footprint grows linearly at
+// the maximal allocation rate), then settles into a computation phase with
+// an almost flat footprint — the exact two-phase structure Phasenprüfer
+// detects from the procfs memory footprint (paper Fig. 11, Google Chrome
+// start-up).
+#pragma once
+
+#include "trace/runner.hpp"
+
+namespace npat::workloads {
+
+struct RampupParams {
+  u32 regions = 48;                 // allocations during ramp-up
+  usize region_bytes = 128 * 1024;  // per allocation
+  u32 compute_rounds = 24;          // computation-phase sweeps
+  /// Fraction of the data each compute round touches.
+  double working_set_fraction = 0.25;
+  /// Small allocations sprinkled into the compute phase (DOM churn etc.),
+  /// keeping the footprint slope small but nonzero.
+  usize churn_bytes = 8 * 1024;
+};
+
+/// Single-threaded; phase_mark(1) is the ground-truth ramp-up/computation
+/// transition used by the phase-detection tests.
+trace::Program rampup_app_program(const RampupParams& params);
+
+}  // namespace npat::workloads

@@ -1,0 +1,58 @@
+#include "workloads/sift_like.hpp"
+
+#include "util/check.hpp"
+
+namespace npat::workloads {
+
+namespace {
+
+trace::SimTask sift_body(trace::ThreadContext& ctx, SiftLikeParams params) {
+  // Tile placement: the NUMA-optimized variant first-touches locally; the
+  // naive variant binds everything to node 0 (like an unparallelized load
+  // phase would).
+  const VirtAddr tile = params.numa_optimized
+                            ? ctx.alloc(params.tile_bytes)
+                            : ctx.alloc(params.tile_bytes, os::PagePolicy::kBind, 0);
+  const usize pixels = params.tile_bytes / sizeof(float);
+
+  // Load the image: sequential first-touch writes.
+  for (usize i = 0; i < pixels; ++i) {
+    co_await ctx.store(tile + i * sizeof(float));
+    if ((i & 63) == 0) co_await ctx.compute(8);  // decode cost per line
+  }
+  co_await ctx.barrier(0);
+  ctx.phase_mark(1);
+
+  // Octave sweeps: separable convolution — each output pixel reads a
+  // small neighbourhood (excellent locality) and writes once. Row blur
+  // reads adjacent pixels; "column" taps jump a pseudo-row apart, pushing
+  // some traffic past L1 into L2/L3/local DRAM.
+  const usize row = 1024;  // pseudo image width in pixels
+  for (u32 octave = 0; octave < params.octaves; ++octave) {
+    for (usize i = 0; i < pixels; ++i) {
+      const VirtAddr out = tile + i * sizeof(float);
+      for (u32 tap = 0; tap < params.window; ++tap) {
+        const usize offset = (i + tap * row) % pixels;
+        co_await ctx.load(tile + offset * sizeof(float));
+      }
+      co_await ctx.compute(params.window * 2);
+      co_await ctx.store(out);
+      co_await ctx.branch(0x51F7 + octave, (i & 1) == 0);
+    }
+    co_await ctx.barrier(1 + octave);
+  }
+  ctx.phase_mark(2);
+}
+
+}  // namespace
+
+trace::Program sift_like_program(const SiftLikeParams& params) {
+  NPAT_CHECK_MSG(params.threads >= 1, "need at least one thread");
+  NPAT_CHECK_MSG(params.tile_bytes >= kPageBytes, "tile must cover at least a page");
+  NPAT_CHECK_MSG(params.window >= 1, "window must be at least 1");
+  return trace::Program::homogeneous(params.threads, [params](trace::ThreadContext& ctx) {
+    return sift_body(ctx, params);
+  });
+}
+
+}  // namespace npat::workloads

@@ -1,0 +1,25 @@
+// NUMA-optimized SIFT-like workload. The paper's Fig. 10a measures a
+// Scale-Invariant Feature Transform implementation that "acts almost
+// entirely on local memory": each thread owns an image tile allocated on
+// its own node and runs repeated convolution (Gaussian blur) sweeps over
+// it. The latency histogram should peak at L2, L3 and *local* DRAM, with
+// essentially no remote component.
+#pragma once
+
+#include "trace/runner.hpp"
+
+namespace npat::workloads {
+
+struct SiftLikeParams {
+  u32 threads = 4;
+  usize tile_bytes = 2 * 1024 * 1024;  // per-thread image tile
+  u32 octaves = 3;                     // blur sweeps per tile
+  u32 window = 5;                      // convolution taps per output pixel
+  /// When false, all tiles are allocated on node 0 (the non-optimized
+  /// variant, for contrast experiments).
+  bool numa_optimized = true;
+};
+
+trace::Program sift_like_program(const SiftLikeParams& params);
+
+}  // namespace npat::workloads

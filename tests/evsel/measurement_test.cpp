@@ -1,0 +1,87 @@
+#include "evsel/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::evsel {
+namespace {
+
+TEST(Measurement, AddAndQueryValues) {
+  Measurement m("run-a");
+  m.add_value(sim::Event::kCycles, 100.0);
+  m.add_value(sim::Event::kCycles, 110.0);
+  m.add_value(sim::Event::kL1dMiss, 5.0);
+
+  EXPECT_TRUE(m.has(sim::Event::kCycles));
+  EXPECT_FALSE(m.has(sim::Event::kL2Miss));
+  EXPECT_EQ(m.repetitions(sim::Event::kCycles), 2u);
+  EXPECT_DOUBLE_EQ(m.mean(sim::Event::kCycles), 105.0);
+  EXPECT_TRUE(m.samples(sim::Event::kBranches).empty());
+}
+
+TEST(Measurement, AddValuesFromSession) {
+  Measurement m("x");
+  std::vector<perf::EventValue> run = {
+      {sim::Event::kCycles, 42.0, false},
+      {sim::Event::kInstructions, 21.0, false},
+  };
+  m.add_values(run);
+  m.add_values(run);
+  EXPECT_EQ(m.repetitions(sim::Event::kCycles), 2u);
+  EXPECT_DOUBLE_EQ(m.mean(sim::Event::kInstructions), 21.0);
+}
+
+TEST(Measurement, Parameters) {
+  Measurement m("sweep");
+  m.set_parameter("threads", 8.0);
+  EXPECT_DOUBLE_EQ(m.parameter("threads"), 8.0);
+  EXPECT_THROW(m.parameter("nope"), CheckError);
+}
+
+TEST(Measurement, RecordedEventsInRegistryOrder) {
+  Measurement m("x");
+  m.add_value(sim::Event::kL2Miss, 1.0);
+  m.add_value(sim::Event::kCycles, 1.0);
+  const auto events = m.recorded_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], sim::Event::kCycles);  // registry order, not insertion
+  EXPECT_EQ(events[1], sim::Event::kL2Miss);
+}
+
+TEST(Measurement, AllZeroDetection) {
+  Measurement m("x");
+  m.add_value(sim::Event::kL3Miss, 0.0);
+  m.add_value(sim::Event::kL3Miss, 0.0);
+  m.add_value(sim::Event::kL2Miss, 0.0);
+  m.add_value(sim::Event::kL2Miss, 1.0);
+  EXPECT_TRUE(m.all_zero(sim::Event::kL3Miss));
+  EXPECT_FALSE(m.all_zero(sim::Event::kL2Miss));
+  EXPECT_TRUE(m.all_zero(sim::Event::kCycles));  // never recorded
+}
+
+TEST(Measurement, JsonRoundTrip) {
+  Measurement m("round-trip");
+  m.set_parameter("threads", 4.0);
+  m.add_value(sim::Event::kCycles, 123.0);
+  m.add_value(sim::Event::kCycles, 456.0);
+  m.add_value(sim::Event::kBranchMisses, 7.0);
+
+  const auto restored = Measurement::from_json(util::Json::parse(m.to_json().dump()));
+  EXPECT_EQ(restored.label(), "round-trip");
+  EXPECT_DOUBLE_EQ(restored.parameter("threads"), 4.0);
+  EXPECT_EQ(restored.samples(sim::Event::kCycles), m.samples(sim::Event::kCycles));
+  EXPECT_EQ(restored.samples(sim::Event::kBranchMisses),
+            m.samples(sim::Event::kBranchMisses));
+}
+
+TEST(Measurement, JsonIgnoresUnknownEvents) {
+  const auto doc = util::Json::parse(
+      R"({"label":"x","events":{"alien.counter":[1,2],"cpu.cycles":[5]}})");
+  const auto m = Measurement::from_json(doc);
+  EXPECT_EQ(m.recorded_events().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean(sim::Event::kCycles), 5.0);
+}
+
+}  // namespace
+}  // namespace npat::evsel

@@ -1,0 +1,81 @@
+#include "evsel/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace npat::evsel {
+namespace {
+
+TEST(Pipeline, FilterMapCollect) {
+  auto result = Pipeline<int>::from({1, 2, 3, 4, 5, 6})
+                    .filter([](const int& v) { return v % 2 == 0; })
+                    .map<std::string>([](const int& v) { return std::to_string(v * 10); })
+                    .collect();
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], "20");
+  EXPECT_EQ(result[2], "60");
+}
+
+TEST(Pipeline, LazyEvaluation) {
+  // Nothing is pulled until a terminal operation runs.
+  int evaluations = 0;
+  auto pipeline = Pipeline<int>::from({1, 2, 3}).map<int>([&](const int& v) {
+    ++evaluations;
+    return v;
+  });
+  EXPECT_EQ(evaluations, 0);
+  std::move(pipeline).collect();
+  EXPECT_EQ(evaluations, 3);
+}
+
+TEST(Pipeline, TakeShortCircuits) {
+  int evaluations = 0;
+  auto result = Pipeline<int>::from({1, 2, 3, 4, 5})
+                    .map<int>([&](const int& v) {
+                      ++evaluations;
+                      return v;
+                    })
+                    .take(2)
+                    .collect();
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_EQ(evaluations, 2);  // elements 3..5 never touched
+}
+
+TEST(Pipeline, Reduce) {
+  const int sum = Pipeline<int>::from({1, 2, 3, 4}).reduce<int>(0, [](int acc, const int& v) {
+    return acc + v;
+  });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(Pipeline, Count) {
+  EXPECT_EQ(Pipeline<int>::from({7, 8, 9}).count(), 3u);
+  EXPECT_EQ(Pipeline<int>::from({}).count(), 0u);
+}
+
+TEST(Pipeline, ForEachVisitsInOrder) {
+  std::vector<int> seen;
+  Pipeline<int>::from({3, 1, 2}).for_each([&](const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(Pipeline, ChainedFilters) {
+  const auto result = Pipeline<int>::from({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+                          .filter([](const int& v) { return v > 3; })
+                          .filter([](const int& v) { return v % 2 == 1; })
+                          .collect();
+  EXPECT_EQ(result, (std::vector<int>{5, 7, 9}));
+}
+
+TEST(Pipeline, SurvivesSourceGoingOutOfScope) {
+  // from() copies: the pipeline owns its data.
+  Pipeline<int> pipeline = [] {
+    std::vector<int> local = {4, 5};
+    return Pipeline<int>::from(std::move(local));
+  }();
+  EXPECT_EQ(std::move(pipeline).count(), 2u);
+}
+
+}  // namespace
+}  // namespace npat::evsel

@@ -1,0 +1,107 @@
+// Integration test guarding the Fig. 8 reproduction: the cache-miss
+// micro-benchmark comparison must keep the paper's qualitative shape
+// (directions and magnitude classes of every reported counter change).
+// A reduced size/repetition count keeps this fast; the bench binary runs
+// the full-size version.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "evsel/collector.hpp"
+#include "evsel/compare.hpp"
+#include "sim/presets.hpp"
+#include "workloads/cache_scan.hpp"
+
+namespace npat {
+namespace {
+
+const evsel::Comparison& fig8_comparison() {
+  static const evsel::Comparison comparison = [] {
+    evsel::Collector collector(sim::hpe_dl580_gen9(1));
+    evsel::CollectOptions options;
+    options.repetitions = 3;
+
+    workloads::CacheScanParams listing1;
+    listing1.size = 1024;  // the paper's full array: stride = one page
+    listing1.fill_phase = false;
+    workloads::CacheScanParams listing2 = listing1;
+    listing2.variant = workloads::ScanVariant::kRowStride;
+    // Restrict to the Fig. 8 counters: one register group per run keeps
+    // this test quick while exercising the full EvSel pipeline.
+    options.events = {
+        sim::Event::kL1dMiss,        sim::Event::kL2Miss,
+        sim::Event::kL3Miss,         sim::Event::kL2PrefetchRequests,
+        sim::Event::kL3Access,       sim::Event::kFillBufferRejects,
+        sim::Event::kBranchMisses,   sim::Event::kInstructions,
+        sim::Event::kCycles,         sim::Event::kStallCyclesMem,
+    };
+
+    const auto a = collector.measure(
+        "A", [&] { return workloads::cache_scan_program(listing1); }, options);
+    const auto b = collector.measure(
+        "B", [&] { return workloads::cache_scan_program(listing2); }, options);
+    return evsel::compare(a, b);
+  }();
+  return comparison;
+}
+
+TEST(Fig8Shape, L1MissesExplode) {
+  // Paper: +>1000 %.
+  const auto& row = fig8_comparison().row(sim::Event::kL1dMiss);
+  EXPECT_GT(row.test.relative_delta, 10.0);
+  EXPECT_TRUE(row.significant(0.001));
+}
+
+TEST(Fig8Shape, L2MissesExplode) {
+  // Paper: +>300 %.
+  const auto& row = fig8_comparison().row(sim::Event::kL2Miss);
+  EXPECT_GT(row.test.relative_delta, 3.0);
+  EXPECT_TRUE(row.significant(0.001));
+}
+
+TEST(Fig8Shape, L2PrefetchesCollapse) {
+  // Paper: −90 % ("prefetchers directly accessed the L3 cache").
+  const auto& row = fig8_comparison().row(sim::Event::kL2PrefetchRequests);
+  EXPECT_LT(row.test.relative_delta, -0.85);
+  EXPECT_TRUE(row.significant(0.001));
+}
+
+TEST(Fig8Shape, L3AccessesMultiply) {
+  // Paper: x100. We accept anything beyond one order of magnitude.
+  const auto& row = fig8_comparison().row(sim::Event::kL3Access);
+  EXPECT_GT(row.test.relative_delta, 9.0);
+  EXPECT_TRUE(row.significant(0.001));
+}
+
+TEST(Fig8Shape, FillBufferRejectsFromNearZeroToMillions) {
+  // Paper: 26 occurrences -> ~3 million.
+  const auto& row = fig8_comparison().row(sim::Event::kFillBufferRejects);
+  EXPECT_LT(row.test.mean_a, 1000.0);
+  EXPECT_GT(row.test.mean_b, 50000.0);
+}
+
+TEST(Fig8Shape, InstructionCountsBarelyMove) {
+  // Paper: +1.9 % — instruction-related values show very small changes.
+  const auto& row = fig8_comparison().row(sim::Event::kInstructions);
+  EXPECT_LT(std::fabs(row.test.relative_delta), 0.05);
+}
+
+TEST(Fig8Shape, BranchMissesBarelyMove) {
+  // Paper: +3.2 %.
+  const auto& row = fig8_comparison().row(sim::Event::kBranchMisses);
+  EXPECT_LT(std::fabs(row.test.relative_delta), 0.1);
+}
+
+TEST(Fig8Shape, CycleDifferenceExplainedByStalls) {
+  // Paper: "The difference in the numbers of cycles can be fully explained
+  // with execution stalls."
+  const auto& cycles = fig8_comparison().row(sim::Event::kCycles);
+  const auto& stalls = fig8_comparison().row(sim::Event::kStallCyclesMem);
+  const double cycle_delta = cycles.test.mean_b - cycles.test.mean_a;
+  const double stall_delta = stalls.test.mean_b - stalls.test.mean_a;
+  EXPECT_GT(cycle_delta, 0.0);
+  EXPECT_GT(stall_delta / cycle_delta, 0.6);
+}
+
+}  // namespace
+}  // namespace npat

@@ -1,0 +1,70 @@
+// Integration test guarding the Fig. 9 reproduction: thread-count
+// correlations of the parallel-sort micro-benchmark.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "evsel/regress.hpp"
+#include "sim/presets.hpp"
+#include "workloads/parallel_sort.hpp"
+
+namespace npat {
+namespace {
+
+const evsel::SweepResult& fig9_sweep() {
+  static const evsel::SweepResult result = [] {
+    evsel::Collector collector(sim::hpe_dl580_gen9(4));
+    evsel::CollectOptions options;
+    options.repetitions = 2;
+    options.events = {
+        sim::Event::kL1dLocks, sim::Event::kSpeculativeJumpsRetired,
+        sim::Event::kAtomicOps, sim::Event::kPageWalks,
+        sim::Event::kCycles,
+    };
+    return evsel::sweep(
+        collector, "threads", {1.0, 2.0, 4.0, 8.0, 16.0},
+        [](double threads) {
+          workloads::ParallelSortParams params;
+          params.elements = 1 << 15;
+          params.threads = static_cast<u32>(threads);
+          return workloads::parallel_sort_program(params);
+        },
+        options);
+  }();
+  return result;
+}
+
+TEST(Fig9Shape, L1dLocksStronglyPositive) {
+  // Paper: "a strong correlation (R > 0.95) between thread count and L1
+  // data caches being locked".
+  const auto* row = fig9_sweep().correlation(sim::Event::kL1dLocks);
+  ASSERT_NE(row, nullptr);
+  EXPECT_GT(row->best.r, 0.95);
+}
+
+TEST(Fig9Shape, SpeculativeJumpsStronglyNegative) {
+  // Paper: "A high negative correlation ... retired speculative jumps
+  // (R > 0.99)".
+  const auto* row = fig9_sweep().correlation(sim::Event::kSpeculativeJumpsRetired);
+  ASSERT_NE(row, nullptr);
+  EXPECT_LT(row->best.r, -0.9);
+}
+
+TEST(Fig9Shape, AtomicsTrackThreads) {
+  // Barrier tickets: one atomic per thread per barrier.
+  const auto* row = fig9_sweep().correlation(sim::Event::kAtomicOps);
+  ASSERT_NE(row, nullptr);
+  EXPECT_GT(row->best.r, 0.95);
+}
+
+TEST(Fig9Shape, EveryReportedFitHasFunctionText) {
+  for (const auto& row : fig9_sweep().correlations) {
+    EXPECT_FALSE(row.best.formula().empty());
+    EXPECT_GE(row.best.r_squared, 0.0);
+    EXPECT_LE(row.best.r_squared, 1.0);
+    EXPECT_NEAR(std::fabs(row.best.r), std::sqrt(row.best.r_squared), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace npat

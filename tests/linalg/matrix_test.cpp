@@ -1,0 +1,105 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::linalg {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_THROW(m.at(2, 0), CheckError);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), CheckError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (usize r = 0; r < 3; ++r) {
+    for (usize c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+}
+
+TEST(Matrix, MatMul) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatMulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, CheckError);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a{{1, 0, 2}, {0, 3, 0}};
+  const Vector y = a * Vector{1, 2, 3};
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+}
+
+TEST(Matrix, FromColumns) {
+  const Matrix m = Matrix::from_columns({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 5.0);
+  EXPECT_THROW(Matrix::from_columns({{1, 2}, {1}}), CheckError);
+}
+
+TEST(Matrix, RowAndColumnExtraction) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.row(1), (Vector{3, 4}));
+  EXPECT_EQ(m.column(0), (Vector{1, 3}));
+}
+
+TEST(Matrix, NormAndDiff) {
+  Matrix a{{3, 4}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  Matrix b{{3, 5}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_EQ(axpy(2.0, {1, 1}, {1, 2}), (Vector{3, 4}));
+  EXPECT_THROW(dot({1}, {1, 2}), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::linalg

@@ -1,0 +1,111 @@
+#include "memhist/remote.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::memhist {
+namespace {
+
+std::vector<ThresholdReading> sample_readings() {
+  return {
+      {8, 1000, 10000, 2},
+      {96, 400, 10000, 2},
+      {256, 100, 10000, 2},
+  };
+}
+
+TEST(Remote, ProbeToCollectorEndToEnd) {
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  GuiCollector collector(pair.b);
+
+  probe.send_hello(4);
+  probe.send_readings(sample_readings());
+  probe.send_end(20000);
+  collector.poll();
+
+  EXPECT_TRUE(collector.hello_received());
+  EXPECT_TRUE(collector.ended());
+  ASSERT_EQ(collector.readings().size(), 3u);
+  EXPECT_EQ(probe.frames_sent(), 5u);
+
+  const auto histogram = collector.build(HistogramMode::kOccurrences);
+  EXPECT_EQ(histogram.bins().size(), 3u);
+  // R(8)=2000, R(96)=800, R(256)=200 -> bins 1200, 600, 200.
+  EXPECT_NEAR(histogram.bins()[0].occurrences, 1200.0, 1e-9);
+  EXPECT_NEAR(histogram.bins()[1].occurrences, 600.0, 1e-9);
+  EXPECT_NEAR(histogram.bins()[2].occurrences, 200.0, 1e-9);
+}
+
+TEST(Remote, IncrementalStreamingAccumulates) {
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  GuiCollector collector(pair.b);
+
+  // The probe streams the same thresholds repeatedly (per time slice);
+  // the collector merges them by threshold.
+  probe.send_reading(ThresholdReading{8, 100, 1000, 1});
+  collector.poll();
+  probe.send_reading(ThresholdReading{8, 50, 1000, 1});
+  probe.send_end(4000);
+  collector.poll();
+
+  ASSERT_EQ(collector.readings().size(), 1u);
+  EXPECT_EQ(collector.readings()[0].counted, 150u);
+  EXPECT_EQ(collector.readings()[0].window_cycles, 2000u);
+  EXPECT_EQ(collector.readings()[0].slices, 2u);
+}
+
+TEST(Remote, BuildRequiresEndFrame) {
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  GuiCollector collector(pair.b);
+  probe.send_readings(sample_readings());
+  collector.poll();
+  EXPECT_THROW(collector.build(HistogramMode::kOccurrences), CheckError);
+}
+
+TEST(Remote, OutOfOrderThresholdsSortedAtBuild) {
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  GuiCollector collector(pair.b);
+  probe.send_reading(ThresholdReading{256, 100, 10000, 1});
+  probe.send_reading(ThresholdReading{8, 1000, 10000, 1});
+  probe.send_end(10000);
+  collector.poll();
+  const auto histogram = collector.build(HistogramMode::kOccurrences);
+  EXPECT_EQ(histogram.bins()[0].lo, 8u);
+  EXPECT_EQ(histogram.bins()[1].lo, 256u);
+}
+
+TEST(Remote, LossyTransportLosesFramesNotSession) {
+  auto pair = util::make_loopback_pair();
+  util::FaultyChannel::Config faults;
+  faults.corrupt_probability = 0.4;
+  faults.seed = 77;
+  auto lossy = std::make_shared<util::FaultyChannel>(pair.a, faults);
+  Probe probe(lossy);
+  GuiCollector collector(pair.b);
+
+  for (int round = 0; round < 30; ++round) {
+    probe.send_reading(ThresholdReading{8, 10, 100, 1});
+    probe.send_reading(ThresholdReading{96, 5, 100, 1});
+  }
+  collector.poll();
+
+  // Some frames died (CRC), but everything decoded is internally valid.
+  EXPECT_GT(collector.dropped_frames(), 0u);
+  ASSERT_EQ(collector.readings().size(), 2u);
+  for (const auto& reading : collector.readings()) {
+    EXPECT_EQ(reading.counted, reading.slices * 10 / (reading.threshold == 8 ? 1 : 2));
+  }
+}
+
+TEST(Remote, NullChannelRejected) {
+  EXPECT_THROW(Probe probe(nullptr), CheckError);
+  EXPECT_THROW(GuiCollector collector(nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::memhist

@@ -1,0 +1,121 @@
+#include "memhist/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npat::memhist::wire {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE check value).
+  const u8 data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Wire, HelloRoundTrip) {
+  Decoder decoder;
+  decoder.feed(encode(Hello{kProtocolVersion, 4}));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* hello = std::get_if<Hello>(&*message);
+  ASSERT_NE(hello, nullptr);
+  EXPECT_EQ(hello->version, kProtocolVersion);
+  EXPECT_EQ(hello->node_count, 4u);
+}
+
+TEST(Wire, ReadingRoundTrip) {
+  ThresholdReading reading{320, 123456789ULL, 987654321ULL, 42};
+  Decoder decoder;
+  decoder.feed(encode(ReadingMsg{reading}));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* msg = std::get_if<ReadingMsg>(&*message);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->reading.threshold, 320u);
+  EXPECT_EQ(msg->reading.counted, 123456789ULL);
+  EXPECT_EQ(msg->reading.window_cycles, 987654321ULL);
+  EXPECT_EQ(msg->reading.slices, 42u);
+}
+
+TEST(Wire, EndRoundTrip) {
+  Decoder decoder;
+  decoder.feed(encode(End{77777}));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<End>(*message).total_cycles, 77777u);
+}
+
+TEST(Wire, MultipleFramesInOneFeed) {
+  Decoder decoder;
+  std::vector<u8> stream;
+  for (u64 t : {8ULL, 16ULL, 32ULL}) {
+    const auto frame = encode(ReadingMsg{ThresholdReading{t, t * 10, 100, 1}});
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  decoder.feed(stream);
+  for (u64 t : {8ULL, 16ULL, 32ULL}) {
+    const auto message = decoder.poll();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(std::get<ReadingMsg>(*message).reading.threshold, t);
+  }
+  EXPECT_FALSE(decoder.poll().has_value());
+}
+
+TEST(Wire, PartialFrameWaitsForMoreBytes) {
+  const auto frame = encode(End{5});
+  Decoder decoder;
+  decoder.feed(std::vector<u8>(frame.begin(), frame.begin() + 3));
+  EXPECT_FALSE(decoder.poll().has_value());
+  decoder.feed(std::vector<u8>(frame.begin() + 3, frame.end()));
+  EXPECT_TRUE(decoder.poll().has_value());
+}
+
+TEST(Wire, CorruptedPayloadDropped) {
+  auto frame = encode(End{5});
+  frame[frame.size() - 5] ^= 0xFF;  // flip a payload byte -> CRC mismatch
+  Decoder decoder;
+  decoder.feed(frame);
+  EXPECT_FALSE(decoder.poll().has_value());
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(Wire, ResyncAfterGarbage) {
+  Decoder decoder;
+  decoder.feed({0xDE, 0xAD, 0xBE, 0xEF});  // line noise
+  decoder.feed(encode(End{9}));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<End>(*message).total_cycles, 9u);
+  EXPECT_GE(decoder.resyncs(), 1u);
+}
+
+TEST(Wire, SurvivesCorruptionMidStream) {
+  Decoder decoder;
+  std::vector<u8> stream;
+  auto good1 = encode(ReadingMsg{ThresholdReading{8, 1, 1, 1}});
+  auto bad = encode(ReadingMsg{ThresholdReading{16, 2, 2, 2}});
+  bad[7] ^= 0x55;  // corrupt payload
+  auto good2 = encode(ReadingMsg{ThresholdReading{32, 3, 3, 3}});
+  for (const auto& f : {good1, bad, good2}) stream.insert(stream.end(), f.begin(), f.end());
+  decoder.feed(stream);
+
+  std::vector<u64> thresholds;
+  while (auto message = decoder.poll()) {
+    thresholds.push_back(std::get<ReadingMsg>(*message).reading.threshold);
+  }
+  EXPECT_EQ(thresholds, (std::vector<u64>{8, 32}));
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(Wire, UnknownTypeDropped) {
+  auto frame = encode(End{1});
+  frame[2] = 99;  // unknown message type (CRC still valid for payload)
+  Decoder decoder;
+  decoder.feed(frame);
+  EXPECT_FALSE(decoder.poll().has_value());
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+}  // namespace
+}  // namespace npat::memhist::wire

@@ -1,0 +1,242 @@
+#include "os/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "trace/runner.hpp"
+#include "util/check.hpp"
+
+namespace npat::os {
+namespace {
+
+sim::Topology topo4() { return sim::make_fully_connected(4, 2); }
+
+TEST(Vm, AllocateAlignsAndGrowsFootprint) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  EXPECT_EQ(space.footprint_bytes(), 0u);
+  const VirtAddr a = space.allocate(100);
+  EXPECT_EQ(a % kPageBytes, 0u);
+  EXPECT_EQ(space.footprint_bytes(), kPageBytes);  // rounded up
+  space.allocate(2 * kPageBytes + 1);
+  EXPECT_EQ(space.footprint_bytes(), kPageBytes + 3 * kPageBytes);
+}
+
+TEST(Vm, FirstTouchPlacesOnTouchingNode) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(4 * kPageBytes);
+  const PhysAddr p0 = space.translate(base, 2);
+  EXPECT_EQ(sim::node_of_paddr(p0), 2u);
+  const PhysAddr p1 = space.translate(base + kPageBytes, 3);
+  EXPECT_EQ(sim::node_of_paddr(p1), 3u);
+  // Established mappings are sticky regardless of later touchers.
+  EXPECT_EQ(sim::node_of_paddr(space.translate(base, 0)), 2u);
+}
+
+TEST(Vm, BindPolicyIgnoresToucher) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(2 * kPageBytes, PagePolicy::kBind, 1);
+  EXPECT_EQ(sim::node_of_paddr(space.translate(base, 3)), 1u);
+  EXPECT_EQ(sim::node_of_paddr(space.translate(base + kPageBytes, 0)), 1u);
+}
+
+TEST(Vm, InterleavePolicyRoundRobins) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(8 * kPageBytes, PagePolicy::kInterleave);
+  std::vector<u64> counts(4, 0);
+  for (u64 p = 0; p < 8; ++p) {
+    counts[sim::node_of_paddr(space.translate(base + p * kPageBytes, 0))]++;
+  }
+  for (u64 c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(Vm, OffsetPreservedInTranslation) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(kPageBytes);
+  const PhysAddr p = space.translate(base + 123, 0);
+  EXPECT_EQ(p % kPageBytes, 123u);
+}
+
+TEST(Vm, SamePageSameFrame) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(kPageBytes);
+  const PhysAddr a = space.translate(base + 8, 0);
+  const PhysAddr b = space.translate(base + 16, 1);
+  EXPECT_EQ(a - 8, b - 16);
+}
+
+TEST(Vm, DistinctPagesDistinctFrames) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(2 * kPageBytes);
+  const PhysAddr a = space.translate(base, 0);
+  const PhysAddr b = space.translate(base + kPageBytes, 0);
+  EXPECT_NE(page_of(a), page_of(b));
+}
+
+TEST(Vm, ResidentTracksTouchedPagesOnly) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(10 * kPageBytes);
+  EXPECT_EQ(space.resident_bytes(), 0u);
+  space.translate(base, 0);
+  space.translate(base + 3 * kPageBytes, 0);
+  EXPECT_EQ(space.resident_bytes(), 2 * kPageBytes);
+}
+
+TEST(Vm, FreeReturnsFootprintAndUnmaps) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  std::vector<u64> unmapped;
+  space.on_unmap = [&](u64 page) { unmapped.push_back(page); };
+
+  const VirtAddr base = space.allocate(2 * kPageBytes);
+  space.translate(base, 1);
+  space.free(base);
+  EXPECT_EQ(space.footprint_bytes(), 0u);
+  EXPECT_EQ(space.resident_bytes(), 0u);
+  EXPECT_EQ(unmapped.size(), 1u);  // only the touched page was mapped
+  EXPECT_EQ(space.pages_per_node()[1], 0u);
+}
+
+TEST(Vm, FreeUnknownBaseThrows) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  EXPECT_THROW(space.free(0xdead000), CheckError);
+}
+
+TEST(Vm, AccessToUnmappedThrows) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  EXPECT_THROW(space.translate(0xdead000, 0), CheckError);
+  const VirtAddr base = space.allocate(kPageBytes);
+  // One past the end (guard page) is not mapped.
+  EXPECT_THROW(space.translate(base + kPageBytes, 0), CheckError);
+}
+
+TEST(Vm, PeekDoesNotMap) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(kPageBytes);
+  EXPECT_FALSE(space.peek(base).has_value());
+  space.translate(base, 0);
+  EXPECT_TRUE(space.peek(base).has_value());
+}
+
+TEST(Vm, PagesPerNodeAccounting) {
+  const auto topology = topo4();
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate(6 * kPageBytes);
+  space.translate(base, 0);
+  space.translate(base + kPageBytes, 0);
+  space.translate(base + 2 * kPageBytes, 1);
+  const auto counts = space.pages_per_node();
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+}  // namespace
+}  // namespace npat::os
+
+namespace npat::os {
+namespace {
+
+TEST(HugePages, AllocationRoundsAndAligns) {
+  const auto topology = sim::make_fully_connected(2, 1);
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate_huge(kHugePageBytes + 1);
+  EXPECT_EQ(base % kHugePageBytes, 0u);
+  EXPECT_EQ(space.footprint_bytes(), 2 * kHugePageBytes);
+}
+
+TEST(HugePages, OneFrameCoversWholeHugePage) {
+  const auto topology = sim::make_fully_connected(2, 1);
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate_huge(kHugePageBytes);
+  const auto first = space.translate_ex(base, 1);
+  const auto last = space.translate_ex(base + kHugePageBytes - 64, 0);
+  // Same frame, contiguous offsets, placed by the *first* toucher.
+  EXPECT_EQ(last.paddr - first.paddr, kHugePageBytes - 64);
+  EXPECT_EQ(sim::node_of_paddr(first.paddr), 1u);
+  EXPECT_EQ(sim::node_of_paddr(last.paddr), 1u);
+  // Resident accounting counts the full reach in 4 KiB units.
+  EXPECT_EQ(space.resident_bytes(), kHugePageBytes);
+  EXPECT_EQ(space.pages_per_node()[1], kHugePageBytes / kPageBytes);
+}
+
+TEST(HugePages, TlbKeysDifferFromSmallPages) {
+  const auto topology = sim::make_fully_connected(1, 1);
+  AddressSpace space(topology);
+  const VirtAddr small = space.allocate(kPageBytes);
+  const VirtAddr huge = space.allocate_huge(kHugePageBytes);
+  const auto ts = space.translate_ex(small, 0);
+  const auto th1 = space.translate_ex(huge, 0);
+  const auto th2 = space.translate_ex(huge + kHugePageBytes - 8, 0);
+  EXPECT_NE(ts.tlb_key & kHugeTlbKeyBit, kHugeTlbKeyBit);
+  EXPECT_EQ(th1.tlb_key & kHugeTlbKeyBit, kHugeTlbKeyBit);
+  EXPECT_EQ(th1.tlb_key, th2.tlb_key);  // whole huge page = one TLB entry
+}
+
+TEST(HugePages, FreeReleasesHugeRegion) {
+  const auto topology = sim::make_fully_connected(1, 1);
+  AddressSpace space(topology);
+  const VirtAddr base = space.allocate_huge(2 * kHugePageBytes);
+  space.translate(base, 0);
+  space.translate(base + kHugePageBytes, 0);
+  usize unmaps = 0;
+  space.on_unmap = [&](u64) { ++unmaps; };
+  space.free(base);
+  EXPECT_EQ(space.footprint_bytes(), 0u);
+  EXPECT_EQ(space.resident_bytes(), 0u);
+  EXPECT_EQ(unmaps, 2u);
+  EXPECT_FALSE(space.peek(base).has_value());
+}
+
+TEST(HugePages, ExemptFromNumaBalancing) {
+  const auto topology = sim::make_fully_connected(2, 1);
+  AddressSpace space(topology);
+  space.enable_numa_balancing(2);
+  const VirtAddr base = space.allocate_huge(kHugePageBytes);
+  space.translate(base, 0);
+  for (int i = 0; i < 50; ++i) space.translate(base, 1);
+  EXPECT_EQ(space.pages_migrated(), 0u);
+  EXPECT_EQ(sim::node_of_paddr(*space.peek(base)), 0u);
+}
+
+TEST(HugePages, EliminatePageWalksEndToEnd) {
+  // Same sparse access pattern over 4 KiB vs 2 MiB pages: the huge-page
+  // run must complete with a tiny fraction of the walks.
+  auto config = sim::uma_single_node(1);
+  config.memory.jitter_fraction = 0.0;
+
+  auto run = [&](bool huge) {
+    sim::Machine machine(config);
+    AddressSpace space(machine.topology());
+    trace::Runner runner(machine, space);
+    auto body = [huge](trace::ThreadContext& ctx) -> trace::SimTask {
+      constexpr usize kPages = 4096;
+      const VirtAddr base = huge ? ctx.alloc_huge(kPages * kPageBytes)
+                                 : ctx.alloc(kPages * kPageBytes);
+      for (usize p = 0; p < kPages; ++p) co_await ctx.store(base + p * kPageBytes);
+      for (int i = 0; i < 20000; ++i) {
+        co_await ctx.load(base + ctx.rng().below(kPages) * kPageBytes);
+      }
+    };
+    runner.run(trace::Program::single(body));
+    return machine.core_counters(0)[sim::Event::kPageWalks];
+  };
+
+  const u64 small_walks = run(false);
+  const u64 huge_walks = run(true);
+  EXPECT_GT(small_walks, 10000u);   // 4096 pages >> STLB capacity
+  EXPECT_LT(huge_walks, 32u);       // 8 huge pages fit the DTLB outright
+}
+
+}  // namespace
+}  // namespace npat::os

@@ -1,0 +1,97 @@
+#include "phasen/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "trace/runner.hpp"
+#include "util/check.hpp"
+
+namespace npat::phasen {
+namespace {
+
+TEST(Attribution, SplitsDeltasAtPivot) {
+  sim::Machine machine(sim::uma_single_node(1));
+  CounterTimeline timeline(machine);
+
+  timeline.sample(0);
+  machine.execute(0, 1000);  // phase 0 work
+  timeline.sample(machine.core_clock(0));
+  const Cycles pivot = machine.core_clock(0);
+  machine.execute(0, 5000);  // phase 1 work
+  timeline.sample(machine.core_clock(0));
+
+  PhaseSplit split;
+  split.phases.resize(2);
+  split.phases[0].start_time = 0;
+  split.phases[0].end_time = pivot;
+  split.phases[1].start_time = pivot;
+  split.phases[1].end_time = machine.core_clock(0);
+  split.pivot_time = pivot;
+
+  const auto attribution = attribute(timeline, split);
+  ASSERT_EQ(attribution.phases.size(), 2u);
+  EXPECT_EQ(attribution.phases[0].count(sim::Event::kInstructions), 1000u);
+  EXPECT_EQ(attribution.phases[1].count(sim::Event::kInstructions), 5000u);
+}
+
+TEST(Attribution, RatesNormalizePerMegacycle) {
+  PhaseCounters counters;
+  counters.start_time = 0;
+  counters.end_time = 2000000;  // 2 Mcycles
+  counters.deltas.add(sim::Event::kL1dMiss, 500);
+  EXPECT_DOUBLE_EQ(counters.rate(sim::Event::kL1dMiss), 250.0);
+}
+
+TEST(Attribution, NearestSnapshotChosen) {
+  sim::Machine machine(sim::uma_single_node(1));
+  CounterTimeline timeline(machine);
+  timeline.sample(0);
+  machine.execute(0, 100);
+  timeline.sample(1000);
+  machine.execute(0, 100);
+  timeline.sample(2000);
+
+  PhaseSplit split;
+  split.phases.resize(2);
+  split.phases[0].start_time = 0;
+  split.phases[1].start_time = 1100;  // nearest snapshot is t=1000
+  split.phases[1].end_time = 2000;
+  const auto attribution = attribute(timeline, split);
+  EXPECT_EQ(attribution.phases[0].end_time, 1000u);
+  EXPECT_EQ(attribution.phases[1].start_time, 1000u);
+}
+
+TEST(Attribution, RequiresSnapshotsAndPhases) {
+  sim::Machine machine(sim::uma_single_node(1));
+  CounterTimeline timeline(machine);
+  PhaseSplit split;
+  split.phases.resize(2);
+  EXPECT_THROW(attribute(timeline, split), CheckError);
+  timeline.sample(0);
+  timeline.sample(100);
+  PhaseSplit empty;
+  EXPECT_THROW(attribute(timeline, empty), CheckError);
+}
+
+TEST(Attribution, ThreePhaseAttribution) {
+  sim::Machine machine(sim::uma_single_node(1));
+  CounterTimeline timeline(machine);
+  timeline.sample(0);
+  for (int phase = 0; phase < 3; ++phase) {
+    machine.execute(0, 1000 * (phase + 1));
+    timeline.sample(machine.core_clock(0));
+  }
+  PhaseSplit split;
+  split.phases.resize(3);
+  split.phases[0].start_time = 0;
+  split.phases[1].start_time = timeline.snapshots()[1].timestamp;
+  split.phases[2].start_time = timeline.snapshots()[2].timestamp;
+  const auto attribution = attribute(timeline, split);
+  ASSERT_EQ(attribution.phases.size(), 3u);
+  EXPECT_EQ(attribution.phases[0].count(sim::Event::kInstructions), 1000u);
+  EXPECT_EQ(attribution.phases[1].count(sim::Event::kInstructions), 2000u);
+  EXPECT_EQ(attribution.phases[2].count(sim::Event::kInstructions), 3000u);
+}
+
+}  // namespace
+}  // namespace npat::phasen

@@ -1,0 +1,87 @@
+#include "phasen/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::phasen {
+namespace {
+
+std::vector<os::FootprintSample> trace() {
+  std::vector<os::FootprintSample> samples;
+  for (usize i = 0; i < 40; ++i) {
+    const u64 footprint = i < 20 ? static_cast<u64>(i) * (1 << 20) : 20ULL << 20;
+    samples.push_back(os::FootprintSample{static_cast<Cycles>(i) * 1000, footprint, footprint});
+  }
+  return samples;
+}
+
+TEST(PhasenReport, ChartShowsPhasesAndQuality) {
+  const auto samples = trace();
+  const auto split = detect_phases(samples);
+  const std::string out = render_footprint_chart(samples, split);
+  EXPECT_NE(out.find("memory footprint"), std::string::npos);
+  EXPECT_NE(out.find("ramp-up"), std::string::npos);
+  EXPECT_NE(out.find("computation"), std::string::npos);
+  EXPECT_NE(out.find("fit quality"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);  // data points
+  EXPECT_NE(out.find('|'), std::string::npos);  // transition marker
+}
+
+TEST(PhasenReport, ChartRejectsEmptyOrTiny) {
+  const auto samples = trace();
+  const auto split = detect_phases(samples);
+  EXPECT_THROW(render_footprint_chart({}, split), CheckError);
+  ChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_footprint_chart(samples, split, tiny), CheckError);
+}
+
+TEST(PhasenReport, CounterTableHighlightsGivenEvents) {
+  PhaseAttribution attribution;
+  attribution.phases.resize(2);
+  attribution.phases[0].start_time = 0;
+  attribution.phases[0].end_time = 1000000;
+  attribution.phases[0].deltas.add(sim::Event::kStoresRetired, 9000);
+  attribution.phases[1].start_time = 1000000;
+  attribution.phases[1].end_time = 2000000;
+  attribution.phases[1].deltas.add(sim::Event::kLoadsRetired, 7000);
+
+  const std::string out =
+      render_phase_counters(attribution, {sim::Event::kStoresRetired,
+                                          sim::Event::kLoadsRetired});
+  EXPECT_NE(out.find("mem_uops.stores"), std::string::npos);
+  EXPECT_NE(out.find("mem_uops.loads"), std::string::npos);
+  EXPECT_NE(out.find("9 k"), std::string::npos);
+}
+
+TEST(PhasenReport, AutoHighlightPicksChangedEvents) {
+  PhaseAttribution attribution;
+  attribution.phases.resize(2);
+  attribution.phases[0].start_time = 0;
+  attribution.phases[0].end_time = 1000000;
+  attribution.phases[0].deltas.add(sim::Event::kPageWalks, 50000);
+  attribution.phases[1].start_time = 1000000;
+  attribution.phases[1].end_time = 2000000;
+  attribution.phases[1].deltas.add(sim::Event::kPageWalks, 10);
+  const std::string out = render_phase_counters(attribution);
+  EXPECT_NE(out.find("walk_completed"), std::string::npos);
+}
+
+TEST(PhasenReport, JsonIncludesPhasesAndOptionalCounters) {
+  const auto samples = trace();
+  const auto split = detect_phases(samples);
+  const auto doc = split_to_json(split);
+  EXPECT_EQ(doc.at("phases").as_array().size(), 2u);
+  EXPECT_NO_THROW(util::Json::parse(doc.dump(2)));
+
+  PhaseAttribution attribution;
+  attribution.phases.resize(2);
+  attribution.phases[0].deltas.add(sim::Event::kCycles, 7);
+  const auto with_counters = split_to_json(split, &attribution);
+  const auto& phase0 = with_counters.at("phases").as_array()[0];
+  EXPECT_EQ(phase0.at("counters").at("cpu.cycles").as_int(), 7);
+}
+
+}  // namespace
+}  // namespace npat::phasen

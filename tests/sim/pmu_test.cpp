@@ -1,0 +1,100 @@
+#include "sim/pmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::sim {
+namespace {
+
+TEST(Pmu, CountersFreeRunning) {
+  CorePmu pmu;
+  pmu.counters().add(Event::kCycles, 100);
+  pmu.counters().add(Event::kCycles, 50);
+  EXPECT_EQ(pmu.read(Event::kCycles), 150u);
+}
+
+TEST(Pmu, PebsCountsOnlyAtOrAboveThreshold) {
+  CorePmu pmu;
+  pmu.arm_pebs(PebsConfig{100, 1});
+  pmu.on_load_retired(0x1000, 99, DataSource::kL2, 1);
+  pmu.on_load_retired(0x2000, 100, DataSource::kL3, 2);
+  pmu.on_load_retired(0x3000, 500, DataSource::kRemoteDram, 3);
+  EXPECT_EQ(pmu.read(Event::kLoadLatencyAbove), 2u);
+}
+
+TEST(Pmu, PebsInactiveWithoutArming) {
+  CorePmu pmu;
+  pmu.on_load_retired(0x1000, 1000, DataSource::kRemoteDram, 1);
+  EXPECT_EQ(pmu.read(Event::kLoadLatencyAbove), 0u);
+  EXPECT_EQ(pmu.pending_samples(), 0u);
+}
+
+TEST(Pmu, SamplePeriodThinsRecords) {
+  CorePmu pmu;
+  pmu.arm_pebs(PebsConfig{10, 4});
+  for (int i = 0; i < 16; ++i) {
+    pmu.on_load_retired(0x1000 + i, 50, DataSource::kL3, i);
+  }
+  EXPECT_EQ(pmu.read(Event::kLoadLatencyAbove), 16u);
+  EXPECT_EQ(pmu.pending_samples(), 4u);  // every 4th qualifying load
+}
+
+TEST(Pmu, SampleRecordsCarryContext) {
+  CorePmu pmu;
+  pmu.arm_pebs(PebsConfig{10, 1});
+  pmu.on_load_retired(0xABC, 321, DataSource::kRemoteDram, 777);
+  const auto samples = pmu.take_samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].vaddr, 0xABCu);
+  EXPECT_EQ(samples[0].latency, 321u);
+  EXPECT_EQ(samples[0].source, DataSource::kRemoteDram);
+  EXPECT_EQ(samples[0].timestamp, 777u);
+  EXPECT_EQ(pmu.pending_samples(), 0u);  // drained
+}
+
+TEST(Pmu, RearmingClearsSamplesAndReplacesThreshold) {
+  CorePmu pmu;
+  pmu.arm_pebs(PebsConfig{10, 1});
+  pmu.on_load_retired(0x1, 50, DataSource::kL2, 1);
+  pmu.arm_pebs(PebsConfig{100, 1});
+  EXPECT_EQ(pmu.pending_samples(), 0u);
+  pmu.on_load_retired(0x2, 50, DataSource::kL2, 2);   // below new threshold
+  pmu.on_load_retired(0x3, 150, DataSource::kL3, 3);  // above
+  EXPECT_EQ(pmu.pending_samples(), 1u);
+}
+
+TEST(Pmu, DisarmStopsCounting) {
+  CorePmu pmu;
+  pmu.arm_pebs(PebsConfig{10, 1});
+  pmu.on_load_retired(0x1, 50, DataSource::kL2, 1);
+  pmu.disarm_pebs();
+  EXPECT_FALSE(pmu.pebs_armed());
+  pmu.on_load_retired(0x2, 50, DataSource::kL2, 2);
+  EXPECT_EQ(pmu.read(Event::kLoadLatencyAbove), 1u);
+}
+
+TEST(Pmu, InvalidPeriodThrows) {
+  CorePmu pmu;
+  EXPECT_THROW(pmu.arm_pebs(PebsConfig{10, 0}), CheckError);
+}
+
+TEST(Pmu, ClearResetsEverything) {
+  CorePmu pmu;
+  pmu.counters().add(Event::kL1dMiss, 5);
+  pmu.arm_pebs(PebsConfig{10, 1});
+  pmu.on_load_retired(0x1, 99, DataSource::kL3, 1);
+  pmu.clear();
+  EXPECT_EQ(pmu.read(Event::kL1dMiss), 0u);
+  EXPECT_FALSE(pmu.pebs_armed());
+  EXPECT_EQ(pmu.pending_samples(), 0u);
+}
+
+TEST(DataSource, Names) {
+  EXPECT_EQ(data_source_name(DataSource::kL2), "L2");
+  EXPECT_EQ(data_source_name(DataSource::kLocalDram), "local memory");
+  EXPECT_EQ(data_source_name(DataSource::kRemoteDram), "remote memory");
+}
+
+}  // namespace
+}  // namespace npat::sim

@@ -1,0 +1,107 @@
+#include "sim/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace npat::sim {
+namespace {
+
+TEST(Prefetcher, UnitStrideTargetsL2) {
+  Prefetcher prefetcher(PrefetcherConfig{});
+  std::vector<PrefetchRequest> out;
+  usize l2_prefetches = 0;
+  for (u64 line = 0; line < 32; ++line) {
+    prefetcher.observe(line, out);
+    for (const auto& request : out) {
+      EXPECT_EQ(request.target, PrefetchTarget::kL2);
+      EXPECT_GT(request.line, line);
+      ++l2_prefetches;
+    }
+  }
+  EXPECT_GT(l2_prefetches, 20u);  // issues once confidence is built
+}
+
+TEST(Prefetcher, NeedsConfirmationsBeforeIssuing) {
+  PrefetcherConfig config;
+  config.confirmations = 3;
+  Prefetcher prefetcher(config);
+  std::vector<PrefetchRequest> out;
+  prefetcher.observe(0, out);
+  EXPECT_TRUE(out.empty());
+  prefetcher.observe(1, out);  // first stride observation
+  EXPECT_TRUE(out.empty());
+  prefetcher.observe(2, out);  // second
+  EXPECT_TRUE(out.empty());
+  prefetcher.observe(3, out);  // third: issue
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Prefetcher, PageSizedStrideGoesToL3Streamer) {
+  // The Fig. 8 mechanism: strides beyond max_l2_stride_lines bypass L2.
+  Prefetcher prefetcher(PrefetcherConfig{});
+  std::vector<PrefetchRequest> out;
+  constexpr u64 kStride = 64;  // 64 lines = 4 KiB
+  usize l3_prefetches = 0;
+  for (u64 i = 0; i < 32; ++i) {
+    prefetcher.observe(i * kStride, out);
+    for (const auto& request : out) {
+      EXPECT_EQ(request.target, PrefetchTarget::kL3);
+      ++l3_prefetches;
+    }
+  }
+  EXPECT_GT(l3_prefetches, 20u);
+}
+
+TEST(Prefetcher, RandomAccessesStaySilent) {
+  Prefetcher prefetcher(PrefetcherConfig{});
+  util::Xoshiro256ss rng(7);
+  std::vector<PrefetchRequest> out;
+  usize issued = 0;
+  for (int i = 0; i < 500; ++i) {
+    prefetcher.observe(rng.below(1 << 20), out);
+    issued += out.size();
+  }
+  // Random walks should almost never build stride confidence.
+  EXPECT_LT(issued, 25u);
+}
+
+TEST(Prefetcher, DegreeControlsRequestCount) {
+  PrefetcherConfig config;
+  config.degree = 4;
+  config.confirmations = 1;
+  Prefetcher prefetcher(config);
+  std::vector<PrefetchRequest> out;
+  prefetcher.observe(10, out);
+  prefetcher.observe(11, out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].line, 12u);
+  EXPECT_EQ(out[3].line, 15u);
+}
+
+TEST(Prefetcher, NegativeStrideSupported) {
+  PrefetcherConfig config;
+  config.confirmations = 1;
+  Prefetcher prefetcher(config);
+  std::vector<PrefetchRequest> out;
+  prefetcher.observe(100, out);
+  prefetcher.observe(99, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].line, 98u);
+}
+
+TEST(Prefetcher, ClearForgetsStreams) {
+  PrefetcherConfig config;
+  config.confirmations = 1;
+  Prefetcher prefetcher(config);
+  std::vector<PrefetchRequest> out;
+  prefetcher.observe(0, out);
+  prefetcher.observe(1, out);
+  EXPECT_FALSE(out.empty());
+  prefetcher.clear();
+  prefetcher.observe(2, out);
+  EXPECT_TRUE(out.empty());  // stream history gone
+}
+
+}  // namespace
+}  // namespace npat::sim

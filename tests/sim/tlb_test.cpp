@@ -1,0 +1,65 @@
+#include "sim/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npat::sim {
+namespace {
+
+TlbConfig tiny_tlb() {
+  TlbConfig config;
+  config.dtlb_entries = 8;
+  config.dtlb_ways = 2;
+  config.stlb_entries = 32;
+  config.stlb_ways = 4;
+  return config;
+}
+
+TEST(Tlb, FirstAccessWalks) {
+  Tlb tlb(tiny_tlb());
+  EXPECT_EQ(tlb.access(100), TlbOutcome::kPageWalk);
+  EXPECT_EQ(tlb.access(100), TlbOutcome::kDtlbHit);
+}
+
+TEST(Tlb, StlbCatchesDtlbEvictions) {
+  Tlb tlb(tiny_tlb());
+  // Fill far more pages than the DTLB holds but fewer than the STLB.
+  for (u64 page = 0; page < 24; ++page) tlb.access(page);
+  // Page 0 fell out of the 8-entry DTLB but should still be in the STLB.
+  EXPECT_EQ(tlb.access(0), TlbOutcome::kStlbHit);
+}
+
+TEST(Tlb, WorkingSetBeyondStlbWalksAgain) {
+  Tlb tlb(tiny_tlb());
+  for (u64 page = 0; page < 500; ++page) tlb.access(page);
+  EXPECT_EQ(tlb.access(0), TlbOutcome::kPageWalk);
+}
+
+TEST(Tlb, InvalidateRemovesTranslation) {
+  Tlb tlb(tiny_tlb());
+  tlb.access(7);
+  tlb.invalidate(7);
+  EXPECT_EQ(tlb.access(7), TlbOutcome::kPageWalk);
+}
+
+TEST(Tlb, FlushRemovesEverything) {
+  Tlb tlb(tiny_tlb());
+  for (u64 page = 0; page < 4; ++page) tlb.access(page);
+  tlb.flush();
+  for (u64 page = 0; page < 4; ++page) {
+    EXPECT_EQ(tlb.access(page), TlbOutcome::kPageWalk) << page;
+  }
+}
+
+TEST(Tlb, LruWithinSet) {
+  Tlb tlb(tiny_tlb());
+  // DTLB: 4 sets x 2 ways. Pages 0, 4, 8 share set 0.
+  tlb.access(0);
+  tlb.access(4);
+  tlb.access(0);  // refresh
+  tlb.access(8);  // evicts 4 from the DTLB
+  EXPECT_EQ(tlb.access(0), TlbOutcome::kDtlbHit);
+  EXPECT_EQ(tlb.access(4), TlbOutcome::kStlbHit);  // still in STLB
+}
+
+}  // namespace
+}  // namespace npat::sim

@@ -1,0 +1,109 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace npat::stats {
+namespace {
+
+TEST(Accumulator, MeanVarianceBessel) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Population variance is 4; Bessel-corrected is 32/7.
+  EXPECT_NEAR(acc.variance_population(), 4.0, 1e-12);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator acc;
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  util::Xoshiro256ss rng(3);
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Quantile, SortedInterpolation) {
+  const std::vector<double> sorted = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.0);
+  EXPECT_THROW(quantile_sorted(sorted, 1.5), CheckError);
+}
+
+TEST(Summary, FullPass) {
+  const std::vector<double> values = {5, 1, 3, 2, 4};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  const auto r = pearson(x, y);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 2, 1};
+  EXPECT_NEAR(*pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideReturnsNullopt) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_FALSE(pearson(x, y).has_value());
+  EXPECT_FALSE(pearson(y, x).has_value());
+}
+
+TEST(Pearson, NearZeroForIndependentNoise) {
+  util::Xoshiro256ss rng(9);
+  std::vector<double> x(2000);
+  std::vector<double> y(2000);
+  for (usize i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_LT(std::abs(*pearson(x, y)), 0.08);
+}
+
+}  // namespace
+}  // namespace npat::stats

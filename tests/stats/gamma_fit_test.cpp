@@ -1,0 +1,85 @@
+#include "stats/gamma_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace npat::stats {
+namespace {
+
+std::vector<double> gamma_samples(double shape, double scale, double shift, usize n, u64 seed) {
+  util::Xoshiro256ss rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (usize i = 0; i < n; ++i) out.push_back(shift + rng.gamma(shape, scale));
+  return out;
+}
+
+TEST(GammaFit, RecoversShapeAndScale) {
+  const auto samples = gamma_samples(3.0, 2.0, 0.0, 20000, 1);
+  const auto fit = fit_gamma(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 3.0, 0.15);
+  EXPECT_NEAR(fit->scale, 2.0, 0.15);
+  EXPECT_NEAR(fit->mean(), 6.0, 0.1);
+}
+
+TEST(GammaFit, SmallShape) {
+  const auto samples = gamma_samples(0.7, 1.0, 0.0, 20000, 2);
+  const auto fit = fit_gamma(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, 0.7, 0.05);
+}
+
+TEST(GammaFit, ShiftedEstimatesLowerBound) {
+  // The paper's suggested improvement: estimate the minimum and fit a
+  // gamma starting there.
+  const double shift = 100.0;
+  const auto samples = gamma_samples(2.0, 5.0, shift, 20000, 3);
+  const auto fit = fit_gamma_shifted(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->location, shift, 1.0);
+  EXPECT_NEAR(fit->mean(), shift + 10.0, 0.5);
+}
+
+TEST(GammaFit, ShiftedBeatsUnshiftedLikelihoodOnShiftedData) {
+  const auto samples = gamma_samples(2.0, 3.0, 50.0, 5000, 4);
+  const auto shifted = fit_gamma_shifted(samples);
+  const auto raw = fit_gamma(samples);
+  ASSERT_TRUE(shifted.has_value());
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_GT(shifted->log_likelihood, raw->log_likelihood);
+}
+
+TEST(GammaFit, PdfIntegratesToRoughlyOne) {
+  GammaFit fit;
+  fit.location = 10.0;
+  fit.shape = 2.5;
+  fit.scale = 1.5;
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = 10.0; x < 60.0; x += dx) integral += fit.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(fit.pdf(9.0), 0.0);  // below the location bound
+}
+
+TEST(GammaFit, DegenerateInputsRejected) {
+  const std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_FALSE(fit_gamma(constant).has_value());
+  const std::vector<double> too_few = {1.0, 2.0};
+  EXPECT_FALSE(fit_gamma(too_few).has_value());
+  const std::vector<double> negative = {-1.0, 2.0, 3.0};
+  EXPECT_FALSE(fit_gamma(negative).has_value());
+}
+
+TEST(GammaFit, VarianceFormula) {
+  GammaFit fit;
+  fit.shape = 4.0;
+  fit.scale = 3.0;
+  EXPECT_DOUBLE_EQ(fit.variance(), 36.0);
+}
+
+}  // namespace
+}  // namespace npat::stats

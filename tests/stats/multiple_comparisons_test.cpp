@@ -1,0 +1,61 @@
+#include "stats/multiple_comparisons.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::stats {
+namespace {
+
+TEST(Bonferroni, ScalesAndClamps) {
+  const std::vector<double> p = {0.01, 0.2, 0.5};
+  const auto adjusted = bonferroni_adjust(p);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.6);
+  EXPECT_DOUBLE_EQ(adjusted[2], 1.0);  // clamped
+}
+
+TEST(Bonferroni, InvalidPThrows) {
+  const std::vector<double> p = {1.5};
+  EXPECT_THROW(bonferroni_adjust(p), CheckError);
+}
+
+TEST(Holm, StepDownOrdering) {
+  const std::vector<double> p = {0.01, 0.04, 0.03, 0.005};
+  const auto adjusted = holm_adjust(p);
+  // Sorted p: 0.005(x4), 0.01(x3), 0.03(x2), 0.04(x1), monotone max.
+  EXPECT_DOUBLE_EQ(adjusted[3], 0.02);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.06);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.06);  // monotonicity enforced
+}
+
+TEST(Holm, NeverLessStrictThanRaw) {
+  const std::vector<double> p = {0.2, 0.01, 0.6, 0.03, 0.001};
+  const auto adjusted = holm_adjust(p);
+  for (usize i = 0; i < p.size(); ++i) EXPECT_GE(adjusted[i], p[i]);
+}
+
+TEST(Holm, UniformlyMorePowerfulThanBonferroni) {
+  const std::vector<double> p = {0.01, 0.02, 0.03, 0.04};
+  const auto holm = holm_adjust(p);
+  const auto bonf = bonferroni_adjust(p);
+  for (usize i = 0; i < p.size(); ++i) EXPECT_LE(holm[i], bonf[i]);
+}
+
+TEST(Holm, SingleComparisonUnchanged) {
+  const std::vector<double> p = {0.04};
+  EXPECT_DOUBLE_EQ(holm_adjust(p)[0], 0.04);
+}
+
+TEST(RequiredTests, GrowsWithComparisons) {
+  const usize few = bonferroni_required_tests(0.05, 2);
+  const usize many = bonferroni_required_tests(0.05, 200);
+  EXPECT_GE(many, few);
+  EXPECT_GE(few, 1u);
+  EXPECT_THROW(bonferroni_required_tests(0.0, 10), CheckError);
+  EXPECT_THROW(bonferroni_required_tests(0.05, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::stats

@@ -1,0 +1,170 @@
+#include "stats/segmented.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace npat::stats {
+namespace {
+
+/// Ramp then flat: the canonical footprint shape.
+void make_ramp_flat(usize n, usize knee, double noise_sd, u64 seed, std::vector<double>& x,
+                    std::vector<double>& y) {
+  util::Xoshiro256ss rng(seed);
+  x.clear();
+  y.clear();
+  for (usize i = 0; i < n; ++i) {
+    x.push_back(static_cast<double>(i));
+    const double base = i < knee ? 2.0 * static_cast<double>(i)
+                                 : 2.0 * static_cast<double>(knee) +
+                                       0.05 * static_cast<double>(i - knee);
+    y.push_back(base + (noise_sd > 0 ? rng.normal(0.0, noise_sd) : 0.0));
+  }
+}
+
+TEST(SegmentCost, FitMatchesDirectLeastSquares) {
+  const std::vector<double> x = {0, 1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 3, 5, 7, 9, 11};  // y = 1 + 2x
+  SegmentCost cost(x, y);
+  const auto segment = cost.fit(0, x.size());
+  EXPECT_NEAR(segment.intercept, 1.0, 1e-10);
+  EXPECT_NEAR(segment.slope, 2.0, 1e-10);
+  EXPECT_NEAR(segment.sse, 0.0, 1e-10);
+}
+
+TEST(SegmentCost, SubrangeFit) {
+  const std::vector<double> x = {0, 1, 2, 3, 4, 5};
+  const std::vector<double> y = {0, 1, 2, 30, 40, 50};
+  SegmentCost cost(x, y);
+  const auto left = cost.fit(0, 3);
+  EXPECT_NEAR(left.slope, 1.0, 1e-10);
+  const auto right = cost.fit(3, 6);
+  EXPECT_NEAR(right.slope, 10.0, 1e-10);
+}
+
+TEST(SegmentCost, DegenerateXRange) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  SegmentCost cost(x, y);
+  const auto segment = cost.fit(0, 3);
+  EXPECT_DOUBLE_EQ(segment.slope, 0.0);
+  EXPECT_NEAR(segment.intercept, 2.0, 1e-12);
+  EXPECT_THROW(cost.fit(0, 1), CheckError);  // < 2 samples
+}
+
+TEST(TwoPhase, FindsExactKneeNoiseless) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(100, 60, 0.0, 0, x, y);
+  const auto fit = detect_two_phases(x, y);
+  EXPECT_EQ(fit.pivot(), 60u);
+  EXPECT_NEAR(fit.total_sse, 0.0, 1e-9);
+  ASSERT_EQ(fit.segments.size(), 2u);
+  EXPECT_NEAR(fit.segments[0].slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.segments[1].slope, 0.05, 1e-9);
+}
+
+TEST(TwoPhase, FindsKneeUnderNoise) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(200, 120, 1.5, 42, x, y);
+  const auto fit = detect_two_phases(x, y);
+  EXPECT_NEAR(static_cast<double>(fit.pivot()), 120.0, 6.0);
+}
+
+TEST(TwoPhase, NaiveScanMatchesFastScan) {
+  for (u64 seed : {1u, 2u, 3u, 4u}) {
+    std::vector<double> x;
+    std::vector<double> y;
+    make_ramp_flat(80, 30 + seed * 7, 1.0, seed, x, y);
+    const auto fast = detect_two_phases(x, y);
+    const auto naive = detect_two_phases_naive(x, y);
+    EXPECT_EQ(fast.pivot(), naive.pivot()) << "seed " << seed;
+    EXPECT_NEAR(fast.total_sse, naive.total_sse, 1e-6 * (1.0 + fast.total_sse));
+  }
+}
+
+TEST(TwoPhase, MinSegmentRespected) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(40, 3, 0.0, 0, x, y);  // knee inside the forbidden margin
+  const auto fit = detect_two_phases(x, y, /*min_segment=*/10);
+  EXPECT_GE(fit.pivot(), 10u);
+  EXPECT_LE(fit.pivot(), 30u);
+}
+
+TEST(TwoPhase, TooFewSamplesThrows) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(detect_two_phases(x, y), CheckError);
+}
+
+TEST(KPhase, RecoversThreeSegments) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (usize i = 0; i < 150; ++i) {
+    x.push_back(static_cast<double>(i));
+    double v = 0.0;
+    if (i < 50) {
+      v = 3.0 * static_cast<double>(i);
+    } else if (i < 100) {
+      v = 150.0;
+    } else {
+      v = 150.0 + 2.0 * static_cast<double>(i - 100);
+    }
+    y.push_back(v);
+  }
+  const auto fit = detect_k_phases(x, y, 3);
+  ASSERT_EQ(fit.segments.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(fit.segments[1].begin), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(fit.segments[2].begin), 100.0, 2.0);
+  EXPECT_NEAR(fit.total_sse, 0.0, 1e-6);
+}
+
+TEST(KPhase, OneSegmentEqualsGlobalFit) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(50, 25, 0.5, 7, x, y);
+  const auto k1 = detect_k_phases(x, y, 1);
+  SegmentCost cost(x, y);
+  EXPECT_NEAR(k1.total_sse, cost.sse(0, 50), 1e-9);
+}
+
+TEST(KPhase, MoreSegmentsNeverWorse) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(90, 40, 2.0, 11, x, y);
+  double previous = std::numeric_limits<double>::infinity();
+  for (usize k = 1; k <= 4; ++k) {
+    const auto fit = detect_k_phases(x, y, k);
+    EXPECT_LE(fit.total_sse, previous + 1e-9);
+    previous = fit.total_sse;
+  }
+}
+
+TEST(AutoPhase, PrefersOnePhaseForStraightLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  util::Xoshiro256ss rng(5);
+  for (usize i = 0; i < 100; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(1.0 + 0.5 * static_cast<double>(i) + rng.normal(0.0, 0.3));
+  }
+  const auto fit = detect_phases_auto(x, y);
+  EXPECT_EQ(fit.segments.size(), 1u);
+}
+
+TEST(AutoPhase, PrefersTwoPhasesForKnee) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(120, 70, 1.0, 13, x, y);
+  const auto fit = detect_phases_auto(x, y);
+  EXPECT_EQ(fit.segments.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(fit.segments[1].begin), 70.0, 6.0);
+}
+
+}  // namespace
+}  // namespace npat::stats

@@ -1,0 +1,93 @@
+#include "util/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npat::util {
+namespace {
+
+std::vector<u8> bytes(std::initializer_list<int> values) {
+  std::vector<u8> out;
+  for (int v : values) out.push_back(static_cast<u8>(v));
+  return out;
+}
+
+TEST(Loopback, DeliversBothDirections) {
+  auto pair = make_loopback_pair();
+  EXPECT_TRUE(pair.a->send(bytes({1, 2, 3})));
+  EXPECT_TRUE(pair.b->send(bytes({9})));
+  EXPECT_EQ(pair.b->recv(10), bytes({1, 2, 3}));
+  EXPECT_EQ(pair.a->recv(10), bytes({9}));
+}
+
+TEST(Loopback, RecvRespectsMaxBytes) {
+  auto pair = make_loopback_pair();
+  pair.a->send(bytes({1, 2, 3, 4}));
+  EXPECT_EQ(pair.b->recv(2), bytes({1, 2}));
+  EXPECT_EQ(pair.b->recv(10), bytes({3, 4}));
+}
+
+TEST(Loopback, EmptyWhenNothingQueued) {
+  auto pair = make_loopback_pair();
+  EXPECT_TRUE(pair.b->recv(16).empty());
+}
+
+TEST(Loopback, SendAfterCloseFails) {
+  auto pair = make_loopback_pair();
+  pair.a->close();
+  EXPECT_FALSE(pair.a->send(bytes({1})));
+  EXPECT_TRUE(pair.a->closed());
+}
+
+TEST(Loopback, PeerCloseBlocksSend) {
+  auto pair = make_loopback_pair();
+  pair.b->close();
+  EXPECT_FALSE(pair.a->send(bytes({1})));
+}
+
+TEST(Loopback, DrainAfterSenderClose) {
+  auto pair = make_loopback_pair();
+  pair.a->send(bytes({5}));
+  pair.a->close();
+  EXPECT_EQ(pair.b->recv(10), bytes({5}));  // data sent before close survives
+}
+
+TEST(FaultyChannel, DropsConfiguredFraction) {
+  auto pair = make_loopback_pair();
+  FaultyChannel faulty(pair.a, {.drop_probability = 1.0, .corrupt_probability = 0.0,
+                                .truncate_to = 0, .seed = 1});
+  EXPECT_TRUE(faulty.send(bytes({1, 2})));
+  EXPECT_TRUE(pair.b->recv(10).empty());
+  EXPECT_EQ(faulty.dropped_sends(), 1u);
+}
+
+TEST(FaultyChannel, CorruptsBytes) {
+  auto pair = make_loopback_pair();
+  FaultyChannel faulty(pair.a, {.drop_probability = 0.0, .corrupt_probability = 1.0,
+                                .truncate_to = 0, .seed = 2});
+  faulty.send(bytes({0x55, 0x55, 0x55, 0x55}));
+  const auto received = pair.b->recv(10);
+  ASSERT_EQ(received.size(), 4u);
+  int flipped = 0;
+  for (u8 b : received) flipped += b != 0x55 ? 1 : 0;
+  EXPECT_EQ(flipped, 1);  // exactly one byte flipped per send
+  EXPECT_EQ(faulty.corrupted_sends(), 1u);
+}
+
+TEST(FaultyChannel, Truncates) {
+  auto pair = make_loopback_pair();
+  FaultyChannel faulty(pair.a, {.drop_probability = 0.0, .corrupt_probability = 0.0,
+                                .truncate_to = 2, .seed = 3});
+  faulty.send(bytes({1, 2, 3, 4, 5}));
+  EXPECT_EQ(pair.b->recv(10), bytes({1, 2}));
+}
+
+TEST(FaultyChannel, CleanPassThrough) {
+  auto pair = make_loopback_pair();
+  FaultyChannel faulty(pair.a, {.drop_probability = 0.0, .corrupt_probability = 0.0,
+                                .truncate_to = 0, .seed = 4});
+  faulty.send(bytes({7, 8}));
+  EXPECT_EQ(pair.b->recv(10), bytes({7, 8}));
+}
+
+}  // namespace
+}  // namespace npat::util

@@ -1,0 +1,84 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npat::util {
+namespace {
+
+TEST(Cli, ParsesTypedFlags) {
+  std::string name = "default";
+  i64 count = 1;
+  double ratio = 0.5;
+  bool verbose = false;
+
+  Cli cli("test");
+  cli.add_flag("name", &name, "a string");
+  cli.add_flag("count", &count, "an int");
+  cli.add_flag("ratio", &ratio, "a double");
+  cli.add_flag("verbose", &verbose, "a bool");
+
+  const char* argv[] = {"prog", "--name=x", "--count", "42", "--ratio=2.5", "--verbose"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(name, "x");
+  EXPECT_EQ(count, 42);
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Cli, BoolExplicitValues) {
+  bool flag = true;
+  Cli cli("test");
+  cli.add_flag("flag", &flag, "a bool");
+  const char* argv[] = {"prog", "--flag=false"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(flag);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_THROW(cli.parse(2, argv), CliError);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  i64 v = 0;
+  Cli cli("test");
+  cli.add_flag("v", &v, "int");
+  const char* argv[] = {"prog", "--v=12x"};
+  EXPECT_THROW(cli.parse(2, argv), CliError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  i64 v = 0;
+  Cli cli("test");
+  cli.add_flag("v", &v, "int");
+  const char* argv[] = {"prog", "--v"};
+  EXPECT_THROW(cli.parse(2, argv), CliError);
+}
+
+TEST(Cli, PositionalCollected) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "one", "two"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpTextListsFlagsAndDefaults) {
+  i64 v = 7;
+  Cli cli("my tool");
+  cli.add_flag("threads", &v, "thread count");
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("my tool"), std::string::npos);
+  EXPECT_NE(help.find("--threads"), std::string::npos);
+  EXPECT_NE(help.find("default: 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace npat::util

@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/histogram_render.hpp"
+
+namespace npat::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"cycles", "123"});
+  table.add_row({"misses", "7"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("cycles"), std::string::npos);
+  EXPECT_NE(out.find("123"), std::string::npos);
+  EXPECT_NE(out.find("┌"), std::string::npos);
+  EXPECT_NE(out.find("└"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, AlignmentRight) {
+  Table table({"v"});
+  table.set_align(0, Align::kRight);
+  table.add_row({"1"});
+  table.add_row({"100"});
+  const std::string out = table.render();
+  // The short value must be left-padded to the column width.
+  EXPECT_NE(out.find("│   1 │"), std::string::npos);
+}
+
+TEST(Table, RuleSeparatesSections) {
+  Table table({"x"});
+  table.add_row({"above"});
+  table.add_rule();
+  table.add_row({"below"});
+  const std::string out = table.render();
+  // Four horizontal lines: top, under header, the rule, bottom.
+  usize lines = 0;
+  usize pos = 0;
+  while ((pos = out.find("├", pos)) != std::string::npos) {
+    ++lines;
+    pos += 1;
+  }
+  EXPECT_EQ(lines, 2u);  // header separator + explicit rule
+}
+
+TEST(Table, StyleEmitsAnsiOnlyWhenEnabled) {
+  Table table({"x"});
+  table.add_styled_row({Cell{"val", Style::kRed}});
+  {
+    AnsiGuard guard(false);
+    EXPECT_EQ(table.render().find('\x1b'), std::string::npos);
+  }
+  {
+    AnsiGuard guard(true);
+    EXPECT_NE(table.render().find("\x1b[31m"), std::string::npos);
+  }
+}
+
+TEST(Table, TitleShown) {
+  Table table({"x"});
+  table.set_title("My Title");
+  table.add_row({"v"});
+  EXPECT_NE(table.render().find("My Title"), std::string::npos);
+}
+
+TEST(HistogramRender, BasicBars) {
+  std::vector<HistogramBar> bars = {
+      {"[0,10)", 10.0, false, false, ""},
+      {"[10,20)", 5.0, false, false, "L2"},
+  };
+  HistogramRenderOptions options;
+  options.max_bar_width = 10;
+  const std::string out = render_histogram(bars, options);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // full-width bar
+  EXPECT_NE(out.find("#####"), std::string::npos);
+  EXPECT_NE(out.find("L2"), std::string::npos);
+}
+
+TEST(HistogramRender, UncertainMarked) {
+  std::vector<HistogramBar> bars = {{"[0,1)", 3.0, true, false, ""}};
+  const std::string out = render_histogram(bars, {});
+  EXPECT_NE(out.find("(uncertain)"), std::string::npos);
+}
+
+TEST(HistogramRender, TruncationClipsDominatingBar) {
+  std::vector<HistogramBar> bars = {
+      {"big", 1000.0, false, false, ""},
+      {"small", 10.0, false, false, ""},
+  };
+  HistogramRenderOptions options;
+  options.max_bar_width = 20;
+  options.truncate_above_fraction = 0.5;
+  const std::string out = render_histogram(bars, options);
+  EXPECT_NE(out.find("(truncated)"), std::string::npos);
+}
+
+TEST(HistogramRender, NanRejected) {
+  std::vector<HistogramBar> bars = {{"x", std::nan(""), false, false, ""}};
+  EXPECT_THROW(render_histogram(bars, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::util

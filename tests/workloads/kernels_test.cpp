@@ -1,0 +1,139 @@
+#include "workloads/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "util/check.hpp"
+
+namespace npat::workloads {
+namespace {
+
+sim::MachineConfig quad() {
+  auto config = sim::hpe_dl580_gen9(2);
+  config.l3.size_bytes = MiB(2);
+  config.memory.jitter_fraction = 0.0;
+  return config;
+}
+
+TEST(Stream, FirstTouchHasNoRemoteTraffic) {
+  sim::Machine machine(quad());
+  os::AddressSpace space(machine.topology());
+  trace::RunnerConfig rc;
+  rc.affinity = os::AffinityPolicy::kScatter;
+  trace::Runner runner(machine, space, rc);
+  StreamParams params;
+  params.threads = 4;
+  params.elements_per_thread = 1 << 13;
+  runner.run(stream_triad_program(params));
+  EXPECT_EQ(machine.aggregate_counters()[sim::Event::kMemLoadRemoteDram], 0u);
+}
+
+TEST(Stream, MasterTouchIsSlowerUnderScatter) {
+  auto run_with = [&](os::PagePolicy placement) {
+    sim::Machine machine(quad());
+    os::AddressSpace space(machine.topology());
+    trace::RunnerConfig rc;
+    rc.affinity = os::AffinityPolicy::kScatter;
+    trace::Runner runner(machine, space, rc);
+    StreamParams params;
+    params.threads = 4;
+    params.elements_per_thread = 1 << 14;
+    params.placement = placement;
+    return runner.run(stream_triad_program(params)).duration;
+  };
+  const Cycles local = run_with(os::PagePolicy::kFirstTouch);
+  const Cycles master = run_with(os::PagePolicy::kBind);
+  EXPECT_GT(master, local);
+}
+
+TEST(Stream, TriadTouchesThreeArrays) {
+  sim::Machine machine(quad());
+  os::AddressSpace space(machine.topology());
+  trace::Runner runner(machine, space);
+  StreamParams params;
+  params.threads = 1;
+  params.elements_per_thread = 1 << 12;
+  params.iterations = 1;
+  runner.run(stream_triad_program(params));
+  const auto totals = machine.aggregate_counters();
+  // Per element: 2 loads + 1 store in the triad, plus 2 init stores.
+  EXPECT_GE(totals[sim::Event::kLoadsRetired], 2u << 12);
+  EXPECT_GE(totals[sim::Event::kStoresRetired], 3u << 12);
+}
+
+TEST(Matmul, BlockingKeepsCacheHitRateHigh) {
+  sim::Machine machine(quad());
+  os::AddressSpace space(machine.topology());
+  trace::Runner runner(machine, space);
+  MatmulParams params;
+  params.n = 64;
+  params.block = 16;
+  runner.run(matmul_program(params));
+  const auto totals = machine.aggregate_counters();
+  const double hit_rate = static_cast<double>(totals[sim::Event::kL1dHit]) /
+                          static_cast<double>(totals[sim::Event::kL1dAccess]);
+  EXPECT_GT(hit_rate, 0.8);
+}
+
+TEST(Matmul, ParallelRowBandsShareB) {
+  sim::Machine machine(quad());
+  os::AddressSpace space(machine.topology());
+  trace::RunnerConfig rc;
+  rc.affinity = os::AffinityPolicy::kScatter;
+  trace::Runner runner(machine, space, rc);
+  MatmulParams params;
+  params.n = 64;
+  params.block = 16;
+  params.threads = 4;
+  runner.run(matmul_program(params));
+  // B is written by thread 0 and read by everyone: remote traffic exists.
+  u64 snoops = 0;
+  for (u32 node = 0; node < machine.nodes(); ++node) {
+    snoops += machine.uncore_counters(node)[sim::Event::kUncSnoopsReceived];
+  }
+  EXPECT_GT(snoops, 0u);
+}
+
+TEST(Gups, RandomUpdatesDefeatCaches) {
+  sim::Machine machine(quad());
+  os::AddressSpace space(machine.topology());
+  trace::Runner runner(machine, space);
+  GupsParams params;
+  params.threads = 2;
+  params.table_bytes = MiB(8);
+  params.updates_per_thread = 20000;
+  runner.run(gups_program(params));
+  const auto totals = machine.aggregate_counters();
+  const double update_miss_rate =
+      static_cast<double>(totals[sim::Event::kL3Miss]) /
+      static_cast<double>(2 * params.updates_per_thread);
+  EXPECT_GT(update_miss_rate, 0.3);  // 8 MiB table vs 2 MiB L3
+}
+
+TEST(Gups, InterleavedTableSpreadsPages) {
+  sim::Machine machine(quad());
+  os::AddressSpace space(machine.topology());
+  trace::Runner runner(machine, space);
+  GupsParams params;
+  params.threads = 1;
+  params.table_bytes = MiB(4);
+  params.updates_per_thread = 1000;
+  params.placement = os::PagePolicy::kInterleave;
+  runner.run(gups_program(params));
+  const auto pages = space.pages_per_node();
+  for (u32 node = 0; node < machine.nodes(); ++node) {
+    EXPECT_GT(pages[node], 200u) << "node " << node;
+  }
+}
+
+TEST(Kernels, InvalidParamsRejected) {
+  MatmulParams bad;
+  bad.block = 0;
+  EXPECT_THROW(matmul_program(bad), CheckError);
+  GupsParams gups;
+  gups.table_bytes = 16;
+  EXPECT_THROW(gups_program(gups), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::workloads
