@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_event_cycling.dir/ablation_event_cycling.cpp.o"
+  "CMakeFiles/ablation_event_cycling.dir/ablation_event_cycling.cpp.o.d"
+  "ablation_event_cycling"
+  "ablation_event_cycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_event_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memhist_cycling.dir/ablation_memhist_cycling.cpp.o"
+  "CMakeFiles/ablation_memhist_cycling.dir/ablation_memhist_cycling.cpp.o.d"
+  "ablation_memhist_cycling"
+  "ablation_memhist_cycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memhist_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

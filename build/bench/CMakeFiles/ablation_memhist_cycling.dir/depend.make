@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_memhist_cycling.
+# This may be replaced when dependencies are built.

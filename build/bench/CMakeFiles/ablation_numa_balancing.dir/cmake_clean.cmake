@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_numa_balancing.dir/ablation_numa_balancing.cpp.o"
+  "CMakeFiles/ablation_numa_balancing.dir/ablation_numa_balancing.cpp.o.d"
+  "ablation_numa_balancing"
+  "ablation_numa_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_numa_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_pivot.dir/ablation_phase_pivot.cpp.o"
+  "CMakeFiles/ablation_phase_pivot.dir/ablation_phase_pivot.cpp.o.d"
+  "ablation_phase_pivot"
+  "ablation_phase_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

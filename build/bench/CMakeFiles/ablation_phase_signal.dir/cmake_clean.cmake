@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_phase_signal.dir/ablation_phase_signal.cpp.o"
+  "CMakeFiles/ablation_phase_signal.dir/ablation_phase_signal.cpp.o.d"
+  "ablation_phase_signal"
+  "ablation_phase_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_phase_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

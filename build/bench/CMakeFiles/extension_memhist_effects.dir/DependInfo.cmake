@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_memhist_effects.cpp" "bench/CMakeFiles/extension_memhist_effects.dir/extension_memhist_effects.cpp.o" "gcc" "bench/CMakeFiles/extension_memhist_effects.dir/extension_memhist_effects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evsel/CMakeFiles/npat_evsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhist/CMakeFiles/npat_memhist.dir/DependInfo.cmake"
+  "/root/repo/build/src/phasen/CMakeFiles/npat_phasen.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/npat_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/npat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/npat_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/npat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/npat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/npat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/npat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

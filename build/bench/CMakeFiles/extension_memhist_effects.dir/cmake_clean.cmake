@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_memhist_effects.dir/extension_memhist_effects.cpp.o"
+  "CMakeFiles/extension_memhist_effects.dir/extension_memhist_effects.cpp.o.d"
+  "extension_memhist_effects"
+  "extension_memhist_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_memhist_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

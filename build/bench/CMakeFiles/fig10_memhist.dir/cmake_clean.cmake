@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memhist.dir/fig10_memhist.cpp.o"
+  "CMakeFiles/fig10_memhist.dir/fig10_memhist.cpp.o.d"
+  "fig10_memhist"
+  "fig10_memhist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_evsel_interface.dir/fig5_evsel_interface.cpp.o"
+  "CMakeFiles/fig5_evsel_interface.dir/fig5_evsel_interface.cpp.o.d"
+  "fig5_evsel_interface"
+  "fig5_evsel_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_evsel_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_remote_probe.dir/fig6_remote_probe.cpp.o"
+  "CMakeFiles/fig6_remote_probe.dir/fig6_remote_probe.cpp.o.d"
+  "fig6_remote_probe"
+  "fig6_remote_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_remote_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sort_correlations.dir/fig9_sort_correlations.cpp.o"
+  "CMakeFiles/fig9_sort_correlations.dir/fig9_sort_correlations.cpp.o.d"
+  "fig9_sort_correlations"
+  "fig9_sort_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sort_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

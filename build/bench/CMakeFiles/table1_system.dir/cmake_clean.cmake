@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_system.dir/table1_system.cpp.o"
+  "CMakeFiles/table1_system.dir/table1_system.cpp.o.d"
+  "table1_system"
+  "table1_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

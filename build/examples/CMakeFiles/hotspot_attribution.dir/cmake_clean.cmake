@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_attribution.dir/hotspot_attribution.cpp.o"
+  "CMakeFiles/hotspot_attribution.dir/hotspot_attribution.cpp.o.d"
+  "hotspot_attribution"
+  "hotspot_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_stat.dir/npat_stat.cpp.o"
+  "CMakeFiles/npat_stat.dir/npat_stat.cpp.o.d"
+  "npat_stat"
+  "npat_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_latency_map.dir/numa_latency_map.cpp.o"
+  "CMakeFiles/numa_latency_map.dir/numa_latency_map.cpp.o.d"
+  "numa_latency_map"
+  "numa_latency_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_latency_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

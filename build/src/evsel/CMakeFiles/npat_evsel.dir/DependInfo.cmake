@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evsel/collector.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/collector.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/collector.cpp.o.d"
+  "/root/repo/src/evsel/compare.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/compare.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/compare.cpp.o.d"
+  "/root/repo/src/evsel/cost_model.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/cost_model.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/cost_model.cpp.o.d"
+  "/root/repo/src/evsel/imbalance.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/imbalance.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/imbalance.cpp.o.d"
+  "/root/repo/src/evsel/measurement.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/measurement.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/measurement.cpp.o.d"
+  "/root/repo/src/evsel/model_catalog.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/model_catalog.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/model_catalog.cpp.o.d"
+  "/root/repo/src/evsel/regress.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/regress.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/regress.cpp.o.d"
+  "/root/repo/src/evsel/report.cpp" "src/evsel/CMakeFiles/npat_evsel.dir/report.cpp.o" "gcc" "src/evsel/CMakeFiles/npat_evsel.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/npat_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/npat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/npat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/npat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/npat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/npat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

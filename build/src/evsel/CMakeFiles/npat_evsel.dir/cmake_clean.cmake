@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_evsel.dir/collector.cpp.o"
+  "CMakeFiles/npat_evsel.dir/collector.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/compare.cpp.o"
+  "CMakeFiles/npat_evsel.dir/compare.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/cost_model.cpp.o"
+  "CMakeFiles/npat_evsel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/imbalance.cpp.o"
+  "CMakeFiles/npat_evsel.dir/imbalance.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/measurement.cpp.o"
+  "CMakeFiles/npat_evsel.dir/measurement.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/model_catalog.cpp.o"
+  "CMakeFiles/npat_evsel.dir/model_catalog.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/regress.cpp.o"
+  "CMakeFiles/npat_evsel.dir/regress.cpp.o.d"
+  "CMakeFiles/npat_evsel.dir/report.cpp.o"
+  "CMakeFiles/npat_evsel.dir/report.cpp.o.d"
+  "libnpat_evsel.a"
+  "libnpat_evsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_evsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/npat_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/npat_linalg.dir/solve.cpp.o"
+  "CMakeFiles/npat_linalg.dir/solve.cpp.o.d"
+  "libnpat_linalg.a"
+  "libnpat_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_memhist.dir/builder.cpp.o"
+  "CMakeFiles/npat_memhist.dir/builder.cpp.o.d"
+  "CMakeFiles/npat_memhist.dir/histogram.cpp.o"
+  "CMakeFiles/npat_memhist.dir/histogram.cpp.o.d"
+  "CMakeFiles/npat_memhist.dir/remote.cpp.o"
+  "CMakeFiles/npat_memhist.dir/remote.cpp.o.d"
+  "CMakeFiles/npat_memhist.dir/wire.cpp.o"
+  "CMakeFiles/npat_memhist.dir/wire.cpp.o.d"
+  "libnpat_memhist.a"
+  "libnpat_memhist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_memhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

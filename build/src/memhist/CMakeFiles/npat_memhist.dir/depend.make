@@ -1,0 +1,2 @@
+# Empty dependencies file for npat_memhist.
+# This may be replaced when dependencies are built.

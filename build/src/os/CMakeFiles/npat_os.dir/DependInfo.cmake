@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/affinity.cpp" "src/os/CMakeFiles/npat_os.dir/affinity.cpp.o" "gcc" "src/os/CMakeFiles/npat_os.dir/affinity.cpp.o.d"
+  "/root/repo/src/os/procfs.cpp" "src/os/CMakeFiles/npat_os.dir/procfs.cpp.o" "gcc" "src/os/CMakeFiles/npat_os.dir/procfs.cpp.o.d"
+  "/root/repo/src/os/vm.cpp" "src/os/CMakeFiles/npat_os.dir/vm.cpp.o" "gcc" "src/os/CMakeFiles/npat_os.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

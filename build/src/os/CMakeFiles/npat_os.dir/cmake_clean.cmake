@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_os.dir/affinity.cpp.o"
+  "CMakeFiles/npat_os.dir/affinity.cpp.o.d"
+  "CMakeFiles/npat_os.dir/procfs.cpp.o"
+  "CMakeFiles/npat_os.dir/procfs.cpp.o.d"
+  "CMakeFiles/npat_os.dir/vm.cpp.o"
+  "CMakeFiles/npat_os.dir/vm.cpp.o.d"
+  "libnpat_os.a"
+  "libnpat_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

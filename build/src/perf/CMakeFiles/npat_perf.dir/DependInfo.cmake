@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/load_latency.cpp" "src/perf/CMakeFiles/npat_perf.dir/load_latency.cpp.o" "gcc" "src/perf/CMakeFiles/npat_perf.dir/load_latency.cpp.o.d"
+  "/root/repo/src/perf/multiplex.cpp" "src/perf/CMakeFiles/npat_perf.dir/multiplex.cpp.o" "gcc" "src/perf/CMakeFiles/npat_perf.dir/multiplex.cpp.o.d"
+  "/root/repo/src/perf/registry.cpp" "src/perf/CMakeFiles/npat_perf.dir/registry.cpp.o" "gcc" "src/perf/CMakeFiles/npat_perf.dir/registry.cpp.o.d"
+  "/root/repo/src/perf/session.cpp" "src/perf/CMakeFiles/npat_perf.dir/session.cpp.o" "gcc" "src/perf/CMakeFiles/npat_perf.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/npat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/npat_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_perf.dir/load_latency.cpp.o"
+  "CMakeFiles/npat_perf.dir/load_latency.cpp.o.d"
+  "CMakeFiles/npat_perf.dir/multiplex.cpp.o"
+  "CMakeFiles/npat_perf.dir/multiplex.cpp.o.d"
+  "CMakeFiles/npat_perf.dir/registry.cpp.o"
+  "CMakeFiles/npat_perf.dir/registry.cpp.o.d"
+  "CMakeFiles/npat_perf.dir/session.cpp.o"
+  "CMakeFiles/npat_perf.dir/session.cpp.o.d"
+  "libnpat_perf.a"
+  "libnpat_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

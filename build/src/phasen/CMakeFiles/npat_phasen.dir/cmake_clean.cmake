@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_phasen.dir/attribution.cpp.o"
+  "CMakeFiles/npat_phasen.dir/attribution.cpp.o.d"
+  "CMakeFiles/npat_phasen.dir/detector.cpp.o"
+  "CMakeFiles/npat_phasen.dir/detector.cpp.o.d"
+  "CMakeFiles/npat_phasen.dir/report.cpp.o"
+  "CMakeFiles/npat_phasen.dir/report.cpp.o.d"
+  "libnpat_phasen.a"
+  "libnpat_phasen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_phasen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

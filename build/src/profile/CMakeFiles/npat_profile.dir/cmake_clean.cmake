@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_profile.dir/source_profile.cpp.o"
+  "CMakeFiles/npat_profile.dir/source_profile.cpp.o.d"
+  "libnpat_profile.a"
+  "libnpat_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cpp" "src/sim/CMakeFiles/npat_sim.dir/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/npat_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/coherence.cpp" "src/sim/CMakeFiles/npat_sim.dir/coherence.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/coherence.cpp.o.d"
+  "/root/repo/src/sim/events.cpp" "src/sim/CMakeFiles/npat_sim.dir/events.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/events.cpp.o.d"
+  "/root/repo/src/sim/fill_buffer.cpp" "src/sim/CMakeFiles/npat_sim.dir/fill_buffer.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/fill_buffer.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/npat_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/npat_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/pmu.cpp" "src/sim/CMakeFiles/npat_sim.dir/pmu.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/pmu.cpp.o.d"
+  "/root/repo/src/sim/prefetcher.cpp" "src/sim/CMakeFiles/npat_sim.dir/prefetcher.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/sim/CMakeFiles/npat_sim.dir/presets.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/presets.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/sim/CMakeFiles/npat_sim.dir/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/tlb.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/npat_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/npat_sim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

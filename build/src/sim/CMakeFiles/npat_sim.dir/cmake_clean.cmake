@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_sim.dir/branch_predictor.cpp.o"
+  "CMakeFiles/npat_sim.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/cache.cpp.o"
+  "CMakeFiles/npat_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/coherence.cpp.o"
+  "CMakeFiles/npat_sim.dir/coherence.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/events.cpp.o"
+  "CMakeFiles/npat_sim.dir/events.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/fill_buffer.cpp.o"
+  "CMakeFiles/npat_sim.dir/fill_buffer.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/machine.cpp.o"
+  "CMakeFiles/npat_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/npat_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/pmu.cpp.o"
+  "CMakeFiles/npat_sim.dir/pmu.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/prefetcher.cpp.o"
+  "CMakeFiles/npat_sim.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/presets.cpp.o"
+  "CMakeFiles/npat_sim.dir/presets.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/tlb.cpp.o"
+  "CMakeFiles/npat_sim.dir/tlb.cpp.o.d"
+  "CMakeFiles/npat_sim.dir/topology.cpp.o"
+  "CMakeFiles/npat_sim.dir/topology.cpp.o.d"
+  "libnpat_sim.a"
+  "libnpat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/npat_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/gamma_fit.cpp" "src/stats/CMakeFiles/npat_stats.dir/gamma_fit.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/gamma_fit.cpp.o.d"
+  "/root/repo/src/stats/multiple_comparisons.cpp" "src/stats/CMakeFiles/npat_stats.dir/multiple_comparisons.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/multiple_comparisons.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/npat_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/segmented.cpp" "src/stats/CMakeFiles/npat_stats.dir/segmented.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/segmented.cpp.o.d"
+  "/root/repo/src/stats/tdist.cpp" "src/stats/CMakeFiles/npat_stats.dir/tdist.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/tdist.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "src/stats/CMakeFiles/npat_stats.dir/ttest.cpp.o" "gcc" "src/stats/CMakeFiles/npat_stats.dir/ttest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/npat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

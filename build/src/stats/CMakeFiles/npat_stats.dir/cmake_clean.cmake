@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/npat_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/npat_stats.dir/gamma_fit.cpp.o"
+  "CMakeFiles/npat_stats.dir/gamma_fit.cpp.o.d"
+  "CMakeFiles/npat_stats.dir/multiple_comparisons.cpp.o"
+  "CMakeFiles/npat_stats.dir/multiple_comparisons.cpp.o.d"
+  "CMakeFiles/npat_stats.dir/regression.cpp.o"
+  "CMakeFiles/npat_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/npat_stats.dir/segmented.cpp.o"
+  "CMakeFiles/npat_stats.dir/segmented.cpp.o.d"
+  "CMakeFiles/npat_stats.dir/tdist.cpp.o"
+  "CMakeFiles/npat_stats.dir/tdist.cpp.o.d"
+  "CMakeFiles/npat_stats.dir/ttest.cpp.o"
+  "CMakeFiles/npat_stats.dir/ttest.cpp.o.d"
+  "libnpat_stats.a"
+  "libnpat_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

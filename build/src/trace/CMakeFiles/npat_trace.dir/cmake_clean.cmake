@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_trace.dir/runner.cpp.o"
+  "CMakeFiles/npat_trace.dir/runner.cpp.o.d"
+  "libnpat_trace.a"
+  "libnpat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

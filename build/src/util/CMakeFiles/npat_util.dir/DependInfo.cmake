@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/channel.cpp" "src/util/CMakeFiles/npat_util.dir/channel.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/channel.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/npat_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/npat_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/histogram_render.cpp" "src/util/CMakeFiles/npat_util.dir/histogram_render.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/histogram_render.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/npat_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/npat_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/npat_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/npat_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/npat_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_util.dir/channel.cpp.o"
+  "CMakeFiles/npat_util.dir/channel.cpp.o.d"
+  "CMakeFiles/npat_util.dir/cli.cpp.o"
+  "CMakeFiles/npat_util.dir/cli.cpp.o.d"
+  "CMakeFiles/npat_util.dir/csv.cpp.o"
+  "CMakeFiles/npat_util.dir/csv.cpp.o.d"
+  "CMakeFiles/npat_util.dir/histogram_render.cpp.o"
+  "CMakeFiles/npat_util.dir/histogram_render.cpp.o.d"
+  "CMakeFiles/npat_util.dir/json.cpp.o"
+  "CMakeFiles/npat_util.dir/json.cpp.o.d"
+  "CMakeFiles/npat_util.dir/random.cpp.o"
+  "CMakeFiles/npat_util.dir/random.cpp.o.d"
+  "CMakeFiles/npat_util.dir/strings.cpp.o"
+  "CMakeFiles/npat_util.dir/strings.cpp.o.d"
+  "CMakeFiles/npat_util.dir/table.cpp.o"
+  "CMakeFiles/npat_util.dir/table.cpp.o.d"
+  "libnpat_util.a"
+  "libnpat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

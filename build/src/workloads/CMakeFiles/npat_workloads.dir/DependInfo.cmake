@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cache_scan.cpp" "src/workloads/CMakeFiles/npat_workloads.dir/cache_scan.cpp.o" "gcc" "src/workloads/CMakeFiles/npat_workloads.dir/cache_scan.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/npat_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/npat_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/mlc_remote.cpp" "src/workloads/CMakeFiles/npat_workloads.dir/mlc_remote.cpp.o" "gcc" "src/workloads/CMakeFiles/npat_workloads.dir/mlc_remote.cpp.o.d"
+  "/root/repo/src/workloads/parallel_sort.cpp" "src/workloads/CMakeFiles/npat_workloads.dir/parallel_sort.cpp.o" "gcc" "src/workloads/CMakeFiles/npat_workloads.dir/parallel_sort.cpp.o.d"
+  "/root/repo/src/workloads/rampup_app.cpp" "src/workloads/CMakeFiles/npat_workloads.dir/rampup_app.cpp.o" "gcc" "src/workloads/CMakeFiles/npat_workloads.dir/rampup_app.cpp.o.d"
+  "/root/repo/src/workloads/sift_like.cpp" "src/workloads/CMakeFiles/npat_workloads.dir/sift_like.cpp.o" "gcc" "src/workloads/CMakeFiles/npat_workloads.dir/sift_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/npat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/npat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npat_workloads.dir/cache_scan.cpp.o"
+  "CMakeFiles/npat_workloads.dir/cache_scan.cpp.o.d"
+  "CMakeFiles/npat_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/npat_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/npat_workloads.dir/mlc_remote.cpp.o"
+  "CMakeFiles/npat_workloads.dir/mlc_remote.cpp.o.d"
+  "CMakeFiles/npat_workloads.dir/parallel_sort.cpp.o"
+  "CMakeFiles/npat_workloads.dir/parallel_sort.cpp.o.d"
+  "CMakeFiles/npat_workloads.dir/rampup_app.cpp.o"
+  "CMakeFiles/npat_workloads.dir/rampup_app.cpp.o.d"
+  "CMakeFiles/npat_workloads.dir/sift_like.cpp.o"
+  "CMakeFiles/npat_workloads.dir/sift_like.cpp.o.d"
+  "libnpat_workloads.a"
+  "libnpat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

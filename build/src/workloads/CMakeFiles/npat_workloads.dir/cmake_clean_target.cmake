@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnpat_workloads.a"
+)

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evsel_test.dir/evsel/collector_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/collector_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/compare_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/compare_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/cost_model_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/cost_model_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/imbalance_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/imbalance_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/measurement_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/measurement_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/pipeline_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/pipeline_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/regress_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/regress_test.cpp.o.d"
+  "CMakeFiles/evsel_test.dir/evsel/report_test.cpp.o"
+  "CMakeFiles/evsel_test.dir/evsel/report_test.cpp.o.d"
+  "evsel_test"
+  "evsel_test.pdb"
+  "evsel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evsel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

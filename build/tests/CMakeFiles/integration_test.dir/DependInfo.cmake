@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fig10_shape_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig10_shape_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig10_shape_test.cpp.o.d"
+  "/root/repo/tests/integration/fig11_shape_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig11_shape_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig11_shape_test.cpp.o.d"
+  "/root/repo/tests/integration/fig8_shape_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig8_shape_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig8_shape_test.cpp.o.d"
+  "/root/repo/tests/integration/fig9_shape_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fig9_shape_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fig9_shape_test.cpp.o.d"
+  "/root/repo/tests/integration/properties_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/properties_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evsel/CMakeFiles/npat_evsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhist/CMakeFiles/npat_memhist.dir/DependInfo.cmake"
+  "/root/repo/build/src/phasen/CMakeFiles/npat_phasen.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/npat_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/npat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/npat_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/npat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/npat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/npat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/npat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

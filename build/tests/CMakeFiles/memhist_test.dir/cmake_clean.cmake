@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memhist_test.dir/memhist/builder_test.cpp.o"
+  "CMakeFiles/memhist_test.dir/memhist/builder_test.cpp.o.d"
+  "CMakeFiles/memhist_test.dir/memhist/histogram_test.cpp.o"
+  "CMakeFiles/memhist_test.dir/memhist/histogram_test.cpp.o.d"
+  "CMakeFiles/memhist_test.dir/memhist/remote_test.cpp.o"
+  "CMakeFiles/memhist_test.dir/memhist/remote_test.cpp.o.d"
+  "CMakeFiles/memhist_test.dir/memhist/wire_test.cpp.o"
+  "CMakeFiles/memhist_test.dir/memhist/wire_test.cpp.o.d"
+  "memhist_test"
+  "memhist_test.pdb"
+  "memhist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memhist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

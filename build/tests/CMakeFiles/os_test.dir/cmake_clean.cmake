@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_test.dir/os/affinity_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/affinity_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/migration_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/migration_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/procfs_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/procfs_test.cpp.o.d"
+  "CMakeFiles/os_test.dir/os/vm_test.cpp.o"
+  "CMakeFiles/os_test.dir/os/vm_test.cpp.o.d"
+  "os_test"
+  "os_test.pdb"
+  "os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_test.dir/perf/load_latency_test.cpp.o"
+  "CMakeFiles/perf_test.dir/perf/load_latency_test.cpp.o.d"
+  "CMakeFiles/perf_test.dir/perf/multiplex_test.cpp.o"
+  "CMakeFiles/perf_test.dir/perf/multiplex_test.cpp.o.d"
+  "CMakeFiles/perf_test.dir/perf/registry_test.cpp.o"
+  "CMakeFiles/perf_test.dir/perf/registry_test.cpp.o.d"
+  "CMakeFiles/perf_test.dir/perf/session_test.cpp.o"
+  "CMakeFiles/perf_test.dir/perf/session_test.cpp.o.d"
+  "perf_test"
+  "perf_test.pdb"
+  "perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

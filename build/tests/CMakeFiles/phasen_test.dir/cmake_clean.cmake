@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phasen_test.dir/phasen/attribution_test.cpp.o"
+  "CMakeFiles/phasen_test.dir/phasen/attribution_test.cpp.o.d"
+  "CMakeFiles/phasen_test.dir/phasen/detector_test.cpp.o"
+  "CMakeFiles/phasen_test.dir/phasen/detector_test.cpp.o.d"
+  "CMakeFiles/phasen_test.dir/phasen/report_test.cpp.o"
+  "CMakeFiles/phasen_test.dir/phasen/report_test.cpp.o.d"
+  "phasen_test"
+  "phasen_test.pdb"
+  "phasen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phasen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

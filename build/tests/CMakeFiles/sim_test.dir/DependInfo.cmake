@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/branch_predictor_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/branch_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/branch_predictor_test.cpp.o.d"
+  "/root/repo/tests/sim/cache_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cache_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cache_test.cpp.o.d"
+  "/root/repo/tests/sim/coherence_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/coherence_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/coherence_test.cpp.o.d"
+  "/root/repo/tests/sim/events_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/events_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/events_test.cpp.o.d"
+  "/root/repo/tests/sim/fill_buffer_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/fill_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/fill_buffer_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/sim/memory_system_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/memory_system_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/memory_system_test.cpp.o.d"
+  "/root/repo/tests/sim/pmu_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/pmu_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/pmu_test.cpp.o.d"
+  "/root/repo/tests/sim/prefetcher_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/prefetcher_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/prefetcher_test.cpp.o.d"
+  "/root/repo/tests/sim/tlb_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/tlb_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/tlb_test.cpp.o.d"
+  "/root/repo/tests/sim/topology_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/topology_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evsel/CMakeFiles/npat_evsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memhist/CMakeFiles/npat_memhist.dir/DependInfo.cmake"
+  "/root/repo/build/src/phasen/CMakeFiles/npat_phasen.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/npat_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/npat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/npat_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/npat_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/npat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/npat_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/npat_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/npat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

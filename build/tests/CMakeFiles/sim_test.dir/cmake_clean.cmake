@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/branch_predictor_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/branch_predictor_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/cache_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/cache_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/coherence_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/coherence_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/events_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/events_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/fill_buffer_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/fill_buffer_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/memory_system_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/memory_system_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/pmu_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/pmu_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/prefetcher_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/prefetcher_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/tlb_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/tlb_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/topology_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/topology_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

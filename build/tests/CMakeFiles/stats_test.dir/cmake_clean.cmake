@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/gamma_fit_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/gamma_fit_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/multiple_comparisons_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/multiple_comparisons_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/regression_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/regression_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/segmented_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/segmented_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/tdist_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/tdist_test.cpp.o.d"
+  "CMakeFiles/stats_test.dir/stats/ttest_test.cpp.o"
+  "CMakeFiles/stats_test.dir/stats/ttest_test.cpp.o.d"
+  "stats_test"
+  "stats_test.pdb"
+  "stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

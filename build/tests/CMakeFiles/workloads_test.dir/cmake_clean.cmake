@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test.dir/workloads/cache_scan_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/cache_scan_test.cpp.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/kernels_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/kernels_test.cpp.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/parallel_sort_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/parallel_sort_test.cpp.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/rampup_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/rampup_test.cpp.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/sift_mlc_test.cpp.o"
+  "CMakeFiles/workloads_test.dir/workloads/sift_mlc_test.cpp.o.d"
+  "workloads_test"
+  "workloads_test.pdb"
+  "workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
