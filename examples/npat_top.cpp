@@ -1,0 +1,162 @@
+// Example: npat-top — a numatop-style live view over a running simulation.
+// Where npat_stat summarizes a finished run, npat_top attaches the
+// monitor::Sampler to the trace::Runner's time-based hook and refreshes a
+// per-node table (local/remote ratio, IPC, DRAM bandwidth, interconnect
+// traffic, RSS) every few sampling periods while the workload executes,
+// with a sparkline of each node's recent remote-access ratio.
+//
+//   npat_top --workload=sort --preset=dual --threads=4
+//   npat_top --workload=mlc --period=25000 --refresh-every=3 --clear
+//   npat_top --workload=stream --csv=run.csv --json=run.json --wire=run.bin
+#include <cstdio>
+#include <fstream>
+
+#include "monitor/aggregate.hpp"
+#include "monitor/export.hpp"
+#include "monitor/sampler.hpp"
+#include "monitor/view.hpp"
+#include "sim/presets.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/mlc_remote.hpp"
+#include "workloads/parallel_sort.hpp"
+#include "workloads/rampup_app.hpp"
+
+namespace {
+
+using namespace npat;
+
+trace::Program workload_by_name(const std::string& name, u32 threads) {
+  if (name == "sort") {
+    workloads::ParallelSortParams params;
+    params.elements = 1 << 16;
+    params.threads = threads;
+    return workloads::parallel_sort_program(params);
+  }
+  if (name == "mlc") {
+    workloads::MlcParams params;
+    params.buffer_bytes = MiB(8);
+    params.chase_steps = 150000;
+    return workloads::mlc_program(params);
+  }
+  if (name == "stream") {
+    workloads::StreamParams params;
+    params.threads = threads;
+    return workloads::stream_triad_program(params);
+  }
+  if (name == "gups") {
+    workloads::GupsParams params;
+    params.threads = threads;
+    return workloads::gups_program(params);
+  }
+  if (name == "rampup") {
+    workloads::RampupParams params;
+    return workloads::rampup_app_program(params);
+  }
+  throw util::CliError("unknown workload: " + name + " (try sort, mlc, stream, gups, rampup)");
+}
+
+void write_file(const std::string& path, const void* data, usize bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::CliError("cannot write " + path);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "sort";
+  std::string preset = "dual";
+  std::string csv_path;
+  std::string json_path;
+  std::string wire_path;
+  i64 threads = 4;
+  i64 period = 50000;
+  i64 refresh_every = 4;
+  i64 read_cost = 0;
+  bool clear = false;
+
+  util::Cli cli("npat top — live per-node NUMA telemetry for a running workload");
+  cli.add_flag("workload", &workload, "sort | mlc | stream | gups | rampup");
+  cli.add_flag("preset", &preset, "machine preset (dl580, dual, uma, cube8)");
+  cli.add_flag("threads", &threads, "worker threads for parallel workloads");
+  cli.add_flag("period", &period, "sampling period in simulated cycles");
+  cli.add_flag("refresh-every", &refresh_every, "sampling periods per view refresh");
+  cli.add_flag("read-cost", &read_cost, "simulated cycles charged per sample (models an agent)");
+  cli.add_flag("clear", &clear, "ANSI clear-screen between refreshes (live top feel)");
+  cli.add_flag("csv", &csv_path, "dump all samples as CSV to this path");
+  cli.add_flag("json", &json_path, "dump all samples as JSON to this path");
+  cli.add_flag("wire", &wire_path, "dump the session as a wire stream to this path");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    if (period <= 0 || refresh_every <= 0) throw util::CliError("period/refresh-every must be > 0");
+
+    sim::Machine machine(sim::preset_by_name(preset));
+    os::AddressSpace space(machine.topology());
+    trace::Runner runner(machine, space);
+
+    monitor::SamplerConfig sampler_config;
+    sampler_config.period = static_cast<Cycles>(period);
+    sampler_config.read_cost_cycles = static_cast<Cycles>(read_cost);
+    monitor::Sampler sampler(machine, space, sampler_config);
+    sampler.attach(runner);
+
+    monitor::ViewOptions view_options;
+    view_options.clear_screen = clear;
+    view_options.title = util::format("npat-top — %s on %s", workload.c_str(), preset.c_str());
+
+    monitor::TieredHistory tiers;
+    std::vector<monitor::Sample> session;       // every sample, for the export paths
+    std::vector<monitor::WindowStats> windows;  // one per refresh, for the sparkline
+
+    const auto refresh = [&](bool final_flush) {
+      auto batch = sampler.ring().drain();
+      if (batch.empty()) return;
+      for (const monitor::Sample& sample : batch) tiers.add(sample);
+      session.insert(session.end(), batch.begin(), batch.end());
+      windows.push_back(monitor::aggregate(batch));
+      std::fputs(monitor::render_view(windows.back(), windows, view_options).c_str(), stdout);
+      if (!final_flush) std::fputs("\n", stdout);
+    };
+    // Registered *after* the sampler's own hook, so every refresh tick sees
+    // the periods it covers already in the ring.
+    runner.add_sampler(sampler_config.period * static_cast<Cycles>(refresh_every),
+                       [&](Cycles) { refresh(false); });
+
+    const auto result = runner.run(workload_by_name(workload, static_cast<u32>(threads)));
+    // Flush the tail past the last periodic tick, then render what's left.
+    if (machine.max_clock() > 0) sampler.sample(machine.max_clock());
+    refresh(true);
+
+    const monitor::NodeStats total = monitor::aggregate(session).total();
+    std::printf(
+        "\nrun complete: %s cycles, %llu samples (%llu dropped), "
+        "remote ratio %.1f%% over the whole run\n",
+        util::si_scaled(static_cast<double>(result.duration)).c_str(),
+        static_cast<unsigned long long>(sampler.samples_taken()),
+        static_cast<unsigned long long>(sampler.ring().dropped()),
+        100.0 * total.remote_ratio());
+
+    if (!csv_path.empty()) {
+      const std::string csv = monitor::to_csv(session);
+      write_file(csv_path, csv.data(), csv.size());
+      std::printf("wrote %s (%s)\n", csv_path.c_str(), util::human_bytes(csv.size()).c_str());
+    }
+    if (!json_path.empty()) {
+      const std::string json = monitor::to_json(session).dump(2);
+      write_file(json_path, json.data(), json.size());
+      std::printf("wrote %s (%s)\n", json_path.c_str(), util::human_bytes(json.size()).c_str());
+    }
+    if (!wire_path.empty()) {
+      const auto bytes = monitor::encode_stream(session);
+      write_file(wire_path, bytes.data(), bytes.size());
+      std::printf("wrote %s (%s)\n", wire_path.c_str(), util::human_bytes(bytes.size()).c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "npat_top: %s\n", error.what());
+    return 1;
+  }
+}

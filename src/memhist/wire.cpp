@@ -12,6 +12,12 @@ namespace {
 constexpr u8 kTypeHello = 1;
 constexpr u8 kTypeReading = 2;
 constexpr u8 kTypeEnd = 3;
+constexpr u8 kTypeMonitorSample = 4;  // since version 2
+
+// MonitorSampleMsg payload: timestamp(8) footprint(8) node_count(2) then
+// 9 u64 fields per node.
+constexpr usize kMonitorHeaderBytes = 18;
+constexpr usize kMonitorNodeBytes = 72;
 
 // Frame layout: magic(2) type(1) payload_len(2, LE) payload crc32(4, LE).
 constexpr usize kHeaderBytes = 5;
@@ -81,6 +87,25 @@ std::vector<u8> encode(const Message& message) {
     put_u64(payload, msg->reading.counted);
     put_u64(payload, msg->reading.window_cycles);
     put_u64(payload, msg->reading.slices);
+  } else if (const MonitorSampleMsg* sample = std::get_if<MonitorSampleMsg>(&message)) {
+    type = kTypeMonitorSample;
+    NPAT_CHECK_MSG(
+        kMonitorHeaderBytes + sample->nodes.size() * kMonitorNodeBytes <= 0xFFFF,
+        "too many nodes for one monitor frame");
+    put_u64(payload, sample->timestamp);
+    put_u64(payload, sample->footprint_bytes);
+    put_u16(payload, static_cast<u16>(sample->nodes.size()));
+    for (const MonitorNodeCounters& node : sample->nodes) {
+      put_u64(payload, node.instructions);
+      put_u64(payload, node.cycles);
+      put_u64(payload, node.local_dram);
+      put_u64(payload, node.remote_dram);
+      put_u64(payload, node.remote_hitm);
+      put_u64(payload, node.imc_reads);
+      put_u64(payload, node.imc_writes);
+      put_u64(payload, node.qpi_flits);
+      put_u64(payload, node.resident_bytes);
+    }
   } else {
     type = kTypeEnd;
     put_u64(payload, std::get<End>(message).total_cycles);
@@ -102,6 +127,10 @@ void Decoder::feed(const std::vector<u8>& bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
+void Decoder::discard(usize bytes) {
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(bytes));
+}
+
 std::optional<Message> Decoder::poll() {
   for (;;) {
     // Resync: discard bytes until a magic sequence starts the buffer.
@@ -111,49 +140,93 @@ std::optional<Message> Decoder::poll() {
       ++skipped;
     }
     if (skipped > 0) ++resyncs_;
-    if (buffer_.size() < kHeaderBytes) return std::nullopt;
 
-    const u8 type = buffer_[2];
-    const u16 payload_len = get_u16(&buffer_[3]);
-    const usize frame_len = kHeaderBytes + payload_len + kCrcBytes;
-    if (buffer_.size() < frame_len) return std::nullopt;
-
-    const u8* payload = buffer_.data() + kHeaderBytes;
-    const u32 expected_crc = get_u32(payload + payload_len);
-    const bool crc_ok = crc32(payload, payload_len) == expected_crc;
-
-    std::optional<Message> message;
-    if (crc_ok) {
-      switch (type) {
-        case kTypeHello:
-          if (payload_len == 5) {
-            Hello hello;
-            hello.version = payload[0];
-            hello.node_count = get_u32(payload + 1);
-            message = hello;
-          }
-          break;
-        case kTypeReading:
-          if (payload_len == 32) {
-            ReadingMsg msg;
-            msg.reading.threshold = get_u64(payload);
-            msg.reading.counted = get_u64(payload + 8);
-            msg.reading.window_cycles = get_u64(payload + 16);
-            msg.reading.slices = get_u64(payload + 24);
-            message = msg;
-          }
-          break;
-        case kTypeEnd:
-          if (payload_len == 8) {
-            message = End{get_u64(payload)};
-          }
-          break;
-        default:
-          break;  // unknown type: drop
-      }
+    usize frame_len = 0;
+    if (buffer_.size() >= kHeaderBytes) {
+      frame_len = kHeaderBytes + get_u16(&buffer_[3]) + kCrcBytes;
+    }
+    if (frame_len == 0 || buffer_.size() < frame_len) {
+      if (!finished_ || buffer_.size() < 2) return std::nullopt;
+      // End of stream: this header (or the length it advertises — possibly
+      // corrupted upward) can never complete. Treat it as a damaged frame
+      // and rescan for intact frames behind the magic bytes.
+      ++dropped_;
+      discard(2);
+      continue;
     }
 
-    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(frame_len));
+    const u8 type = buffer_[2];
+    const usize payload_len = frame_len - kHeaderBytes - kCrcBytes;
+    const u8* payload = buffer_.data() + kHeaderBytes;
+    const u32 expected_crc = get_u32(payload + payload_len);
+    if (crc32(payload, payload_len) != expected_crc) {
+      // The frame is damaged, so its length field cannot be trusted:
+      // skipping the advertised length could swallow intact successors.
+      // Drop only the magic bytes and resynchronize.
+      ++dropped_;
+      discard(2);
+      continue;
+    }
+
+    std::optional<Message> message;
+    switch (type) {
+      case kTypeHello:
+        if (payload_len == 5) {
+          Hello hello;
+          hello.version = payload[0];
+          hello.node_count = get_u32(payload + 1);
+          message = hello;
+        }
+        break;
+      case kTypeReading:
+        if (payload_len == 32) {
+          ReadingMsg msg;
+          msg.reading.threshold = get_u64(payload);
+          msg.reading.counted = get_u64(payload + 8);
+          msg.reading.window_cycles = get_u64(payload + 16);
+          msg.reading.slices = get_u64(payload + 24);
+          message = msg;
+        }
+        break;
+      case kTypeEnd:
+        if (payload_len == 8) {
+          message = End{get_u64(payload)};
+        }
+        break;
+      case kTypeMonitorSample:
+        if (payload_len >= kMonitorHeaderBytes &&
+            (payload_len - kMonitorHeaderBytes) % kMonitorNodeBytes == 0) {
+          MonitorSampleMsg sample;
+          sample.timestamp = get_u64(payload);
+          sample.footprint_bytes = get_u64(payload + 8);
+          const u16 node_count = get_u16(payload + 16);
+          if (payload_len == kMonitorHeaderBytes + node_count * kMonitorNodeBytes) {
+            sample.nodes.reserve(node_count);
+            for (u16 i = 0; i < node_count; ++i) {
+              const u8* p = payload + kMonitorHeaderBytes + i * kMonitorNodeBytes;
+              MonitorNodeCounters node;
+              node.instructions = get_u64(p);
+              node.cycles = get_u64(p + 8);
+              node.local_dram = get_u64(p + 16);
+              node.remote_dram = get_u64(p + 24);
+              node.remote_hitm = get_u64(p + 32);
+              node.imc_reads = get_u64(p + 40);
+              node.imc_writes = get_u64(p + 48);
+              node.qpi_flits = get_u64(p + 56);
+              node.resident_bytes = get_u64(p + 64);
+              sample.nodes.push_back(node);
+            }
+            message = std::move(sample);
+          }
+        }
+        break;
+      default:
+        break;  // unknown (future-version) type: CRC-verified, drop whole frame
+    }
+
+    // The CRC passed, so the length field is trustworthy: skipping the
+    // whole frame is safe even for unknown or malformed-payload types.
+    discard(frame_len);
     if (message) return message;
     ++dropped_;
     // Loop: try the next frame in the buffer.

@@ -1,8 +1,10 @@
-// Wire protocol for Memhist's remote probing (paper Fig. 6): the headless
-// probe on the server ships threshold readings to the GUI over TCP. Frames
-// are length-prefixed, CRC-32 protected, and the decoder resynchronizes on
-// corruption by scanning for the magic bytes — measurements survive a
-// noisy transport with at most the damaged frames lost.
+// Wire protocol for Memhist's remote probing (paper Fig. 6) and the
+// continuous-monitoring stream: the headless probe on the server ships
+// threshold readings (and, since version 2, monitor samples) to the GUI
+// over TCP. Frames are length-prefixed, CRC-32 protected, and the decoder
+// resynchronizes on corruption by scanning for the magic bytes —
+// measurements survive a noisy transport with at most the damaged frames
+// lost.
 #pragma once
 
 #include <optional>
@@ -16,7 +18,10 @@ namespace npat::memhist::wire {
 
 inline constexpr u8 kMagic0 = 'N';
 inline constexpr u8 kMagic1 = 'P';
-inline constexpr u8 kProtocolVersion = 1;
+/// Version 2 added MonitorSampleMsg. Version-1 streams decode unchanged;
+/// version-1 decoders skip the new frame type (unknown types are dropped
+/// whole, CRC-verified, without losing framing).
+inline constexpr u8 kProtocolVersion = 2;
 
 struct Hello {
   u8 version = kProtocolVersion;
@@ -31,7 +36,33 @@ struct End {
   Cycles total_cycles = 0;
 };
 
-using Message = std::variant<Hello, ReadingMsg, End>;
+/// Per-node counter deltas of one monitor sampling period (see
+/// monitor/sampler.hpp; kept as plain integers here so the wire layer does
+/// not depend on the monitor subsystem).
+struct MonitorNodeCounters {
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 local_dram = 0;
+  u64 remote_dram = 0;
+  u64 remote_hitm = 0;
+  u64 imc_reads = 0;
+  u64 imc_writes = 0;
+  u64 qpi_flits = 0;
+  u64 resident_bytes = 0;  // snapshot, not a delta
+
+  friend bool operator==(const MonitorNodeCounters&, const MonitorNodeCounters&) = default;
+};
+
+/// One timestamped telemetry sample (version >= 2).
+struct MonitorSampleMsg {
+  Cycles timestamp = 0;
+  u64 footprint_bytes = 0;
+  std::vector<MonitorNodeCounters> nodes;
+
+  friend bool operator==(const MonitorSampleMsg&, const MonitorSampleMsg&) = default;
+};
+
+using Message = std::variant<Hello, ReadingMsg, End, MonitorSampleMsg>;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected).
 u32 crc32(const u8* data, usize length);
@@ -40,19 +71,29 @@ std::vector<u8> encode(const Message& message);
 
 /// Incremental decoder. Feed bytes as they arrive; poll() yields complete
 /// messages. Frames with bad CRCs or unknown types are dropped and counted;
-/// decoding resumes at the next magic sequence.
+/// decoding resumes at the next magic sequence. A CRC failure discards only
+/// the magic bytes of the failed frame, not the (possibly corrupted) length
+/// it advertised, so one damaged frame never swallows intact successors.
 class Decoder {
  public:
   void feed(const std::vector<u8>& bytes);
   std::optional<Message> poll();
 
+  /// Signals end of stream: a frame truncated by the transport can never
+  /// complete, so poll() stops waiting for it and resynchronizes on
+  /// whatever intact frames remain in the buffer.
+  void finish() noexcept { finished_ = true; }
+
   usize dropped_frames() const noexcept { return dropped_; }
   usize resyncs() const noexcept { return resyncs_; }
 
  private:
+  void discard(usize bytes);
+
   std::vector<u8> buffer_;
   usize dropped_ = 0;
   usize resyncs_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace npat::memhist::wire

@@ -1,0 +1,109 @@
+// Windowed per-node aggregation over monitor samples, and multi-resolution
+// downsampling for bounded-memory long captures.
+//
+// A window of consecutive samples collapses into per-node rates — local
+// vs. remote access ratio, IPC, DRAM bytes per cycle, interconnect flits —
+// which is what the live view renders and what alert thresholds would
+// evaluate. The TieredHistory keeps three zoom levels (1×/10×/100× the
+// base period by default), each in a fixed-capacity ring, so an arbitrarily
+// long capture costs constant memory while recent history stays at full
+// resolution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "monitor/ring.hpp"
+#include "monitor/sampler.hpp"
+#include "util/types.hpp"
+
+namespace npat::monitor {
+
+/// Per-node totals over a window, with derived rates.
+struct NodeStats {
+  u64 samples = 0;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 local_dram = 0;
+  u64 remote_dram = 0;
+  u64 remote_hitm = 0;
+  u64 imc_reads = 0;
+  u64 imc_writes = 0;
+  u64 qpi_flits = 0;
+  u64 resident_bytes = 0;  // last snapshot in the window
+
+  /// Loads served by DRAM or a remote cache (the NUMA-relevant universe).
+  u64 numa_loads() const noexcept { return local_dram + remote_dram + remote_hitm; }
+  /// Fraction of NUMA-relevant loads served locally (1.0 when idle).
+  double local_ratio() const noexcept;
+  /// Fraction served by a remote node (DRAM or HITM forward).
+  double remote_ratio() const noexcept;
+  double ipc() const noexcept;
+  /// Memory-controller traffic in bytes per cycle (lines × 64 / cycles of
+  /// the window's wall clock, passed in by the caller).
+  double dram_bytes_per_cycle(Cycles window_cycles) const noexcept;
+  /// Same traffic in GB/s for a core frequency in GHz.
+  double dram_gbps(Cycles window_cycles, double frequency_ghz) const noexcept;
+};
+
+/// One aggregated window.
+struct WindowStats {
+  Cycles start = 0;  // timestamp of the first sample in the window
+  Cycles end = 0;    // timestamp of the last
+  u64 samples = 0;
+  u64 footprint_bytes = 0;  // last snapshot
+  std::vector<NodeStats> nodes;
+
+  /// Wall-clock span covered. Timestamps mark period *ends*, so a single
+  /// sample still spans one period if the caller provides it.
+  Cycles span(Cycles fallback_period = 0) const noexcept {
+    return end > start ? end - start : fallback_period;
+  }
+  /// Sum over nodes (system-wide totals).
+  NodeStats total() const;
+};
+
+/// Collapses consecutive samples into one window. Samples must share the
+/// node count (they do when produced by one Sampler).
+WindowStats aggregate(std::span<const Sample> samples);
+
+/// Merges consecutive samples into one coarser sample (deltas sum,
+/// snapshots and the timestamp take the last value).
+Sample merge_samples(std::span<const Sample> samples);
+
+struct TierConfig {
+  usize tiers = 3;
+  /// Downsampling factor between adjacent tiers.
+  usize factor = 10;
+  /// Samples retained per tier.
+  usize capacity = 512;
+};
+
+class TieredHistory {
+ public:
+  explicit TieredHistory(TierConfig config = {});
+
+  /// Feeds one base-period sample; coarser tiers fill automatically.
+  void add(const Sample& sample);
+
+  usize tiers() const noexcept { return rings_.size(); }
+  const Ring<Sample>& tier(usize t) const { return rings_.at(t); }
+  /// Period multiplier of tier t relative to the base period (factor^t).
+  u64 scale(usize t) const;
+  const TierConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Pending {
+    Sample accumulator;
+    usize count = 0;
+  };
+
+  void feed(usize t, const Sample& sample);
+  static void accumulate(Sample& into, const Sample& sample);
+
+  TierConfig config_;
+  std::vector<Ring<Sample>> rings_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace npat::monitor

@@ -1,0 +1,115 @@
+#include "monitor/export.hpp"
+
+#include "util/csv.hpp"
+
+namespace npat::monitor {
+
+std::string to_csv(std::span<const Sample> samples) {
+  util::CsvWriter csv({"timestamp", "footprint_bytes", "node", "instructions", "cycles",
+                       "local_dram", "remote_dram", "remote_hitm", "imc_reads", "imc_writes",
+                       "qpi_flits", "resident_bytes"});
+  for (const Sample& sample : samples) {
+    for (usize node = 0; node < sample.nodes.size(); ++node) {
+      const NodeSample& n = sample.nodes[node];
+      csv.add_row({std::to_string(sample.timestamp), std::to_string(sample.footprint_bytes),
+                   std::to_string(node), std::to_string(n.instructions),
+                   std::to_string(n.cycles), std::to_string(n.local_dram),
+                   std::to_string(n.remote_dram), std::to_string(n.remote_hitm),
+                   std::to_string(n.imc_reads), std::to_string(n.imc_writes),
+                   std::to_string(n.qpi_flits), std::to_string(n.resident_bytes)});
+    }
+  }
+  return csv.str();
+}
+
+util::Json to_json(std::span<const Sample> samples) {
+  util::JsonArray list;
+  for (const Sample& sample : samples) {
+    util::JsonArray nodes;
+    for (const NodeSample& n : sample.nodes) {
+      util::JsonObject node;
+      node["instructions"] = n.instructions;
+      node["cycles"] = n.cycles;
+      node["local_dram"] = n.local_dram;
+      node["remote_dram"] = n.remote_dram;
+      node["remote_hitm"] = n.remote_hitm;
+      node["imc_reads"] = n.imc_reads;
+      node["imc_writes"] = n.imc_writes;
+      node["qpi_flits"] = n.qpi_flits;
+      node["resident_bytes"] = n.resident_bytes;
+      nodes.push_back(std::move(node));
+    }
+    util::JsonObject record;
+    record["timestamp"] = sample.timestamp;
+    record["footprint_bytes"] = sample.footprint_bytes;
+    record["nodes"] = std::move(nodes);
+    list.push_back(std::move(record));
+  }
+  util::JsonObject doc;
+  doc["samples"] = std::move(list);
+  return doc;
+}
+
+memhist::wire::MonitorSampleMsg to_wire(const Sample& sample) {
+  memhist::wire::MonitorSampleMsg message;
+  message.timestamp = sample.timestamp;
+  message.footprint_bytes = sample.footprint_bytes;
+  message.nodes.reserve(sample.nodes.size());
+  for (const NodeSample& n : sample.nodes) {
+    message.nodes.push_back({n.instructions, n.cycles, n.local_dram, n.remote_dram,
+                             n.remote_hitm, n.imc_reads, n.imc_writes, n.qpi_flits,
+                             n.resident_bytes});
+  }
+  return message;
+}
+
+Sample from_wire(const memhist::wire::MonitorSampleMsg& message) {
+  Sample sample;
+  sample.timestamp = message.timestamp;
+  sample.footprint_bytes = message.footprint_bytes;
+  sample.nodes.reserve(message.nodes.size());
+  for (const memhist::wire::MonitorNodeCounters& n : message.nodes) {
+    sample.nodes.push_back({n.instructions, n.cycles, n.local_dram, n.remote_dram,
+                            n.remote_hitm, n.imc_reads, n.imc_writes, n.qpi_flits,
+                            n.resident_bytes});
+  }
+  return sample;
+}
+
+std::vector<u8> encode_stream(std::span<const Sample> samples) {
+  namespace wire = memhist::wire;
+  std::vector<u8> out;
+  const u32 node_count =
+      samples.empty() ? 0 : static_cast<u32>(samples.front().nodes.size());
+  const auto append = [&out](const std::vector<u8>& frame) {
+    out.insert(out.end(), frame.begin(), frame.end());
+  };
+  append(wire::encode(wire::Hello{wire::kProtocolVersion, node_count}));
+  for (const Sample& sample : samples) append(wire::encode(to_wire(sample)));
+  append(wire::encode(wire::End{samples.empty() ? 0 : samples.back().timestamp}));
+  return out;
+}
+
+DecodedStream decode_stream(const std::vector<u8>& bytes) {
+  namespace wire = memhist::wire;
+  wire::Decoder decoder;
+  decoder.feed(bytes);
+  decoder.finish();
+
+  DecodedStream out;
+  while (auto message = decoder.poll()) {
+    if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
+      out.node_count = hello->node_count;
+      out.version = hello->version;
+    } else if (const auto* sample = std::get_if<wire::MonitorSampleMsg>(&*message)) {
+      out.samples.push_back(from_wire(*sample));
+    } else if (const auto* end = std::get_if<wire::End>(&*message)) {
+      out.ended = true;
+      out.total_cycles = end->total_cycles;
+    }
+  }
+  out.dropped_frames = decoder.dropped_frames();
+  return out;
+}
+
+}  // namespace npat::monitor

@@ -1,0 +1,48 @@
+// Export paths for monitor samples: CSV and JSON for external plotting
+// (one row/object per sample and node), and streaming over the
+// memhist::wire framing so a headless probe can ship live telemetry to a
+// remote viewer on the same CRC-protected, resynchronizing transport the
+// Memhist GUI already uses (protocol version 2's MonitorSampleMsg).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memhist/wire.hpp"
+#include "monitor/sampler.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npat::monitor {
+
+/// One row per (sample, node); columns are stable for plotting scripts.
+std::string to_csv(std::span<const Sample> samples);
+
+/// {"samples": [{"timestamp": .., "footprint_bytes": .., "nodes": [..]}]}
+util::Json to_json(std::span<const Sample> samples);
+
+// --- wire bridging ---------------------------------------------------------
+
+memhist::wire::MonitorSampleMsg to_wire(const Sample& sample);
+Sample from_wire(const memhist::wire::MonitorSampleMsg& message);
+
+/// Encodes a complete monitoring session: Hello (version 2, node count
+/// from the first sample), one frame per sample, End with the last
+/// timestamp. An empty span yields Hello + End only.
+std::vector<u8> encode_stream(std::span<const Sample> samples);
+
+struct DecodedStream {
+  std::vector<Sample> samples;
+  u32 node_count = 0;       // from Hello, 0 if the Hello frame was lost
+  u8 version = 0;           // ditto
+  bool ended = false;       // End frame seen
+  Cycles total_cycles = 0;  // from End
+  usize dropped_frames = 0;
+};
+
+/// Decodes whatever intact monitor frames a (possibly damaged) byte stream
+/// contains; non-monitor frames are tolerated and summarized.
+DecodedStream decode_stream(const std::vector<u8>& bytes);
+
+}  // namespace npat::monitor

@@ -1,0 +1,88 @@
+// Fixed-capacity ring buffer with overwrite-oldest semantics, the capture
+// path of the continuous-monitoring subsystem. The sampler (producer) must
+// never block or allocate on the hot path, so when the reader falls behind
+// a burst the ring overwrites the oldest unread sample and counts the loss
+// instead of stalling the workload — NUMAscope-style lossy telemetry where
+// gaps are explicit rather than silent.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace npat::monitor {
+
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(usize capacity) : slots_(capacity) {
+    NPAT_CHECK_MSG(capacity > 0, "ring capacity must be positive");
+  }
+
+  usize capacity() const noexcept { return slots_.size(); }
+  /// Unread elements currently held.
+  usize size() const noexcept { return static_cast<usize>(head_ - tail_); }
+  bool empty() const noexcept { return head_ == tail_; }
+  bool full() const noexcept { return size() == capacity(); }
+
+  /// Elements ever pushed (monotonic).
+  u64 pushed() const noexcept { return head_; }
+  /// Elements lost to overwrite-oldest (monotonic).
+  u64 dropped() const noexcept { return dropped_; }
+
+  /// Appends `value`; never fails. Returns false iff the ring was full and
+  /// the oldest unread element was overwritten (and counted as dropped).
+  bool push(T value) {
+    const bool overwrote = full();
+    if (overwrote) {
+      ++tail_;
+      ++dropped_;
+    }
+    slots_[static_cast<usize>(head_ % capacity())] = std::move(value);
+    ++head_;
+    return !overwrote;
+  }
+
+  /// Removes and returns the oldest unread element; nullopt when empty.
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T value = std::move(slots_[static_cast<usize>(tail_ % capacity())]);
+    ++tail_;
+    return value;
+  }
+
+  /// Removes up to `max` oldest elements in FIFO order.
+  std::vector<T> drain(usize max = static_cast<usize>(-1)) {
+    std::vector<T> out;
+    out.reserve(std::min(max, size()));
+    while (out.size() < max) {
+      auto value = pop();
+      if (!value) break;
+      out.push_back(std::move(*value));
+    }
+    return out;
+  }
+
+  /// The i-th oldest unread element (0 = next pop), without consuming.
+  const T& peek(usize i) const {
+    NPAT_CHECK_MSG(i < size(), "ring peek out of range");
+    return slots_[static_cast<usize>((tail_ + i) % capacity())];
+  }
+
+  void clear() noexcept {
+    tail_ = head_;
+  }
+
+ private:
+  std::vector<T> slots_;
+  // Monotonic positions; size/index derive from their difference, so
+  // wraparound of the buffer never needs index juggling.
+  u64 head_ = 0;
+  u64 tail_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace npat::monitor

@@ -1,0 +1,73 @@
+#include "monitor/sampler.hpp"
+
+namespace npat::monitor {
+
+Sampler::Sampler(sim::Machine& machine, const os::AddressSpace& space, SamplerConfig config)
+    : machine_(&machine),
+      space_(&space),
+      config_(config),
+      ring_(config.ring_capacity) {
+  NPAT_CHECK_MSG(config_.period > 0, "sampling period must be positive");
+  NPAT_CHECK_MSG(config_.monitor_core < machine_->cores(), "monitor core out of range");
+  previous_ = totals();
+}
+
+void Sampler::attach(trace::Runner& runner) {
+  runner.add_sampler(config_.period, [this](Cycles now) { sample(now); });
+}
+
+std::vector<NodeSample> Sampler::totals() const {
+  const sim::Topology& topology = machine_->topology();
+  const std::vector<u64> node_pages = space_->pages_per_node();
+  std::vector<NodeSample> nodes(topology.nodes);
+  for (sim::NodeId node = 0; node < topology.nodes; ++node) {
+    NodeSample& out = nodes[node];
+    for (u32 i = 0; i < topology.cores_per_node; ++i) {
+      const sim::CounterBlock& core = machine_->core_counters(topology.first_core(node) + i);
+      out.instructions += core[sim::Event::kInstructions];
+      out.cycles += core[sim::Event::kCycles];
+      out.local_dram += core[sim::Event::kMemLoadLocalDram];
+      out.remote_dram += core[sim::Event::kMemLoadRemoteDram];
+      out.remote_hitm += core[sim::Event::kMemLoadRemoteHitm];
+    }
+    const sim::CounterBlock uncore = machine_->uncore_counters(node);
+    out.imc_reads = uncore[sim::Event::kUncImcReads];
+    out.imc_writes = uncore[sim::Event::kUncImcWrites];
+    out.qpi_flits = uncore[sim::Event::kUncQpiTxFlits];
+    out.resident_bytes = node < node_pages.size() ? node_pages[node] * kPageBytes : 0;
+  }
+  return nodes;
+}
+
+void Sampler::sample(Cycles now) {
+  std::vector<NodeSample> current = totals();
+
+  Sample record;
+  record.timestamp = now;
+  record.footprint_bytes = space_->footprint_bytes();
+  record.nodes.resize(current.size());
+  for (usize node = 0; node < current.size(); ++node) {
+    const NodeSample& cur = current[node];
+    const NodeSample& prev = previous_[node];
+    NodeSample& out = record.nodes[node];
+    out.instructions = cur.instructions - prev.instructions;
+    out.cycles = cur.cycles - prev.cycles;
+    out.local_dram = cur.local_dram - prev.local_dram;
+    out.remote_dram = cur.remote_dram - prev.remote_dram;
+    out.remote_hitm = cur.remote_hitm - prev.remote_hitm;
+    out.imc_reads = cur.imc_reads - prev.imc_reads;
+    out.imc_writes = cur.imc_writes - prev.imc_writes;
+    out.qpi_flits = cur.qpi_flits - prev.qpi_flits;
+    out.resident_bytes = cur.resident_bytes;  // snapshot, not delta
+  }
+  previous_ = std::move(current);
+  ring_.push(std::move(record));
+
+  // The agent's own counter reads perturb the machine *after* the snapshot,
+  // exactly like a real monitoring process stealing cycles from one core.
+  if (config_.read_cost_cycles > 0) {
+    machine_->advance(config_.monitor_core, config_.read_cost_cycles);
+  }
+}
+
+}  // namespace npat::monitor

@@ -1,0 +1,92 @@
+// Periodic telemetry samplers, the front end of the continuous-monitoring
+// subsystem. Where the paper's tools (EvSel, Memhist, Phasenprüfer) assess
+// a *complete* run after the fact, the sampler rides the trace::Runner's
+// time-based sampler hook and emits timestamped per-node counter deltas —
+// retired-load NUMA breakdown from the core PMUs, memory-controller and
+// interconnect traffic from the uncore blocks, and the procfs-visible
+// footprint — into a lossy Ring while the workload runs (numatop/NUMAscope
+// style).
+//
+// Observation is free by default; `read_cost_cycles` optionally models an
+// on-box monitoring agent by charging simulated cycles to one core per
+// sample, which is what bench/extension_monitor_overhead quantifies.
+#pragma once
+
+#include <vector>
+
+#include "monitor/ring.hpp"
+#include "os/vm.hpp"
+#include "sim/machine.hpp"
+#include "trace/runner.hpp"
+#include "util/types.hpp"
+
+namespace npat::monitor {
+
+/// Per-node counter deltas over one sampling period. `resident_bytes` is a
+/// snapshot (numastat-style), everything else is a delta.
+struct NodeSample {
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 local_dram = 0;   // retired loads served from the node-local DRAM
+  u64 remote_dram = 0;  // retired loads served from a remote node's DRAM
+  u64 remote_hitm = 0;  // retired loads forwarded dirty from a remote cache
+  u64 imc_reads = 0;    // memory-controller line reads at this node
+  u64 imc_writes = 0;   // memory-controller line writes at this node
+  u64 qpi_flits = 0;    // interconnect flits sent by this node
+  u64 resident_bytes = 0;
+
+  friend bool operator==(const NodeSample&, const NodeSample&) = default;
+};
+
+/// One timestamped telemetry record.
+struct Sample {
+  Cycles timestamp = 0;
+  u64 footprint_bytes = 0;  // VmSize snapshot
+  std::vector<NodeSample> nodes;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+struct SamplerConfig {
+  /// Base sampling period in simulated cycles (~24 kHz of simulated time at
+  /// 2.4 GHz — dense enough for per-window aggregation, sparse enough that
+  /// a modeled agent stays well under 5 % overhead).
+  Cycles period = 100000;
+  usize ring_capacity = 4096;
+  /// Simulated cycles charged to `monitor_core` per sample, modeling an
+  /// on-box agent reading the counters. 0 = pure (non-perturbing)
+  /// observation.
+  Cycles read_cost_cycles = 0;
+  sim::CoreId monitor_core = 0;
+};
+
+class Sampler {
+ public:
+  /// Baselines the machine's current counter totals; deltas start here.
+  Sampler(sim::Machine& machine, const os::AddressSpace& space, SamplerConfig config = {});
+
+  /// Registers the periodic hook with `runner`; the sampler must outlive
+  /// the run. May be attached to several consecutive runs.
+  void attach(trace::Runner& runner);
+
+  /// Takes one sample immediately (the attached hook calls this; callers
+  /// use it to flush the tail of a run past the last periodic tick).
+  void sample(Cycles now);
+
+  Ring<Sample>& ring() noexcept { return ring_; }
+  const Ring<Sample>& ring() const noexcept { return ring_; }
+  const SamplerConfig& config() const noexcept { return config_; }
+  u64 samples_taken() const noexcept { return ring_.pushed(); }
+
+ private:
+  /// Cumulative per-node totals as of now (what deltas subtract against).
+  std::vector<NodeSample> totals() const;
+
+  sim::Machine* machine_;
+  const os::AddressSpace* space_;
+  SamplerConfig config_;
+  Ring<Sample> ring_;
+  std::vector<NodeSample> previous_;
+};
+
+}  // namespace npat::monitor

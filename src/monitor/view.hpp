@@ -1,0 +1,44 @@
+// numatop-style live view: a per-node table of the current window's NUMA
+// rates (local/remote access ratio, IPC, DRAM bandwidth, interconnect
+// traffic, RSS) plus an ASCII sparkline of each node's remote-access ratio
+// over recent windows. Rendering is byte-stable with ANSI styling off (the
+// util::ansi global), so tests can assert on output while a terminal gets
+// colour cues: remote-heavy nodes red, idle nodes dim.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "monitor/aggregate.hpp"
+#include "util/types.hpp"
+
+namespace npat::monitor {
+
+struct ViewOptions {
+  /// Core frequency used to scale bytes/cycle into GB/s.
+  double frequency_ghz = 2.4;
+  /// Width of the remote-ratio history sparkline; 0 hides the column.
+  usize spark_width = 20;
+  /// Remote-ratio thresholds for the colour cues.
+  double warn_remote_ratio = 0.2;
+  double bad_remote_ratio = 0.5;
+  /// Emit an ANSI home+clear prefix before the frame (live top-style
+  /// refresh); only honoured while ANSI styling is globally enabled.
+  bool clear_screen = false;
+  std::string title = "npat-top";
+};
+
+/// Maps values in [0, 1] onto an ASCII intensity ramp, one glyph per
+/// element; values are clamped.
+std::string sparkline(std::span<const double> values, usize width);
+
+/// Renders one frame: a summary line (time, window span, footprint, sample
+/// and drop counts) and the per-node table. `history` supplies the
+/// sparkline series (older windows first, `window` typically last).
+std::string render_view(const WindowStats& window, std::span<const WindowStats> history,
+                        const ViewOptions& options = {});
+
+/// Convenience overload without history (no sparkline column).
+std::string render_view(const WindowStats& window, const ViewOptions& options = {});
+
+}  // namespace npat::monitor

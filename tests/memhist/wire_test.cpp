@@ -117,5 +117,80 @@ TEST(Wire, UnknownTypeDropped) {
   EXPECT_EQ(decoder.dropped_frames(), 1u);
 }
 
+TEST(Wire, MonitorSampleRoundTrip) {
+  MonitorSampleMsg sample;
+  sample.timestamp = 123456789;
+  sample.footprint_bytes = 1ULL << 33;
+  sample.nodes.push_back({1000, 2000, 30, 7, 2, 111, 55, 9, 4096});
+  sample.nodes.push_back({1001, 2001, 31, 8, 3, 112, 56, 10, 8192});
+
+  Decoder decoder;
+  decoder.feed(encode(sample));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* decoded = std::get_if<MonitorSampleMsg>(&*message);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(*decoded, sample);
+  EXPECT_EQ(decoder.dropped_frames(), 0u);
+}
+
+TEST(Wire, MonitorSampleWithNoNodes) {
+  MonitorSampleMsg sample;
+  sample.timestamp = 7;
+  Decoder decoder;
+  decoder.feed(encode(sample));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<MonitorSampleMsg>(*message), sample);
+}
+
+TEST(Wire, MonitorSamplePayloadSizeMismatchDropped) {
+  // A frame whose advertised node count disagrees with the payload length
+  // is malformed even with a valid CRC — drop it, don't mis-parse.
+  MonitorSampleMsg sample;
+  sample.nodes.push_back({});
+  auto frame = encode(sample);
+  // Bump the node count field (payload offset 16 -> frame offset 5+16).
+  frame[5 + 16] = 2;
+  // Recompute the CRC so only the structural check can reject it.
+  const usize payload_len = frame.size() - 5 - 4;
+  const u32 crc = crc32(frame.data() + 5, payload_len);
+  for (usize i = 0; i < 4; ++i) {
+    frame[frame.size() - 4 + i] = static_cast<u8>(crc >> (8 * i));
+  }
+  Decoder decoder;
+  decoder.feed(frame);
+  EXPECT_FALSE(decoder.poll().has_value());
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(Wire, Version1StreamStillDecodes) {
+  // A pre-monitor (version 1) capture contains only Hello/Reading/End
+  // frames; the version 2 decoder must read it unchanged.
+  std::vector<u8> stream;
+  for (const Message& message :
+       {Message{Hello{1, 2}}, Message{ReadingMsg{ThresholdReading{64, 10, 1000, 4}}},
+        Message{ReadingMsg{ThresholdReading{128, 20, 1000, 4}}}, Message{End{5000}}}) {
+    const auto frame = encode(message);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+
+  Decoder decoder;
+  decoder.feed(stream);
+  const auto hello = decoder.poll();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(std::get<Hello>(*hello).version, 1u);
+  EXPECT_EQ(std::get<Hello>(*hello).node_count, 2u);
+  for (u64 threshold : {64ULL, 128ULL}) {
+    const auto reading = decoder.poll();
+    ASSERT_TRUE(reading.has_value());
+    EXPECT_EQ(std::get<ReadingMsg>(*reading).reading.threshold, threshold);
+  }
+  const auto end = decoder.poll();
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(std::get<End>(*end).total_cycles, 5000u);
+  EXPECT_EQ(decoder.dropped_frames(), 0u);
+}
+
 }  // namespace
 }  // namespace npat::memhist::wire

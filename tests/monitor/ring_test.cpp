@@ -1,0 +1,142 @@
+#include "monitor/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace npat::monitor {
+namespace {
+
+TEST(Ring, StartsEmpty) {
+  Ring<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop().has_value());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(Ring, FifoOrder) {
+  Ring<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto value = ring.pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, WraparoundPreservesOrder) {
+  // Push/pop interleaved so the indices travel far past the capacity.
+  Ring<int> ring(3);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.push(next_push++));
+    EXPECT_TRUE(ring.push(next_push++));
+    const auto a = ring.pop();
+    const auto b = ring.pop();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, next_pop++);
+    EXPECT_EQ(*b, next_pop++);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.pushed(), 200u);
+}
+
+TEST(Ring, OverwriteOldestWhenFull) {
+  Ring<int> ring(3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_TRUE(ring.full());
+  // The fourth push evicts element 0.
+  EXPECT_FALSE(ring.push(3));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 1u);
+  const auto oldest = ring.pop();
+  ASSERT_TRUE(oldest.has_value());
+  EXPECT_EQ(*oldest, 1);  // 0 was overwritten
+}
+
+TEST(Ring, DropCounterIsAccurate) {
+  Ring<int> ring(4);
+  const int total = 100;
+  for (int i = 0; i < total; ++i) ring.push(i);
+  // Capacity survivors, everything else dropped.
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), static_cast<u64>(total - 4));
+  EXPECT_EQ(ring.pushed(), static_cast<u64>(total));
+  // The survivors are exactly the newest four, in order.
+  for (int i = total - 4; i < total; ++i) {
+    const auto value = ring.pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+}
+
+TEST(Ring, ReaderCatchesUpAfterBurst) {
+  Ring<int> ring(8);
+  // Burst of 20 while the reader sleeps: 12 dropped, 8 retained.
+  for (int i = 0; i < 20; ++i) ring.push(i);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  auto survivors = ring.drain();
+  ASSERT_EQ(survivors.size(), 8u);
+  for (usize i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i], 12 + static_cast<int>(i));
+  }
+
+  // After catching up, steady-state push/pop loses nothing more.
+  for (int i = 20; i < 40; ++i) {
+    ring.push(i);
+    const auto value = ring.pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_EQ(ring.dropped(), 12u);
+}
+
+TEST(Ring, DrainRespectsMax) {
+  Ring<int> ring(8);
+  for (int i = 0; i < 6; ++i) ring.push(i);
+  const auto first = ring.drain(4);
+  EXPECT_EQ(first, (std::vector<int>{0, 1, 2, 3}));
+  const auto rest = ring.drain();
+  EXPECT_EQ(rest, (std::vector<int>{4, 5}));
+}
+
+TEST(Ring, PeekDoesNotConsume) {
+  Ring<int> ring(4);
+  ring.push(7);
+  ring.push(8);
+  EXPECT_EQ(ring.peek(0), 7);
+  EXPECT_EQ(ring.peek(1), 8);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_THROW(ring.peek(2), CheckError);
+}
+
+TEST(Ring, CapacityOne) {
+  Ring<int> ring(1);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_FALSE(ring.push(2));
+  EXPECT_EQ(ring.dropped(), 1u);
+  const auto value = ring.pop();
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 2);
+}
+
+TEST(Ring, ZeroCapacityRejected) { EXPECT_THROW(Ring<int>(0), CheckError); }
+
+TEST(Ring, ClearDiscardsUnread) {
+  Ring<int> ring(4);
+  for (int i = 0; i < 3; ++i) ring.push(i);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop().has_value());
+  ring.push(42);
+  EXPECT_EQ(*ring.pop(), 42);
+}
+
+}  // namespace
+}  // namespace npat::monitor

@@ -1,0 +1,193 @@
+// Sampler integration against live simulations: periodic capture via the
+// runner hook, delta consistency with the machine's own totals, NUMA
+// traffic attribution, and the modeled agent cost.
+#include "monitor/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "workloads/mlc_remote.hpp"
+#include "workloads/parallel_sort.hpp"
+
+namespace npat::monitor {
+namespace {
+
+struct Rig {
+  sim::Machine machine;
+  os::AddressSpace space;
+  trace::Runner runner;
+
+  explicit Rig(sim::MachineConfig config)
+      : machine(std::move(config)), space(machine.topology()), runner(machine, space) {}
+};
+
+trace::Program small_sort(u32 threads) {
+  workloads::ParallelSortParams params;
+  params.elements = 1 << 13;
+  params.threads = threads;
+  return workloads::parallel_sort_program(params);
+}
+
+TEST(Sampler, PeriodicTimestampsAtConfiguredSpacing) {
+  Rig rig(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 50000;
+  Sampler sampler(rig.machine, rig.space, config);
+  sampler.attach(rig.runner);
+
+  const auto result = rig.runner.run(small_sort(2));
+  ASSERT_GT(result.duration, config.period);  // the run spans several periods
+  ASSERT_GT(sampler.samples_taken(), 0u);
+
+  const auto samples = sampler.ring().drain();
+  for (usize i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].timestamp, config.period * (i + 1));
+    ASSERT_EQ(samples[i].nodes.size(), rig.machine.nodes());
+  }
+  // Catch-up semantics cover the whole run: the last tick is within one
+  // period of the end.
+  EXPECT_GE(samples.back().timestamp + config.period, result.duration);
+}
+
+TEST(Sampler, DeltasSumToMachineTotals) {
+  Rig rig(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 40000;
+  Sampler sampler(rig.machine, rig.space, config);  // read_cost 0: pure observation
+  sampler.attach(rig.runner);
+
+  rig.runner.run(small_sort(2));
+  // Flush the tail past the last periodic tick, then samples partition the
+  // whole run and their deltas must sum to the machine's own totals.
+  sampler.sample(rig.machine.max_clock());
+
+  const sim::CounterBlock totals = rig.machine.aggregate_counters();
+  u64 instructions = 0;
+  u64 local = 0;
+  u64 remote = 0;
+  u64 hitm = 0;
+  u64 imc = 0;
+  const auto samples = sampler.ring().drain();
+  for (const Sample& sample : samples) {
+    for (const NodeSample& node : sample.nodes) {
+      instructions += node.instructions;
+      local += node.local_dram;
+      remote += node.remote_dram;
+      hitm += node.remote_hitm;
+      imc += node.imc_reads + node.imc_writes;
+    }
+  }
+  EXPECT_EQ(instructions, totals[sim::Event::kInstructions]);
+  EXPECT_EQ(local, totals[sim::Event::kMemLoadLocalDram]);
+  EXPECT_EQ(remote, totals[sim::Event::kMemLoadRemoteDram]);
+  EXPECT_EQ(hitm, totals[sim::Event::kMemLoadRemoteHitm]);
+  EXPECT_EQ(imc, totals[sim::Event::kUncImcReads] + totals[sim::Event::kUncImcWrites]);
+  EXPECT_GT(local + remote + hitm, 0u);
+}
+
+TEST(Sampler, TracksFootprintAndResidency) {
+  Rig rig(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 30000;
+  Sampler sampler(rig.machine, rig.space, config);
+  sampler.attach(rig.runner);
+
+  rig.runner.run(small_sort(2));
+  sampler.sample(rig.machine.max_clock());
+
+  const auto samples = sampler.ring().drain();
+  ASSERT_FALSE(samples.empty());
+  const Sample& last = samples.back();
+  EXPECT_EQ(last.footprint_bytes, rig.space.footprint_bytes());
+  u64 resident = 0;
+  for (const NodeSample& node : last.nodes) resident += node.resident_bytes;
+  EXPECT_EQ(resident, rig.space.resident_bytes());
+  EXPECT_GT(resident, 0u);
+}
+
+TEST(Sampler, RemoteTrafficLandsOnTheRemoteLoadCounters) {
+  // mlc_remote chases pointers in memory bound to another node: the
+  // sampler must see remote-DRAM loads dominating local ones on the
+  // chasing core's node.
+  Rig rig(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 50000;
+  Sampler sampler(rig.machine, rig.space, config);
+  sampler.attach(rig.runner);
+
+  workloads::MlcParams params = workloads::mlc_remote(rig.machine.topology(), MiB(16));
+  params.chase_steps = 30000;
+  rig.runner.run(workloads::mlc_program(params));
+  sampler.sample(rig.machine.max_clock());
+
+  u64 local = 0;
+  u64 remote = 0;
+  for (const Sample& sample : sampler.ring().drain()) {
+    for (const NodeSample& node : sample.nodes) {
+      local += node.local_dram;
+      remote += node.remote_dram + node.remote_hitm;
+    }
+  }
+  EXPECT_GT(remote, 0u);
+}
+
+TEST(Sampler, PureObservationDoesNotPerturbTheRun) {
+  // Deterministic simulation: the same program with and without a
+  // zero-cost sampler must produce the identical duration.
+  Rig monitored(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 25000;
+  Sampler sampler(monitored.machine, monitored.space, config);
+  sampler.attach(monitored.runner);
+  const auto with_monitor = monitored.runner.run(small_sort(2));
+
+  Rig bare(sim::dual_socket_small(1));
+  const auto without_monitor = bare.runner.run(small_sort(2));
+
+  EXPECT_EQ(with_monitor.duration, without_monitor.duration);
+}
+
+TEST(Sampler, ModeledAgentCostSlowsTheRunSlightly) {
+  Rig bare(sim::dual_socket_small(1));
+  const auto baseline = bare.runner.run(small_sort(2));
+
+  Rig monitored(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 25000;
+  config.read_cost_cycles = 5000;  // deliberately heavy agent
+  Sampler sampler(monitored.machine, monitored.space, config);
+  sampler.attach(monitored.runner);
+  const auto perturbed = monitored.runner.run(small_sort(2));
+
+  EXPECT_GT(perturbed.duration, baseline.duration);
+}
+
+TEST(Sampler, BurstBeyondCapacityDropsOldestButKeepsCounting) {
+  Rig rig(sim::dual_socket_small(1));
+  SamplerConfig config;
+  config.period = 10000;  // dense sampling
+  config.ring_capacity = 8;
+  Sampler sampler(rig.machine, rig.space, config);
+  sampler.attach(rig.runner);
+
+  rig.runner.run(small_sort(2));
+
+  const Ring<Sample>& ring = sampler.ring();
+  EXPECT_GT(sampler.samples_taken(), 8u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.dropped(), sampler.samples_taken() - 8);
+  // The retained window is the newest samples, still in order.
+  for (usize i = 1; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.peek(i).timestamp, ring.peek(i - 1).timestamp + config.period);
+  }
+}
+
+TEST(Sampler, MonitorCoreOutOfRangeRejected) {
+  Rig rig(sim::uma_single_node(2));
+  SamplerConfig config;
+  config.monitor_core = 99;
+  EXPECT_THROW(Sampler(rig.machine, rig.space, config), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::monitor
