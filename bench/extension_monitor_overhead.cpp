@@ -8,9 +8,17 @@
 //
 // At the default period (100k cycles) the overhead must stay under 5 % of
 // simulated duration; the sweep shows how dense sampling erodes that.
+//
+// A second axis prices the npat::obs layer itself: a monitored run with
+// spans/counters enabled must produce bit-identical simulated durations to
+// one with obs disabled, and cost at most 2 % more wall time (best of
+// interleaved on/off rounds, so ambient load cancels out).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "monitor/sampler.hpp"
+#include "obs/obs.hpp"
 #include "sim/presets.hpp"
 #include "trace/runner.hpp"
 #include "util/cli.hpp"
@@ -51,6 +59,24 @@ RunStats run_once(u32 threads, Cycles period, Cycles read_cost) {
   sampler.attach(runner);
   const auto result = runner.run(make_workload(threads));
   return {result.duration, sampler.samples_taken()};
+}
+
+/// One obs-on or obs-off leg: deterministic simulated duration plus the
+/// best-observed wall time of the identical monitored run.
+struct ObsLeg {
+  Cycles duration = 0;
+  double wall_ms = 1e300;
+};
+
+/// Rounds alternate on/off so ambient machine load hits both legs alike;
+/// taking the per-leg minimum then discards the noisy rounds entirely.
+void time_round(ObsLeg& leg, bool obs_on, u32 threads, Cycles read_cost) {
+  obs::EnabledGuard guard(obs_on);
+  const auto start = std::chrono::steady_clock::now();
+  const RunStats stats = run_once(threads, 100000, read_cost);
+  const auto stop = std::chrono::steady_clock::now();
+  leg.wall_ms = std::min(leg.wall_ms, std::chrono::duration<double, std::milli>(stop - start).count());
+  leg.duration = stats.duration;  // deterministic: identical every round
 }
 
 }  // namespace
@@ -97,5 +123,34 @@ int main(int argc, char** argv) {
   std::printf("\nagent cost %lld cycles/sample; default period 100k: %s\n",
               static_cast<long long>(read_cost),
               default_ok ? "overhead < 5% (PASS)" : "overhead >= 5% (FAIL)");
-  return default_ok ? 0 : 1;
+
+  // The observability layer itself: spans and counters may cost wall time
+  // but must never touch the simulation. Compare the same monitored run
+  // with obs enabled vs disabled.
+  const int rounds = 5;
+  ObsLeg obs_on, obs_off;
+  time_round(obs_off, false, workers, cost);  // warm-up round, both legs
+  time_round(obs_on, true, workers, cost);
+  for (int round = 0; round < rounds; ++round) {
+    time_round(obs_on, true, workers, cost);
+    time_round(obs_off, false, workers, cost);
+  }
+  const bool obs_identical = obs_on.duration == obs_off.duration;
+  const double obs_overhead =
+      obs_off.wall_ms > 0.0 ? 100.0 * (obs_on.wall_ms - obs_off.wall_ms) / obs_off.wall_ms : 0.0;
+  const bool obs_cheap = obs_overhead <= 2.0;
+
+  util::Table obs_table({"Obs", "Sim duration", "Wall (best round)"});
+  obs_table.set_align(1, util::Align::kRight);
+  obs_table.set_align(2, util::Align::kRight);
+  obs_table.add_row({"on", util::format("%llu", static_cast<unsigned long long>(obs_on.duration)),
+                     util::format("%.3f ms", obs_on.wall_ms)});
+  obs_table.add_row({"off", util::format("%llu", static_cast<unsigned long long>(obs_off.duration)),
+                     util::format("%.3f ms", obs_off.wall_ms)});
+  std::printf("\nnpat::obs layer (monitored run, period 100k):\n");
+  std::fputs(obs_table.render().c_str(), stdout);
+  std::printf("sim duration: %s; wall overhead %+.2f%%: %s\n",
+              obs_identical ? "bit-identical (PASS)" : "PERTURBED (FAIL)", obs_overhead,
+              obs_cheap ? "<= 2% (PASS)" : "> 2% (FAIL)");
+  return (default_ok && obs_identical && obs_cheap) ? 0 : 1;
 }

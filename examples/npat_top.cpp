@@ -8,6 +8,7 @@
 //   npat_top --workload=sort --preset=dual --threads=4
 //   npat_top --workload=mlc --period=25000 --refresh-every=3 --clear
 //   npat_top --workload=stream --csv=run.csv --json=run.json --wire=run.bin
+//   npat_top --workload=gups --trace=top_trace.json
 #include <cstdio>
 #include <fstream>
 
@@ -15,8 +16,10 @@
 #include "monitor/export.hpp"
 #include "monitor/sampler.hpp"
 #include "monitor/view.hpp"
+#include "obs/obs.hpp"
 #include "sim/presets.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/mlc_remote.hpp"
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string json_path;
   std::string wire_path;
+  std::string trace_path;
   i64 threads = 4;
   i64 period = 50000;
   i64 refresh_every = 4;
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", &csv_path, "dump all samples as CSV to this path");
   cli.add_flag("json", &json_path, "dump all samples as JSON to this path");
   cli.add_flag("wire", &wire_path, "dump the session as a wire stream to this path");
+  cli.add_flag("trace", &trace_path, "dump a Chrome trace (about:tracing) to this path");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -107,6 +112,13 @@ int main(int argc, char** argv) {
     view_options.clear_screen = clear;
     view_options.title = util::format("npat-top — %s on %s", workload.c_str(), preset.c_str());
 
+    // The view's ok/warn/bad cues come from the alert engine (hysteresis
+    // included), seeded with the same thresholds the colours used to apply
+    // inline.
+    obs::AlertEngine alerts;
+    alerts.add_rule(obs::remote_ratio_rule(view_options.warn_remote_ratio,
+                                           view_options.bad_remote_ratio));
+
     monitor::TieredHistory tiers;
     std::vector<monitor::Sample> session;       // every sample, for the export paths
     std::vector<monitor::WindowStats> windows;  // one per refresh, for the sparkline
@@ -117,6 +129,7 @@ int main(int argc, char** argv) {
       for (const monitor::Sample& sample : batch) tiers.add(sample);
       session.insert(session.end(), batch.begin(), batch.end());
       windows.push_back(monitor::aggregate(batch));
+      view_options.node_alerts = monitor::evaluate_node_alerts(alerts, windows.back());
       std::fputs(monitor::render_view(windows.back(), windows, view_options).c_str(), stdout);
       if (!final_flush) std::fputs("\n", stdout);
     };
@@ -138,6 +151,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(sampler.samples_taken()),
         static_cast<unsigned long long>(sampler.ring().dropped()),
         100.0 * total.remote_ratio());
+    if (!alerts.transitions().empty()) {
+      std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
+    }
 
     if (!csv_path.empty()) {
       const std::string csv = monitor::to_csv(session);
@@ -153,6 +169,12 @@ int main(int argc, char** argv) {
       const auto bytes = monitor::encode_stream(session);
       write_file(wire_path, bytes.data(), bytes.size());
       std::printf("wrote %s (%s)\n", wire_path.c_str(), util::human_bytes(bytes.size()).c_str());
+    }
+    if (!trace_path.empty()) {
+      const std::string trace = obs::tracer().chrome_trace().dump(2);
+      write_file(trace_path, trace.data(), trace.size());
+      std::printf("wrote %s (%s) — open in chrome://tracing or Perfetto\n", trace_path.c_str(),
+                  util::human_bytes(trace.size()).c_str());
     }
     return 0;
   } catch (const std::exception& error) {

@@ -3,16 +3,20 @@
 //   1. EvSel      — which counters changed between two configurations,
 //   2. Memhist    — where the load latencies went,
 //   3. Phasenprüfer — where the ramp-up phase ended.
+// Along the way npat::obs records spans of every tool stage; the demo
+// finishes by dumping them as a Chrome trace plus a flame summary.
 #include <cstdio>
 
 #include "evsel/collector.hpp"
 #include "evsel/compare.hpp"
 #include "evsel/report.hpp"
 #include "memhist/builder.hpp"
+#include "obs/obs.hpp"
 #include "os/procfs.hpp"
 #include "phasen/attribution.hpp"
 #include "phasen/report.hpp"
 #include "sim/presets.hpp"
+#include "util/json.hpp"
 #include "workloads/cache_scan.hpp"
 #include "workloads/rampup_app.hpp"
 
@@ -66,5 +70,12 @@ int main() {
   const auto split = phasen::detect_phases(recorder.samples());
   std::puts("");
   std::fputs(phasen::render_footprint_chart(recorder.samples(), split).c_str(), stdout);
+
+  // --- 4. npat::obs: where did the toolkit itself spend its time? --------
+  const std::string trace_path = "npat_quickstart_trace.json";
+  util::write_file(trace_path, obs::tracer().chrome_trace().dump(2));
+  std::puts("");
+  std::fputs(obs::tracer().flame_summary().c_str(), stdout);
+  std::printf("wrote %s — open in chrome://tracing or Perfetto\n", trace_path.c_str());
   return 0;
 }

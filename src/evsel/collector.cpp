@@ -1,5 +1,6 @@
 #include "evsel/collector.hpp"
 
+#include "obs/obs.hpp"
 #include "perf/multiplex.hpp"
 #include "perf/registry.hpp"
 #include "perf/session.hpp"
@@ -14,6 +15,8 @@ void Collector::run_once(const ProgramFactory& factory, u64 seed,
                          os::AffinityPolicy affinity,
                          const std::function<void(trace::Runner&)>& before,
                          const std::function<void(trace::Runner&)>& after) {
+  NPAT_OBS_SPAN("evsel.run");
+  NPAT_OBS_COUNT("npat_evsel_runs_total", "Simulated program runs executed by EvSel", 1);
   machine_.reset();
   os::AddressSpace space(machine_.topology());
   trace::RunnerConfig runner_config;
@@ -28,6 +31,7 @@ void Collector::run_once(const ProgramFactory& factory, u64 seed,
 
 Measurement Collector::measure(const std::string& label, const ProgramFactory& factory,
                                const CollectOptions& options) {
+  NPAT_OBS_SPAN("evsel.collect");
   NPAT_CHECK_MSG(options.repetitions >= 1, "need at least one repetition");
   const std::vector<sim::Event> events =
       options.events.empty() ? perf::available_events() : options.events;
@@ -49,6 +53,8 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
     }
   } else {
     for (u32 rep = 0; rep < options.repetitions; ++rep) {
+      NPAT_OBS_SPAN("evsel.run");
+      NPAT_OBS_COUNT("npat_evsel_runs_total", "Simulated program runs executed by EvSel", 1);
       const u64 seed = options.seed + 0x1000003ULL * rep;
       machine_.reset();
       os::AddressSpace space(machine_.topology());

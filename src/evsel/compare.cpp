@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "stats/multiple_comparisons.hpp"
 #include "util/check.hpp"
 
@@ -29,6 +30,7 @@ std::vector<ComparisonRow> Comparison::significant_rows(double alpha) const {
 }
 
 Comparison compare(const Measurement& a, const Measurement& b, const CompareOptions& options) {
+  NPAT_OBS_SPAN("evsel.compare");
   Comparison out;
   out.label_a = a.label();
   out.label_b = b.label();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
 
@@ -28,6 +29,7 @@ std::vector<CorrelationRow> SweepResult::strongest(double min_abs_r) const {
 
 SweepResult correlate(const std::string& parameter_name,
                       std::vector<Measurement> measurements) {
+  NPAT_OBS_SPAN("evsel.regress");
   NPAT_CHECK_MSG(measurements.size() >= 3, "a sweep needs at least three parameter values");
   SweepResult result;
   result.parameter_name = parameter_name;
@@ -59,6 +61,7 @@ SweepResult correlate(const std::string& parameter_name,
 SweepResult sweep(Collector& collector, const std::string& parameter_name,
                   const std::vector<double>& values, const SweepFactory& factory,
                   const CollectOptions& options) {
+  NPAT_OBS_SPAN("evsel.sweep");
   NPAT_CHECK_MSG(values.size() >= 3, "a sweep needs at least three parameter values");
   std::vector<Measurement> measurements;
   measurements.reserve(values.size());

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
@@ -41,6 +42,7 @@ std::string delta_text(const ComparisonRow& row) {
 }  // namespace
 
 std::string render_comparison(const Comparison& comparison, const ReportOptions& options) {
+  NPAT_OBS_SPAN("evsel.report");
   std::vector<std::string> headers = {"event", comparison.label_a, comparison.label_b,
                                       "Δ", "significance"};
   if (options.show_descriptions) headers.push_back("description");

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace npat::memhist {
@@ -36,6 +37,7 @@ void MemhistBuilder::start() {
 
 void MemhistBuilder::rotate(Cycles /*now*/) {
   if (!running_) return;
+  NPAT_OBS_COUNT("npat_memhist_rotations_total", "Threshold ladder rotations", 1);
   const auto reading = session_.disarm();
   auto& acc = readings_[current_];
   acc.counted += reading.loads_at_or_above;
@@ -60,6 +62,7 @@ LatencyHistogram MemhistBuilder::finish() {
 
 LatencyHistogram MemhistBuilder::build(const std::vector<ThresholdReading>& readings,
                                        Cycles total_cycles, HistogramMode mode) {
+  NPAT_OBS_SPAN("memhist.assemble");
   NPAT_CHECK_MSG(!readings.empty(), "no readings to build from");
 
   // Extrapolate each threshold's rate over the whole run: R_i is the

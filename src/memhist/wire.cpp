@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace npat::memhist::wire {
@@ -139,7 +140,11 @@ std::optional<Message> Decoder::poll() {
       buffer_.erase(buffer_.begin());
       ++skipped;
     }
-    if (skipped > 0) ++resyncs_;
+    if (skipped > 0) {
+      ++resyncs_;
+      NPAT_OBS_COUNT("npat_wire_resync_skipped_bytes_total",
+                     "Garbage bytes discarded while hunting for frame magic", skipped);
+    }
 
     usize frame_len = 0;
     if (buffer_.size() >= kHeaderBytes) {
@@ -151,6 +156,9 @@ std::optional<Message> Decoder::poll() {
       // corrupted upward) can never complete. Treat it as a damaged frame
       // and rescan for intact frames behind the magic bytes.
       ++dropped_;
+      NPAT_OBS_COUNT("npat_wire_truncated_flushes_total",
+                     "Incomplete frames flushed at end of stream", 1);
+      NPAT_OBS_COUNT("npat_wire_dropped_frames_total", "Frames dropped by the decoder", 1);
       discard(2);
       continue;
     }
@@ -164,6 +172,8 @@ std::optional<Message> Decoder::poll() {
       // skipping the advertised length could swallow intact successors.
       // Drop only the magic bytes and resynchronize.
       ++dropped_;
+      NPAT_OBS_COUNT("npat_wire_crc_failures_total", "Frames rejected by CRC-32 check", 1);
+      NPAT_OBS_COUNT("npat_wire_dropped_frames_total", "Frames dropped by the decoder", 1);
       discard(2);
       continue;
     }
@@ -227,8 +237,12 @@ std::optional<Message> Decoder::poll() {
     // The CRC passed, so the length field is trustworthy: skipping the
     // whole frame is safe even for unknown or malformed-payload types.
     discard(frame_len);
-    if (message) return message;
+    if (message) {
+      NPAT_OBS_COUNT("npat_wire_frames_decoded_total", "Frames decoded successfully", 1);
+      return message;
+    }
     ++dropped_;
+    NPAT_OBS_COUNT("npat_wire_dropped_frames_total", "Frames dropped by the decoder", 1);
     // Loop: try the next frame in the buffer.
   }
 }

@@ -1,5 +1,6 @@
 #include "monitor/aggregate.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace npat::monitor {
@@ -48,6 +49,8 @@ NodeStats WindowStats::total() const {
 }
 
 WindowStats aggregate(std::span<const Sample> samples) {
+  NPAT_OBS_SPAN("monitor.aggregate");
+  NPAT_OBS_COUNT("npat_monitor_windows_total", "Aggregation windows computed", 1);
   WindowStats window;
   if (samples.empty()) return window;
 

@@ -1,5 +1,7 @@
 #include "monitor/sampler.hpp"
 
+#include "obs/obs.hpp"
+
 namespace npat::monitor {
 
 Sampler::Sampler(sim::Machine& machine, const os::AddressSpace& space, SamplerConfig config)
@@ -40,6 +42,7 @@ std::vector<NodeSample> Sampler::totals() const {
 }
 
 void Sampler::sample(Cycles now) {
+  NPAT_OBS_COUNT("npat_monitor_samples_total", "Telemetry samples captured by the monitor", 1);
   std::vector<NodeSample> current = totals();
 
   Sample record;

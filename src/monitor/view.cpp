@@ -13,10 +13,25 @@ namespace {
 // 10-level intensity ramp; index = clamp(value) scaled.
 constexpr std::string_view kRamp = " .:-=+*#%@";
 
-util::Style remote_style(double remote_ratio, const ViewOptions& options) {
-  if (remote_ratio >= options.bad_remote_ratio) return util::Style::kRed;
-  if (remote_ratio >= options.warn_remote_ratio) return util::Style::kYellow;
+util::Style severity_style(obs::Severity severity) {
+  switch (severity) {
+    case obs::Severity::kBad:
+      return util::Style::kRed;
+    case obs::Severity::kWarn:
+      return util::Style::kYellow;
+    case obs::Severity::kOk:
+      break;
+  }
   return util::Style::kGreen;
+}
+
+/// Per-node severity: the alert engine's committed state when supplied,
+/// otherwise the raw thresholds (no hysteresis).
+obs::Severity node_severity(usize node, double remote_ratio, const ViewOptions& options) {
+  if (node < options.node_alerts.size()) return options.node_alerts[node];
+  if (remote_ratio >= options.bad_remote_ratio) return obs::Severity::kBad;
+  if (remote_ratio >= options.warn_remote_ratio) return obs::Severity::kWarn;
+  return obs::Severity::kOk;
 }
 
 std::string percent(double ratio) { return util::format("%5.1f%%", ratio * 100.0); }
@@ -52,8 +67,10 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
       static_cast<unsigned long long>(window.samples));
 
   const bool spark = options.spark_width > 0 && !history.empty();
+  const bool alerts = !options.node_alerts.empty();
   std::vector<std::string> headers = {"Node", "Local%", "Remote%", "HITM%",
                                       "IPC",  "DRAM GB/s", "QPI fl/kc", "RSS"};
+  if (alerts) headers.push_back("Alert");
   if (spark) headers.push_back("remote% trend");
   util::Table table(std::move(headers));
   for (usize c = 1; c <= 7; ++c) table.set_align(c, util::Align::kRight);
@@ -68,11 +85,12 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
     const bool idle = stats.instructions == 0;
     const util::Style row_style = idle ? util::Style::kDim : util::Style::kNone;
 
+    const obs::Severity severity = node_severity(node, stats.remote_ratio(), options);
     std::vector<util::Cell> cells;
     cells.push_back({util::format("%zu", node), row_style});
     cells.push_back({percent(stats.local_ratio()), row_style});
-    cells.push_back({percent(stats.remote_ratio()),
-                     idle ? row_style : remote_style(stats.remote_ratio(), options)});
+    cells.push_back(
+        {percent(stats.remote_ratio()), idle ? row_style : severity_style(severity)});
     cells.push_back({percent(hitm_ratio), row_style});
     cells.push_back({util::format("%4.2f", stats.ipc()), row_style});
     cells.push_back({util::format("%6.2f", stats.dram_gbps(span, options.frequency_ghz)),
@@ -82,6 +100,7 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
                       static_cast<double>(stats.qpi_flits) * 1000.0 / static_cast<double>(span)),
          row_style});
     cells.push_back({util::human_bytes(stats.resident_bytes), row_style});
+    if (alerts) cells.push_back({obs::severity_name(severity), severity_style(severity)});
 
     if (spark) {
       std::vector<double> series;
@@ -113,6 +132,12 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
                       static_cast<double>(total.qpi_flits) * 1000.0 / static_cast<double>(span)),
          util::Style::kBold});
     cells.push_back({util::human_bytes(total.resident_bytes), util::Style::kBold});
+    if (alerts) {
+      // Worst committed severity across nodes.
+      obs::Severity worst = obs::Severity::kOk;
+      for (obs::Severity s : options.node_alerts) worst = std::max(worst, s);
+      cells.push_back({obs::severity_name(worst), severity_style(worst)});
+    }
     if (spark) cells.push_back({"", util::Style::kNone});
     table.add_rule();
     table.add_styled_row(std::move(cells));
@@ -124,6 +149,17 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
 
 std::string render_view(const WindowStats& window, const ViewOptions& options) {
   return render_view(window, std::span<const WindowStats>{}, options);
+}
+
+std::vector<obs::Severity> evaluate_node_alerts(obs::AlertEngine& engine,
+                                                const WindowStats& window) {
+  std::vector<obs::Severity> severities;
+  severities.reserve(window.nodes.size());
+  for (usize node = 0; node < window.nodes.size(); ++node) {
+    severities.push_back(engine.evaluate("remote_ratio", util::format("node%zu", node),
+                                         window.nodes[node].remote_ratio()));
+  }
+  return severities;
 }
 
 }  // namespace npat::monitor

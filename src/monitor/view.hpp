@@ -8,8 +8,10 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "monitor/aggregate.hpp"
+#include "obs/alert.hpp"
 #include "util/types.hpp"
 
 namespace npat::monitor {
@@ -19,9 +21,14 @@ struct ViewOptions {
   double frequency_ghz = 2.4;
   /// Width of the remote-ratio history sparkline; 0 hides the column.
   usize spark_width = 20;
-  /// Remote-ratio thresholds for the colour cues.
+  /// Remote-ratio thresholds seeding obs::remote_ratio_rule; also used
+  /// directly (no hysteresis) when `node_alerts` is not supplied.
   double warn_remote_ratio = 0.2;
   double bad_remote_ratio = 0.5;
+  /// Committed per-node severities from an obs::AlertEngine (see
+  /// evaluate_node_alerts). When sized, the view renders an Alert column
+  /// and styles Remote% from these instead of the raw thresholds.
+  std::vector<obs::Severity> node_alerts;
   /// Emit an ANSI home+clear prefix before the frame (live top-style
   /// refresh); only honoured while ANSI styling is globally enabled.
   bool clear_screen = false;
@@ -40,5 +47,11 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
 
 /// Convenience overload without history (no sparkline column).
 std::string render_view(const WindowStats& window, const ViewOptions& options = {});
+
+/// Feeds one aggregation window's per-node remote ratios through the
+/// engine's "remote_ratio" rule (subjects "node0", "node1", …) and returns
+/// the committed severities, ready to assign to ViewOptions::node_alerts.
+std::vector<obs::Severity> evaluate_node_alerts(obs::AlertEngine& engine,
+                                                const WindowStats& window);
 
 }  // namespace npat::monitor

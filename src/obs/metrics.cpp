@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace npat::obs {
+
+namespace {
+
+/// "npat_x_total{rule="r"}" -> "npat_x_total" (HELP/TYPE lines carry the
+/// base name; the label suffix is rendered verbatim on the sample line).
+std::string_view base_name(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void add_double(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+std::string render_double(double value) {
+  // Integral values print without a fractional part, like Prometheus does.
+  return util::compact_double(value, 6);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  NPAT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bucket bounds must be ascending");
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!enabled()) return;
+  usize bucket = bounds_.size();  // +Inf
+  for (usize i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_double(sum_, value);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry::Entry& Registry::entry_of(const std::string& name, Kind kind, const std::string& help) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else {
+    NPAT_CHECK_MSG(it->second.kind == kind, "metric re-registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entry_of(name, Kind::kCounter, help);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entry_of(name, Kind::kGauge, help);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds,
+                               const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = entry_of(name, Kind::kHistogram, help);
+  if (!entry.histogram) entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *entry.histogram;
+}
+
+u64 Registry::counter_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.counter ? it->second.counter->value() : 0;
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.gauge ? it->second.gauge->value() : 0.0;
+}
+
+usize Registry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  std::string_view last_base;
+  for (const auto& [name, entry] : entries_) {
+    const std::string_view base = base_name(name);
+    if (base != last_base) {
+      if (!entry.help.empty()) {
+        out += util::format("# HELP %.*s %s\n", static_cast<int>(base.size()), base.data(),
+                            entry.help.c_str());
+      }
+      const char* type = entry.kind == Kind::kCounter  ? "counter"
+                         : entry.kind == Kind::kGauge ? "gauge"
+                                                      : "histogram";
+      out += util::format("# TYPE %.*s %s\n", static_cast<int>(base.size()), base.data(), type);
+      last_base = base;
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += util::format("%s %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += util::format("%s %s\n", name.c_str(), render_double(entry.gauge->value()).c_str());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& histogram = *entry.histogram;
+        u64 cumulative = 0;
+        for (usize i = 0; i < histogram.bounds().size(); ++i) {
+          cumulative += histogram.bucket_count(i);
+          out += util::format("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                              render_double(histogram.bounds()[i]).c_str(),
+                              static_cast<unsigned long long>(cumulative));
+        }
+        cumulative += histogram.bucket_count(histogram.bounds().size());
+        out += util::format("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(cumulative));
+        out += util::format("%s_sum %s\n", name.c_str(), render_double(histogram.sum()).c_str());
+        out += util::format("%s_count %llu\n", name.c_str(),
+                            static_cast<unsigned long long>(histogram.count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Json Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  util::JsonObject doc;
+  for (const auto& [name, entry] : entries_) {
+    util::JsonObject metric;
+    metric["help"] = entry.help;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        metric["type"] = "counter";
+        metric["value"] = entry.counter->value();
+        break;
+      case Kind::kGauge:
+        metric["type"] = "gauge";
+        metric["value"] = entry.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        metric["type"] = "histogram";
+        const Histogram& histogram = *entry.histogram;
+        util::JsonArray buckets;
+        for (usize i = 0; i < histogram.bounds().size(); ++i) {
+          util::JsonObject bucket;
+          bucket["le"] = histogram.bounds()[i];
+          bucket["count"] = histogram.bucket_count(i);
+          buckets.push_back(std::move(bucket));
+        }
+        util::JsonObject overflow;
+        overflow["le"] = "+Inf";
+        overflow["count"] = histogram.bucket_count(histogram.bounds().size());
+        buckets.push_back(std::move(overflow));
+        metric["buckets"] = std::move(buckets);
+        metric["sum"] = histogram.sum();
+        metric["count"] = histogram.count();
+        break;
+      }
+    }
+    doc[name] = std::move(metric);
+  }
+  return doc;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+}  // namespace npat::obs

@@ -1,0 +1,15 @@
+#include "obs/obs.hpp"
+
+namespace npat::obs {
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+Registry& metrics() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace npat::obs

@@ -1,0 +1,61 @@
+// npat::obs — self-observability for the toolkit. The paper's tools
+// observe *programs*; this layer observes the toolkit itself: where an
+// EvSel sweep spends its time (span tracer), how often the wire decoder
+// resyncs after CRC failures (metrics registry), and when a node's
+// remote-to-local load ratio crosses a danger threshold (alert engine,
+// see obs/alert.hpp).
+//
+// Instrumented code uses the NPAT_OBS_* macros against the process-wide
+// tracer()/metrics() singletons. Building with -DNPAT_OBS_COMPILED=0
+// (CMake -DNPAT_OBS=OFF) compiles every macro away; obs::set_enabled(false)
+// disables recording at run time (see obs/runtime.hpp).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/runtime.hpp"
+#include "obs/trace.hpp"
+
+namespace npat::obs {
+
+/// Process-wide tracer all instrumentation records into.
+Tracer& tracer();
+
+/// Process-wide metrics registry.
+Registry& metrics();
+
+}  // namespace npat::obs
+
+#if NPAT_OBS_COMPILED
+
+#define NPAT_OBS_CONCAT_IMPL(a, b) a##b
+#define NPAT_OBS_CONCAT(a, b) NPAT_OBS_CONCAT_IMPL(a, b)
+
+/// Opens an RAII span named `name` (string literal) for the current scope.
+#define NPAT_OBS_SPAN(name) \
+  ::npat::obs::ScopedSpan NPAT_OBS_CONCAT(npat_obs_span_, __LINE__)(::npat::obs::tracer(), (name))
+
+/// Adds `delta` to the named counter. The registry lookup happens once per
+/// call site (function-local static); the hot path is one relaxed atomic.
+#define NPAT_OBS_COUNT(name, help, delta)                                       \
+  do {                                                                          \
+    static ::npat::obs::Counter& npat_obs_counter_ =                            \
+        ::npat::obs::metrics().counter((name), (help));                         \
+    npat_obs_counter_.add((delta));                                             \
+  } while (0)
+
+/// Records a point event (e.g. a state transition) in the trace.
+#define NPAT_OBS_INSTANT(name, detail) ::npat::obs::tracer().instant((name), (detail))
+
+#else  // instrumentation compiled out
+
+#define NPAT_OBS_SPAN(name) \
+  do {                      \
+  } while (0)
+#define NPAT_OBS_COUNT(name, help, delta) \
+  do {                                    \
+  } while (0)
+#define NPAT_OBS_INSTANT(name, detail) \
+  do {                                 \
+  } while (0)
+
+#endif  // NPAT_OBS_COMPILED

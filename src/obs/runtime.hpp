@@ -1,0 +1,48 @@
+// Process-wide runtime switch for npat::obs instrumentation.
+//
+// Two layers of disablement keep the zero-overhead path zero:
+//  * compile time — building with -DNPAT_OBS_COMPILED=0 (CMake option
+//    NPAT_OBS=OFF) turns every NPAT_OBS_* macro into nothing, so the
+//    instrumented subsystems contain no observability code at all;
+//  * run time — obs::set_enabled(false) turns recording into an early-out
+//    (one relaxed atomic load) without recompiling, for latency-sensitive
+//    production runs that still want the option of flipping it back on.
+//
+// Instrumentation never touches simulator state either way: the simulated
+// results of a run are bit-identical with observability on, off, or
+// compiled out (bench/extension_monitor_overhead asserts this).
+#pragma once
+
+#include <atomic>
+
+#ifndef NPAT_OBS_COMPILED
+#define NPAT_OBS_COMPILED 1
+#endif
+
+namespace npat::obs {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// RAII guard for tests and benches that flip the global switch.
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) : previous_(enabled()) { set_enabled(on); }
+  ~EnabledGuard() { set_enabled(previous_); }
+  EnabledGuard(const EnabledGuard&) = delete;
+  EnabledGuard& operator=(const EnabledGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace npat::obs

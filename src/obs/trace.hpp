@@ -1,0 +1,118 @@
+// Span tracer: RAII scoped spans with nesting and per-thread span stacks,
+// exported as Chrome trace-event JSON (loadable in about:tracing /
+// Perfetto) and as a plain-text flame summary (folded-stack totals).
+//
+// Spans observe the *toolkit's* wall-clock time — where an EvSel sweep or
+// a Memhist assembly spends its real time — never simulated cycles, so
+// tracing cannot perturb a simulation. Completed spans land in a bounded
+// buffer (overflow is counted, not grown); instant events mark point
+// occurrences such as alert transitions. The clock is injectable so tests
+// get deterministic timestamps.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/runtime.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npat::obs {
+
+/// One completed span. `path` is the folded call-stack of span names
+/// ("evsel.sweep;evsel.collect;evsel.run"), `depth` its nesting level.
+struct SpanEvent {
+  std::string name;
+  std::string path;
+  u32 tid = 0;
+  u32 depth = 0;
+  u64 start_us = 0;
+  u64 duration_us = 0;
+};
+
+/// A point event (Chrome "instant"), e.g. an alert transition.
+struct InstantEvent {
+  std::string name;
+  std::string detail;
+  u32 tid = 0;
+  u64 timestamp_us = 0;
+};
+
+class Tracer {
+ public:
+  /// Completed spans and instants are each capped at `capacity`; further
+  /// events are dropped and counted.
+  explicit Tracer(usize capacity = 65536);
+
+  /// Microsecond clock; tests install a manual (monotonic) one.
+  using Clock = std::function<u64()>;
+  void set_clock(Clock now_us);
+
+  /// Opens a span on the calling thread's stack. Returns false (and
+  /// records nothing) while obs is disabled — ScopedSpan remembers the
+  /// answer so a matching end is only issued for a recorded begin.
+  bool begin_span(std::string_view name);
+  void end_span();
+  void instant(std::string_view name, std::string detail = "");
+
+  std::vector<SpanEvent> spans() const;
+  std::vector<InstantEvent> instants() const;
+  usize dropped() const;
+  /// Discards all recorded events and open stacks.
+  void clear();
+
+  /// {"displayTimeUnit": "ms", "traceEvents": [...]} — complete ("X")
+  /// events for spans, thread-scoped instants ("i") for point events.
+  util::Json chrome_trace() const;
+
+  /// Folded-stack table: count, total and self time per span path, widest
+  /// total first.
+  std::string flame_summary() const;
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string path;
+    u64 start_us = 0;
+  };
+  struct ThreadState {
+    u32 tid = 0;
+    std::vector<OpenSpan> stack;
+  };
+
+  ThreadState& state_locked();
+
+  mutable std::mutex mutex_;
+  usize capacity_;
+  Clock now_us_;
+  std::unordered_map<std::thread::id, ThreadState> threads_;
+  u32 next_tid_ = 0;
+  std::vector<SpanEvent> spans_;
+  std::vector<InstantEvent> instants_;
+  usize dropped_ = 0;
+};
+
+/// RAII span: records on construction (if obs is enabled), closes on
+/// destruction. Use through NPAT_OBS_SPAN so the disabled build compiles
+/// the instrumentation away entirely.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string_view name)
+      : tracer_(&tracer), active_(tracer.begin_span(name)) {}
+  ~ScopedSpan() {
+    if (active_) tracer_->end_span();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  bool active_;
+};
+
+}  // namespace npat::obs

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "stats/descriptive.hpp"
 #include "util/check.hpp"
 
@@ -51,6 +52,7 @@ void extract_series(const std::vector<os::FootprintSample>& samples,
 
 PhaseSplit detect_phases(const std::vector<os::FootprintSample>& samples,
                          const DetectorOptions& options) {
+  NPAT_OBS_SPAN("phasen.pivot_scan");
   NPAT_CHECK_MSG(samples.size() >= 2 * options.min_segment,
                  "not enough footprint samples for two phases");
   std::vector<double> times;
@@ -64,6 +66,7 @@ PhaseSplit detect_phases(const std::vector<os::FootprintSample>& samples,
 
 PhaseSplit detect_phases_k(const std::vector<os::FootprintSample>& samples, usize k,
                            const DetectorOptions& options) {
+  NPAT_OBS_SPAN("phasen.pivot_scan");
   NPAT_CHECK_MSG(samples.size() >= k * options.min_segment,
                  "not enough footprint samples for k phases");
   std::vector<double> times;
@@ -75,6 +78,7 @@ PhaseSplit detect_phases_k(const std::vector<os::FootprintSample>& samples, usiz
 
 PhaseSplit detect_phases_auto(const std::vector<os::FootprintSample>& samples, usize max_k,
                               const DetectorOptions& options) {
+  NPAT_OBS_SPAN("phasen.pivot_scan");
   NPAT_CHECK_MSG(samples.size() >= options.min_segment, "not enough footprint samples");
   std::vector<double> times;
   std::vector<double> values;

@@ -7,10 +7,34 @@
 #include <gtest/gtest.h>
 
 #include "memhist/wire.hpp"
+#include "obs/obs.hpp"
 #include "util/random.hpp"
 
 namespace npat::memhist::wire {
 namespace {
+
+/// Snapshot of the decoder's obs counters, for delta assertions: the
+/// decoder's internal tallies and the exported metrics must agree.
+struct WireCounters {
+  u64 decoded = 0;
+  u64 dropped = 0;
+  u64 crc_failures = 0;
+  u64 resync_skipped = 0;
+  u64 truncated_flushes = 0;
+
+  static WireCounters snapshot() {
+    WireCounters counters;
+#if NPAT_OBS_COMPILED
+    auto& registry = obs::metrics();
+    counters.decoded = registry.counter_value("npat_wire_frames_decoded_total");
+    counters.dropped = registry.counter_value("npat_wire_dropped_frames_total");
+    counters.crc_failures = registry.counter_value("npat_wire_crc_failures_total");
+    counters.resync_skipped = registry.counter_value("npat_wire_resync_skipped_bytes_total");
+    counters.truncated_flushes = registry.counter_value("npat_wire_truncated_flushes_total");
+#endif
+    return counters;
+  }
+};
 
 std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
   std::vector<Message> messages;
@@ -90,6 +114,12 @@ void expect_ordered_subsequence(const std::vector<Message>& originals,
 }
 
 TEST(WireFuzz, RandomSingleByteCorruptions) {
+#if NPAT_OBS_COMPILED
+  obs::EnabledGuard obs_on(true);
+  const WireCounters before = WireCounters::snapshot();
+  u64 total_decoded = 0;
+  u64 total_dropped = 0;
+#endif
   for (u64 seed = 1; seed <= 8; ++seed) {
     util::Xoshiro256ss rng(seed);
     const auto originals = make_messages(rng, 150);
@@ -109,7 +139,17 @@ TEST(WireFuzz, RandomSingleByteCorruptions) {
     EXPECT_GE(decoded.size(), originals.size() - corruptions)
         << "seed " << seed << ": lost more frames than corrupted bytes";
     EXPECT_GT(decoder.dropped_frames(), 0u) << "seed " << seed;
+#if NPAT_OBS_COMPILED
+    total_decoded += decoded.size();
+    total_dropped += decoder.dropped_frames();
+#endif
   }
+#if NPAT_OBS_COMPILED
+  const WireCounters after = WireCounters::snapshot();
+  EXPECT_EQ(after.decoded - before.decoded, total_decoded);
+  EXPECT_EQ(after.dropped - before.dropped, total_dropped);
+  EXPECT_GT(after.crc_failures, before.crc_failures);
+#endif
 }
 
 TEST(WireFuzz, CorruptedLengthFieldsDoNotSwallowSuccessors) {
@@ -141,6 +181,10 @@ TEST(WireFuzz, CorruptedLengthFieldsDoNotSwallowSuccessors) {
 }
 
 TEST(WireFuzz, GarbageInjectionBetweenFrames) {
+#if NPAT_OBS_COMPILED
+  obs::EnabledGuard obs_on(true);
+  const WireCounters before = WireCounters::snapshot();
+#endif
   util::Xoshiro256ss rng(7);
   const auto originals = make_messages(rng, 80);
 
@@ -164,9 +208,19 @@ TEST(WireFuzz, GarbageInjectionBetweenFrames) {
   // frame headers whose CRCs fail. All real messages survive.
   EXPECT_EQ(decoded.size(), originals.size());
   EXPECT_GT(decoder.resyncs(), 0u);
+#if NPAT_OBS_COMPILED
+  const WireCounters after = WireCounters::snapshot();
+  EXPECT_EQ(after.decoded - before.decoded, decoded.size());
+  // Injected noise bytes had to be skipped to resynchronize.
+  EXPECT_GT(after.resync_skipped, before.resync_skipped);
+#endif
 }
 
 TEST(WireFuzz, RandomTruncationNeverCrashes) {
+#if NPAT_OBS_COMPILED
+  obs::EnabledGuard obs_on(true);
+  const WireCounters before = WireCounters::snapshot();
+#endif
   util::Xoshiro256ss rng(21);
   const auto originals = make_messages(rng, 40);
   const auto full = concatenate(originals);
@@ -180,6 +234,11 @@ TEST(WireFuzz, RandomTruncationNeverCrashes) {
     while (auto message = decoder.poll()) decoded.push_back(std::move(*message));
     expect_ordered_subsequence(originals, decoded);
   }
+#if NPAT_OBS_COMPILED
+  // Most cuts land mid-frame, so the end-of-stream flush fired often.
+  const WireCounters after = WireCounters::snapshot();
+  EXPECT_GT(after.truncated_flushes, before.truncated_flushes);
+#endif
 }
 
 TEST(WireFuzz, PureNoiseDecodesNothing) {

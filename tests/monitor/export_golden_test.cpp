@@ -1,0 +1,96 @@
+// Golden tests: the monitor's CSV and JSON exports are a contract for
+// downstream tooling, so their exact bytes (column order, key order,
+// number formatting, escaping) are pinned here.
+#include <gtest/gtest.h>
+
+#include "monitor/export.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace npat::monitor {
+namespace {
+
+std::vector<Sample> two_samples() {
+  Sample first;
+  first.timestamp = 1000;
+  first.footprint_bytes = 4096;
+  first.nodes.resize(2);
+  first.nodes[0] = {/*instructions=*/500, /*cycles=*/1000, /*local_dram=*/40,
+                    /*remote_dram=*/10,   /*remote_hitm=*/2, /*imc_reads=*/64,
+                    /*imc_writes=*/32,    /*qpi_flits=*/128, /*resident_bytes=*/8192};
+  first.nodes[1] = {250, 1000, 5, 20, 1, 16, 8, 256, 4096};
+
+  Sample second;
+  second.timestamp = 2000;
+  second.footprint_bytes = 8192;
+  second.nodes.resize(2);
+  second.nodes[0] = {600, 1000, 50, 5, 0, 80, 40, 100, 8192};
+  second.nodes[1] = {300, 1000, 10, 30, 3, 20, 10, 300, 8192};
+  return {first, second};
+}
+
+TEST(ExportGolden, CsvBytesAreStable) {
+  const std::string expected =
+      "timestamp,footprint_bytes,node,instructions,cycles,local_dram,remote_dram,"
+      "remote_hitm,imc_reads,imc_writes,qpi_flits,resident_bytes\n"
+      "1000,4096,0,500,1000,40,10,2,64,32,128,8192\n"
+      "1000,4096,1,250,1000,5,20,1,16,8,256,4096\n"
+      "2000,8192,0,600,1000,50,5,0,80,40,100,8192\n"
+      "2000,8192,1,300,1000,10,30,3,20,10,300,8192\n";
+  EXPECT_EQ(to_csv(two_samples()), expected);
+}
+
+TEST(ExportGolden, CsvOfNoSamplesIsJustTheHeader) {
+  const std::string csv = to_csv({});
+  EXPECT_EQ(csv,
+            "timestamp,footprint_bytes,node,instructions,cycles,local_dram,remote_dram,"
+            "remote_hitm,imc_reads,imc_writes,qpi_flits,resident_bytes\n");
+}
+
+TEST(ExportGolden, CsvWriterEscapesSeparatorsAndQuotes) {
+  // The export's cells are numeric today, but the writer's RFC-4180
+  // escaping is part of the format contract.
+  util::CsvWriter csv({"label", "value"});
+  csv.add_row(std::vector<std::string>{"a,b", "1"});
+  csv.add_row(std::vector<std::string>{"say \"hi\"", "2"});
+  csv.add_row(std::vector<std::string>{"two\nlines", "3"});
+  EXPECT_EQ(csv.str(),
+            "label,value\n"
+            "\"a,b\",1\n"
+            "\"say \"\"hi\"\"\",2\n"
+            "\"two\nlines\",3\n");
+}
+
+TEST(ExportGolden, JsonBytesAreStable) {
+  // util::Json objects serialize keys alphabetically; integral values
+  // print without a fractional part.
+  const std::string expected =
+      R"({"samples":[)"
+      R"({"footprint_bytes":4096,"nodes":[)"
+      R"({"cycles":1000,"imc_reads":64,"imc_writes":32,"instructions":500,)"
+      R"("local_dram":40,"qpi_flits":128,"remote_dram":10,"remote_hitm":2,)"
+      R"("resident_bytes":8192},)"
+      R"({"cycles":1000,"imc_reads":16,"imc_writes":8,"instructions":250,)"
+      R"("local_dram":5,"qpi_flits":256,"remote_dram":20,"remote_hitm":1,)"
+      R"("resident_bytes":4096}],"timestamp":1000},)"
+      R"({"footprint_bytes":8192,"nodes":[)"
+      R"({"cycles":1000,"imc_reads":80,"imc_writes":40,"instructions":600,)"
+      R"("local_dram":50,"qpi_flits":100,"remote_dram":5,"remote_hitm":0,)"
+      R"("resident_bytes":8192},)"
+      R"({"cycles":1000,"imc_reads":20,"imc_writes":10,"instructions":300,)"
+      R"("local_dram":10,"qpi_flits":300,"remote_dram":30,"remote_hitm":3,)"
+      R"("resident_bytes":8192}],"timestamp":2000}]})";
+  EXPECT_EQ(to_json(two_samples()).dump(), expected);
+}
+
+TEST(ExportGolden, JsonRoundTripsThroughParse) {
+  const util::Json doc = to_json(two_samples());
+  const util::Json parsed = util::Json::parse(doc.dump(2));
+  EXPECT_EQ(parsed.dump(), doc.dump());
+  const auto& samples = parsed.at("samples").as_array();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[1].at("nodes").as_array()[0].at("instructions").as_number(), 600.0);
+}
+
+}  // namespace
+}  // namespace npat::monitor

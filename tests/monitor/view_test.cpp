@@ -99,6 +99,37 @@ TEST(View, SparklineColumnFollowsHistory) {
   EXPECT_EQ(bare.find("remote% trend"), std::string::npos);
 }
 
+TEST(View, AlertColumnRendersEngineSeverities) {
+  util::AnsiGuard plain(false);
+  // node0 is 10% remote (would be ok by raw thresholds), node1 80%: the
+  // view must render the *engine's* committed state, hysteresis and all.
+  obs::AlertEngine engine;
+  engine.add_rule(obs::remote_ratio_rule(0.2, 0.5, /*dwell_windows=*/2));
+  const WindowStats window = make_window();
+
+  ViewOptions options;
+  options.node_alerts = evaluate_node_alerts(engine, window);
+  const std::string first = render_view(window, options);
+  ASSERT_NE(first.find("Alert"), std::string::npos);
+  // One window is below the dwell: both nodes still read ok.
+  EXPECT_EQ(first.find("warn"), std::string::npos);
+  EXPECT_EQ(first.find("bad"), std::string::npos);
+
+  // The second consecutive hot window commits node1 to bad.
+  options.node_alerts = evaluate_node_alerts(engine, window);
+  EXPECT_EQ(options.node_alerts[0], obs::Severity::kOk);
+  EXPECT_EQ(options.node_alerts[1], obs::Severity::kBad);
+  const std::string second = render_view(window, options);
+  EXPECT_NE(second.find("bad"), std::string::npos);
+  EXPECT_EQ(engine.state("remote_ratio", "node1"), obs::Severity::kBad);
+}
+
+TEST(View, NoAlertColumnWithoutEngine) {
+  util::AnsiGuard plain(false);
+  const std::string out = render_view(make_window());
+  EXPECT_EQ(out.find("Alert"), std::string::npos);
+}
+
 TEST(View, ByteStableWithoutAnsi) {
   util::AnsiGuard plain(false);
   const std::string a = render_view(make_window());

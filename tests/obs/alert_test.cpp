@@ -1,0 +1,149 @@
+#include "obs/alert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace npat::obs {
+namespace {
+
+AlertEngine immediate_engine() {
+  AlertEngine engine;
+  engine.add_rule(remote_ratio_rule(0.20, 0.50, /*dwell_windows=*/1));
+  return engine;
+}
+
+TEST(AlertRule, DefaultsMatchTheViewThresholds) {
+  const AlertRule rule = remote_ratio_rule();
+  EXPECT_EQ(rule.name, "remote_ratio");
+  EXPECT_DOUBLE_EQ(rule.warn_raise, 0.20);
+  EXPECT_DOUBLE_EQ(rule.bad_raise, 0.50);
+  EXPECT_LT(rule.warn_clear, rule.warn_raise);
+  EXPECT_LT(rule.bad_clear, rule.bad_raise);
+}
+
+TEST(AlertEngine, InvalidRulesRejected) {
+  AlertEngine engine;
+  AlertRule backwards = remote_ratio_rule();
+  backwards.warn_clear = backwards.warn_raise + 0.1;
+  EXPECT_ANY_THROW(engine.add_rule(backwards));
+  AlertRule inverted = remote_ratio_rule();
+  inverted.warn_raise = inverted.bad_raise + 0.1;
+  EXPECT_ANY_THROW(engine.add_rule(inverted));
+  AlertRule no_dwell = remote_ratio_rule();
+  no_dwell.dwell_windows = 0;
+  EXPECT_ANY_THROW(engine.add_rule(no_dwell));
+}
+
+TEST(AlertEngine, RaisesWarnAndBadImmediatelyWithDwellOne) {
+  EnabledGuard on(true);
+  AlertEngine engine = immediate_engine();
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.10), Severity::kOk);
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kWarn);
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.60), Severity::kBad);
+  ASSERT_EQ(engine.transitions().size(), 2u);
+  EXPECT_EQ(engine.transitions()[0].to, Severity::kWarn);
+  EXPECT_EQ(engine.transitions()[1].to, Severity::kBad);
+}
+
+TEST(AlertEngine, DwellDelaysTheRaise) {
+  EnabledGuard on(true);
+  AlertEngine engine;
+  engine.add_rule(remote_ratio_rule(0.20, 0.50, /*dwell_windows=*/3));
+  // Two high windows are not enough; the third commits.
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kOk);
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kOk);
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kWarn);
+  ASSERT_EQ(engine.transitions().size(), 1u);
+  EXPECT_EQ(engine.transitions()[0].window, 3u);
+}
+
+TEST(AlertEngine, OutlierWindowResetsTheDwellStreak) {
+  EnabledGuard on(true);
+  AlertEngine engine;
+  engine.add_rule(remote_ratio_rule(0.20, 0.50, /*dwell_windows=*/2));
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kOk);  // streak 1
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.05), Severity::kOk);  // reset
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kOk);  // streak 1 again
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kWarn);
+}
+
+TEST(AlertEngine, StickyBandDoesNotClear) {
+  EnabledGuard on(true);
+  AlertEngine engine = immediate_engine();  // warn_clear = 0.15
+  engine.evaluate("remote_ratio", "node0", 0.30);
+  EXPECT_EQ(engine.state("remote_ratio", "node0"), Severity::kWarn);
+  // 0.17 sits between warn_clear (0.15) and warn_raise (0.20): stays warn.
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.17), Severity::kWarn);
+  // Below warn_clear finally clears.
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.10), Severity::kOk);
+}
+
+TEST(AlertEngine, AlternatingValuesNeverFlap) {
+  EnabledGuard on(true);
+  AlertEngine engine;
+  engine.add_rule(remote_ratio_rule(0.20, 0.50, /*dwell_windows=*/2));
+  // A value oscillating across the raise threshold every window can never
+  // build a dwell streak, so the committed state stays ok forever.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(engine.evaluate("remote_ratio", "node0", i % 2 == 0 ? 0.30 : 0.05), Severity::kOk);
+  }
+  EXPECT_TRUE(engine.transitions().empty());
+}
+
+TEST(AlertEngine, BadClearsToWarnNotOk) {
+  EnabledGuard on(true);
+  AlertEngine engine = immediate_engine();  // bad_clear = 0.40, warn_clear = 0.15
+  engine.evaluate("remote_ratio", "node0", 0.60);
+  EXPECT_EQ(engine.state("remote_ratio", "node0"), Severity::kBad);
+  // Below bad_clear but above warn_clear: steps down one level only.
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.30), Severity::kWarn);
+  EXPECT_EQ(engine.evaluate("remote_ratio", "node0", 0.05), Severity::kOk);
+}
+
+TEST(AlertEngine, SubjectsTrackIndependentState) {
+  EnabledGuard on(true);
+  AlertEngine engine = immediate_engine();
+  engine.evaluate("remote_ratio", "node0", 0.60);
+  engine.evaluate("remote_ratio", "node1", 0.05);
+  EXPECT_EQ(engine.state("remote_ratio", "node0"), Severity::kBad);
+  EXPECT_EQ(engine.state("remote_ratio", "node1"), Severity::kOk);
+  EXPECT_EQ(engine.state("remote_ratio", "node7"), Severity::kOk);  // unseen
+}
+
+TEST(AlertEngine, UnknownRuleThrows) {
+  AlertEngine engine;
+  EXPECT_ANY_THROW(engine.evaluate("no_such_rule", "node0", 0.5));
+}
+
+TEST(AlertEngine, TransitionsEmitMetricsAndInstants) {
+  EnabledGuard on(true);
+  const u64 before =
+      metrics().counter_value("npat_alert_transitions_total{rule=\"remote_ratio\",to=\"bad\"}");
+  const usize instants_before = tracer().instants().size();
+
+  AlertEngine engine = immediate_engine();
+  engine.evaluate("remote_ratio", "nodeX", 0.60);
+
+  EXPECT_EQ(metrics().counter_value(
+                "npat_alert_transitions_total{rule=\"remote_ratio\",to=\"bad\"}"),
+            before + 1);
+  EXPECT_DOUBLE_EQ(
+      metrics().gauge_value("npat_alert_state{rule=\"remote_ratio\",subject=\"nodeX\"}"), 2.0);
+  const auto instants = tracer().instants();
+  ASSERT_GT(instants.size(), instants_before);
+  EXPECT_EQ(instants.back().name, "alert.remote_ratio");
+  EXPECT_NE(instants.back().detail.find("nodeX ok->bad"), std::string::npos);
+}
+
+TEST(AlertEngine, RenderTransitionsIsHumanReadable) {
+  EnabledGuard on(true);
+  AlertEngine engine = immediate_engine();
+  EXPECT_EQ(engine.render_transitions(), "");
+  engine.evaluate("remote_ratio", "node0", 0.60);
+  const std::string log = engine.render_transitions();
+  EXPECT_NE(log.find("[remote_ratio] node0: ok -> bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace npat::obs

@@ -1,0 +1,170 @@
+// End-to-end checks that the NPAT_OBS_* instrumentation baked into the
+// tools produces a coherent trace and counters — and perturbs nothing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "evsel/collector.hpp"
+#include "evsel/regress.hpp"
+#include "obs/obs.hpp"
+#include "sim/presets.hpp"
+#include "util/json.hpp"
+#include "workloads/cache_scan.hpp"
+
+namespace npat {
+namespace {
+
+evsel::SweepFactory scan_factory() {
+  return [](double size) {
+    workloads::CacheScanParams params;
+    params.size = static_cast<u32>(size);
+    return workloads::cache_scan_program(params);
+  };
+}
+
+evsel::CollectOptions tiny_options() {
+  evsel::CollectOptions options;
+  options.repetitions = 1;
+  options.events = {sim::Event::kCycles, sim::Event::kInstructions};
+  return options;
+}
+
+#if NPAT_OBS_COMPILED
+
+TEST(Instrumentation, EvselSweepProducesNestedSpans) {
+  obs::EnabledGuard on(true);
+  obs::tracer().clear();
+
+  evsel::Collector collector(sim::uma_single_node(1));
+  evsel::sweep(collector, "size", {16.0, 32.0, 64.0}, scan_factory(), tiny_options());
+
+  const auto spans = obs::tracer().spans();
+  ASSERT_FALSE(spans.empty());
+
+  usize sweeps = 0, collects = 0, runs = 0, regressions = 0;
+  for (const auto& span : spans) {
+    if (span.path == "evsel.sweep") ++sweeps;
+    if (span.path == "evsel.sweep;evsel.collect") ++collects;
+    if (span.path == "evsel.sweep;evsel.collect;evsel.run") ++runs;
+    if (span.path == "evsel.sweep;evsel.regress") ++regressions;
+  }
+  EXPECT_EQ(sweeps, 1u);
+  EXPECT_EQ(collects, 3u);  // one per parameter value
+  EXPECT_GE(runs, 3u);      // at least one run per collect
+  EXPECT_EQ(regressions, 1u);
+}
+
+TEST(Instrumentation, ChromeTraceOfASweepRoundTripsWithContainment) {
+  obs::EnabledGuard on(true);
+  obs::tracer().clear();
+
+  evsel::Collector collector(sim::uma_single_node(1));
+  evsel::sweep(collector, "size", {16.0, 32.0, 64.0}, scan_factory(), tiny_options());
+
+  const util::Json doc = obs::tracer().chrome_trace();
+  const std::string text = doc.dump(2);
+  const util::Json parsed = util::Json::parse(text);
+  EXPECT_EQ(parsed.dump(), doc.dump());
+
+  // Reconstruct parent intervals by folded path: every child complete
+  // event must nest inside some event of its parent path.
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  for (const auto& event : events) {
+    if (event.at("ph").as_string() != "X") continue;
+    const std::string path = event.at("args").at("path").as_string();
+    const auto cut = path.rfind(';');
+    if (cut == std::string::npos) continue;
+    const std::string parent_path = path.substr(0, cut);
+    const double start = event.at("ts").as_number();
+    const double end = start + event.at("dur").as_number();
+    bool contained = false;
+    for (const auto& candidate : events) {
+      if (candidate.at("ph").as_string() != "X") continue;
+      if (candidate.at("args").at("path").as_string() != parent_path) continue;
+      const double p_start = candidate.at("ts").as_number();
+      const double p_end = p_start + candidate.at("dur").as_number();
+      if (start >= p_start && end <= p_end) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "span " << path << " not nested in any " << parent_path;
+  }
+}
+
+TEST(Instrumentation, RunCounterTracksCollectorRuns) {
+  obs::EnabledGuard on(true);
+  const u64 before = obs::metrics().counter_value("npat_evsel_runs_total");
+  evsel::Collector collector(sim::uma_single_node(1));
+  collector.measure("tiny", [] { return scan_factory()(16.0); }, tiny_options());
+  EXPECT_EQ(obs::metrics().counter_value("npat_evsel_runs_total"),
+            before + collector.runs_executed());
+}
+
+TEST(Instrumentation, PrometheusExportOfLiveRegistryParses) {
+  obs::EnabledGuard on(true);
+  evsel::Collector collector(sim::uma_single_node(1));
+  collector.measure("tiny", [] { return scan_factory()(16.0); }, tiny_options());
+
+  const std::string text = obs::metrics().prometheus_text();
+  ASSERT_FALSE(text.empty());
+  // Structural parse: every non-comment line is "<name>[{labels}] <value>",
+  // every metric family is preceded by a TYPE line.
+  std::set<std::string> typed;
+  usize pos = 0;
+  while (pos < text.size()) {
+    const usize eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated line";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      typed.insert(line.substr(7, line.find(' ', 7) - 7));
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    const usize space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_NE(value, "") << line;
+    EXPECT_NO_THROW(std::stod(value)) << line;
+    // The sample's base name (before '{' or a _bucket/_sum/_count suffix)
+    // must have been typed.
+    std::string base = name.substr(0, name.find('{'));
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (base.size() > s.size() && base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+          typed.count(base.substr(0, base.size() - s.size()))) {
+        base = base.substr(0, base.size() - s.size());
+        break;
+      }
+    }
+    EXPECT_TRUE(typed.count(base)) << "sample " << name << " missing TYPE";
+  }
+}
+
+#endif  // NPAT_OBS_COMPILED
+
+TEST(Instrumentation, DisabledObsLeavesSimulationBitIdentical) {
+  // The simulated counter values of identical runs must not depend on the
+  // observability switch: spans/counters read wall-clock and registry
+  // state only, never simulator state.
+  const auto run = [](bool obs_on) {
+    obs::EnabledGuard guard(obs_on);
+    evsel::Collector collector(sim::uma_single_node(1));
+    evsel::CollectOptions options;
+    options.repetitions = 2;
+    return collector.measure("tiny", [] { return scan_factory()(32.0); }, options);
+  };
+  const evsel::Measurement with_obs = run(true);
+  const evsel::Measurement without_obs = run(false);
+  for (const auto& info : sim::all_events()) {
+    EXPECT_EQ(with_obs.samples(info.event), without_obs.samples(info.event))
+        << sim::event_name(info.event);
+  }
+}
+
+}  // namespace
+}  // namespace npat

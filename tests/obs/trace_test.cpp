@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/runtime.hpp"
+#include "util/json.hpp"
+
+namespace npat::obs {
+namespace {
+
+/// Installs a deterministic clock that advances `step` µs per query.
+void install_manual_clock(Tracer& tracer, u64 step = 10) {
+  tracer.set_clock([t = u64{0}, step]() mutable {
+    const u64 now = t;
+    t += step;
+    return now;
+  });
+}
+
+TEST(Tracer, RecordsNestedSpansWithFoldedPaths) {
+  EnabledGuard on(true);
+  Tracer tracer;
+  install_manual_clock(tracer);
+  {
+    ScopedSpan outer(tracer, "sweep");
+    {
+      ScopedSpan inner(tracer, "collect");
+    }
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans complete innermost-first.
+  EXPECT_EQ(spans[0].name, "collect");
+  EXPECT_EQ(spans[0].path, "sweep;collect");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "sweep");
+  EXPECT_EQ(spans[1].path, "sweep");
+  EXPECT_EQ(spans[1].depth, 0u);
+  // Deterministic clock: outer opened at 0, inner at 10..20, outer closed 30.
+  EXPECT_EQ(spans[0].start_us, 10u);
+  EXPECT_EQ(spans[0].duration_us, 10u);
+  EXPECT_EQ(spans[1].start_us, 0u);
+  EXPECT_EQ(spans[1].duration_us, 30u);
+  // Children nest inside their parent's interval.
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+  EXPECT_LE(spans[0].start_us + spans[0].duration_us,
+            spans[1].start_us + spans[1].duration_us);
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer tracer;
+  {
+    EnabledGuard off(false);
+    ScopedSpan span(tracer, "ignored");
+    tracer.instant("also-ignored");
+  }
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.instants().empty());
+}
+
+TEST(Tracer, ReenablingMidSpanDoesNotUnderflowTheStack) {
+  Tracer tracer;
+  EnabledGuard on(true);
+  {
+    EnabledGuard off(false);
+    ScopedSpan span(tracer, "ignored");
+    // Destructor runs with obs re-enabled; the span was never begun, so
+    // ScopedSpan must not issue an end for it.
+    set_enabled(true);
+  }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, CapacityOverflowCountsDrops) {
+  EnabledGuard on(true);
+  Tracer tracer(2);
+  for (int i = 0; i < 4; ++i) {
+    ScopedSpan span(tracer, "s");
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_NE(tracer.flame_summary().find("2 events dropped"), std::string::npos);
+}
+
+TEST(Tracer, ChromeTraceRoundTripsThroughJson) {
+  EnabledGuard on(true);
+  Tracer tracer;
+  install_manual_clock(tracer);
+  {
+    ScopedSpan outer(tracer, "evsel.sweep");
+    ScopedSpan inner(tracer, "evsel.collect");
+  }
+  tracer.instant("alert.remote_ratio", "node0 ok->bad");
+
+  const util::Json doc = tracer.chrome_trace();
+  const std::string text = doc.dump(2);
+  const util::Json parsed = util::Json::parse(text);
+  EXPECT_EQ(parsed.dump(), doc.dump());
+
+  EXPECT_EQ(parsed.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 3u);
+  const auto& inner = events[0];
+  EXPECT_EQ(inner.at("ph").as_string(), "X");
+  EXPECT_EQ(inner.at("name").as_string(), "evsel.collect");
+  EXPECT_EQ(inner.at("args").at("path").as_string(), "evsel.sweep;evsel.collect");
+  EXPECT_DOUBLE_EQ(inner.at("args").at("depth").as_number(), 1.0);
+  const auto& outer = events[1];
+  EXPECT_EQ(outer.at("name").as_string(), "evsel.sweep");
+  // ts/dur containment: the inner complete event lies within the outer one.
+  EXPECT_GE(inner.at("ts").as_number(), outer.at("ts").as_number());
+  EXPECT_LE(inner.at("ts").as_number() + inner.at("dur").as_number(),
+            outer.at("ts").as_number() + outer.at("dur").as_number());
+  const auto& instant = events[2];
+  EXPECT_EQ(instant.at("ph").as_string(), "i");
+  EXPECT_EQ(instant.at("s").as_string(), "t");
+  EXPECT_EQ(instant.at("args").at("detail").as_string(), "node0 ok->bad");
+}
+
+TEST(Tracer, FlameSummaryComputesSelfTime) {
+  EnabledGuard on(true);
+  Tracer tracer;
+  install_manual_clock(tracer);  // every clock query advances 10 us
+  {
+    ScopedSpan outer(tracer, "a");  // t=0
+    {
+      ScopedSpan inner(tracer, "b");  // t=10..20
+    }
+  }  // t=30
+  const std::string summary = tracer.flame_summary();
+  // "a" total 30, self 30-10=20; "a;b" total 10, self 10.
+  EXPECT_NE(summary.find("a;b"), std::string::npos);
+  const auto line_start = summary.find("\na ");
+  ASSERT_NE(line_start, std::string::npos);
+  const std::string a_line = summary.substr(line_start + 1, summary.find('\n', line_start + 1) -
+                                                                line_start - 1);
+  EXPECT_NE(a_line.find("30"), std::string::npos) << a_line;
+  EXPECT_NE(a_line.find("20"), std::string::npos) << a_line;
+}
+
+TEST(Tracer, ClearDiscardsEverything) {
+  EnabledGuard on(true);
+  Tracer tracer;
+  {
+    ScopedSpan span(tracer, "s");
+  }
+  tracer.instant("i");
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.instants().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace npat::obs
