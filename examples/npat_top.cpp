@@ -9,9 +9,20 @@
 //   npat_top --workload=mlc --period=25000 --refresh-every=3 --clear
 //   npat_top --workload=stream --csv=run.csv --json=run.json --wire=run.bin
 //   npat_top --workload=gups --trace=top_trace.json
+//
+// With --fleet=N the same workload runs on N simulated probe hosts whose
+// telemetry streams travel over loopback channels (protocol v3, one
+// host-id Hello per probe, optional FaultyChannel fault injection) into a
+// fleet::FleetCollector, and the merged fleet-wide table is rendered:
+//
+//   npat_top --fleet=4 --workload=stream --refresh-every=8
+//   npat_top --fleet=3 --fault-drop=0.05 --fault-corrupt=0.05 --clear
 #include <cstdio>
 #include <fstream>
 
+#include "fleet/collector.hpp"
+#include "fleet/view.hpp"
+#include "memhist/remote.hpp"
 #include "monitor/aggregate.hpp"
 #include "monitor/export.hpp"
 #include "monitor/sampler.hpp"
@@ -66,6 +77,126 @@ void write_file(const std::string& path, const void* data, usize bytes) {
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
 }
 
+struct FleetFlags {
+  usize hosts = 0;
+  std::string workload;
+  std::string preset;
+  u32 threads = 4;
+  Cycles period = 50000;
+  usize refresh_every = 4;
+  double fault_drop = 0.0;
+  double fault_corrupt = 0.0;
+  bool clear = false;
+};
+
+int run_fleet(const FleetFlags& flags) {
+  // Phase 1: simulate each probe host and capture its telemetry session.
+  struct HostSession {
+    std::string id;
+    u32 node_count = 0;
+    std::vector<monitor::Sample> samples;
+  };
+  std::vector<HostSession> hosts;
+  for (usize h = 0; h < flags.hosts; ++h) {
+    sim::Machine machine(sim::preset_by_name(flags.preset));
+    os::AddressSpace space(machine.topology());
+    trace::Runner runner(machine, space);
+    monitor::SamplerConfig sampler_config;
+    sampler_config.period = flags.period;
+    sampler_config.ring_capacity = 1 << 16;  // keep the whole session
+    monitor::Sampler sampler(machine, space, sampler_config);
+    sampler.attach(runner);
+    runner.run(workload_by_name(flags.workload, flags.threads));
+    if (machine.max_clock() > 0) sampler.sample(machine.max_clock());
+
+    HostSession host;
+    host.id = util::format("host%02zu", h);
+    host.node_count = machine.nodes();
+    host.samples = sampler.ring().drain();
+    // Every host's clock starts at its own arbitrary offset, the way real
+    // unsynchronized machines' do; the collector aligns the skew away.
+    const Cycles skew = static_cast<Cycles>(h) * (flags.period * 17 + 1013);
+    for (monitor::Sample& sample : host.samples) sample.timestamp += skew;
+    hosts.push_back(std::move(host));
+  }
+
+  // Phase 2: replay every session concurrently over loopback — through
+  // fault injection when requested — into the fleet collector, refreshing
+  // the merged view as the streams interleave.
+  fleet::FleetCollector collector;
+  struct Link {
+    std::shared_ptr<util::FaultyChannel> tx;
+    memhist::Probe probe;
+    usize cursor = 0;
+  };
+  std::vector<Link> links;
+  for (usize h = 0; h < hosts.size(); ++h) {
+    auto pair = util::make_loopback_pair();
+    util::FaultyChannel::Config faults;
+    faults.drop_probability = flags.fault_drop;
+    faults.corrupt_probability = flags.fault_corrupt;
+    faults.seed = 1000 + h;
+    auto tx = std::make_shared<util::FaultyChannel>(pair.a, faults);
+    collector.add_probe(pair.b);
+    Link link{tx, memhist::Probe(tx), 0};
+    link.probe.send_hello(hosts[h].node_count, hosts[h].id);
+    links.push_back(std::move(link));
+  }
+
+  fleet::FleetViewOptions view_options;
+  view_options.clear_screen = flags.clear;
+  view_options.title = util::format("npat-fleet — %zux %s on %s", flags.hosts,
+                                    flags.workload.c_str(), flags.preset.c_str());
+  obs::AlertEngine alerts;
+  alerts.add_rule(obs::remote_ratio_rule(view_options.warn_remote_ratio,
+                                         view_options.bad_remote_ratio));
+
+  for (bool sending = true; sending;) {
+    sending = false;
+    for (usize h = 0; h < links.size(); ++h) {
+      Link& link = links[h];
+      const auto& samples = hosts[h].samples;
+      for (usize i = 0; i < flags.refresh_every && link.cursor < samples.size();
+           ++i, ++link.cursor) {
+        link.probe.send_sample(monitor::to_wire(samples[link.cursor]));
+      }
+      if (link.cursor < samples.size()) {
+        sending = true;
+      } else if (!link.tx->closed()) {
+        link.probe.send_end(samples.empty() ? 0 : samples.back().timestamp);
+        link.tx->close();
+      }
+    }
+    collector.poll();
+    const fleet::FleetView view = collector.view();
+    view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
+    std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
+    if (sending) std::fputs("\n", stdout);
+  }
+
+  const fleet::ProbeDamage damage = collector.view().damage_total();
+  usize sent = 0, failures = 0, dropped_in_transit = 0, corrupted = 0;
+  for (const Link& link : links) {
+    sent += link.probe.frames_sent();
+    failures += link.probe.send_failures();
+    dropped_in_transit += link.tx->dropped_sends();
+    corrupted += link.tx->corrupted_sends();
+  }
+  std::printf(
+      "\nfleet replay complete: %zu hosts, %zu frames sent (%zu send failures), "
+      "%zu samples merged\n",
+      hosts.size(), sent, failures, collector.samples_merged());
+  std::printf(
+      "transport damage: %zu dropped in transit, %zu corrupted, %zu rejected by decoders "
+      "(%zu resyncs, %zu EOF truncations), %zu unexpected frames\n",
+      dropped_in_transit, corrupted, damage.dropped_frames, damage.resyncs,
+      damage.truncated_flushes, damage.unexpected_frames);
+  if (!alerts.transitions().empty()) {
+    std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,6 +210,9 @@ int main(int argc, char** argv) {
   i64 period = 50000;
   i64 refresh_every = 4;
   i64 read_cost = 0;
+  i64 fleet = 0;
+  double fault_drop = 0.0;
+  double fault_corrupt = 0.0;
   bool clear = false;
 
   util::Cli cli("npat top — live per-node NUMA telemetry for a running workload");
@@ -88,6 +222,9 @@ int main(int argc, char** argv) {
   cli.add_flag("period", &period, "sampling period in simulated cycles");
   cli.add_flag("refresh-every", &refresh_every, "sampling periods per view refresh");
   cli.add_flag("read-cost", &read_cost, "simulated cycles charged per sample (models an agent)");
+  cli.add_flag("fleet", &fleet, "simulate N probe hosts and render the merged fleet view");
+  cli.add_flag("fault-drop", &fault_drop, "fleet mode: per-frame drop probability in transit");
+  cli.add_flag("fault-corrupt", &fault_corrupt, "fleet mode: per-frame corruption probability");
   cli.add_flag("clear", &clear, "ANSI clear-screen between refreshes (live top feel)");
   cli.add_flag("csv", &csv_path, "dump all samples as CSV to this path");
   cli.add_flag("json", &json_path, "dump all samples as JSON to this path");
@@ -97,6 +234,23 @@ int main(int argc, char** argv) {
   try {
     if (!cli.parse(argc, argv)) return 0;
     if (period <= 0 || refresh_every <= 0) throw util::CliError("period/refresh-every must be > 0");
+    if (fleet < 0 || fault_drop < 0.0 || fault_drop > 1.0 || fault_corrupt < 0.0 ||
+        fault_corrupt > 1.0) {
+      throw util::CliError("--fleet must be >= 0 and fault probabilities within [0, 1]");
+    }
+    if (fleet > 0) {
+      FleetFlags flags;
+      flags.hosts = static_cast<usize>(fleet);
+      flags.workload = workload;
+      flags.preset = preset;
+      flags.threads = static_cast<u32>(threads);
+      flags.period = static_cast<Cycles>(period);
+      flags.refresh_every = static_cast<usize>(refresh_every);
+      flags.fault_drop = fault_drop;
+      flags.fault_corrupt = fault_corrupt;
+      flags.clear = clear;
+      return run_fleet(flags);
+    }
 
     sim::Machine machine(sim::preset_by_name(preset));
     os::AddressSpace space(machine.topology());

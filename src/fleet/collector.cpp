@@ -1,0 +1,158 @@
+#include "fleet/collector.hpp"
+
+#include <algorithm>
+
+#include "monitor/export.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace npat::fleet {
+
+namespace wire = memhist::wire;
+
+usize FleetView::hosts_ended() const noexcept {
+  usize count = 0;
+  for (const HostRow& host : hosts) count += host.ended ? 1 : 0;
+  return count;
+}
+
+ProbeDamage FleetView::damage_total() const noexcept {
+  ProbeDamage sum;
+  for (const HostRow& host : hosts) {
+    sum.dropped_frames += host.damage.dropped_frames;
+    sum.resyncs += host.damage.resyncs;
+    sum.truncated_flushes += host.damage.truncated_flushes;
+    sum.unexpected_frames += host.damage.unexpected_frames;
+  }
+  return sum;
+}
+
+usize FleetCollector::add_probe(std::shared_ptr<util::ByteChannel> channel,
+                                std::string fallback_host_id) {
+  NPAT_CHECK_MSG(channel != nullptr, "fleet probe needs a channel");
+  auto probe = std::make_unique<PerProbe>();
+  probe->channel = std::move(channel);
+  probe->state.host_id = fallback_host_id.empty() ? util::format("probe%zu", probes_.size())
+                                                  : std::move(fallback_host_id);
+  probes_.push_back(std::move(probe));
+  NPAT_OBS_COUNT("npat_fleet_probes_total", "Probe channels registered with a FleetCollector", 1);
+  return probes_.size() - 1;
+}
+
+const ProbeState& FleetCollector::probe(usize index) const {
+  NPAT_CHECK_MSG(index < probes_.size(), "fleet probe index out of range");
+  return probes_[index]->state;
+}
+
+bool FleetCollector::all_ended() const noexcept {
+  for (const auto& probe : probes_) {
+    if (!probe->state.ended) return false;
+  }
+  return !probes_.empty();
+}
+
+usize FleetCollector::poll() {
+  NPAT_OBS_SPAN("fleet.poll");
+  usize merged = 0;
+  for (auto& probe : probes_) merged += poll_probe(*probe);
+  samples_merged_ += merged;
+  return merged;
+}
+
+usize FleetCollector::poll_probe(PerProbe& probe) {
+  ProbeState& state = probe.state;
+  for (;;) {
+    const auto bytes = probe.channel->recv(4096);
+    if (bytes.empty()) break;
+    probe.decoder.feed(bytes);
+  }
+  // Drained and closed: a partial frame can never complete. Let the
+  // decoder flush and count the truncation (same EOF handling as the
+  // single-probe GuiCollector and monitor::decode_stream).
+  if (probe.channel->closed()) probe.decoder.finish();
+
+  usize merged = 0;
+  while (auto message = probe.decoder.poll()) {
+    if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
+      state.hello_received = true;
+      state.version = hello->version;
+      state.node_count = hello->node_count;
+      // A v2 probe has no host field; it keeps the fallback name.
+      if (!hello->host_id.empty()) state.host_id = hello->host_id;
+    } else if (const auto* sample = std::get_if<wire::MonitorSampleMsg>(&*message)) {
+      if (!state.samples.empty() && sample->nodes.size() != state.samples.front().nodes.size()) {
+        // A CRC-valid frame whose shape contradicts the stream so far:
+        // merging it would poison every later aggregation, so count it as
+        // damage instead.
+        ++state.damage.unexpected_frames;
+        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
+                       "Valid frames the fleet collector could not merge", 1);
+        continue;
+      }
+      monitor::Sample merged_sample = monitor::from_wire(*sample);
+      if (!state.origin) state.origin = merged_sample.timestamp;
+      merged_sample.timestamp = merged_sample.timestamp >= *state.origin
+                                    ? merged_sample.timestamp - *state.origin
+                                    : 0;
+      state.samples.push_back(std::move(merged_sample));
+      ++merged;
+      NPAT_OBS_COUNT("npat_fleet_samples_merged_total",
+                     "Monitor samples merged into the fleet view", 1);
+    } else if (const auto* end = std::get_if<wire::End>(&*message)) {
+      state.ended = true;
+      state.total_cycles = end->total_cycles;
+    } else {
+      // ThresholdReadings (or future types) are valid v2 frames with no
+      // place in a telemetry merge — counted, not silently ignored.
+      ++state.damage.unexpected_frames;
+      NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
+                     "Valid frames the fleet collector could not merge", 1);
+    }
+  }
+
+  // Re-publish the decoder's own tallies so per-probe damage always
+  // reconciles exactly with the framing layer.
+  state.damage.dropped_frames = probe.decoder.dropped_frames();
+  state.damage.resyncs = probe.decoder.resyncs();
+  state.damage.truncated_flushes = probe.decoder.truncated_flushes();
+  return merged;
+}
+
+FleetView FleetCollector::view(usize window_samples) const {
+  NPAT_OBS_SPAN("fleet.view");
+  FleetView out;
+  out.hosts.reserve(probes_.size());
+  for (const auto& probe : probes_) {
+    const ProbeState& state = probe->state;
+    const usize take =
+        window_samples == 0 ? state.samples.size() : std::min(state.samples.size(), window_samples);
+    const std::span<const monitor::Sample> tail(state.samples.data() + state.samples.size() - take,
+                                                take);
+    HostRow row;
+    row.host_id = state.host_id;
+    row.hello_received = state.hello_received;
+    row.ended = state.ended;
+    row.samples_total = state.samples.size();
+    row.window = monitor::aggregate(tail);
+    row.damage = state.damage;
+
+    out.span = std::max(out.span, row.window.span());
+    out.samples += row.window.samples;
+    const monitor::NodeStats host_total = row.window.total();
+    out.total.samples += host_total.samples;
+    out.total.instructions += host_total.instructions;
+    out.total.cycles += host_total.cycles;
+    out.total.local_dram += host_total.local_dram;
+    out.total.remote_dram += host_total.remote_dram;
+    out.total.remote_hitm += host_total.remote_hitm;
+    out.total.imc_reads += host_total.imc_reads;
+    out.total.imc_writes += host_total.imc_writes;
+    out.total.qpi_flits += host_total.qpi_flits;
+    out.total.resident_bytes += host_total.resident_bytes;
+    out.hosts.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace npat::fleet

@@ -1,0 +1,115 @@
+// npat::fleet — multi-probe aggregation: one collector merges
+// MonitorSampleMsg streams from several headless probes (one per host)
+// into a fleet-wide per-node view, the way NUMAscope aggregates hardware
+// metrics across a large ccNUMA system. Each connected probe channel gets
+// its own wire::Decoder, so transport damage (dropped frames, resyncs,
+// EOF truncations) is attributed per probe; probes identify themselves
+// via the host id on the protocol-v3 Hello, and per-probe timestamps are
+// aligned to a common origin so hosts with skewed clocks merge cleanly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memhist/wire.hpp"
+#include "monitor/aggregate.hpp"
+#include "monitor/sampler.hpp"
+#include "util/channel.hpp"
+#include "util/types.hpp"
+
+namespace npat::fleet {
+
+/// Transport damage attributed to one probe's stream. The first three
+/// counters mirror that probe's wire::Decoder tallies exactly;
+/// `unexpected_frames` counts frames that decoded fine but carry a type
+/// the fleet layer has no use for (e.g. memhist ThresholdReadings in a
+/// telemetry stream) or a node count that contradicts the stream so far.
+struct ProbeDamage {
+  usize dropped_frames = 0;
+  usize resyncs = 0;
+  usize truncated_flushes = 0;
+  usize unexpected_frames = 0;
+
+  usize total() const noexcept {
+    return dropped_frames + unexpected_frames;  // resyncs/truncations are subsets of drops
+  }
+  friend bool operator==(const ProbeDamage&, const ProbeDamage&) = default;
+};
+
+/// Everything the collector knows about one probe stream.
+struct ProbeState {
+  std::string host_id;  // v3 Hello, else the add_probe fallback
+  u8 version = 0;       // from Hello, 0 until one arrives
+  u32 node_count = 0;   // ditto
+  bool hello_received = false;
+  bool ended = false;          // End frame seen
+  Cycles total_cycles = 0;     // from End
+  /// Raw timestamp of the probe's first sample. Subtracted from every
+  /// sample so unsynchronized probe clocks share origin 0.
+  std::optional<Cycles> origin;
+  std::vector<monitor::Sample> samples;  // aligned timestamps, stream order
+  ProbeDamage damage;
+};
+
+/// One host's row in the merged fleet view.
+struct HostRow {
+  std::string host_id;
+  bool hello_received = false;
+  bool ended = false;
+  usize samples_total = 0;        // samples merged over the whole session
+  monitor::WindowStats window;    // aggregation over the requested window
+  ProbeDamage damage;
+};
+
+/// Snapshot of the merged fleet: per-host rows plus the cross-host
+/// aggregate. Rates for the aggregate divide by `span` (the longest host
+/// window), which is the fleet's wall clock once origins are aligned.
+struct FleetView {
+  std::vector<HostRow> hosts;
+  monitor::NodeStats total;  // summed over every host's window total
+  Cycles span = 0;
+  u64 samples = 0;  // sample records inside the window, all hosts
+
+  usize hosts_ended() const noexcept;
+  ProbeDamage damage_total() const noexcept;
+};
+
+/// Merges several probe streams. Single-threaded and cooperative like the
+/// memhist GuiCollector: call poll() whenever channel data may be pending.
+class FleetCollector {
+ public:
+  /// Registers a probe channel; returns its index. `fallback_host_id`
+  /// names the probe until (or unless) a v3 Hello carries its own id;
+  /// empty means "probe<index>".
+  usize add_probe(std::shared_ptr<util::ByteChannel> channel, std::string fallback_host_id = {});
+
+  /// Drains every channel, decodes, and folds frames into the per-probe
+  /// state. Returns the number of monitor samples merged by this call.
+  usize poll();
+
+  usize probe_count() const noexcept { return probes_.size(); }
+  const ProbeState& probe(usize index) const;
+  bool all_ended() const noexcept;
+  /// Samples merged across all probes since construction.
+  usize samples_merged() const noexcept { return samples_merged_; }
+
+  /// Per-host aggregation over each host's most recent `window_samples`
+  /// samples (0 = the whole session) plus the cross-host totals.
+  FleetView view(usize window_samples = 0) const;
+
+ private:
+  struct PerProbe {
+    std::shared_ptr<util::ByteChannel> channel;
+    memhist::wire::Decoder decoder;
+    ProbeState state;
+  };
+
+  usize poll_probe(PerProbe& probe);
+
+  std::vector<std::unique_ptr<PerProbe>> probes_;
+  usize samples_merged_ = 0;
+};
+
+}  // namespace npat::fleet

@@ -1,0 +1,137 @@
+#include "fleet/view.hpp"
+
+#include <algorithm>
+
+#include "util/ansi.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace npat::fleet {
+
+namespace {
+
+util::Style severity_style(obs::Severity severity) {
+  switch (severity) {
+    case obs::Severity::kBad:
+      return util::Style::kRed;
+    case obs::Severity::kWarn:
+      return util::Style::kYellow;
+    case obs::Severity::kOk:
+      break;
+  }
+  return util::Style::kGreen;
+}
+
+obs::Severity host_severity(usize host, double remote_ratio, const FleetViewOptions& options) {
+  if (host < options.host_alerts.size()) return options.host_alerts[host];
+  if (remote_ratio >= options.bad_remote_ratio) return obs::Severity::kBad;
+  if (remote_ratio >= options.warn_remote_ratio) return obs::Severity::kWarn;
+  return obs::Severity::kOk;
+}
+
+std::string percent(double ratio) { return util::format("%5.1f%%", ratio * 100.0); }
+
+util::Cell damage_cell(usize count) {
+  return {util::format("%zu", count), count > 0 ? util::Style::kYellow : util::Style::kDim};
+}
+
+void push_rate_cells(std::vector<util::Cell>& cells, const monitor::NodeStats& stats,
+                     Cycles span, const FleetViewOptions& options, util::Style style) {
+  const double hitm_ratio =
+      stats.numa_loads() == 0
+          ? 0.0
+          : static_cast<double>(stats.remote_hitm) / static_cast<double>(stats.numa_loads());
+  cells.push_back({percent(stats.local_ratio()), style});
+  cells.push_back({percent(stats.remote_ratio()), style});
+  cells.push_back({percent(hitm_ratio), style});
+  cells.push_back({util::format("%4.2f", stats.ipc()), style});
+  cells.push_back({util::format("%6.2f", stats.dram_gbps(span, options.frequency_ghz)), style});
+  cells.push_back({util::human_bytes(stats.resident_bytes), style});
+}
+
+}  // namespace
+
+std::string render_fleet_view(const FleetView& view, const FleetViewOptions& options) {
+  std::string out;
+  if (options.clear_screen && util::ansi_enabled()) out += "\x1b[H\x1b[2J";
+
+  const ProbeDamage damage = view.damage_total();
+  out += util::format(
+      "%s — hosts=%zu (%zu ended)  window=%s cycles  samples=%llu  "
+      "damage: drop=%zu resync=%zu trunc=%zu unexpected=%zu\n",
+      options.title.c_str(), view.hosts.size(), view.hosts_ended(),
+      util::si_scaled(static_cast<double>(view.span)).c_str(),
+      static_cast<unsigned long long>(view.samples), damage.dropped_frames, damage.resyncs,
+      damage.truncated_flushes, damage.unexpected_frames);
+
+  const bool alerts = !options.host_alerts.empty();
+  std::vector<std::string> headers = {"Host",      "Local%", "Remote%", "HITM%", "IPC",
+                                      "DRAM GB/s", "RSS",    "Samples", "Drop",  "Rsyn",
+                                      "Trunc",     "Unexp",  "State"};
+  if (alerts) headers.push_back("Alert");
+  util::Table table(std::move(headers));
+  for (usize c = 1; c <= 11; ++c) table.set_align(c, util::Align::kRight);
+
+  const Cycles span = view.span > 0 ? view.span : 1;
+  for (usize host = 0; host < view.hosts.size(); ++host) {
+    const HostRow& row = view.hosts[host];
+    const monitor::NodeStats stats = row.window.total();
+    const bool idle = stats.instructions == 0;
+    const util::Style row_style = idle ? util::Style::kDim : util::Style::kNone;
+    const obs::Severity severity = host_severity(host, stats.remote_ratio(), options);
+
+    std::vector<util::Cell> cells;
+    cells.push_back({row.host_id, row_style});
+    push_rate_cells(cells, stats, row.window.span(span), options, row_style);
+    // Remote% carries the severity colour cue like the single-host view.
+    cells[2].style = idle ? row_style : severity_style(severity);
+    cells.push_back({util::format("%zu", row.samples_total), row_style});
+    cells.push_back(damage_cell(row.damage.dropped_frames));
+    cells.push_back(damage_cell(row.damage.resyncs));
+    cells.push_back(damage_cell(row.damage.truncated_flushes));
+    cells.push_back(damage_cell(row.damage.unexpected_frames));
+    cells.push_back(row.ended ? util::Cell{"ended", util::Style::kDim}
+                              : (row.hello_received ? util::Cell{"live", util::Style::kGreen}
+                                                    : util::Cell{"mute", util::Style::kYellow}));
+    if (alerts) cells.push_back({obs::severity_name(severity), severity_style(severity)});
+    table.add_styled_row(std::move(cells));
+  }
+
+  // Cross-host aggregate row.
+  {
+    std::vector<util::Cell> cells;
+    cells.push_back({"fleet", util::Style::kBold});
+    push_rate_cells(cells, view.total, span, options, util::Style::kBold);
+    usize samples_total = 0;
+    for (const HostRow& row : view.hosts) samples_total += row.samples_total;
+    cells.push_back({util::format("%zu", samples_total), util::Style::kBold});
+    cells.push_back(damage_cell(damage.dropped_frames));
+    cells.push_back(damage_cell(damage.resyncs));
+    cells.push_back(damage_cell(damage.truncated_flushes));
+    cells.push_back(damage_cell(damage.unexpected_frames));
+    cells.push_back({util::format("%zu/%zu", view.hosts_ended(), view.hosts.size()),
+                     util::Style::kBold});
+    if (alerts) {
+      obs::Severity worst = obs::Severity::kOk;
+      for (obs::Severity s : options.host_alerts) worst = std::max(worst, s);
+      cells.push_back({obs::severity_name(worst), severity_style(worst)});
+    }
+    table.add_rule();
+    table.add_styled_row(std::move(cells));
+  }
+
+  out += table.render();
+  return out;
+}
+
+std::vector<obs::Severity> evaluate_host_alerts(obs::AlertEngine& engine, const FleetView& view) {
+  std::vector<obs::Severity> severities;
+  severities.reserve(view.hosts.size());
+  for (const HostRow& row : view.hosts) {
+    severities.push_back(
+        engine.evaluate("remote_ratio", row.host_id, row.window.total().remote_ratio()));
+  }
+  return severities;
+}
+
+}  // namespace npat::fleet

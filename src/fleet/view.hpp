@@ -1,0 +1,43 @@
+// Fleet-wide npat-top: one row per host (NUMA rates over the current
+// window plus that probe's transport damage) and a cross-host totals row.
+// Like monitor::render_view, rendering is byte-stable with ANSI styling
+// off so tests can assert on output, while a terminal gets colour cues:
+// remote-heavy hosts red/yellow, damaged transports yellow.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fleet/collector.hpp"
+#include "obs/alert.hpp"
+#include "util/types.hpp"
+
+namespace npat::fleet {
+
+struct FleetViewOptions {
+  /// Core frequency used to scale bytes/cycle into GB/s.
+  double frequency_ghz = 2.4;
+  /// Remote-ratio thresholds; used directly (no hysteresis) when
+  /// `host_alerts` is not supplied.
+  double warn_remote_ratio = 0.2;
+  double bad_remote_ratio = 0.5;
+  /// Committed per-host severities from an obs::AlertEngine (see
+  /// evaluate_host_alerts). When sized, the view renders an Alert column.
+  std::vector<obs::Severity> host_alerts;
+  /// Emit an ANSI home+clear prefix before the frame (live top-style
+  /// refresh); only honoured while ANSI styling is globally enabled.
+  bool clear_screen = false;
+  std::string title = "npat-fleet";
+};
+
+/// Renders one frame: a summary line (hosts, window span, samples, total
+/// transport damage) and the per-host table with a fleet totals row.
+std::string render_fleet_view(const FleetView& view, const FleetViewOptions& options = {});
+
+/// Feeds every host's window remote ratio through the engine's
+/// "remote_ratio" rule (subjects = host ids) and returns the committed
+/// severities, ready to assign to FleetViewOptions::host_alerts.
+std::vector<obs::Severity> evaluate_host_alerts(obs::AlertEngine& engine, const FleetView& view);
+
+}  // namespace npat::fleet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace npat::memhist {
@@ -10,24 +11,34 @@ Probe::Probe(std::shared_ptr<util::ByteChannel> channel) : channel_(std::move(ch
   NPAT_CHECK_MSG(channel_ != nullptr, "probe needs a channel");
 }
 
-void Probe::send_hello(u32 node_count) {
-  channel_->send(wire::encode(wire::Hello{wire::kProtocolVersion, node_count}));
-  ++frames_sent_;
+void Probe::send_frame(const wire::Message& message) {
+  // Only frames the channel accepted count as sent; a closed channel's
+  // rejections are accounted separately so the probe's tally reconciles
+  // with what could ever reach the collector.
+  if (channel_->send(wire::encode(message))) {
+    ++frames_sent_;
+  } else {
+    ++send_failures_;
+    NPAT_OBS_COUNT("npat_remote_send_failures_total",
+                   "Probe frames rejected by a closed channel", 1);
+  }
+}
+
+void Probe::send_hello(u32 node_count, const std::string& host_id) {
+  send_frame(wire::Hello{wire::kProtocolVersion, node_count, host_id});
 }
 
 void Probe::send_reading(const ThresholdReading& reading) {
-  channel_->send(wire::encode(wire::ReadingMsg{reading}));
-  ++frames_sent_;
+  send_frame(wire::ReadingMsg{reading});
 }
 
 void Probe::send_readings(const std::vector<ThresholdReading>& readings) {
   for (const auto& reading : readings) send_reading(reading);
 }
 
-void Probe::send_end(Cycles total_cycles) {
-  channel_->send(wire::encode(wire::End{total_cycles}));
-  ++frames_sent_;
-}
+void Probe::send_sample(const wire::MonitorSampleMsg& sample) { send_frame(sample); }
+
+void Probe::send_end(Cycles total_cycles) { send_frame(wire::End{total_cycles}); }
 
 GuiCollector::GuiCollector(std::shared_ptr<util::ByteChannel> channel)
     : channel_(std::move(channel)) {
@@ -40,6 +51,11 @@ void GuiCollector::poll() {
     if (bytes.empty()) break;
     decoder_.feed(bytes);
   }
+  // The channel is drained; if it is also closed, a partially received
+  // frame can never complete. Signal end of stream so the decoder flushes
+  // and counts the truncation instead of waiting forever (mirrors
+  // monitor::decode_stream).
+  if (channel_->closed()) decoder_.finish();
   while (auto message = decoder_.poll()) {
     if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
       hello_ = *hello;
@@ -59,6 +75,13 @@ void GuiCollector::poll() {
       if (!merged) readings_.push_back(reading->reading);
     } else if (const auto* end = std::get_if<wire::End>(&*message)) {
       total_cycles_ = end->total_cycles;
+    } else {
+      // Valid frame, wrong session kind (e.g. MonitorSampleMsg telemetry
+      // in a histogram stream): useless here, but account for it so the
+      // transport's loss tally stays complete.
+      ++unexpected_frames_;
+      NPAT_OBS_COUNT("npat_remote_unexpected_frames_total",
+                     "Valid frames of a type the collector has no use for", 1);
     }
   }
 }

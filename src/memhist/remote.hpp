@@ -18,19 +18,29 @@ class Probe {
  public:
   explicit Probe(std::shared_ptr<util::ByteChannel> channel);
 
-  /// Handshake; sends protocol version and machine shape.
-  void send_hello(u32 node_count);
+  /// Handshake; sends protocol version and machine shape. A non-empty
+  /// `host_id` rides on the version-3 Hello so a fleet collector can
+  /// attribute this stream to its source host.
+  void send_hello(u32 node_count, const std::string& host_id = {});
   /// Streams one accumulated threshold reading.
   void send_reading(const ThresholdReading& reading);
   void send_readings(const std::vector<ThresholdReading>& readings);
+  /// Streams one continuous-monitoring telemetry sample (protocol >= 2).
+  void send_sample(const wire::MonitorSampleMsg& sample);
   /// Ends the session; the collector can build the histogram afterwards.
   void send_end(Cycles total_cycles);
 
+  /// Frames the channel accepted. Sends rejected by a closed channel are
+  /// counted separately — they never reached the wire.
   usize frames_sent() const noexcept { return frames_sent_; }
+  usize send_failures() const noexcept { return send_failures_; }
 
  private:
+  void send_frame(const wire::Message& message);
+
   std::shared_ptr<util::ByteChannel> channel_;
   usize frames_sent_ = 0;
+  usize send_failures_ = 0;
 };
 
 /// GUI-side endpoint ("EventFor(Interval) + Accumulate(...)" in Fig. 6).
@@ -45,9 +55,15 @@ class GuiCollector {
   bool ended() const noexcept { return total_cycles_.has_value(); }
   const std::vector<ThresholdReading>& readings() const noexcept { return readings_; }
 
-  /// Accumulated transport damage (dropped frames, resyncs).
+  /// Accumulated transport damage (dropped frames, resyncs, frames
+  /// truncated by the transport at end of stream).
   usize dropped_frames() const noexcept { return decoder_.dropped_frames(); }
   usize resyncs() const noexcept { return decoder_.resyncs(); }
+  usize truncated_flushes() const noexcept { return decoder_.truncated_flushes(); }
+  /// Frames that decoded fine but carry a type this collector has no use
+  /// for (e.g. MonitorSampleMsg telemetry in a histogram session). Counted
+  /// so transport dashboards don't under-report loss.
+  usize unexpected_frames() const noexcept { return unexpected_frames_; }
 
   /// Builds the histogram from everything received; requires ended().
   LatencyHistogram build(HistogramMode mode) const;
@@ -58,6 +74,7 @@ class GuiCollector {
   std::optional<wire::Hello> hello_;
   std::optional<Cycles> total_cycles_;
   std::vector<ThresholdReading> readings_;
+  usize unexpected_frames_ = 0;
 };
 
 }  // namespace npat::memhist

@@ -82,6 +82,13 @@ std::vector<u8> encode(const Message& message) {
     type = kTypeHello;
     payload.push_back(hello->version);
     put_u32(payload, hello->node_count);
+    // The host id rides only on version >= 3 hellos; a v1/v2 Hello keeps
+    // its historical 5-byte payload bit-for-bit.
+    if (hello->version >= 3) {
+      NPAT_CHECK_MSG(hello->host_id.size() <= kMaxHostIdBytes, "host id too long for Hello frame");
+      payload.push_back(static_cast<u8>(hello->host_id.size()));
+      payload.insert(payload.end(), hello->host_id.begin(), hello->host_id.end());
+    }
   } else if (const ReadingMsg* msg = std::get_if<ReadingMsg>(&message)) {
     type = kTypeReading;
     put_u64(payload, msg->reading.threshold);
@@ -156,6 +163,7 @@ std::optional<Message> Decoder::poll() {
       // corrupted upward) can never complete. Treat it as a damaged frame
       // and rescan for intact frames behind the magic bytes.
       ++dropped_;
+      ++truncated_;
       NPAT_OBS_COUNT("npat_wire_truncated_flushes_total",
                      "Incomplete frames flushed at end of stream", 1);
       NPAT_OBS_COUNT("npat_wire_dropped_frames_total", "Frames dropped by the decoder", 1);
@@ -181,11 +189,18 @@ std::optional<Message> Decoder::poll() {
     std::optional<Message> message;
     switch (type) {
       case kTypeHello:
-        if (payload_len == 5) {
+        // v1/v2 layout: version(1) node_count(4). v3 appends
+        // host_len(1) + host bytes; the length must account exactly.
+        if (payload_len >= 5) {
           Hello hello;
           hello.version = payload[0];
           hello.node_count = get_u32(payload + 1);
-          message = hello;
+          if (payload_len == 5 && hello.version <= 2) {
+            message = std::move(hello);
+          } else if (payload_len >= 6 && payload_len == 6u + payload[5]) {
+            hello.host_id.assign(reinterpret_cast<const char*>(payload + 6), payload[5]);
+            message = std::move(hello);
+          }
         }
         break;
       case kTypeReading:

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -18,14 +19,23 @@ namespace npat::memhist::wire {
 
 inline constexpr u8 kMagic0 = 'N';
 inline constexpr u8 kMagic1 = 'P';
-/// Version 2 added MonitorSampleMsg. Version-1 streams decode unchanged;
-/// version-1 decoders skip the new frame type (unknown types are dropped
-/// whole, CRC-verified, without losing framing).
-inline constexpr u8 kProtocolVersion = 2;
+/// Version 2 added MonitorSampleMsg. Version 3 extends Hello with a host
+/// id so a fleet collector can attribute multiplexed streams to probes.
+/// Version-1/2 streams decode unchanged; older decoders skip newer frame
+/// types (unknown types are dropped whole, CRC-verified, without losing
+/// framing).
+inline constexpr u8 kProtocolVersion = 3;
+inline constexpr usize kMaxHostIdBytes = 255;
 
 struct Hello {
   u8 version = kProtocolVersion;
   u32 node_count = 0;
+  /// Since version 3: names the sending probe in a multi-probe fleet.
+  /// Empty on version <= 2 streams (whose Hello has no host field) and
+  /// encoded only when `version >= 3`, so v2 frames stay byte-identical.
+  std::string host_id;
+
+  friend bool operator==(const Hello&, const Hello&) = default;
 };
 
 struct ReadingMsg {
@@ -86,6 +96,9 @@ class Decoder {
 
   usize dropped_frames() const noexcept { return dropped_; }
   usize resyncs() const noexcept { return resyncs_; }
+  /// Incomplete frames flushed at end of stream (a subset of
+  /// dropped_frames(): each truncation is also counted as a drop).
+  usize truncated_flushes() const noexcept { return truncated_; }
 
  private:
   void discard(usize bytes);
@@ -93,6 +106,7 @@ class Decoder {
   std::vector<u8> buffer_;
   usize dropped_ = 0;
   usize resyncs_ = 0;
+  usize truncated_ = 0;
   bool finished_ = false;
 };
 

@@ -34,7 +34,9 @@ class LoopbackEndpoint : public ByteChannel {
 
   void close() override { (is_a_ ? state_->a_closed : state_->b_closed) = true; }
 
-  bool closed() const override { return my_closed(); }
+  // Either half-close ends the conversation: sends already fail when the
+  // peer closed, and a reader whose peer closed will never see new data.
+  bool closed() const override { return my_closed() || peer_closed(); }
 
  private:
   bool my_closed() const { return is_a_ ? state_->a_closed : state_->b_closed; }

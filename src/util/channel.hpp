@@ -30,6 +30,10 @@ class ByteChannel {
   /// Half-closes the write side; the peer sees EOF after draining.
   virtual void close() = 0;
 
+  /// True once either side has half-closed: no data beyond what is already
+  /// queued will ever arrive. Readers use this to tell end of stream from
+  /// "no data yet" — once recv() returns empty while closed(), the stream
+  /// is at EOF and any partially received frame is permanently truncated.
   virtual bool closed() const = 0;
 };
 

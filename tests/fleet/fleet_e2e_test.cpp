@@ -1,0 +1,207 @@
+// End-to-end fleet test: 4 loopback probes stream a known telemetry
+// session through drop / corrupt / truncate fault injection into one
+// FleetCollector. The merged view must equal the per-probe ground truth
+// minus explicitly counted damage — every surviving sample bit-exact and
+// in order, every missing sample accounted for by a channel-level fault
+// tally or a decoder drop, and the collector's per-probe damage counters
+// reconciling exactly with the wire decoders' own obs tallies.
+#include <gtest/gtest.h>
+
+#include "fleet/collector.hpp"
+#include "fleet/view.hpp"
+#include "memhist/remote.hpp"
+#include "monitor/export.hpp"
+#include "obs/obs.hpp"
+#include "util/ansi.hpp"
+#include "util/random.hpp"
+#include "util/strings.hpp"
+
+namespace npat::fleet {
+namespace {
+
+namespace wire = memhist::wire;
+
+constexpr usize kNodes = 2;
+constexpr usize kSamplesPerHost = 120;
+
+monitor::Sample ground_truth_sample(usize host, Cycles step, util::Xoshiro256ss& rng) {
+  monitor::Sample sample;
+  // Hosts carry skewed clocks; the collector must align them away.
+  sample.timestamp = static_cast<Cycles>(host) * 1000003 + step * 1000;
+  sample.footprint_bytes = MiB(1) + rng.below(4096);
+  for (usize n = 0; n < kNodes; ++n) {
+    monitor::NodeSample node;
+    node.instructions = 1000 + rng.below(500);
+    node.cycles = 2000 + rng.below(100);
+    node.local_dram = 50 + rng.below(50);
+    node.remote_dram = rng.below(40);
+    node.remote_hitm = rng.below(5);
+    node.imc_reads = 100 + rng.below(50);
+    node.imc_writes = 40 + rng.below(30);
+    node.qpi_flits = rng.below(1000);
+    node.resident_bytes = KiB(64) * (n + 1);
+    sample.nodes.push_back(node);
+  }
+  return sample;
+}
+
+struct HostFixture {
+  std::string id;
+  std::vector<monitor::Sample> truth;
+  std::shared_ptr<util::ByteChannel> raw;  // fault-free path for control frames
+  std::shared_ptr<util::FaultyChannel> tx;
+  std::unique_ptr<memhist::Probe> probe;
+  usize sample_frames_sent = 0;
+};
+
+TEST(FleetEndToEnd, MergedViewEqualsGroundTruthMinusCountedDamage) {
+#if NPAT_OBS_COMPILED
+  obs::EnabledGuard obs_on(true);
+  const u64 decoder_dropped_before = obs::metrics().counter_value("npat_wire_dropped_frames_total");
+  const u64 fleet_merged_before = obs::metrics().counter_value("npat_fleet_samples_merged_total");
+#endif
+  util::Xoshiro256ss rng(2024);
+  FleetCollector collector;
+  std::vector<HostFixture> hosts(4);
+
+  // Per-host fault profiles: clean, lossy, corrupting, and one whose
+  // stream is truncated mid-frame at EOF.
+  const double drop_probability[] = {0.0, 0.25, 0.0, 0.0};
+  const double corrupt_probability[] = {0.0, 0.0, 0.25, 0.0};
+  for (usize h = 0; h < hosts.size(); ++h) {
+    HostFixture& host = hosts[h];
+    host.id = util::format("node-%zu", h);
+    for (usize s = 0; s < kSamplesPerHost; ++s) {
+      host.truth.push_back(ground_truth_sample(h, static_cast<Cycles>(s + 1), rng));
+    }
+    auto pair = util::make_loopback_pair();
+    util::FaultyChannel::Config faults;
+    faults.drop_probability = drop_probability[h];
+    faults.corrupt_probability = corrupt_probability[h];
+    faults.seed = 7000 + h;
+    host.raw = pair.a;
+    host.tx = std::make_shared<util::FaultyChannel>(pair.a, faults);
+    host.probe = std::make_unique<memhist::Probe>(host.tx);
+    collector.add_probe(pair.b);
+    // Control frames skip the fault injector so the damage tallies below
+    // are attributable to sample frames alone.
+    host.raw->send(wire::encode(wire::Hello{wire::kProtocolVersion, kNodes, host.id}));
+  }
+
+  // Interleave the streams in bursts, polling between bursts the way a
+  // collector servicing several sockets would.
+  for (usize burst = 0; burst < kSamplesPerHost; burst += 10) {
+    for (HostFixture& host : hosts) {
+      for (usize s = burst; s < burst + 10 && s < host.truth.size(); ++s) {
+        host.probe->send_sample(monitor::to_wire(host.truth[s]));
+        ++host.sample_frames_sent;
+      }
+    }
+    collector.poll();
+  }
+  // Orderly shutdown for hosts 0-2; host 3's last frame is cut mid-flight.
+  for (usize h = 0; h + 1 < hosts.size(); ++h) {
+    hosts[h].raw->send(wire::encode(wire::End{hosts[h].truth.back().timestamp}));
+    hosts[h].raw->close();
+  }
+  {
+    HostFixture& host = hosts.back();
+    const auto frame = wire::encode(monitor::to_wire(ground_truth_sample(3, 999, rng)));
+    host.raw->send(std::vector<u8>(frame.begin(), frame.begin() + frame.size() / 2));
+    ++host.sample_frames_sent;
+    host.raw->close();
+  }
+  collector.poll();
+
+  usize merged_total = 0;
+  for (usize h = 0; h < hosts.size(); ++h) {
+    const HostFixture& host = hosts[h];
+    const ProbeState& state = collector.probe(h);
+    SCOPED_TRACE(host.id);
+    EXPECT_EQ(state.host_id, host.id);
+
+    // Reconciliation: every sample frame either merged, was dropped in
+    // transit (channel tally), or was rejected by the decoder (drop or
+    // resync tally). Nothing vanishes unaccounted.
+    const usize lost_in_transit = host.tx->dropped_sends();
+    EXPECT_LE(state.samples.size() + lost_in_transit, host.sample_frames_sent);
+    EXPECT_GE(state.samples.size() + lost_in_transit + state.damage.dropped_frames +
+                  state.damage.resyncs,
+              host.sample_frames_sent);
+
+    // Every merged sample is bit-exact ground truth (modulo the skew
+    // alignment), in stream order: damage drops frames, never distorts.
+    const Cycles origin = host.truth.front().timestamp;
+    usize cursor = 0;
+    for (const monitor::Sample& merged : state.samples) {
+      bool found = false;
+      while (cursor < host.truth.size()) {
+        monitor::Sample aligned = host.truth[cursor++];
+        aligned.timestamp -= origin;
+        if (aligned == merged) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "merged sample is not an in-order ground-truth sample";
+    }
+    merged_total += state.samples.size();
+  }
+
+  // Host 0: clean channel, everything must arrive.
+  EXPECT_EQ(collector.probe(0).samples.size(), kSamplesPerHost);
+  EXPECT_EQ(collector.probe(0).damage, ProbeDamage{});
+  EXPECT_TRUE(collector.probe(0).ended);
+
+  // Host 1: whole-frame drops — merged == sent minus the channel's tally,
+  // and the decoder saw nothing wrong (frames vanished cleanly).
+  EXPECT_GT(hosts[1].tx->dropped_sends(), 0u);
+  EXPECT_EQ(collector.probe(1).samples.size(), kSamplesPerHost - hosts[1].tx->dropped_sends());
+  EXPECT_EQ(collector.probe(1).damage.dropped_frames, 0u);
+
+  // Host 2: corruption — every corrupted frame is lost and accounted for
+  // (CRC drop, or resync when the magic itself was hit); merged == sent
+  // minus the channel's corruption tally.
+  EXPECT_GT(hosts[2].tx->corrupted_sends(), 0u);
+  EXPECT_EQ(collector.probe(2).samples.size(), kSamplesPerHost - hosts[2].tx->corrupted_sends());
+  EXPECT_LE(collector.probe(2).damage.dropped_frames, hosts[2].tx->corrupted_sends());
+  EXPECT_GE(collector.probe(2).damage.dropped_frames + collector.probe(2).damage.resyncs,
+            hosts[2].tx->corrupted_sends());
+
+  // Host 3: EOF truncation — the cut frame is flushed and counted, the
+  // intact prefix survives, and no End frame means the host never ended.
+  EXPECT_EQ(collector.probe(3).samples.size(), kSamplesPerHost);
+  EXPECT_EQ(collector.probe(3).damage.truncated_flushes, 1u);
+  EXPECT_FALSE(collector.probe(3).ended);
+
+  // The merged fleet view carries the same per-host tallies.
+  util::AnsiGuard ansi_off(false);
+  const FleetView view = collector.view();
+  ASSERT_EQ(view.hosts.size(), 4u);
+  usize view_samples = 0;
+  for (usize h = 0; h < hosts.size(); ++h) {
+    EXPECT_EQ(view.hosts[h].damage, collector.probe(h).damage);
+    EXPECT_EQ(view.hosts[h].samples_total, collector.probe(h).samples.size());
+    view_samples += view.hosts[h].samples_total;
+  }
+  EXPECT_EQ(view_samples, merged_total);
+  EXPECT_EQ(collector.samples_merged(), merged_total);
+  EXPECT_EQ(view.hosts_ended(), 3u);
+  const std::string rendered = render_fleet_view(view);
+  EXPECT_NE(rendered.find("node-0"), std::string::npos);
+  EXPECT_NE(rendered.find("node-3"), std::string::npos);
+
+#if NPAT_OBS_COMPILED
+  // The collector's damage counters reconcile exactly with the decoders'
+  // own exported tallies.
+  const u64 decoder_dropped_delta =
+      obs::metrics().counter_value("npat_wire_dropped_frames_total") - decoder_dropped_before;
+  const u64 fleet_merged_delta =
+      obs::metrics().counter_value("npat_fleet_samples_merged_total") - fleet_merged_before;
+  EXPECT_EQ(decoder_dropped_delta, static_cast<u64>(view.damage_total().dropped_frames));
+  EXPECT_EQ(fleet_merged_delta, static_cast<u64>(merged_total));
+#endif
+}
+
+}  // namespace
+}  // namespace npat::fleet

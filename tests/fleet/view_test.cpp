@@ -1,0 +1,107 @@
+#include "fleet/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/ansi.hpp"
+#include "util/strings.hpp"
+
+namespace npat::fleet {
+namespace {
+
+monitor::WindowStats make_window(u64 local, u64 remote, u64 samples) {
+  monitor::WindowStats window;
+  window.start = 0;
+  window.end = 1000;
+  window.samples = samples;
+  window.footprint_bytes = 1 << 20;
+  monitor::NodeStats node;
+  node.samples = samples;
+  node.instructions = 5000;
+  node.cycles = 10000;
+  node.local_dram = local;
+  node.remote_dram = remote;
+  node.imc_reads = 100;
+  node.imc_writes = 50;
+  node.qpi_flits = 400;
+  node.resident_bytes = 1 << 20;
+  window.nodes.push_back(node);
+  return window;
+}
+
+FleetView two_host_view() {
+  FleetView view;
+  HostRow good;
+  good.host_id = "good-host";
+  good.hello_received = true;
+  good.ended = true;
+  good.samples_total = 40;
+  good.window = make_window(/*local=*/90, /*remote=*/10, 40);
+  HostRow bad;
+  bad.host_id = "bad-host";
+  bad.hello_received = true;
+  bad.samples_total = 30;
+  bad.window = make_window(/*local=*/20, /*remote=*/80, 30);
+  bad.damage.dropped_frames = 7;
+  bad.damage.resyncs = 3;
+  bad.damage.truncated_flushes = 1;
+  bad.damage.unexpected_frames = 2;
+  view.hosts = {good, bad};
+  view.total = make_window(110, 90, 70).total();
+  view.span = 1000;
+  view.samples = 70;
+  return view;
+}
+
+TEST(FleetViewRender, ContainsHostsTotalsAndDamage) {
+  util::AnsiGuard ansi_off(false);
+  const std::string out = render_fleet_view(two_host_view());
+  EXPECT_NE(out.find("good-host"), std::string::npos);
+  EXPECT_NE(out.find("bad-host"), std::string::npos);
+  EXPECT_NE(out.find("fleet"), std::string::npos);
+  // Summary line carries the cross-host damage tally.
+  EXPECT_NE(out.find("drop=7 resync=3 trunc=1 unexpected=2"), std::string::npos);
+  EXPECT_NE(out.find("hosts=2 (1 ended)"), std::string::npos);
+  // Per-host states: finished vs still streaming.
+  EXPECT_NE(out.find("ended"), std::string::npos);
+  EXPECT_NE(out.find("live"), std::string::npos);
+  EXPECT_NE(out.find("1/2"), std::string::npos);
+}
+
+TEST(FleetViewRender, RemoteRatiosRendered) {
+  util::AnsiGuard ansi_off(false);
+  const std::string out = render_fleet_view(two_host_view());
+  EXPECT_NE(out.find("10.0%"), std::string::npos);  // good host remote
+  EXPECT_NE(out.find("80.0%"), std::string::npos);  // bad host remote
+  EXPECT_NE(out.find("45.0%"), std::string::npos);  // fleet remote (90/200)
+}
+
+TEST(FleetViewRender, AlertColumnRendersWhenSupplied) {
+  util::AnsiGuard ansi_off(false);
+  FleetViewOptions options;
+  options.host_alerts = {obs::Severity::kOk, obs::Severity::kBad};
+  const std::string out = render_fleet_view(two_host_view(), options);
+  EXPECT_NE(out.find("Alert"), std::string::npos);
+  EXPECT_NE(out.find("bad"), std::string::npos);
+}
+
+TEST(FleetViewRender, ByteStableWithoutAnsi) {
+  util::AnsiGuard ansi_off(false);
+  const std::string first = render_fleet_view(two_host_view());
+  const std::string second = render_fleet_view(two_host_view());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find('\x1b'), std::string::npos);
+}
+
+TEST(FleetViewAlerts, EngineEvaluatesPerHost) {
+  obs::AlertEngine engine;
+  engine.add_rule(obs::remote_ratio_rule(0.2, 0.5, /*dwell_windows=*/1));
+  const FleetView view = two_host_view();
+  const auto severities = evaluate_host_alerts(engine, view);
+  ASSERT_EQ(severities.size(), 2u);
+  EXPECT_EQ(severities[0], obs::Severity::kOk);   // 10% remote
+  EXPECT_EQ(severities[1], obs::Severity::kBad);  // 80% remote
+  EXPECT_EQ(engine.state("remote_ratio", "bad-host"), obs::Severity::kBad);
+}
+
+}  // namespace
+}  // namespace npat::fleet

@@ -107,5 +107,80 @@ TEST(Remote, NullChannelRejected) {
   EXPECT_THROW(GuiCollector collector(nullptr), CheckError);
 }
 
+TEST(Remote, EofTruncatedFrameFlushedAndCounted) {
+  // Regression: poll() used to leave a partial frame sitting in the
+  // decoder forever when the connection died mid-frame — never flushed,
+  // never counted. EOF must finish() the decoder.
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  GuiCollector collector(pair.b);
+  probe.send_hello(2);
+  probe.send_reading(ThresholdReading{8, 10, 100, 1});
+
+  // The final frame crosses a truncating transport, then the link dies.
+  util::FaultyChannel::Config faults;
+  faults.truncate_to = 9;  // every frame cut short of its CRC
+  auto truncating = std::make_shared<util::FaultyChannel>(pair.a, faults);
+  Probe dying_probe(truncating);
+  dying_probe.send_reading(ThresholdReading{16, 5, 100, 1});
+  truncating->close();
+  collector.poll();
+
+  EXPECT_TRUE(collector.hello_received());
+  ASSERT_EQ(collector.readings().size(), 1u);
+  EXPECT_EQ(collector.readings()[0].threshold, 8u);
+  EXPECT_EQ(collector.truncated_flushes(), 1u);
+  EXPECT_EQ(collector.dropped_frames(), 1u);
+}
+
+TEST(Remote, FailedSendsCountedSeparately) {
+  // Regression: frames_sent() used to tick even when the channel
+  // rejected the write, so probe-side accounting overstated delivery.
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  probe.send_hello(2);
+  EXPECT_EQ(probe.frames_sent(), 1u);
+  EXPECT_EQ(probe.send_failures(), 0u);
+
+  pair.b->close();  // collector goes away
+  probe.send_reading(ThresholdReading{8, 1, 100, 1});
+  probe.send_end(1000);
+  EXPECT_EQ(probe.frames_sent(), 1u);  // the rejected frames don't count
+  EXPECT_EQ(probe.send_failures(), 2u);
+}
+
+TEST(Remote, UnexpectedMonitorFramesCounted) {
+  // A telemetry sample is a valid protocol frame with no place in a
+  // histogram session; the collector tallies it instead of silently
+  // ignoring it.
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  GuiCollector collector(pair.b);
+  probe.send_hello(1);
+  wire::MonitorSampleMsg sample;
+  sample.timestamp = 500;
+  sample.footprint_bytes = 4096;
+  sample.nodes.push_back({});
+  probe.send_sample(sample);
+  probe.send_reading(ThresholdReading{8, 1, 100, 1});
+  collector.poll();
+
+  EXPECT_EQ(collector.unexpected_frames(), 1u);
+  EXPECT_EQ(collector.dropped_frames(), 0u);
+  ASSERT_EQ(collector.readings().size(), 1u);
+}
+
+TEST(Remote, HostIdRidesTheHello) {
+  auto pair = util::make_loopback_pair();
+  Probe probe(pair.a);
+  probe.send_hello(4, "blade-17");
+  wire::Decoder decoder;
+  decoder.feed(pair.b->recv(256));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<wire::Hello>(*message).host_id, "blade-17");
+  EXPECT_EQ(std::get<wire::Hello>(*message).node_count, 4u);
+}
+
 }  // namespace
 }  // namespace npat::memhist

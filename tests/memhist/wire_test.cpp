@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace npat::memhist::wire {
 namespace {
 
@@ -15,7 +17,7 @@ TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
 
 TEST(Wire, HelloRoundTrip) {
   Decoder decoder;
-  decoder.feed(encode(Hello{kProtocolVersion, 4}));
+  decoder.feed(encode(Hello{kProtocolVersion, 4, {}}));
   const auto message = decoder.poll();
   ASSERT_TRUE(message.has_value());
   const auto* hello = std::get_if<Hello>(&*message);
@@ -169,7 +171,7 @@ TEST(Wire, Version1StreamStillDecodes) {
   // frames; the version 2 decoder must read it unchanged.
   std::vector<u8> stream;
   for (const Message& message :
-       {Message{Hello{1, 2}}, Message{ReadingMsg{ThresholdReading{64, 10, 1000, 4}}},
+       {Message{Hello{1, 2, {}}}, Message{ReadingMsg{ThresholdReading{64, 10, 1000, 4}}},
         Message{ReadingMsg{ThresholdReading{128, 20, 1000, 4}}}, Message{End{5000}}}) {
     const auto frame = encode(message);
     stream.insert(stream.end(), frame.begin(), frame.end());
@@ -190,6 +192,65 @@ TEST(Wire, Version1StreamStillDecodes) {
   ASSERT_TRUE(end.has_value());
   EXPECT_EQ(std::get<End>(*end).total_cycles, 5000u);
   EXPECT_EQ(decoder.dropped_frames(), 0u);
+}
+
+TEST(Wire, HelloHostIdRoundTrip) {
+  Decoder decoder;
+  decoder.feed(encode(Hello{kProtocolVersion, 4, "rack12-node3"}));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* hello = std::get_if<Hello>(&*message);
+  ASSERT_NE(hello, nullptr);
+  EXPECT_EQ(hello->version, kProtocolVersion);
+  EXPECT_EQ(hello->node_count, 4u);
+  EXPECT_EQ(hello->host_id, "rack12-node3");
+}
+
+TEST(Wire, HelloEmptyHostIdRoundTrip) {
+  // A v3 Hello with no host name still carries the length byte (0), so
+  // the payload is 6 bytes, not the legacy 5.
+  Decoder decoder;
+  decoder.feed(encode(Hello{kProtocolVersion, 2, {}}));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<Hello>(*message).host_id, "");
+  EXPECT_EQ(std::get<Hello>(*message).node_count, 2u);
+}
+
+TEST(Wire, LegacyHelloWithoutHostStillDecodes) {
+  // A version <= 2 Hello has the historical 5-byte payload and no host
+  // field; the v3 decoder must read it unchanged.
+  const auto frame = encode(Hello{2, 7, {}});
+  EXPECT_EQ(frame.size(), 5u + 5u + 4u);  // header + 5-byte payload + crc
+  Decoder decoder;
+  decoder.feed(frame);
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<Hello>(*message).version, 2u);
+  EXPECT_EQ(std::get<Hello>(*message).node_count, 7u);
+  EXPECT_TRUE(std::get<Hello>(*message).host_id.empty());
+}
+
+TEST(Wire, HelloHostLengthMismatchDropped) {
+  // CRC-valid frame whose host length byte contradicts the payload size:
+  // claims 9 host bytes but carries 2. Must be dropped, not misread.
+  const std::vector<u8> payload = {3, 1, 0, 0, 0, 9, 'a', 'b'};
+  std::vector<u8> frame = {kMagic0, kMagic1, 1 /* Hello */};
+  frame.push_back(static_cast<u8>(payload.size()));
+  frame.push_back(0);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const u32 crc = crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<u8>((crc >> (8 * i)) & 0xFF));
+
+  Decoder decoder;
+  decoder.feed(frame);
+  EXPECT_FALSE(decoder.poll().has_value());
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(Wire, HostIdTooLongRejectedAtEncode) {
+  Hello hello{kProtocolVersion, 1, std::string(kMaxHostIdBytes + 1, 'x')};
+  EXPECT_THROW(encode(hello), CheckError);
 }
 
 }  // namespace

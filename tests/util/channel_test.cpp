@@ -51,6 +51,17 @@ TEST(Loopback, DrainAfterSenderClose) {
   EXPECT_EQ(pair.b->recv(10), bytes({5}));  // data sent before close survives
 }
 
+TEST(Loopback, PeerCloseVisibleToReader) {
+  // EOF detection: the surviving side must see the connection as closed
+  // even though it never called close() itself, so a reader can tell
+  // "stream over" from "no data yet" after draining.
+  auto pair = make_loopback_pair();
+  EXPECT_FALSE(pair.b->closed());
+  pair.a->close();
+  EXPECT_TRUE(pair.a->closed());
+  EXPECT_TRUE(pair.b->closed());
+}
+
 TEST(FaultyChannel, DropsConfiguredFraction) {
   auto pair = make_loopback_pair();
   FaultyChannel faulty(pair.a, {.drop_probability = 1.0, .corrupt_probability = 0.0,
