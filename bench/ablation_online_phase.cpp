@@ -1,0 +1,133 @@
+// Ablation for the online Phasenprüfer: the offline detector re-fits the
+// whole footprint trace after the run; the online detector keeps the
+// prefix sums incrementally and re-runs only the O(n) pivot scan, so it
+// can publish the ramp-up/compute boundary *while the run is live*.
+//
+// Two artefacts per trace length:
+//   - per-update cost: online push+scan vs re-running detect_phases from
+//     scratch on every new sample (the naive way to go online);
+//   - detection latency: samples between the true knee and the moment the
+//     dwell filter publishes the boundary.
+// A final column checks the replay guarantee: finalize() must land on the
+// same pivot as the offline detector fed the same trace.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "os/procfs.hpp"
+#include "phasen/detector.hpp"
+#include "phasen/online.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace npat;
+
+struct Trace {
+  std::vector<os::FootprintSample> samples;  // offline input
+  usize knee = 0;                            // ground-truth pivot sample
+};
+
+/// Ramp-up then flat footprint with mild noise, timestamped from a large
+/// epoch-style origin so the bench also exercises the conditioned axes.
+Trace make_trace(usize n, u64 seed) {
+  Trace trace;
+  trace.knee = n / 3;
+  util::Xoshiro256ss rng(seed);
+  const Cycles origin = 1'000'000'000'000ull;
+  const u64 step = 64 * 1024;
+  for (usize i = 0; i < n; ++i) {
+    const u64 ramp = step * static_cast<u64>(i < trace.knee ? i : trace.knee);
+    const u64 noise = rng.below(step / 8);
+    os::FootprintSample sample;
+    sample.timestamp = origin + static_cast<Cycles>(i) * 250'000;
+    sample.reserved_bytes = ramp + noise;
+    sample.resident_bytes = sample.reserved_bytes;
+    trace.samples.push_back(sample);
+  }
+  return trace;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  i64 max_n = 4096;
+  i64 seed = 42;
+  util::Cli cli("Ablation: online incremental pivot scan vs offline re-runs");
+  cli.add_flag("max-n", &max_n, "largest trace length (halved down to 512)");
+  cli.add_flag("seed", &seed, "trace noise seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  util::Table table({"samples", "strategy", "per-update", "speedup", "knee found", "replay"});
+  table.set_title("Online phase detection: per-update cost and publication latency");
+  for (usize c = 2; c <= 3; ++c) table.set_align(c, util::Align::kRight);
+
+  for (i64 n = 512; n <= max_n; n *= 2) {
+    const Trace trace = make_trace(static_cast<usize>(n), static_cast<u64>(seed));
+
+    // Offline-per-update: the strawman online strategy — rebuild the whole
+    // fit from scratch every time a sample lands (quadratic in n).
+    auto start = std::chrono::steady_clock::now();
+    std::vector<os::FootprintSample> prefix;
+    usize offline_runs = 0;
+    for (usize i = 0; i < trace.samples.size(); ++i) {
+      prefix.push_back(trace.samples[i]);
+      if (prefix.size() >= 2 * phasen::DetectorOptions{}.min_segment) {
+        (void)phasen::detect_phases(prefix);
+        ++offline_runs;
+      }
+    }
+    const double offline_us =
+        seconds_since(start) * 1e6 / static_cast<double>(offline_runs);
+    table.add_row({util::format("%lld", static_cast<long long>(n)), "offline re-run",
+                   util::format("%.2f us", offline_us), "1.0x", "-", "-"});
+
+    // Online: one detector fed sample by sample; the scan cadence trades
+    // publication lag for amortized cost.
+    for (const usize cadence : {usize{1}, usize{16}}) {
+      phasen::OnlineDetectorOptions options;
+      options.rescan_every = cadence;
+      phasen::OnlineDetector online(options);
+      // "Knee found" = first sample index where the published pivot lands
+      // within one min_segment of the ground-truth knee.
+      i64 found_at = -1;
+      start = std::chrono::steady_clock::now();
+      for (usize i = 0; i < trace.samples.size(); ++i) {
+        online.push(trace.samples[i].timestamp, trace.samples[i].reserved_bytes);
+        if (found_at < 0 && online.published()) {
+          const i64 error = static_cast<i64>(online.published_pivot()) -
+                            static_cast<i64>(trace.knee);
+          if (error >= -static_cast<i64>(options.min_segment) &&
+              error <= static_cast<i64>(options.min_segment)) {
+            found_at = static_cast<i64>(i);
+          }
+        }
+      }
+      const double online_us =
+          seconds_since(start) * 1e6 / static_cast<double>(trace.samples.size());
+
+      const phasen::PhaseSplit replay = online.finalize();
+      const phasen::PhaseSplit offline = phasen::detect_phases(trace.samples);
+      const bool identical = replay.pivot_sample == offline.pivot_sample &&
+                             replay.total_sse == offline.total_sse;
+      table.add_row({"", util::format("online every=%zu", cadence),
+                     util::format("%.2f us", online_us),
+                     util::format("%.1fx", offline_us / online_us),
+                     found_at >= 0 ? util::format("%+lld samples after knee",
+                                                  static_cast<long long>(found_at) -
+                                                      static_cast<long long>(trace.knee))
+                                   : std::string("never"),
+                     identical ? "pivot+SSE identical" : "MISMATCH"});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "monitor/sampler.hpp"
 #include "monitor/view.hpp"
 #include "obs/obs.hpp"
+#include "phasen/online.hpp"
 #include "sim/presets.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -151,6 +152,14 @@ int run_fleet(const FleetFlags& flags) {
   alerts.add_rule(obs::remote_ratio_rule(view_options.warn_remote_ratio,
                                          view_options.bad_remote_ratio));
 
+  // One online Phasenprüfer per probe stream: detection runs on what the
+  // collector actually *received* (post transport damage), the same data
+  // the per-host rows render. The collector has already aligned each
+  // host's clock to origin 0.
+  std::vector<phasen::OnlineDetector> phase_detectors(hosts.size());
+  std::vector<usize> phase_cursors(hosts.size(), 0);
+  view_options.host_phases.resize(hosts.size());
+
   for (bool sending = true; sending;) {
     sending = false;
     for (usize h = 0; h < links.size(); ++h) {
@@ -168,6 +177,13 @@ int run_fleet(const FleetFlags& flags) {
       }
     }
     collector.poll();
+    for (usize h = 0; h < hosts.size(); ++h) {
+      const auto& merged = collector.probe(h).samples;
+      for (; phase_cursors[h] < merged.size(); ++phase_cursors[h]) {
+        phase_detectors[h].push(merged[phase_cursors[h]]);
+      }
+      view_options.host_phases[h] = phase_detectors[h].phase_label();
+    }
     const fleet::FleetView view = collector.view();
     view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
     std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
@@ -276,14 +292,22 @@ int main(int argc, char** argv) {
     monitor::TieredHistory tiers;
     std::vector<monitor::Sample> session;       // every sample, for the export paths
     std::vector<monitor::WindowStats> windows;  // one per refresh, for the sparkline
+    // Online Phasenprüfer: every sample's footprint feeds the incremental
+    // pivot scan, and the view's Phase column flips from ramp-up to compute
+    // once a boundary survives the dwell.
+    phasen::OnlineDetector phase_detector;
 
     const auto refresh = [&](bool final_flush) {
       auto batch = sampler.ring().drain();
       if (batch.empty()) return;
-      for (const monitor::Sample& sample : batch) tiers.add(sample);
+      for (const monitor::Sample& sample : batch) {
+        tiers.add(sample);
+        phase_detector.push(sample);
+      }
       session.insert(session.end(), batch.begin(), batch.end());
       windows.push_back(monitor::aggregate(batch));
       view_options.node_alerts = monitor::evaluate_node_alerts(alerts, windows.back());
+      view_options.phase_label = phase_detector.phase_label();
       std::fputs(monitor::render_view(windows.back(), windows, view_options).c_str(), stdout);
       if (!final_flush) std::fputs("\n", stdout);
     };
@@ -305,6 +329,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(sampler.samples_taken()),
         static_cast<unsigned long long>(sampler.ring().dropped()),
         100.0 * total.remote_ratio());
+    if (phase_detector.published()) {
+      const auto& event = phase_detector.events().back();
+      std::printf(
+          "phase boundary: sample %zu at t=%s cycles (published on scan %llu of %llu, "
+          "%zu transition event%s)\n",
+          phase_detector.published_pivot(),
+          util::si_scaled(static_cast<double>(phase_detector.published_pivot_time())).c_str(),
+          static_cast<unsigned long long>(event.scan),
+          static_cast<unsigned long long>(phase_detector.scans()),
+          phase_detector.events().size(), phase_detector.events().size() == 1 ? "" : "s");
+    } else {
+      std::printf("no phase boundary published (%llu pivot scans)\n",
+                  static_cast<unsigned long long>(phase_detector.scans()));
+    }
     if (!alerts.transitions().empty()) {
       std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
     }

@@ -65,9 +65,11 @@ std::string render_fleet_view(const FleetView& view, const FleetViewOptions& opt
       damage.truncated_flushes, damage.unexpected_frames);
 
   const bool alerts = !options.host_alerts.empty();
+  const bool phases = !options.host_phases.empty();
   std::vector<std::string> headers = {"Host",      "Local%", "Remote%", "HITM%", "IPC",
                                       "DRAM GB/s", "RSS",    "Samples", "Drop",  "Rsyn",
                                       "Trunc",     "Unexp",  "State"};
+  if (phases) headers.push_back("Phase");
   if (alerts) headers.push_back("Alert");
   util::Table table(std::move(headers));
   for (usize c = 1; c <= 11; ++c) table.set_align(c, util::Align::kRight);
@@ -93,6 +95,10 @@ std::string render_fleet_view(const FleetView& view, const FleetViewOptions& opt
     cells.push_back(row.ended ? util::Cell{"ended", util::Style::kDim}
                               : (row.hello_received ? util::Cell{"live", util::Style::kGreen}
                                                     : util::Cell{"mute", util::Style::kYellow}));
+    if (phases) {
+      cells.push_back({host < options.host_phases.size() ? options.host_phases[host] : "-",
+                       util::Style::kCyan});
+    }
     if (alerts) cells.push_back({obs::severity_name(severity), severity_style(severity)});
     table.add_styled_row(std::move(cells));
   }
@@ -111,6 +117,7 @@ std::string render_fleet_view(const FleetView& view, const FleetViewOptions& opt
     cells.push_back(damage_cell(damage.unexpected_frames));
     cells.push_back({util::format("%zu/%zu", view.hosts_ended(), view.hosts.size()),
                      util::Style::kBold});
+    if (phases) cells.push_back({"-", util::Style::kDim});
     if (alerts) {
       obs::Severity worst = obs::Severity::kOk;
       for (obs::Severity s : options.host_alerts) worst = std::max(worst, s);

@@ -25,6 +25,10 @@ struct FleetViewOptions {
   /// Committed per-host severities from an obs::AlertEngine (see
   /// evaluate_host_alerts). When sized, the view renders an Alert column.
   std::vector<obs::Severity> host_alerts;
+  /// Per-host live phase labels (phasen::OnlineDetector::phase_label(),
+  /// indexed like FleetView::hosts). When non-empty, the view renders a
+  /// Phase column; hosts beyond the vector render "-".
+  std::vector<std::string> host_phases;
   /// Emit an ANSI home+clear prefix before the frame (live top-style
   /// refresh); only honoured while ANSI styling is globally enabled.
   bool clear_screen = false;

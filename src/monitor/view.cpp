@@ -68,9 +68,11 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
 
   const bool spark = options.spark_width > 0 && !history.empty();
   const bool alerts = !options.node_alerts.empty();
+  const bool phase = !options.phase_label.empty();
   std::vector<std::string> headers = {"Node", "Local%", "Remote%", "HITM%",
                                       "IPC",  "DRAM GB/s", "QPI fl/kc", "RSS"};
   if (alerts) headers.push_back("Alert");
+  if (phase) headers.push_back("Phase");
   if (spark) headers.push_back("remote% trend");
   util::Table table(std::move(headers));
   for (usize c = 1; c <= 7; ++c) table.set_align(c, util::Align::kRight);
@@ -101,6 +103,9 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
          row_style});
     cells.push_back({util::human_bytes(stats.resident_bytes), row_style});
     if (alerts) cells.push_back({obs::severity_name(severity), severity_style(severity)});
+    // The phase is host-wide (one footprint series feeds the detector), so
+    // every node row carries the same label.
+    if (phase) cells.push_back({options.phase_label, util::Style::kCyan});
 
     if (spark) {
       std::vector<double> series;
@@ -138,6 +143,7 @@ std::string render_view(const WindowStats& window, std::span<const WindowStats> 
       for (obs::Severity s : options.node_alerts) worst = std::max(worst, s);
       cells.push_back({obs::severity_name(worst), severity_style(worst)});
     }
+    if (phase) cells.push_back({options.phase_label, util::Style::kBold});
     if (spark) cells.push_back({"", util::Style::kNone});
     table.add_rule();
     table.add_styled_row(std::move(cells));

@@ -29,6 +29,9 @@ struct ViewOptions {
   /// evaluate_node_alerts). When sized, the view renders an Alert column
   /// and styles Remote% from these instead of the raw thresholds.
   std::vector<obs::Severity> node_alerts;
+  /// Host-wide live phase from a phasen::OnlineDetector (phase_label()).
+  /// When non-empty, the view renders a Phase column; empty hides it.
+  std::string phase_label;
   /// Emit an ANSI home+clear prefix before the frame (live top-style
   /// refresh); only honoured while ANSI styling is globally enabled.
   bool clear_screen = false;

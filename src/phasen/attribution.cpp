@@ -1,5 +1,6 @@
 #include "phasen/attribution.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -43,17 +44,27 @@ PhaseAttribution attribute(const CounterTimeline& timeline, const PhaseSplit& sp
   NPAT_CHECK_MSG(!split.phases.empty(), "phase split has no phases");
 
   // Boundary snapshot indices: run start, each phase transition, run end.
+  // Phase p owns the half-open snapshot range [boundaries[p],
+  // boundaries[p+1]], so adjacent phases share a boundary snapshot and the
+  // per-phase deltas telescope to exactly the whole-run delta.
   std::vector<usize> boundaries;
   boundaries.push_back(0);
   for (usize p = 1; p < split.phases.size(); ++p) {
     boundaries.push_back(nearest_snapshot(snapshots, split.phases[p].start_time));
   }
   boundaries.push_back(snapshots.size() - 1);
+  // Nearest-snapshot rounding can invert adjacent boundaries when phase
+  // starts straddle one snapshot; clamping to non-decreasing keeps phases
+  // disjoint (an inverted phase collapses to empty instead of overlapping
+  // its neighbour, which would double-count deltas).
+  for (usize b = 1; b < boundaries.size(); ++b) {
+    boundaries[b] = std::max(boundaries[b], boundaries[b - 1]);
+  }
 
   PhaseAttribution out;
   for (usize p = 0; p + 1 < boundaries.size(); ++p) {
     const usize from = boundaries[p];
-    const usize to = std::max(boundaries[p + 1], from);  // clamp inversions
+    const usize to = boundaries[p + 1];
     PhaseCounters counters;
     counters.start_time = snapshots[from].timestamp;
     counters.end_time = snapshots[to].timestamp;

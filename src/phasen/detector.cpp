@@ -10,23 +10,51 @@ namespace npat::phasen {
 
 namespace {
 
-PhaseSplit from_segmented(const stats::SegmentedFit& fit, const std::vector<double>& times,
-                          const std::vector<double>& values) {
+/// Footprint series conditioned for fitting: raw timestamps for boundary
+/// reporting, shifted/rescaled abscissa and MiB ordinate for the fit.
+struct Series {
+  std::vector<Cycles> timestamps;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+Series extract_series(const std::vector<os::FootprintSample>& samples) {
+  Series series;
+  series.timestamps.reserve(samples.size());
+  series.x.reserve(samples.size());
+  series.y.reserve(samples.size());
+  const Cycles origin = samples.empty() ? 0 : samples.front().timestamp;
+  for (const auto& s : samples) {
+    series.timestamps.push_back(s.timestamp);
+    series.x.push_back(fit_time_axis(s.timestamp, origin));
+    series.y.push_back(fit_footprint_axis(s.reserved_bytes));
+  }
+  return series;
+}
+
+}  // namespace
+
+PhaseSplit split_from_fit(const stats::SegmentedFit& fit, std::span<const Cycles> timestamps,
+                          std::span<const double> values, double slope_scale) {
   PhaseSplit split;
   split.total_sse = fit.total_sse;
 
-  for (const auto& segment : fit.segments) {
+  for (usize s = 0; s < fit.segments.size(); ++s) {
+    const auto& segment = fit.segments[s];
     Phase phase;
     phase.first_sample = segment.begin;
     phase.last_sample = segment.end - 1;
-    phase.start_time = static_cast<Cycles>(times[segment.begin]);
-    phase.end_time = static_cast<Cycles>(times[segment.end - 1]);
-    phase.slope_bytes_per_cycle = segment.slope;
+    phase.start_time = timestamps[segment.begin];
+    // Half-open phases: end where the successor starts, so the interval
+    // between the two boundary samples belongs to exactly one phase.
+    phase.end_time = s + 1 < fit.segments.size() ? timestamps[fit.segments[s + 1].begin]
+                                                 : timestamps[segment.end - 1];
+    phase.slope_bytes_per_cycle = segment.slope * slope_scale;
     split.phases.push_back(phase);
   }
   if (fit.segments.size() > 1) {
     split.pivot_sample = fit.segments[1].begin;
-    split.pivot_time = static_cast<Cycles>(times[split.pivot_sample]);
+    split.pivot_time = timestamps[split.pivot_sample];
   }
 
   // Fit quality: variance explained by the segmented model.
@@ -37,31 +65,16 @@ PhaseSplit from_segmented(const stats::SegmentedFit& fit, const std::vector<doub
   return split;
 }
 
-void extract_series(const std::vector<os::FootprintSample>& samples,
-                    std::vector<double>& times, std::vector<double>& values) {
-  times.reserve(samples.size());
-  values.reserve(samples.size());
-  for (const auto& s : samples) {
-    times.push_back(static_cast<double>(s.timestamp));
-    // Scale to MiB so the normal-equation sums stay in a sane range.
-    values.push_back(static_cast<double>(s.reserved_bytes) / (1024.0 * 1024.0));
-  }
-}
-
-}  // namespace
-
 PhaseSplit detect_phases(const std::vector<os::FootprintSample>& samples,
                          const DetectorOptions& options) {
   NPAT_OBS_SPAN("phasen.pivot_scan");
   NPAT_CHECK_MSG(samples.size() >= 2 * options.min_segment,
                  "not enough footprint samples for two phases");
-  std::vector<double> times;
-  std::vector<double> values;
-  extract_series(samples, times, values);
+  const Series series = extract_series(samples);
   const auto fit = options.naive_scan
-                       ? stats::detect_two_phases_naive(times, values, options.min_segment)
-                       : stats::detect_two_phases(times, values, options.min_segment);
-  return from_segmented(fit, times, values);
+                       ? stats::detect_two_phases_naive(series.x, series.y, options.min_segment)
+                       : stats::detect_two_phases(series.x, series.y, options.min_segment);
+  return split_from_fit(fit, series.timestamps, series.y);
 }
 
 PhaseSplit detect_phases_k(const std::vector<os::FootprintSample>& samples, usize k,
@@ -69,22 +82,18 @@ PhaseSplit detect_phases_k(const std::vector<os::FootprintSample>& samples, usiz
   NPAT_OBS_SPAN("phasen.pivot_scan");
   NPAT_CHECK_MSG(samples.size() >= k * options.min_segment,
                  "not enough footprint samples for k phases");
-  std::vector<double> times;
-  std::vector<double> values;
-  extract_series(samples, times, values);
-  const auto fit = stats::detect_k_phases(times, values, k, options.min_segment);
-  return from_segmented(fit, times, values);
+  const Series series = extract_series(samples);
+  const auto fit = stats::detect_k_phases(series.x, series.y, k, options.min_segment);
+  return split_from_fit(fit, series.timestamps, series.y);
 }
 
 PhaseSplit detect_phases_auto(const std::vector<os::FootprintSample>& samples, usize max_k,
                               const DetectorOptions& options) {
   NPAT_OBS_SPAN("phasen.pivot_scan");
   NPAT_CHECK_MSG(samples.size() >= options.min_segment, "not enough footprint samples");
-  std::vector<double> times;
-  std::vector<double> values;
-  extract_series(samples, times, values);
-  const auto fit = stats::detect_phases_auto(times, values, max_k, options.min_segment);
-  return from_segmented(fit, times, values);
+  const Series series = extract_series(samples);
+  const auto fit = stats::detect_phases_auto(series.x, series.y, max_k, options.min_segment);
+  return split_from_fit(fit, series.timestamps, series.y);
 }
 
 PhaseSplit detect_on_counter_series(const std::vector<double>& times,
@@ -92,8 +101,18 @@ PhaseSplit detect_on_counter_series(const std::vector<double>& times,
                                     const DetectorOptions& options) {
   NPAT_CHECK_MSG(times.size() == counter_values.size(), "series length mismatch");
   NPAT_CHECK_MSG(times.size() >= 2 * options.min_segment, "not enough samples");
-  const auto fit = stats::detect_two_phases(times, counter_values, options.min_segment);
-  return from_segmented(fit, times, counter_values);
+  // Same origin shift as the footprint path (no rescale: the caller's time
+  // unit is unknown); slopes stay in the caller's units.
+  std::vector<Cycles> timestamps;
+  std::vector<double> x;
+  timestamps.reserve(times.size());
+  x.reserve(times.size());
+  for (double t : times) {
+    timestamps.push_back(static_cast<Cycles>(t));
+    x.push_back(t - times.front());
+  }
+  const auto fit = stats::detect_two_phases(x, counter_values, options.min_segment);
+  return split_from_fit(fit, timestamps, counter_values, /*slope_scale=*/1.0);
 }
 
 }  // namespace npat::phasen

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "os/procfs.hpp"
@@ -15,6 +16,10 @@
 
 namespace npat::phasen {
 
+/// Phases are half-open in time: phases[i].end_time == phases[i+1].start_time
+/// (the last phase ends at the final sample), so adjacent phases partition
+/// the run and attribution never drops the interval between two boundary
+/// snapshots. Sample indices stay inclusive on both ends.
 struct Phase {
   usize first_sample = 0;
   usize last_sample = 0;   // inclusive
@@ -58,5 +63,36 @@ PhaseSplit detect_phases_auto(const std::vector<os::FootprintSample>& samples, u
 PhaseSplit detect_on_counter_series(const std::vector<double>& times,
                                     const std::vector<double>& counter_values,
                                     const DetectorOptions& options = {});
+
+// --- shared between the offline detectors and phasen::OnlineDetector ------
+//
+// Both paths must condition the series identically, or the online replay of
+// an offline fixture would not be bit-identical.
+
+/// Fit abscissa for a footprint sample: mega-cycles since the first sample.
+/// Raw cycle timestamps (~1e9+) fed straight into the prefix sums would
+/// push sxx to ~1e18 where the centered moments cancel; the integer
+/// subtraction is exact and the rescale keeps long captures well inside
+/// double precision.
+inline double fit_time_axis(Cycles timestamp, Cycles origin) noexcept {
+  return static_cast<double>(timestamp - origin) * 1e-6;
+}
+
+/// Fit ordinate: footprint in MiB (keeps the normal-equation sums sane).
+inline double fit_footprint_axis(u64 bytes) noexcept {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// Converts a slope fitted on the conditioned axes (MiB per mega-cycle)
+/// back to the Phase::slope_bytes_per_cycle unit (MiB per cycle).
+inline constexpr double kFitSlopePerCycle = 1e-6;
+
+/// Builds a PhaseSplit from a segmented fit over the conditioned axes.
+/// `timestamps` are the raw sample times (phase boundaries come from
+/// these); `values` are the conditioned ordinates the fit ran on (fit
+/// quality is variance-explained over them). Phases come out half-open.
+PhaseSplit split_from_fit(const stats::SegmentedFit& fit, std::span<const Cycles> timestamps,
+                          std::span<const double> values,
+                          double slope_scale = kFitSlopePerCycle);
 
 }  // namespace npat::phasen

@@ -1,0 +1,131 @@
+#include "phasen/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace npat::phasen {
+
+OnlineDetector::OnlineDetector(OnlineDetectorOptions options) : options_(options) {
+  NPAT_CHECK_MSG(options_.min_segment >= 2, "min_segment must be >= 2");
+  NPAT_CHECK_MSG(options_.rescan_every >= 1, "rescan_every must be >= 1");
+  NPAT_CHECK_MSG(options_.publish_dwell >= 1, "publish_dwell must be >= 1");
+  NPAT_CHECK_MSG(options_.publish_min_gain >= 0.0 && options_.publish_min_gain < 1.0,
+                 "publish_min_gain must be in [0, 1)");
+}
+
+void OnlineDetector::push(Cycles timestamp, u64 footprint_bytes) {
+  if (timestamps_.empty()) origin_ = timestamp;
+  NPAT_CHECK_MSG(timestamps_.empty() || timestamp >= timestamps_.back(),
+                 "footprint timestamps must be non-decreasing");
+  timestamps_.push_back(timestamp);
+  const double y = fit_footprint_axis(footprint_bytes);
+  values_.push_back(y);
+  scale_yy_ += y * y;
+  cost_.append(fit_time_axis(timestamp, origin_), y);
+
+  ++since_scan_;
+  if (size() >= 2 * options_.min_segment && since_scan_ >= options_.rescan_every) {
+    since_scan_ = 0;
+    scan();
+  }
+}
+
+void OnlineDetector::scan() {
+  ++scans_;
+  const stats::TwoPhaseScan result = stats::scan_two_phase_pivot(cost_, options_.min_segment);
+  last_pivot_ = result.pivot;
+
+  // Publication gate: the split must explain meaningfully more than one
+  // line, by the same BIC criterion detect_phases_auto uses to pick k —
+  // adaptive in n, so a short noisy prefix (where two free lines always
+  // eat >5 % of the SSE by overfitting) cannot publish a boundary onto
+  // pure noise. The noise floor keeps rounding residue of an exactly
+  // linear series (SSE ~ 1e-13, not 0.0) from reading as relative gain,
+  // and publish_min_gain backstops the asymptotic regime.
+  const double single = cost_.sse(0, size());
+  const double floor = 1e-9 * std::max(1.0, scale_yy_);
+  double gain = 0.0;
+  if (single > floor) {
+    const double n = static_cast<double>(size());
+    const double bic1 = n * std::log(std::max(single, 1e-12) / n) + 2.0 * std::log(n);
+    const double bic2 =
+        n * std::log(std::max(result.total_sse, 1e-12) / n) + 5.0 * std::log(n);
+    if (bic2 < bic1) gain = 1.0 - result.total_sse / single;
+  }
+  if (gain < options_.publish_min_gain) {
+    candidate_.reset();
+    streak_ = 0;
+    return;
+  }
+
+  // AlertEngine-style dwell: a *different* pivot must win publish_dwell
+  // consecutive scans before the committed boundary changes.
+  if (committed_ && *committed_ == result.pivot) {
+    candidate_.reset();
+    streak_ = 0;
+    return;
+  }
+  if (candidate_ && *candidate_ == result.pivot) {
+    ++streak_;
+  } else {
+    candidate_ = result.pivot;
+    streak_ = 1;
+  }
+  if (streak_ < options_.publish_dwell) return;
+  publish(result.pivot);
+}
+
+void OnlineDetector::publish(usize pivot) {
+  PhaseTransitionEvent event;
+  event.scan = scans_;
+  event.sample_count = size();
+  event.pivot_sample = pivot;
+  event.pivot_time = timestamps_[pivot];
+  event.republication = committed_.has_value();
+  event.previous_pivot = committed_.value_or(0);
+  committed_ = pivot;
+  candidate_.reset();
+  streak_ = 0;
+
+  obs::metrics()
+      .counter("npat_phasen_online_publications_total",
+               "Online phase boundaries committed after dwell")
+      .add(1);
+  obs::metrics()
+      .gauge("npat_phasen_online_pivot_sample", "Most recently published pivot sample index")
+      .set(static_cast<double>(pivot));
+  obs::tracer().instant(
+      "phasen.online.boundary",
+      util::format("pivot=%zu t=%llu n=%zu scan=%llu%s", pivot,
+                   static_cast<unsigned long long>(event.pivot_time), event.sample_count,
+                   static_cast<unsigned long long>(event.scan),
+                   event.republication
+                       ? util::format(" (moved from %zu)", event.previous_pivot).c_str()
+                       : ""));
+  events_.push_back(event);
+}
+
+usize OnlineDetector::published_pivot() const {
+  NPAT_CHECK_MSG(committed_.has_value(), "no phase boundary published yet");
+  return *committed_;
+}
+
+Cycles OnlineDetector::published_pivot_time() const { return timestamps_[published_pivot()]; }
+
+PhaseSplit OnlineDetector::finalize() const {
+  NPAT_OBS_SPAN("phasen.online.finalize");
+  NPAT_CHECK_MSG(size() >= 2 * options_.min_segment,
+                 "not enough footprint samples for two phases");
+  const stats::TwoPhaseScan result = stats::scan_two_phase_pivot(cost_, options_.min_segment);
+  stats::SegmentedFit fit;
+  fit.segments = {cost_.fit(0, result.pivot), cost_.fit(result.pivot, size())};
+  fit.total_sse = result.total_sse;
+  fit.k_considered = 2;
+  return split_from_fit(fit, timestamps_, values_);
+}
+
+}  // namespace npat::phasen

@@ -1,0 +1,113 @@
+// Online Phasenprüfer (ROADMAP item): the paper's pivot scan runs after a
+// run ends; this detector runs it *while* telemetry streams in, NUMAscope
+// style. monitor::Sampler samples (or aggregated windows) feed an
+// append-only incremental stats::SegmentCost, the shared O(n) pivot scan
+// re-runs on a configurable cadence, and a boundary is only *published*
+// once the same pivot has survived a dwell of consecutive scans — the
+// obs::AlertEngine hysteresis pattern applied to phase detection, so one
+// noisy window never announces a phase change.
+//
+// Equivalence guarantee: replaying any footprint series point-by-point and
+// calling finalize() yields a PhaseSplit bit-identical to the offline
+// detect_phases on the same series — both paths condition the axes with the
+// same helpers, share SegmentCost's append-built prefix sums, and run the
+// same scan with the same tie-breaking.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "monitor/aggregate.hpp"
+#include "monitor/sampler.hpp"
+#include "phasen/detector.hpp"
+#include "stats/segmented.hpp"
+#include "util/types.hpp"
+
+namespace npat::phasen {
+
+struct OnlineDetectorOptions {
+  /// Minimum samples per segment, as in DetectorOptions.
+  usize min_segment = 4;
+  /// Pivot-scan cadence in pushed samples (1 = scan on every push). Each
+  /// scan costs O(n); a coarser cadence amortizes growth further.
+  usize rescan_every = 1;
+  /// Consecutive scans the same pivot must win before it is published
+  /// (1 = publish immediately). Mirrors obs::AlertRule::dwell_windows.
+  usize publish_dwell = 3;
+  /// A pivot is only publishable while (a) the BIC criterion from
+  /// stats::detect_phases_auto prefers two segments over one — the
+  /// adaptive part, which keeps small noisy prefixes from overfitting a
+  /// boundary onto pure noise — and (b) the two-line fit beats the single
+  /// line by this relative SSE margin, a flat floor that keeps a pure ramp
+  /// (where every pivot ties at zero gain) from publishing.
+  double publish_min_gain = 0.05;
+};
+
+/// One committed boundary publication.
+struct PhaseTransitionEvent {
+  u64 scan = 0;            // pivot-scan index that committed the transition
+  usize sample_count = 0;  // series length at commit time
+  usize pivot_sample = 0;
+  Cycles pivot_time = 0;
+  /// True when a previously published boundary moved (a re-publication);
+  /// false for the first publication.
+  bool republication = false;
+  usize previous_pivot = 0;  // meaningful when republication
+};
+
+class OnlineDetector {
+ public:
+  explicit OnlineDetector(OnlineDetectorOptions options = {});
+
+  /// Feeds one footprint point. Timestamps must be non-decreasing.
+  void push(Cycles timestamp, u64 footprint_bytes);
+  /// Convenience feeds from the monitor subsystem.
+  void push(const monitor::Sample& sample) { push(sample.timestamp, sample.footprint_bytes); }
+  void push(const monitor::WindowStats& window) { push(window.end, window.footprint_bytes); }
+
+  usize size() const noexcept { return timestamps_.size(); }
+  u64 scans() const noexcept { return scans_; }
+  const OnlineDetectorOptions& options() const noexcept { return options_; }
+
+  /// True once a boundary has been published (dwell satisfied).
+  bool published() const noexcept { return committed_.has_value(); }
+  /// Published pivot sample index / timestamp; CHECK-fails before the
+  /// first publication.
+  usize published_pivot() const;
+  Cycles published_pivot_time() const;
+  /// Latest scan's (pre-dwell) pivot; nullopt before the first scan.
+  std::optional<usize> provisional_pivot() const noexcept { return last_pivot_; }
+  /// Every committed transition, oldest first.
+  const std::vector<PhaseTransitionEvent>& events() const noexcept { return events_; }
+
+  /// Live label for views: "ramp-up" until a boundary is published, then
+  /// "compute" (the stream is past the published pivot by construction).
+  const char* phase_label() const noexcept { return published() ? "compute" : "ramp-up"; }
+
+  /// Full two-phase split over everything pushed so far — bit-identical to
+  /// detect_phases on the same series. O(n); independent of cadence and
+  /// dwell state (it neither scans-forward the cadence counter nor
+  /// publishes). Requires size() >= 2*min_segment.
+  PhaseSplit finalize() const;
+
+ private:
+  void scan();
+  void publish(usize pivot);
+
+  OnlineDetectorOptions options_;
+  std::vector<Cycles> timestamps_;
+  std::vector<double> values_;  // conditioned ordinate (MiB), fit + quality
+  stats::SegmentCost cost_;
+  Cycles origin_ = 0;
+  double scale_yy_ = 0.0;  // sum of y^2, the gain gate's noise floor scale
+
+  u64 scans_ = 0;
+  usize since_scan_ = 0;
+  std::optional<usize> last_pivot_;   // latest scan result
+  std::optional<usize> candidate_;    // dwell candidate
+  usize streak_ = 0;
+  std::optional<usize> committed_;    // published pivot
+  std::vector<PhaseTransitionEvent> events_;
+};
+
+}  // namespace npat::phasen

@@ -8,20 +8,38 @@
 
 namespace npat::stats {
 
-SegmentCost::SegmentCost(std::span<const double> x, std::span<const double> y) : n_(x.size()) {
+SegmentCost::SegmentCost(std::span<const double> x, std::span<const double> y) {
   NPAT_CHECK_MSG(x.size() == y.size(), "segmented fit length mismatch");
-  sx_.resize(n_ + 1, 0.0);
-  sy_.resize(n_ + 1, 0.0);
-  sxx_.resize(n_ + 1, 0.0);
-  sxy_.resize(n_ + 1, 0.0);
-  syy_.resize(n_ + 1, 0.0);
-  for (usize i = 0; i < n_; ++i) {
-    sx_[i + 1] = sx_[i] + x[i];
-    sy_[i + 1] = sy_[i] + y[i];
-    sxx_[i + 1] = sxx_[i] + x[i] * x[i];
-    sxy_[i + 1] = sxy_[i] + x[i] * y[i];
-    syy_[i + 1] = syy_[i] + y[i] * y[i];
+  reserve(x.size());
+  for (usize i = 0; i < x.size(); ++i) append(x[i], y[i]);
+}
+
+void SegmentCost::reserve(usize n) {
+  sx_.reserve(n + 1);
+  sy_.reserve(n + 1);
+  sxx_.reserve(n + 1);
+  sxy_.reserve(n + 1);
+  syy_.reserve(n + 1);
+}
+
+void SegmentCost::append(double x, double y) {
+  if (n_ == 0) {
+    x0_ = x;
+    sx_.push_back(0.0);
+    sy_.push_back(0.0);
+    sxx_.push_back(0.0);
+    sxy_.push_back(0.0);
+    syy_.push_back(0.0);
   }
+  // Accumulate in the shifted frame so sxx stays near the spread of the
+  // series, not the square of its magnitude.
+  const double xs = x - x0_;
+  sx_.push_back(sx_.back() + xs);
+  sy_.push_back(sy_.back() + y);
+  sxx_.push_back(sxx_.back() + xs * xs);
+  sxy_.push_back(sxy_.back() + xs * y);
+  syy_.push_back(syy_.back() + y * y);
+  ++n_;
 }
 
 LineSegment SegmentCost::fit(usize begin, usize end) const {
@@ -42,6 +60,11 @@ LineSegment SegmentCost::fit(usize begin, usize end) const {
   LineSegment seg;
   seg.begin = begin;
   seg.end = end;
+  // Degenerate-abscissa guard. `sxx` here is already origin-shifted, so the
+  // comparison is against the centered magnitude of the x series — a
+  // late-starting capture with ~1e12-cycle timestamps no longer dwarfs a
+  // genuine spread into the "all x equal" branch the way a raw
+  // second-moment comparison did.
   if (cxx <= 1e-12 * std::max(1.0, sxx)) {
     // Degenerate abscissa (all x equal): best "line" is the mean level.
     seg.slope = 0.0;
@@ -49,7 +72,8 @@ LineSegment SegmentCost::fit(usize begin, usize end) const {
     seg.sse = std::max(0.0, cyy);
   } else {
     seg.slope = cxy / cxx;
-    seg.intercept = (sy - seg.slope * sx) / n;
+    // Intercept in the caller's frame: the fit ran over x − x₀.
+    seg.intercept = (sy - seg.slope * sx) / n - seg.slope * x0_;
     seg.sse = std::max(0.0, cyy - seg.slope * cxy);
   }
   return seg;
@@ -57,25 +81,32 @@ LineSegment SegmentCost::fit(usize begin, usize end) const {
 
 double SegmentCost::sse(usize begin, usize end) const { return fit(begin, end).sse; }
 
-SegmentedFit detect_two_phases(std::span<const double> x, std::span<const double> y,
-                               usize min_segment) {
+TwoPhaseScan scan_two_phase_pivot(const SegmentCost& cost, usize min_segment) {
   NPAT_CHECK_MSG(min_segment >= 2, "min_segment must be >= 2");
-  NPAT_CHECK_MSG(x.size() >= 2 * min_segment, "not enough samples for two phases");
-  const SegmentCost cost(x, y);
+  NPAT_CHECK_MSG(cost.size() >= 2 * min_segment, "not enough samples for two phases");
 
-  double best = std::numeric_limits<double>::infinity();
-  usize best_pivot = min_segment;
-  for (usize pivot = min_segment; pivot + min_segment <= x.size(); ++pivot) {
-    const double total = cost.sse(0, pivot) + cost.sse(pivot, x.size());
-    if (total < best) {
-      best = total;
-      best_pivot = pivot;
+  TwoPhaseScan out;
+  out.total_sse = std::numeric_limits<double>::infinity();
+  out.pivot = min_segment;
+  for (usize pivot = min_segment; pivot + min_segment <= cost.size(); ++pivot) {
+    const double total = cost.sse(0, pivot) + cost.sse(pivot, cost.size());
+    if (total < out.total_sse) {
+      out.total_sse = total;
+      out.pivot = pivot;
     }
   }
+  return out;
+}
+
+SegmentedFit detect_two_phases(std::span<const double> x, std::span<const double> y,
+                               usize min_segment) {
+  const SegmentCost cost(x, y);
+  const TwoPhaseScan scan = scan_two_phase_pivot(cost, min_segment);
 
   SegmentedFit out;
-  out.segments = {cost.fit(0, best_pivot), cost.fit(best_pivot, x.size())};
-  out.total_sse = best;
+  out.segments = {cost.fit(0, scan.pivot), cost.fit(scan.pivot, x.size())};
+  out.total_sse = scan.total_sse;
+  out.k_considered = 2;
   return out;
 }
 
@@ -113,6 +144,7 @@ SegmentedFit detect_two_phases_naive(std::span<const double> x, std::span<const 
   SegmentedFit out;
   out.segments = {cost.fit(0, best_pivot), cost.fit(best_pivot, x.size())};
   out.total_sse = out.segments[0].sse + out.segments[1].sse;
+  out.k_considered = 2;
   return out;
 }
 
@@ -159,6 +191,7 @@ SegmentedFit detect_k_phases(std::span<const double> x, std::span<const double> 
   for (auto it = ranges.rbegin(); it != ranges.rend(); ++it) {
     out.segments.push_back(cost.fit(it->first, it->second));
   }
+  out.k_considered = k;
   return out;
 }
 
@@ -168,12 +201,20 @@ SegmentedFit detect_phases_auto(std::span<const double> x, std::span<const doubl
   const usize n = x.size();
   NPAT_CHECK_MSG(n >= min_segment, "not enough samples");
 
+  const SegmentCost cost(x, y);  // shared by the k = 1 candidate; built once
   SegmentedFit best;
   double best_score = std::numeric_limits<double>::infinity();
+  usize k_considered = 0;
   for (usize k = 1; k <= max_k && n >= k * min_segment; ++k) {
-    SegmentedFit candidate =
-        k == 1 ? SegmentedFit{{SegmentCost(x, y).fit(0, n)}, SegmentCost(x, y).sse(0, n)}
-               : detect_k_phases(x, y, k, min_segment);
+    k_considered = k;
+    SegmentedFit candidate;
+    if (k == 1) {
+      const LineSegment whole = cost.fit(0, n);
+      candidate.total_sse = whole.sse;
+      candidate.segments = {whole};
+    } else {
+      candidate = detect_k_phases(x, y, k, min_segment);
+    }
     // BIC-style criterion: n·ln(SSE/n) + params·ln(n); each segment adds a
     // slope, an intercept and (after the first) a breakpoint.
     const double params = static_cast<double>(3 * k - 1);
@@ -185,6 +226,9 @@ SegmentedFit detect_phases_auto(std::span<const double> x, std::span<const doubl
       best = std::move(candidate);
     }
   }
+  // When n < 2·min_segment the loop only ever evaluated k = 1; the caller
+  // can tell that apart from "two phases considered and rejected".
+  best.k_considered = k_considered;
   return best;
 }
 

@@ -29,15 +29,36 @@ struct LineSegment {
 struct SegmentedFit {
   std::vector<LineSegment> segments;  // ordered by begin
   double total_sse = 0.0;
+  /// Highest segment count the producing search actually evaluated (0 when
+  /// the fit predates model selection). Lets callers tell "one phase
+  /// detected" (k_considered > 1, one segment chosen) from "multi-phase
+  /// never attempted" (k_considered == 1, too few samples).
+  usize k_considered = 0;
 
   /// Pivot between segment 0 and 1 (two-phase case): segments[1].begin.
   usize pivot() const { return segments.size() > 1 ? segments[1].begin : 0; }
 };
 
 /// Precomputed prefix sums enabling O(1) least-squares over any range.
+///
+/// The sums are accumulated over x − x₀ (x₀ = the first appended abscissa),
+/// so a series whose x values are huge but closely spaced — raw cycle
+/// timestamps, say — does not push sxx into the ~1e18 range where the
+/// centered moments cancel catastrophically. Slopes and SSE are invariant
+/// under the shift; intercepts are mapped back to the caller's frame.
+///
+/// Grows append-only: the span constructor is a convenience loop over
+/// append(), so an incremental consumer (phasen::OnlineDetector) that feeds
+/// the same series point-by-point holds bit-identical state.
 class SegmentCost {
  public:
+  /// Empty cost; grow with append().
+  SegmentCost() = default;
   SegmentCost(std::span<const double> x, std::span<const double> y);
+
+  /// Appends one (x, y) sample in O(1) amortized.
+  void append(double x, double y);
+  void reserve(usize n);
 
   usize size() const { return n_; }
 
@@ -48,9 +69,21 @@ class SegmentCost {
   double sse(usize begin, usize end) const;
 
  private:
-  usize n_;
+  usize n_ = 0;
+  double x0_ = 0.0;  // shift origin: first appended x
   std::vector<double> sx_, sy_, sxx_, sxy_, syy_;  // prefix sums, index 0 = empty
 };
+
+/// Result of one two-phase pivot scan over a SegmentCost.
+struct TwoPhaseScan {
+  usize pivot = 0;
+  double total_sse = 0.0;
+};
+
+/// The O(n) pivot scan shared by detect_two_phases and the online detector:
+/// evaluates every pivot in [min_segment, n − min_segment] and keeps the
+/// first minimum (strict-less tie-breaking). Requires n >= 2*min_segment.
+TwoPhaseScan scan_two_phase_pivot(const SegmentCost& cost, usize min_segment = 2);
 
 /// Two-phase split; requires n >= 2*min_segment, min_segment >= 2.
 SegmentedFit detect_two_phases(std::span<const double> x, std::span<const double> y,

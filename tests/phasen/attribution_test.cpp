@@ -61,6 +61,42 @@ TEST(Attribution, NearestSnapshotChosen) {
   EXPECT_EQ(attribution.phases[1].start_time, 1000u);
 }
 
+TEST(Attribution, DeltasSumExactlyToWholeRun) {
+  // Half-open phases tile the run, so the per-phase deltas must telescope
+  // to exactly the whole-run delta for every event — no double counting at
+  // boundaries, no gap between them.
+  sim::Machine machine(sim::uma_single_node(1));
+  CounterTimeline timeline(machine);
+  timeline.sample(0);
+  for (int burst = 0; burst < 6; ++burst) {
+    machine.execute(0, 700 + 300 * burst);
+    timeline.sample(machine.core_clock(0));
+  }
+
+  PhaseSplit split;
+  split.phases.resize(3);
+  split.phases[0].start_time = 0;
+  // Boundaries intentionally between snapshots (nearest snapshot resolves).
+  split.phases[1].start_time = timeline.snapshots()[2].timestamp + 13;
+  split.phases[2].start_time = timeline.snapshots()[4].timestamp - 7;
+  split.phases[2].end_time = machine.core_clock(0);
+
+  const auto attribution = attribute(timeline, split);
+  ASSERT_EQ(attribution.phases.size(), 3u);
+  const auto& first = timeline.snapshots().front().totals;
+  const auto& last = timeline.snapshots().back().totals;
+  for (const sim::Event event :
+       {sim::Event::kInstructions, sim::Event::kCycles, sim::Event::kL1dMiss}) {
+    u64 sum = 0;
+    for (const auto& phase : attribution.phases) sum += phase.count(event);
+    EXPECT_EQ(sum, last[event] - first[event]) << "event " << static_cast<int>(event);
+  }
+  // Adjacent attribution windows share their boundary snapshot exactly.
+  for (usize p = 0; p + 1 < attribution.phases.size(); ++p) {
+    EXPECT_EQ(attribution.phases[p].end_time, attribution.phases[p + 1].start_time);
+  }
+}
+
 TEST(Attribution, RequiresSnapshotsAndPhases) {
   sim::Machine machine(sim::uma_single_node(1));
   CounterTimeline timeline(machine);

@@ -9,7 +9,8 @@ namespace npat::phasen {
 namespace {
 
 std::vector<os::FootprintSample> ramp_flat_trace(usize n, usize knee, u64 bytes_per_step,
-                                                 double noise = 0.0, u64 seed = 1) {
+                                                 double noise = 0.0, u64 seed = 1,
+                                                 Cycles origin = 0) {
   util::Xoshiro256ss rng(seed);
   std::vector<os::FootprintSample> samples;
   u64 footprint = 0;
@@ -20,7 +21,8 @@ std::vector<os::FootprintSample> ramp_flat_trace(usize n, usize knee, u64 bytes_
       value = static_cast<u64>(std::max(
           0.0, static_cast<double>(footprint) + rng.normal(0.0, noise)));
     }
-    samples.push_back(os::FootprintSample{static_cast<Cycles>(i) * 1000, value, value});
+    samples.push_back(
+        os::FootprintSample{origin + static_cast<Cycles>(i) * 1000, value, value});
   }
   return samples;
 }
@@ -54,6 +56,39 @@ TEST(Detector, PivotTimeMatchesSampleTimestamp) {
   const auto samples = ramp_flat_trace(60, 20, 1 << 16);
   const auto split = detect_phases(samples);
   EXPECT_EQ(split.pivot_time, samples[split.pivot_sample].timestamp);
+}
+
+TEST(Detector, LateOriginRegression) {
+  // Cycle counters on a long-lived machine start around 1e12, where raw
+  // timestamps used to destroy the centered moments (sxx - sx^2/n with
+  // x ~ 1e12 cancels catastrophically). The conditioned time axis makes
+  // detection invariant to the series' start time.
+  const auto at_zero = ramp_flat_trace(150, 60, 1 << 20, 2e5, 21);
+  const auto late = ramp_flat_trace(150, 60, 1 << 20, 2e5, 21,
+                                    /*origin=*/1'000'000'000'000ull);
+  const auto split_zero = detect_phases(at_zero);
+  const auto split_late = detect_phases(late);
+  EXPECT_EQ(split_zero.pivot_sample, split_late.pivot_sample);
+  EXPECT_EQ(split_zero.total_sse, split_late.total_sse);
+  EXPECT_EQ(split_zero.phases[0].slope_bytes_per_cycle,
+            split_late.phases[0].slope_bytes_per_cycle);
+  EXPECT_EQ(split_late.pivot_time, late[split_late.pivot_sample].timestamp);
+}
+
+TEST(Detector, PhasesAreHalfOpen) {
+  // Adjacent phases must tile time exactly: each phase ends where its
+  // successor starts, so per-phase counter attribution telescopes.
+  const auto samples = ramp_flat_trace(100, 40, 1 << 20);
+  const auto split = detect_phases(samples);
+  ASSERT_EQ(split.phases.size(), 2u);
+  EXPECT_EQ(split.phases[0].end_time, split.phases[1].start_time);
+  EXPECT_EQ(split.phases[0].start_time, samples.front().timestamp);
+  EXPECT_EQ(split.phases[1].end_time, samples.back().timestamp);
+
+  const auto staircase = detect_phases_k(ramp_flat_trace(150, 50, 1 << 20, 1e4, 8), 3);
+  for (usize p = 0; p + 1 < staircase.phases.size(); ++p) {
+    EXPECT_EQ(staircase.phases[p].end_time, staircase.phases[p + 1].start_time);
+  }
 }
 
 TEST(Detector, TooFewSamplesThrows) {

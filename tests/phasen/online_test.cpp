@@ -1,0 +1,204 @@
+#include "phasen/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phasen/detector.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace npat::phasen {
+namespace {
+
+/// Same shape as the detector tests: ramp to a knee, then flat, optional
+/// gaussian noise, with a configurable timestamp origin.
+std::vector<os::FootprintSample> ramp_flat_trace(usize n, usize knee, u64 bytes_per_step,
+                                                 double noise = 0.0, u64 seed = 1,
+                                                 Cycles origin = 0) {
+  util::Xoshiro256ss rng(seed);
+  std::vector<os::FootprintSample> samples;
+  u64 footprint = 0;
+  for (usize i = 0; i < n; ++i) {
+    if (i < knee) footprint += bytes_per_step;
+    u64 value = footprint;
+    if (noise > 0.0) {
+      value = static_cast<u64>(
+          std::max(0.0, static_cast<double>(footprint) + rng.normal(0.0, noise)));
+    }
+    samples.push_back(os::FootprintSample{origin + static_cast<Cycles>(i) * 1000, value, value});
+  }
+  return samples;
+}
+
+void replay(OnlineDetector& online, const std::vector<os::FootprintSample>& samples) {
+  for (const auto& s : samples) online.push(s.timestamp, s.reserved_bytes);
+}
+
+/// The tentpole guarantee: finalize() after a point-by-point replay is
+/// bit-identical to the offline detector on the same series.
+void expect_identical(const PhaseSplit& a, const PhaseSplit& b) {
+  EXPECT_EQ(a.pivot_sample, b.pivot_sample);
+  EXPECT_EQ(a.pivot_time, b.pivot_time);
+  EXPECT_EQ(a.total_sse, b.total_sse);  // bitwise, not NEAR
+  EXPECT_EQ(a.fit_quality, b.fit_quality);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (usize p = 0; p < a.phases.size(); ++p) {
+    EXPECT_EQ(a.phases[p].first_sample, b.phases[p].first_sample);
+    EXPECT_EQ(a.phases[p].last_sample, b.phases[p].last_sample);
+    EXPECT_EQ(a.phases[p].start_time, b.phases[p].start_time);
+    EXPECT_EQ(a.phases[p].end_time, b.phases[p].end_time);
+    EXPECT_EQ(a.phases[p].slope_bytes_per_cycle, b.phases[p].slope_bytes_per_cycle);
+  }
+}
+
+TEST(OnlineDetector, ReplayMatchesOfflineNoiseless) {
+  const auto samples = ramp_flat_trace(100, 40, 1 << 20);
+  OnlineDetector online;
+  replay(online, samples);
+  expect_identical(online.finalize(), detect_phases(samples));
+}
+
+TEST(OnlineDetector, ReplayMatchesOfflineNoisy) {
+  for (u64 seed : {2u, 9u, 23u}) {
+    const auto samples = ramp_flat_trace(200, 120, 1 << 20, /*noise=*/2e5, seed);
+    OnlineDetector online;
+    replay(online, samples);
+    expect_identical(online.finalize(), detect_phases(samples));
+  }
+}
+
+TEST(OnlineDetector, ReplayMatchesOfflineLateOrigin) {
+  // Epoch-style cycle counters: t0 ~ 1e12. The shared conditioning keeps
+  // both paths identical (and correct — see Detector.LateOriginRegression).
+  const auto samples =
+      ramp_flat_trace(150, 60, 1 << 19, 1e4, 7, /*origin=*/1'000'000'000'000ull);
+  OnlineDetector online;
+  replay(online, samples);
+  expect_identical(online.finalize(), detect_phases(samples));
+}
+
+TEST(OnlineDetector, CoarseCadenceStillFinalizesIdentically) {
+  const auto samples = ramp_flat_trace(200, 80, 1 << 20, 5e4, 5);
+  OnlineDetectorOptions options;
+  options.rescan_every = 16;
+  OnlineDetector online(options);
+  replay(online, samples);
+  // Fewer scans ran...
+  EXPECT_LT(online.scans(), 200u / 8);
+  // ...but the final split is independent of cadence.
+  expect_identical(online.finalize(), detect_phases(samples));
+}
+
+TEST(OnlineDetector, PublishesNearTrueKneeWhileStreaming) {
+  const auto samples = ramp_flat_trace(120, 50, 1 << 20, 1e4, 3);
+  OnlineDetector online;
+  replay(online, samples);
+  ASSERT_TRUE(online.published());
+  EXPECT_NEAR(static_cast<double>(online.published_pivot()), 50.0, 4.0);
+  EXPECT_EQ(online.published_pivot_time(), samples[online.published_pivot()].timestamp);
+  EXPECT_STREQ(online.phase_label(), "compute");
+  ASSERT_FALSE(online.events().empty());
+  EXPECT_FALSE(online.events().front().republication);
+}
+
+TEST(OnlineDetector, DwellSuppressesSingleWindowBlip) {
+  // A noisy flat footprint with one spiked sample: the provisional pivot
+  // wanders and the gain gate holds, so nothing is ever published.
+  OnlineDetectorOptions options;
+  options.publish_dwell = 3;
+  OnlineDetector online(options);
+  util::Xoshiro256ss rng(17);
+  const double base = 64.0 * (1 << 20);
+  for (usize i = 0; i < 60; ++i) {
+    double value = base + rng.normal(0.0, 2.0 * (1 << 20));
+    if (i == 30) value += 8.0 * (1 << 20);  // one-sample blip
+    online.push(static_cast<Cycles>(i) * 1000, static_cast<u64>(value));
+  }
+  EXPECT_GT(online.scans(), 0u);
+  EXPECT_FALSE(online.published());
+  EXPECT_STREQ(online.phase_label(), "ramp-up");
+  EXPECT_TRUE(online.events().empty());
+}
+
+TEST(OnlineDetector, BlipDoesNotMovePublishedBoundary) {
+  // Once a real boundary is committed, a later one-sample blip must not
+  // re-publish it — the committed pivot keeps winning every scan.
+  const auto samples = ramp_flat_trace(100, 40, 1 << 20, 1e4, 11);
+  OnlineDetector online;
+  replay(online, samples);
+  ASSERT_TRUE(online.published());
+  const usize committed = online.published_pivot();
+  const u64 flat = samples.back().reserved_bytes;
+  const usize blip_sample = samples.size() + 10;
+  for (usize i = 0; i < 40; ++i) {
+    const u64 value = i == 10 ? flat + (32u << 20) : flat;
+    online.push(samples.back().timestamp + static_cast<Cycles>(i + 1) * 1000, value);
+  }
+  // The pivot may drift by a sample as the flat tail sharpens the fit, but
+  // it must stay at the knee — never jump to the blip.
+  EXPECT_NEAR(static_cast<double>(online.published_pivot()), static_cast<double>(committed),
+              2.0);
+  for (const PhaseTransitionEvent& event : online.events()) {
+    EXPECT_LT(event.pivot_sample + 20, blip_sample);
+  }
+}
+
+TEST(OnlineDetector, SustainedShiftPublishesAfterDwell) {
+  // Same dwell, but the level shift persists: the pivot stabilizes and the
+  // boundary is published exactly once.
+  OnlineDetectorOptions options;
+  options.publish_dwell = 3;
+  OnlineDetector online(options);
+  for (usize i = 0; i < 60; ++i) {
+    const u64 value = (i < 30 ? u64{64} : u64{512}) << 20;
+    online.push(static_cast<Cycles>(i) * 1000, value);
+  }
+  ASSERT_TRUE(online.published());
+  EXPECT_EQ(online.published_pivot(), 30u);
+  EXPECT_EQ(online.events().size(), 1u);
+}
+
+TEST(OnlineDetector, PureRampNeverPublishes) {
+  // Zero-gain series: a straight line fits perfectly, so the gain gate
+  // holds every pivot back no matter how long the dwell streak could get.
+  OnlineDetector online;
+  for (usize i = 0; i < 100; ++i) {
+    online.push(static_cast<Cycles>(i) * 1000, static_cast<u64>(i) * (1 << 20));
+  }
+  EXPECT_GT(online.scans(), 0u);
+  EXPECT_FALSE(online.published());
+}
+
+TEST(OnlineDetector, MonitorPushOverloads) {
+  const auto samples = ramp_flat_trace(80, 30, 1 << 20);
+  OnlineDetector from_samples;
+  OnlineDetector from_windows;
+  for (const auto& s : samples) {
+    monitor::Sample sample;
+    sample.timestamp = s.timestamp;
+    sample.footprint_bytes = s.reserved_bytes;
+    from_samples.push(sample);
+
+    monitor::WindowStats window;
+    window.start = s.timestamp;
+    window.end = s.timestamp;
+    window.footprint_bytes = s.reserved_bytes;
+    from_windows.push(window);
+  }
+  expect_identical(from_samples.finalize(), detect_phases(samples));
+  expect_identical(from_samples.finalize(), from_windows.finalize());
+}
+
+TEST(OnlineDetector, RejectsBadInput) {
+  OnlineDetectorOptions bad;
+  bad.rescan_every = 0;
+  EXPECT_THROW(OnlineDetector{bad}, CheckError);
+
+  OnlineDetector online;
+  online.push(1000, 1);
+  EXPECT_THROW(online.push(999, 2), CheckError);  // time must not go backwards
+  EXPECT_THROW(online.published_pivot(), CheckError);
+  EXPECT_THROW(online.finalize(), CheckError);  // < 2*min_segment samples
+}
+
+}  // namespace
+}  // namespace npat::phasen

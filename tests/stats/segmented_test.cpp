@@ -55,6 +55,48 @@ TEST(SegmentCost, DegenerateXRange) {
   EXPECT_THROW(cost.fit(0, 1), CheckError);  // < 2 samples
 }
 
+TEST(SegmentCost, AppendMatchesBulkConstruction) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(120, 50, 1.0, 3, x, y);
+  const SegmentCost bulk(x, y);
+  SegmentCost incremental;
+  incremental.reserve(x.size());
+  for (usize i = 0; i < x.size(); ++i) incremental.append(x[i], y[i]);
+  // Prefix sums are built by the same append path, so every range fit and
+  // every pivot scan must agree bitwise — the online detector's guarantee.
+  for (usize begin : {usize{0}, usize{10}, usize{55}}) {
+    const auto a = bulk.fit(begin, x.size());
+    const auto b = incremental.fit(begin, x.size());
+    EXPECT_EQ(a.slope, b.slope);
+    EXPECT_EQ(a.intercept, b.intercept);
+    EXPECT_EQ(a.sse, b.sse);
+  }
+  const auto scan_bulk = scan_two_phase_pivot(bulk);
+  const auto scan_incremental = scan_two_phase_pivot(incremental);
+  EXPECT_EQ(scan_bulk.pivot, scan_incremental.pivot);
+  EXPECT_EQ(scan_bulk.total_sse, scan_incremental.total_sse);
+}
+
+TEST(SegmentCost, LargeOriginDoesNotCancel) {
+  // Raw abscissae around 1e12 with unit spacing: the internal origin shift
+  // keeps the centered moments exact where naive prefix sums would round
+  // the spread away entirely.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (usize i = 0; i < 50; ++i) {
+    x.push_back(1e12 + static_cast<double>(i));
+    y.push_back(3.0 + 2.0 * static_cast<double>(i));
+  }
+  SegmentCost cost(x, y);
+  const auto segment = cost.fit(0, x.size());
+  EXPECT_NEAR(segment.slope, 2.0, 1e-9);
+  EXPECT_NEAR(segment.sse, 0.0, 1e-6);
+  // Intercept is reported in the caller's frame: y at x = 0 (the mapping
+  // back across 1e12 costs a little precision; the slope does not).
+  EXPECT_NEAR(segment.intercept + 2.0 * 1e12, 3.0, 1.0);
+}
+
 TEST(TwoPhase, FindsExactKneeNoiseless) {
   std::vector<double> x;
   std::vector<double> y;
@@ -143,6 +185,24 @@ TEST(KPhase, MoreSegmentsNeverWorse) {
     EXPECT_LE(fit.total_sse, previous + 1e-9);
     previous = fit.total_sse;
   }
+}
+
+TEST(AutoPhase, ReportsConsideredModelCount) {
+  std::vector<double> x;
+  std::vector<double> y;
+  make_ramp_flat(120, 70, 1.0, 13, x, y);
+  // Full-length series: every k up to max_k was scored, whatever won.
+  EXPECT_EQ(detect_phases_auto(x, y, /*max_k=*/3).k_considered, 3u);
+  EXPECT_EQ(detect_two_phases(x, y).k_considered, 2u);
+  EXPECT_EQ(detect_k_phases(x, y, 3).k_considered, 3u);
+
+  // Too short for two segments: only k = 1 was ever evaluated, which the
+  // caller can now tell apart from "two phases considered and rejected".
+  std::vector<double> sx(x.begin(), x.begin() + 6);
+  std::vector<double> sy(y.begin(), y.begin() + 6);
+  const auto short_fit = detect_phases_auto(sx, sy, 3, /*min_segment=*/4);
+  EXPECT_EQ(short_fit.segments.size(), 1u);
+  EXPECT_EQ(short_fit.k_considered, 1u);
 }
 
 TEST(AutoPhase, PrefersOnePhaseForStraightLine) {
