@@ -17,8 +17,21 @@
 //
 //   npat_top --fleet=4 --workload=stream --refresh-every=8
 //   npat_top --fleet=3 --fault-drop=0.05 --fault-corrupt=0.05 --clear
+//
+// Adding --supervise upgrades every stream to the v4 resume protocol:
+// each host replays through a resilience::SupervisedProbe that redials
+// the collector whenever its link dies, and the collector dedups the
+// retransmissions so every sample is merged exactly once. The injectors
+// become survivable — --fault-disconnect=N cuts each connection mid-frame
+// after N accepted sends — and --die-round=R parks host00 entirely for a
+// stretch of refresh rounds so the LIVE column visibly decays to stale
+// (and back) while the rest of the fleet streams on:
+//
+//   npat_top --fleet=3 --supervise --fault-disconnect=12 --fault-drop=0.05
+//   npat_top --fleet=3 --supervise --die-round=4 --clear
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "fleet/collector.hpp"
 #include "fleet/view.hpp"
@@ -29,6 +42,7 @@
 #include "monitor/view.hpp"
 #include "obs/obs.hpp"
 #include "phasen/online.hpp"
+#include "resilience/probe.hpp"
 #include "sim/presets.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -87,16 +101,22 @@ struct FleetFlags {
   usize refresh_every = 4;
   double fault_drop = 0.0;
   double fault_corrupt = 0.0;
+  bool supervise = false;
+  usize fault_disconnect = 0;  // cut each supervised link after N accepted sends
+  usize die_round = 0;         // host00 stops pumping at this refresh round
+  usize revive_round = 0;      // ... and returns here (0 = die_round + 12)
   bool clear = false;
 };
 
-int run_fleet(const FleetFlags& flags) {
-  // Phase 1: simulate each probe host and capture its telemetry session.
-  struct HostSession {
-    std::string id;
-    u32 node_count = 0;
-    std::vector<monitor::Sample> samples;
-  };
+struct HostSession {
+  std::string id;
+  u32 node_count = 0;
+  std::vector<monitor::Sample> samples;
+};
+
+// Phase 1 of every fleet mode: simulate each probe host and capture its
+// telemetry session for replay.
+std::vector<HostSession> simulate_hosts(const FleetFlags& flags) {
   std::vector<HostSession> hosts;
   for (usize h = 0; h < flags.hosts; ++h) {
     sim::Machine machine(sim::preset_by_name(flags.preset));
@@ -120,6 +140,189 @@ int run_fleet(const FleetFlags& flags) {
     for (monitor::Sample& sample : host.samples) sample.timestamp += skew;
     hosts.push_back(std::move(host));
   }
+  return hosts;
+}
+
+fleet::FleetViewOptions make_fleet_view_options(const FleetFlags& flags) {
+  fleet::FleetViewOptions view_options;
+  view_options.clear_screen = flags.clear;
+  view_options.title = util::format("npat-fleet — %zux %s on %s%s", flags.hosts,
+                                    flags.workload.c_str(), flags.preset.c_str(),
+                                    flags.supervise ? " (supervised)" : "");
+  return view_options;
+}
+
+// Phase 2 (supervised): replay every session through a
+// resilience::SupervisedProbe so the streams survive the injected faults.
+// Each probe dials the collector over loopback — wrapped in a
+// DisconnectingChannel when --fault-disconnect asks for mid-frame cuts,
+// then in a FaultyChannel for drop/corrupt noise — and the collector
+// reattaches the same probe slot on every redial, deduplicating
+// retransmissions by (epoch, seq). The collector clock advances one
+// sampling period per refresh round, which drives the per-probe liveness
+// column; --die-round parks host00 (no pump, no sends) for a stretch of
+// rounds so the view demonstrates a probe dying and returning.
+int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>& hosts) {
+  resilience::LivenessConfig liveness;
+  liveness.stale_after = flags.period * 4;
+  liveness.dead_after = flags.period * 12;
+  liveness.dwell = 2;
+  fleet::FleetCollector collector(liveness);
+
+  struct Link {
+    std::unique_ptr<resilience::SupervisedProbe> probe;
+    std::vector<std::shared_ptr<util::DisconnectingChannel>> cuts;
+    std::vector<std::shared_ptr<util::FaultyChannel>> faults;
+    usize slot = 0;
+    usize connections = 0;
+    usize cursor = 0;
+    bool end_sent = false;
+  };
+  std::vector<std::unique_ptr<Link>> links;  // stable addresses for the dial closures
+  for (usize h = 0; h < hosts.size(); ++h) {
+    auto link = std::make_unique<Link>();
+    Link* raw = link.get();
+    auto dial = [raw, h, &collector, &hosts, &flags]() -> std::shared_ptr<util::ByteChannel> {
+      auto pair = util::make_loopback_pair();
+      if (raw->connections == 0) {
+        raw->slot = collector.add_probe(pair.b, hosts[h].id);
+      } else {
+        collector.reattach_probe(raw->slot, pair.b);
+      }
+      const usize attempt = raw->connections++;
+      std::shared_ptr<util::ByteChannel> channel = pair.a;
+      if (flags.fault_disconnect > 0) {
+        util::DisconnectingChannel::Config cut;
+        cut.cut_after_sends = flags.fault_disconnect;
+        cut.cut_delivery_bytes = 9;  // shorter than any frame: one clean truncation per cut
+        auto wrapped = std::make_shared<util::DisconnectingChannel>(channel, cut);
+        raw->cuts.push_back(wrapped);
+        channel = wrapped;
+      }
+      if (flags.fault_drop > 0.0 || flags.fault_corrupt > 0.0) {
+        util::FaultyChannel::Config faults;
+        faults.drop_probability = flags.fault_drop;
+        faults.corrupt_probability = flags.fault_corrupt;
+        faults.seed = 1000 + h * 101 + attempt;
+        auto wrapped = std::make_shared<util::FaultyChannel>(channel, faults);
+        raw->faults.push_back(wrapped);
+        channel = wrapped;
+      }
+      return channel;
+    };
+    resilience::SupervisedProbeConfig probe_config;
+    probe_config.host_id = hosts[h].id;
+    probe_config.node_count = hosts[h].node_count;
+    probe_config.heartbeat_interval = flags.period;
+    probe_config.resume_timeout = flags.period * 2;
+    probe_config.backoff = {.initial = flags.period / 8 + 1,
+                            .max = flags.period * 2,
+                            .multiplier = 2.0,
+                            .jitter = 0.5};
+    probe_config.seed = 9000 + h;
+    link->probe =
+        std::make_unique<resilience::SupervisedProbe>(std::move(probe_config), std::move(dial));
+    links.push_back(std::move(link));
+  }
+
+  fleet::FleetViewOptions view_options = make_fleet_view_options(flags);
+  obs::AlertEngine alerts;
+  alerts.add_rule(obs::remote_ratio_rule(view_options.warn_remote_ratio,
+                                         view_options.bad_remote_ratio));
+  std::vector<phasen::OnlineDetector> phase_detectors(hosts.size());
+  std::vector<usize> phase_cursors(hosts.size(), 0);
+  view_options.host_phases.resize(hosts.size());
+
+  const usize revive_round = (flags.die_round > 0 && flags.revive_round == 0)
+                                 ? flags.die_round + 12
+                                 : flags.revive_round;
+  Cycles now = 0;
+  bool done = false;
+  for (usize round = 1; !done && round <= 20000; ++round) {
+    done = true;
+    for (usize h = 0; h < links.size(); ++h) {
+      Link& link = *links[h];
+      const auto& samples = hosts[h].samples;
+      const bool down = h == 0 && flags.die_round > 0 && round >= flags.die_round &&
+                        (revive_round == 0 || round < revive_round);
+      if (down) {  // the "crashed" probe: no pump, no sends, no heartbeats
+        done = false;
+        continue;
+      }
+      link.probe->pump(now);
+      for (usize i = 0; i < flags.refresh_every && link.cursor < samples.size();
+           ++i, ++link.cursor) {
+        link.probe->send_sample(monitor::to_wire(samples[link.cursor]), now);
+      }
+      if (link.cursor >= samples.size() && !link.end_sent) {
+        link.probe->send_end(samples.empty() ? 0 : samples.back().timestamp, now);
+        link.end_sent = true;
+      }
+      if (!(link.end_sent && link.probe->fully_acked())) done = false;
+    }
+    collector.poll(now);
+    for (usize h = 0; h < links.size(); ++h) {
+      const auto& merged = collector.probe(links[h]->slot).samples;
+      for (; phase_cursors[h] < merged.size(); ++phase_cursors[h]) {
+        phase_detectors[h].push(merged[phase_cursors[h]]);
+      }
+      view_options.host_phases[h] = phase_detectors[h].phase_label();
+    }
+    const fleet::FleetView view = collector.view();
+    view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
+    std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
+    if (!done) std::fputs("\n", stdout);
+    now += flags.period;
+  }
+
+  const fleet::ProbeDamage damage = collector.view().damage_total();
+  usize data = 0, control = 0, retrans = 0, reconnects = 0, dials = 0, heartbeats = 0,
+        evictions = 0;
+  usize cut_frames = 0, stall_discards = 0, dropped_in_transit = 0, corrupted = 0;
+  u64 delivered = 0, duplicates = 0;
+  for (const auto& link : links) {
+    data += link->probe->data_transmissions();
+    control += link->probe->control_transmissions();
+    retrans += link->probe->retransmissions();
+    reconnects += link->probe->reconnects();
+    dials += link->probe->dial_attempts();
+    heartbeats += link->probe->heartbeats_sent();
+    evictions += link->probe->evictions();
+    for (const auto& cut : link->cuts) {
+      cut_frames += cut->cut_frames();
+      stall_discards += cut->stall_discards();
+    }
+    for (const auto& faulty : link->faults) {
+      dropped_in_transit += faulty->dropped_sends();
+      corrupted += faulty->corrupted_sends();
+    }
+    const fleet::ProbeState& state = collector.probe(link->slot);
+    delivered += state.delivered_frames;
+    duplicates += state.duplicate_frames;
+  }
+  std::printf(
+      "\nsupervised replay complete: %zu hosts, %zu sequenced frames accepted "
+      "(%zu retransmissions), %llu delivered exactly once, %llu duplicates suppressed\n",
+      hosts.size(), data, retrans, static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(duplicates));
+  std::printf("links: %zu dial attempts, %zu reconnects, %zu control frames, %zu heartbeats, "
+              "%zu replay evictions\n",
+              dials, reconnects, control, heartbeats, evictions);
+  std::printf(
+      "transport damage: %zu cut mid-frame, %zu discarded in stalls, %zu dropped in transit, "
+      "%zu corrupted, %zu rejected by decoders (%zu resyncs, %zu EOF truncations), "
+      "%zu unexpected frames\n",
+      cut_frames, stall_discards, dropped_in_transit, corrupted, damage.dropped_frames,
+      damage.resyncs, damage.truncated_flushes, damage.unexpected_frames);
+  if (!alerts.transitions().empty()) {
+    std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
+  }
+  return done ? 0 : 1;
+}
+
+int run_fleet(const FleetFlags& flags) {
+  const std::vector<HostSession> hosts = simulate_hosts(flags);
+  if (flags.supervise) return run_supervised_fleet(flags, hosts);
 
   // Phase 2: replay every session concurrently over loopback — through
   // fault injection when requested — into the fleet collector, refreshing
@@ -144,10 +347,7 @@ int run_fleet(const FleetFlags& flags) {
     links.push_back(std::move(link));
   }
 
-  fleet::FleetViewOptions view_options;
-  view_options.clear_screen = flags.clear;
-  view_options.title = util::format("npat-fleet — %zux %s on %s", flags.hosts,
-                                    flags.workload.c_str(), flags.preset.c_str());
+  fleet::FleetViewOptions view_options = make_fleet_view_options(flags);
   obs::AlertEngine alerts;
   alerts.add_rule(obs::remote_ratio_rule(view_options.warn_remote_ratio,
                                          view_options.bad_remote_ratio));
@@ -229,6 +429,10 @@ int main(int argc, char** argv) {
   i64 fleet = 0;
   double fault_drop = 0.0;
   double fault_corrupt = 0.0;
+  bool supervise = false;
+  i64 fault_disconnect = 0;
+  i64 die_round = 0;
+  i64 revive_round = 0;
   bool clear = false;
 
   util::Cli cli("npat top — live per-node NUMA telemetry for a running workload");
@@ -241,6 +445,14 @@ int main(int argc, char** argv) {
   cli.add_flag("fleet", &fleet, "simulate N probe hosts and render the merged fleet view");
   cli.add_flag("fault-drop", &fault_drop, "fleet mode: per-frame drop probability in transit");
   cli.add_flag("fault-corrupt", &fault_corrupt, "fleet mode: per-frame corruption probability");
+  cli.add_flag("supervise", &supervise,
+               "fleet mode: replay through supervised probes (v4 resume protocol)");
+  cli.add_flag("fault-disconnect", &fault_disconnect,
+               "supervised fleet: cut each connection after N accepted frames (0 = never)");
+  cli.add_flag("die-round", &die_round,
+               "supervised fleet: host00 stops pumping at this refresh round (0 = never)");
+  cli.add_flag("revive-round", &revive_round,
+               "supervised fleet: host00 returns at this round (0 = die-round + 12)");
   cli.add_flag("clear", &clear, "ANSI clear-screen between refreshes (live top feel)");
   cli.add_flag("csv", &csv_path, "dump all samples as CSV to this path");
   cli.add_flag("json", &json_path, "dump all samples as JSON to this path");
@@ -254,6 +466,20 @@ int main(int argc, char** argv) {
         fault_corrupt > 1.0) {
       throw util::CliError("--fleet must be >= 0 and fault probabilities within [0, 1]");
     }
+    if ((supervise || fault_disconnect > 0 || die_round > 0) && fleet <= 0) {
+      throw util::CliError("--supervise/--fault-disconnect/--die-round require --fleet=N");
+    }
+    if (fault_disconnect > 0 && !supervise) {
+      throw util::CliError("--fault-disconnect needs --supervise (a plain probe cannot resume)");
+    }
+    if (fault_disconnect != 0 && fault_disconnect < 4) {
+      // Each reconnect spends Hello + Resume before data flows, and the
+      // fatal frame is truncated; below 4 no connection ever delivers.
+      throw util::CliError("--fault-disconnect must be 0 or >= 4");
+    }
+    if (die_round < 0 || revive_round < 0 || (revive_round > 0 && revive_round <= die_round)) {
+      throw util::CliError("--revive-round must be 0 or later than --die-round");
+    }
     if (fleet > 0) {
       FleetFlags flags;
       flags.hosts = static_cast<usize>(fleet);
@@ -264,6 +490,10 @@ int main(int argc, char** argv) {
       flags.refresh_every = static_cast<usize>(refresh_every);
       flags.fault_drop = fault_drop;
       flags.fault_corrupt = fault_corrupt;
+      flags.supervise = supervise;
+      flags.fault_disconnect = static_cast<usize>(fault_disconnect);
+      flags.die_round = static_cast<usize>(die_round);
+      flags.revive_round = static_cast<usize>(revive_round);
       flags.clear = clear;
       return run_fleet(flags);
     }

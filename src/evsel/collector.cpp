@@ -1,12 +1,77 @@
 #include "evsel/collector.hpp"
 
+#include <cmath>
+
 #include "obs/obs.hpp"
 #include "perf/multiplex.hpp"
 #include "perf/registry.hpp"
 #include "perf/session.hpp"
+#include "stats/descriptive.hpp"
 #include "util/check.hpp"
 
 namespace npat::evsel {
+
+namespace {
+
+/// One event's robust acceptance band across repetitions.
+struct Band {
+  sim::Event event = sim::Event::kCycles;
+  double center = 0.0;
+  double tolerance = 0.0;
+};
+
+double event_value(const std::vector<perf::EventValue>& values, sim::Event event,
+                   bool* found = nullptr) {
+  for (const auto& value : values) {
+    if (value.event == event) {
+      if (found != nullptr) *found = true;
+      return value.value;
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0.0;
+}
+
+/// Builds the per-event MAD bands over one run column (`runs[rep]` holds
+/// the values of repetition `rep` for a fixed group). Events missing from
+/// any repetition are skipped — no band, no quarantine.
+std::vector<Band> quarantine_bands(const std::vector<std::vector<perf::EventValue>>& runs,
+                                   const std::vector<sim::Event>& events, double mad_k) {
+  std::vector<Band> bands;
+  for (const sim::Event event : events) {
+    std::vector<double> samples;
+    samples.reserve(runs.size());
+    bool complete = true;
+    for (const auto& run : runs) {
+      bool found = false;
+      const double value = event_value(run, event, &found);
+      if (!found) {
+        complete = false;
+        break;
+      }
+      samples.push_back(value);
+    }
+    if (!complete || samples.size() < 3) continue;
+    const double center = stats::median(samples);
+    // 1.4826 * MAD estimates sigma under normality; the epsilon keeps the
+    // band non-degenerate when a counter is perfectly repeatable.
+    const double tolerance =
+        mad_k * 1.4826 * stats::mad(samples) + 1e-6 * (1.0 + std::fabs(center));
+    bands.push_back({event, center, tolerance});
+  }
+  return bands;
+}
+
+bool run_is_outlier(const std::vector<perf::EventValue>& run, const std::vector<Band>& bands) {
+  for (const Band& band : bands) {
+    bool found = false;
+    const double value = event_value(run, band.event, &found);
+    if (found && std::fabs(value - band.center) > band.tolerance) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Collector::Collector(sim::MachineConfig config)
     : config_(std::move(config)), machine_(config_) {}
@@ -38,24 +103,58 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
 
   Measurement measurement(label);
 
-  if (options.strategy == CollectionStrategy::kBatchedRuns) {
-    const auto groups = perf::plan_event_groups(events);
-    for (u32 rep = 0; rep < options.repetitions; ++rep) {
-      for (usize g = 0; g < groups.size(); ++g) {
-        // Arm only this group's registers; re-run the whole program.
-        perf::CountingSession session(machine_, groups[g]);
-        const u64 seed = options.seed + 0x1000003ULL * rep + 0x10001ULL * g;
-        run_once(
-            factory, seed, options.affinity,
-            [&](trace::Runner&) { session.start(); },
-            [&](trace::Runner&) { measurement.add_values(session.stop()); });
+  const bool screen = options.quarantine_mad_k > 0.0 && options.repetitions >= 3;
+  u32 retry_budget = screen ? options.retry_budget : 0;
+  u64 retry_serial = 0;
+  usize quarantined = 0;
+  const auto quarantine = [&](std::vector<std::vector<perf::EventValue>>& runs,
+                              const std::vector<sim::Event>& armed,
+                              const std::function<void(u32 rep, u64 seed)>& rerun) {
+    if (!screen) return;
+    // The bands are frozen before any replacement so a re-measured run is
+    // judged against the same consensus its predecessor failed.
+    const std::vector<Band> bands = quarantine_bands(runs, armed, options.quarantine_mad_k);
+    for (u32 rep = 0; rep < runs.size() && retry_budget > 0; ++rep) {
+      while (retry_budget > 0 && run_is_outlier(runs[rep], bands)) {
+        --retry_budget;
+        ++quarantined;
+        NPAT_OBS_COUNT("npat_evsel_quarantined_runs_total",
+                       "Outlier runs quarantined and re-measured by the MAD screen", 1);
+        rerun(rep, options.seed ^ (0x9E3779B97F4A7C15ULL * ++retry_serial));
       }
     }
-  } else {
+  };
+
+  if (options.strategy == CollectionStrategy::kBatchedRuns) {
+    const auto groups = perf::plan_event_groups(events);
+    // One column of runs per group: run_values[g][rep].
+    std::vector<std::vector<std::vector<perf::EventValue>>> run_values(
+        groups.size(), std::vector<std::vector<perf::EventValue>>(options.repetitions));
+    const auto run_group = [&](usize g, u32 rep, u64 seed) {
+      // Arm only this group's registers; re-run the whole program.
+      perf::CountingSession session(machine_, groups[g]);
+      run_once(
+          factory, seed, options.affinity,
+          [&](trace::Runner&) { session.start(); },
+          [&](trace::Runner&) { run_values[g][rep] = session.stop(); });
+    };
     for (u32 rep = 0; rep < options.repetitions; ++rep) {
+      for (usize g = 0; g < groups.size(); ++g) {
+        run_group(g, rep, options.seed + 0x1000003ULL * rep + 0x10001ULL * g);
+      }
+    }
+    for (usize g = 0; g < groups.size(); ++g) {
+      quarantine(run_values[g], groups[g],
+                 [&](u32 rep, u64 seed) { run_group(g, rep, seed); });
+    }
+    for (u32 rep = 0; rep < options.repetitions; ++rep) {
+      for (usize g = 0; g < groups.size(); ++g) measurement.add_values(run_values[g][rep]);
+    }
+  } else {
+    std::vector<std::vector<perf::EventValue>> rep_values(options.repetitions);
+    const auto run_rep = [&](u32 rep, u64 seed) {
       NPAT_OBS_SPAN("evsel.run");
       NPAT_OBS_COUNT("npat_evsel_runs_total", "Simulated program runs executed by EvSel", 1);
-      const u64 seed = options.seed + 0x1000003ULL * rep;
       machine_.reset();
       os::AddressSpace space(machine_.topology());
       trace::RunnerConfig runner_config;
@@ -65,10 +164,16 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
       perf::MultiplexedSession session(machine_, runner, events, options.rotation_interval);
       session.start();
       runner.run(factory());
-      measurement.add_values(session.stop());
+      rep_values[rep] = session.stop();
       ++runs_executed_;
+    };
+    for (u32 rep = 0; rep < options.repetitions; ++rep) {
+      run_rep(rep, options.seed + 0x1000003ULL * rep);
     }
+    quarantine(rep_values, events, run_rep);
+    for (u32 rep = 0; rep < options.repetitions; ++rep) measurement.add_values(rep_values[rep]);
   }
+  measurement.note_quarantined(quarantined);
   return measurement;
 }
 

@@ -33,6 +33,18 @@ struct CollectOptions {
   /// honestly modelling that separate runs are never bit-identical.
   u64 seed = 2017;
   os::AffinityPolicy affinity = os::AffinityPolicy::kCompact;
+  /// Robustness screen (0 disables; needs >= 3 repetitions): a run whose
+  /// count for any armed event deviates from the cross-repetition median
+  /// by more than `quarantine_mad_k * 1.4826 * MAD` (plus a tiny epsilon
+  /// for perfectly repeatable counters) is quarantined — thrown out and
+  /// re-measured with a fresh seed, so one scheduler hiccup or page-cache
+  /// cold start does not poison the t-test inputs.
+  double quarantine_mad_k = 0.0;
+  /// Total re-measured replacement runs allowed per measure() call. A run
+  /// whose replacement is still an outlier when the budget runs dry keeps
+  /// the last value; Measurement::quarantined_runs() flags the degraded
+  /// confidence either way.
+  u32 retry_budget = 3;
 };
 
 /// Builds a fresh program for one run. Called once per (repetition, group).

@@ -34,6 +34,8 @@ Comparison compare(const Measurement& a, const Measurement& b, const CompareOpti
   Comparison out;
   out.label_a = a.label();
   out.label_b = b.label();
+  out.quarantined_a = a.quarantined_runs();
+  out.quarantined_b = b.quarantined_runs();
 
   for (const auto& info : sim::all_events()) {
     const auto& samples_a = a.samples(info.event);

@@ -29,6 +29,11 @@ struct ComparisonRow {
 struct Comparison {
   std::string label_a;
   std::string label_b;
+  /// Runs each side quarantined and re-measured by the collector's MAD
+  /// screen — reported next to the repetition counts so a reader can tell
+  /// a clean 5-rep sample from one that needed outlier surgery.
+  usize quarantined_a = 0;
+  usize quarantined_b = 0;
   std::vector<ComparisonRow> rows;  // registry order
 
   const ComparisonRow& row(sim::Event event) const;

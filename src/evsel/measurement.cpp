@@ -52,6 +52,7 @@ bool Measurement::all_zero(sim::Event event) const {
 util::Json Measurement::to_json() const {
   util::JsonObject doc;
   doc["label"] = label_;
+  if (quarantined_runs_ > 0) doc["quarantined_runs"] = static_cast<double>(quarantined_runs_);
   util::JsonObject params;
   for (const auto& [name, value] : parameters_) params[name] = value;
   doc["parameters"] = std::move(params);
@@ -67,6 +68,9 @@ util::Json Measurement::to_json() const {
 
 Measurement Measurement::from_json(const util::Json& doc) {
   Measurement m(doc.get_string("label"));
+  if (const util::Json* quarantined = doc.find("quarantined_runs")) {
+    m.quarantined_runs_ = static_cast<usize>(quarantined->as_number());
+  }
   if (const util::Json* params = doc.find("parameters")) {
     for (const auto& [name, value] : params->as_object()) {
       m.set_parameter(name, value.as_number());

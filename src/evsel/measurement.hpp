@@ -46,6 +46,13 @@ class Measurement {
   /// rows out).
   bool all_zero(sim::Event event) const;
 
+  /// Runs thrown out by the collector's MAD screen and re-measured (see
+  /// CollectOptions::quarantine_mad_k). Zero means every repetition passed
+  /// on the first try; anything higher is a degraded-confidence signal
+  /// reported next to the repetition counts feeding the t-tests.
+  void note_quarantined(usize runs) { quarantined_runs_ += runs; }
+  usize quarantined_runs() const noexcept { return quarantined_runs_; }
+
   util::Json to_json() const;
   static Measurement from_json(const util::Json& doc);
 
@@ -53,6 +60,7 @@ class Measurement {
   std::string label_;
   std::map<std::string, double> parameters_;
   std::map<sim::Event, std::vector<double>> values_;
+  usize quarantined_runs_ = 0;
 };
 
 }  // namespace npat::evsel

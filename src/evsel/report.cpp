@@ -47,7 +47,12 @@ std::string render_comparison(const Comparison& comparison, const ReportOptions&
                                       "Δ", "significance"};
   if (options.show_descriptions) headers.push_back("description");
   util::Table table(headers);
-  table.set_title("EvSel comparison: " + comparison.label_a + " vs " + comparison.label_b);
+  std::string title = "EvSel comparison: " + comparison.label_a + " vs " + comparison.label_b;
+  if (comparison.quarantined_a + comparison.quarantined_b > 0) {
+    title += util::format(" (quarantined runs: %zu vs %zu)", comparison.quarantined_a,
+                          comparison.quarantined_b);
+  }
+  table.set_title(std::move(title));
   table.set_align(1, util::Align::kRight);
   table.set_align(2, util::Align::kRight);
   table.set_align(3, util::Align::kRight);
@@ -121,7 +126,11 @@ std::string render_measurement(const Measurement& measurement, const ReportOptio
   std::vector<std::string> headers = {"event", "mean", "stddev", "reps"};
   if (options.show_descriptions) headers.push_back("description");
   util::Table table(headers);
-  table.set_title("EvSel measurement: " + measurement.label());
+  std::string title = "EvSel measurement: " + measurement.label();
+  if (measurement.quarantined_runs() > 0) {
+    title += util::format(" (%zu quarantined runs)", measurement.quarantined_runs());
+  }
+  table.set_title(std::move(title));
   table.set_align(1, util::Align::kRight);
   table.set_align(2, util::Align::kRight);
   table.set_align(3, util::Align::kRight);

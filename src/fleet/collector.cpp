@@ -28,11 +28,18 @@ ProbeDamage FleetView::damage_total() const noexcept {
   return sum;
 }
 
+u64 FleetView::duplicates_total() const noexcept {
+  u64 sum = 0;
+  for (const HostRow& host : hosts) sum += host.duplicates;
+  return sum;
+}
+
 usize FleetCollector::add_probe(std::shared_ptr<util::ByteChannel> channel,
                                 std::string fallback_host_id) {
   NPAT_CHECK_MSG(channel != nullptr, "fleet probe needs a channel");
   auto probe = std::make_unique<PerProbe>();
   probe->channel = std::move(channel);
+  probe->liveness = resilience::LivenessTracker(liveness_config_);
   probe->state.host_id = fallback_host_id.empty() ? util::format("probe%zu", probes_.size())
                                                   : std::move(fallback_host_id);
   probes_.push_back(std::move(probe));
@@ -52,16 +59,38 @@ bool FleetCollector::all_ended() const noexcept {
   return !probes_.empty();
 }
 
-usize FleetCollector::poll() {
+usize FleetCollector::poll(Cycles now) {
   NPAT_OBS_SPAN("fleet.poll");
+  clock_ = std::max(clock_, now);
   usize merged = 0;
   for (auto& probe : probes_) merged += poll_probe(*probe);
   samples_merged_ += merged;
   return merged;
 }
 
+void FleetCollector::reattach_probe(usize index, std::shared_ptr<util::ByteChannel> channel) {
+  NPAT_CHECK_MSG(index < probes_.size(), "fleet probe index out of range");
+  NPAT_CHECK_MSG(channel != nullptr, "fleet reattach needs a channel");
+  PerProbe& probe = *probes_[index];
+  // Fold whatever the dying connection still buffered, then retire its
+  // decoder: finish() flushes a frame truncated mid-disconnect into the
+  // damage tally instead of leaving it pending forever.
+  samples_merged_ += poll_probe(probe);
+  probe.decoder.finish();
+  samples_merged_ += fold_frames(probe);
+  probe.carried.dropped_frames += probe.decoder.dropped_frames();
+  probe.carried.resyncs += probe.decoder.resyncs();
+  probe.carried.truncated_flushes += probe.decoder.truncated_flushes();
+  probe.channel = std::move(channel);
+  probe.decoder = wire::Decoder{};
+  ++probe.state.reattaches;
+  republish(probe);
+  NPAT_OBS_COUNT("npat_fleet_reattaches_total",
+                 "Probe channels swapped under a slot after a reconnect", 1);
+  NPAT_OBS_INSTANT("fleet.reattach", probe.state.host_id);
+}
+
 usize FleetCollector::poll_probe(PerProbe& probe) {
-  ProbeState& state = probe.state;
   for (;;) {
     const auto bytes = probe.channel->recv(4096);
     if (bytes.empty()) break;
@@ -72,51 +101,185 @@ usize FleetCollector::poll_probe(PerProbe& probe) {
   // single-probe GuiCollector and monitor::decode_stream).
   if (probe.channel->closed()) probe.decoder.finish();
 
+  const usize merged = fold_frames(probe);
+  maybe_ack(probe);
+  republish(probe);
+  probe.state.liveness = probe.liveness.evaluate(clock_);
+  return merged;
+}
+
+usize FleetCollector::fold_frames(PerProbe& probe) {
+  ProbeState& state = probe.state;
   usize merged = 0;
   while (auto message = probe.decoder.poll()) {
-    if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
-      state.hello_received = true;
-      state.version = hello->version;
-      state.node_count = hello->node_count;
-      // A v2 probe has no host field; it keeps the fallback name.
-      if (!hello->host_id.empty()) state.host_id = hello->host_id;
-    } else if (const auto* sample = std::get_if<wire::MonitorSampleMsg>(&*message)) {
-      if (!state.samples.empty() && sample->nodes.size() != state.samples.front().nodes.size()) {
-        // A CRC-valid frame whose shape contradicts the stream so far:
-        // merging it would poison every later aggregation, so count it as
-        // damage instead.
+    // Any CRC-valid frame proves the probe is alive, duplicates included —
+    // a retransmission is still a working transport.
+    probe.liveness.heard(clock_);
+    if (const auto* envelope = std::get_if<wire::SequencedMsg>(&*message)) {
+      state.supervised = true;
+      const resilience::Admit admit = probe.ledger.admit(envelope->epoch, envelope->seq);
+      if (admit == resilience::Admit::kDuplicate) {
+        continue;  // ledger counted it; exactly-once means fold at most once
+      }
+      if (admit == resilience::Admit::kEpochReset) {
+        // A new incarnation took over. Frames of the dead epoch stuck
+        // behind a gap will never become contiguous; fold what we hold in
+        // sequence order (best effort) before adopting the new numbering.
+        merged += flush_pending(probe);
+      }
+      std::optional<wire::Message> inner = wire::unwrap_sequenced(*envelope);
+      if (!inner) {
+        // The outer CRC already vouched for these bytes, so a bad inner
+        // payload is a malformed sender, not transport damage — but it is
+        // still a frame this collector could not use.
         ++state.damage.unexpected_frames;
         NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
                        "Valid frames the fleet collector could not merge", 1);
-        continue;
+      } else {
+        // Reorder stage: even a frame that is contiguous right now goes
+        // through `pending` so delivery order to fold() is always
+        // sequence order, not arrival order.
+        probe.pending.emplace(envelope->seq, std::move(*inner));
       }
-      monitor::Sample merged_sample = monitor::from_wire(*sample);
-      if (!state.origin) state.origin = merged_sample.timestamp;
-      merged_sample.timestamp = merged_sample.timestamp >= *state.origin
-                                    ? merged_sample.timestamp - *state.origin
-                                    : 0;
-      state.samples.push_back(std::move(merged_sample));
-      ++merged;
-      NPAT_OBS_COUNT("npat_fleet_samples_merged_total",
-                     "Monitor samples merged into the fleet view", 1);
-    } else if (const auto* end = std::get_if<wire::End>(&*message)) {
-      state.ended = true;
-      state.total_cycles = end->total_cycles;
+      merged += drain_in_order(probe);
+    } else if (std::get_if<wire::Heartbeat>(&*message) != nullptr) {
+      state.supervised = true;
+      ++state.heartbeats;
+    } else if (const auto* resume = std::get_if<wire::Resume>(&*message)) {
+      if (resume->role == wire::kResumeProbe) {
+        state.supervised = true;
+        ++state.resumes;
+        probe.ack_due = true;  // reply even when the floor is unchanged
+        probe.resume_epoch = resume->epoch;
+      } else {
+        // A collector-role ack echoed back at a collector is nonsense.
+        ++state.damage.unexpected_frames;
+        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
+                       "Valid frames the fleet collector could not merge", 1);
+      }
     } else {
-      // ThresholdReadings (or future types) are valid v2 frames with no
-      // place in a telemetry merge — counted, not silently ignored.
+      merged += fold(probe, *message);
+    }
+  }
+  return merged;
+}
+
+usize FleetCollector::drain_in_order(PerProbe& probe) {
+  // Folds the contiguous run the ledger floor just certified, in sequence
+  // order. A sequence missing from `pending` inside that run was admitted
+  // but unusable (unwrap failure, already counted as unexpected) — skip it.
+  usize merged = 0;
+  while (probe.folded_floor < probe.ledger.floor()) {
+    const u32 next = probe.folded_floor + 1;
+    auto it = probe.pending.find(next);
+    if (it != probe.pending.end()) {
+      merged += fold(probe, it->second);
+      probe.pending.erase(it);
+    }
+    probe.folded_floor = next;
+  }
+  return merged;
+}
+
+usize FleetCollector::flush_pending(PerProbe& probe) {
+  usize merged = 0;
+  for (auto& [seq, message] : probe.pending) merged += fold(probe, message);
+  probe.pending.clear();
+  probe.folded_floor = 0;
+  return merged;
+}
+
+usize FleetCollector::fold(PerProbe& probe, const wire::Message& message) {
+  ProbeState& state = probe.state;
+  if (const auto* hello = std::get_if<wire::Hello>(&message)) {
+    state.hello_received = true;
+    ++state.hellos;
+    state.version = hello->version;
+    state.node_count = hello->node_count;
+    // A v2 probe has no host field; it keeps the fallback name.
+    if (!hello->host_id.empty()) state.host_id = hello->host_id;
+  } else if (const auto* sample = std::get_if<wire::MonitorSampleMsg>(&message)) {
+    if (!state.samples.empty() && sample->nodes.size() != state.samples.front().nodes.size()) {
+      // A CRC-valid frame whose shape contradicts the stream so far:
+      // merging it would poison every later aggregation, so count it as
+      // damage instead.
       ++state.damage.unexpected_frames;
       NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
                      "Valid frames the fleet collector could not merge", 1);
+      return 0;
     }
+    monitor::Sample merged_sample = monitor::from_wire(*sample);
+    if (!state.origin) state.origin = merged_sample.timestamp;
+    merged_sample.timestamp = merged_sample.timestamp >= *state.origin
+                                  ? merged_sample.timestamp - *state.origin
+                                  : 0;
+    state.samples.push_back(std::move(merged_sample));
+    NPAT_OBS_COUNT("npat_fleet_samples_merged_total",
+                   "Monitor samples merged into the fleet view", 1);
+    return 1;
+  } else if (const auto* end = std::get_if<wire::End>(&message)) {
+    state.ended = true;
+    state.total_cycles = end->total_cycles;
+  } else {
+    // ThresholdReadings (or future types) are valid v2 frames with no
+    // place in a telemetry merge — counted, not silently ignored.
+    ++state.damage.unexpected_frames;
+    NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
+                   "Valid frames the fleet collector could not merge", 1);
   }
+  return 0;
+}
 
-  // Re-publish the decoder's own tallies so per-probe damage always
-  // reconciles exactly with the framing layer.
-  state.damage.dropped_frames = probe.decoder.dropped_frames();
-  state.damage.resyncs = probe.decoder.resyncs();
-  state.damage.truncated_flushes = probe.decoder.truncated_flushes();
-  return merged;
+void FleetCollector::maybe_ack(PerProbe& probe) {
+  if (!probe.state.supervised) return;
+  u16 epoch;
+  u32 floor;
+  if (probe.ack_due) {
+    // Handshake reply: answer for the epoch the probe announced. If data
+    // under that epoch already arrived this poll the ledger has adopted
+    // it and the floor is current; otherwise nothing of that incarnation
+    // was ever delivered and the floor is zero.
+    epoch = probe.resume_epoch;
+    floor = epoch == probe.ledger.epoch() ? probe.ledger.floor() : 0;
+  } else {
+    // Steady-state ack: only when it tells the probe something new.
+    epoch = probe.ledger.epoch();
+    floor = probe.ledger.floor();
+    if (epoch == probe.acked_epoch && floor <= probe.acked_floor) return;
+  }
+  wire::Resume ack;
+  ack.role = wire::kResumeCollector;
+  ack.epoch = epoch;
+  ack.seq = floor;
+  if (probe.channel != nullptr && probe.channel->send(wire::encode(wire::Message{ack}))) {
+    // On failure ack_due stays set: the channel is dying and the probe
+    // will redial, so the reply is retried on the next connection.
+    probe.ack_due = false;
+    probe.acked_epoch = epoch;
+    probe.acked_floor = floor;
+    ++probe.state.acks_sent;
+    NPAT_OBS_COUNT("npat_fleet_acks_sent_total",
+                   "Resume acks sent back to supervised probes", 1);
+  }
+}
+
+void FleetCollector::republish(PerProbe& probe) {
+  // Re-publish the decoder's own tallies (plus anything carried over from
+  // decoders retired by reattach_probe) so per-probe damage always
+  // reconciles exactly with the framing layer, and mirror the ledger and
+  // liveness state into the plain-value ProbeState.
+  ProbeState& state = probe.state;
+  state.damage.dropped_frames = probe.carried.dropped_frames + probe.decoder.dropped_frames();
+  state.damage.resyncs = probe.carried.resyncs + probe.decoder.resyncs();
+  state.damage.truncated_flushes =
+      probe.carried.truncated_flushes + probe.decoder.truncated_flushes();
+  state.epoch = probe.ledger.epoch();
+  state.seq_floor = probe.ledger.floor();
+  state.highest_seq = probe.ledger.highest_seen();
+  state.gap_backlog = probe.ledger.gap_backlog();
+  state.delivered_frames = probe.ledger.delivered();
+  state.duplicate_frames = probe.ledger.duplicates();
+  state.epoch_resets = probe.ledger.epoch_resets();
 }
 
 FleetView FleetCollector::view(usize window_samples) const {
@@ -136,6 +299,9 @@ FleetView FleetCollector::view(usize window_samples) const {
     row.samples_total = state.samples.size();
     row.window = monitor::aggregate(tail);
     row.damage = state.damage;
+    row.supervised = state.supervised;
+    row.liveness = state.liveness;
+    row.duplicates = state.duplicate_frames;
 
     out.span = std::max(out.span, row.window.span());
     out.samples += row.window.samples;

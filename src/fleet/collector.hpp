@@ -8,6 +8,7 @@
 // aligned to a common origin so hosts with skewed clocks merge cleanly.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +17,8 @@
 #include "memhist/wire.hpp"
 #include "monitor/aggregate.hpp"
 #include "monitor/sampler.hpp"
+#include "resilience/ledger.hpp"
+#include "resilience/liveness.hpp"
 #include "util/channel.hpp"
 #include "util/types.hpp"
 
@@ -51,6 +54,24 @@ struct ProbeState {
   std::optional<Cycles> origin;
   std::vector<monitor::Sample> samples;  // aligned timestamps, stream order
   ProbeDamage damage;
+
+  /// Resilience accounting, re-published from this probe's DeliveryLedger
+  /// and LivenessTracker each poll. All zero (and `supervised` false) for
+  /// plain v1-v3 streams that never send sequence envelopes.
+  bool supervised = false;
+  u16 epoch = 0;            ///< probe incarnation the ledger is tracking
+  u32 seq_floor = 0;        ///< highest contiguously delivered sequence
+  u32 highest_seq = 0;      ///< highest sequence seen at all
+  usize gap_backlog = 0;    ///< sequences delivered ahead of a gap
+  u64 delivered_frames = 0; ///< sequenced frames delivered exactly once
+  u64 duplicate_frames = 0; ///< retransmissions suppressed by the ledger
+  u64 epoch_resets = 0;     ///< ledger resets by a newer epoch
+  u64 heartbeats = 0;       ///< idle heartbeats received
+  u64 hellos = 0;           ///< Hello frames received (re-handshakes included)
+  u64 resumes = 0;          ///< probe-role Resume requests received
+  u64 acks_sent = 0;        ///< Resume acks sent back to the probe
+  usize reattaches = 0;     ///< channels swapped in by reattach_probe()
+  resilience::Liveness liveness = resilience::Liveness::kLive;
 };
 
 /// One host's row in the merged fleet view.
@@ -61,6 +82,9 @@ struct HostRow {
   usize samples_total = 0;        // samples merged over the whole session
   monitor::WindowStats window;    // aggregation over the requested window
   ProbeDamage damage;
+  bool supervised = false;        // probe speaks the v4 resilience protocol
+  resilience::Liveness liveness = resilience::Liveness::kLive;
+  u64 duplicates = 0;             // frames suppressed by (epoch, seq) dedup
 };
 
 /// Snapshot of the merged fleet: per-host rows plus the cross-host
@@ -74,20 +98,39 @@ struct FleetView {
 
   usize hosts_ended() const noexcept;
   ProbeDamage damage_total() const noexcept;
+  u64 duplicates_total() const noexcept;
 };
 
 /// Merges several probe streams. Single-threaded and cooperative like the
 /// memhist GuiCollector: call poll() whenever channel data may be pending.
 class FleetCollector {
  public:
+  FleetCollector() = default;
+  /// Tunes the stale/dead thresholds and dwell applied to supervised
+  /// probes (the defaults suit the simulated-cycle clock of the tests).
+  explicit FleetCollector(const resilience::LivenessConfig& liveness_config)
+      : liveness_config_(liveness_config) {}
+
   /// Registers a probe channel; returns its index. `fallback_host_id`
   /// names the probe until (or unless) a v3 Hello carries its own id;
   /// empty means "probe<index>".
   usize add_probe(std::shared_ptr<util::ByteChannel> channel, std::string fallback_host_id = {});
 
+  /// Swaps a fresh channel under an existing probe slot after the old
+  /// connection died (the collector half of a supervised reconnect). The
+  /// retiring decoder is drained and flushed first — a frame truncated by
+  /// the disconnect is counted, not lost silently — and its damage tally
+  /// is carried forward so per-probe accounting stays cumulative across
+  /// any number of reconnects. Ledger, liveness and merged samples all
+  /// survive: deduplication spans connections by design.
+  void reattach_probe(usize index, std::shared_ptr<util::ByteChannel> channel);
+
   /// Drains every channel, decodes, and folds frames into the per-probe
   /// state. Returns the number of monitor samples merged by this call.
-  usize poll();
+  /// `now` advances the collector clock that drives liveness (heartbeat
+  /// gap) tracking for supervised probes; omitting it (legacy callers)
+  /// leaves the clock parked and liveness permanently live.
+  usize poll(Cycles now = 0);
 
   usize probe_count() const noexcept { return probes_.size(); }
   const ProbeState& probe(usize index) const;
@@ -99,15 +142,40 @@ class FleetCollector {
   /// samples (0 = the whole session) plus the cross-host totals.
   FleetView view(usize window_samples = 0) const;
 
+  /// Monotonic collector clock (the largest `now` ever passed to poll()).
+  Cycles clock() const noexcept { return clock_; }
+
  private:
   struct PerProbe {
     std::shared_ptr<util::ByteChannel> channel;
     memhist::wire::Decoder decoder;
     ProbeState state;
+    ProbeDamage carried;  // decoder tallies retired by reattach_probe()
+    resilience::DeliveryLedger ledger;
+    resilience::LivenessTracker liveness;
+    bool ack_due = false;   // a Resume handshake awaits its reply
+    u16 resume_epoch = 0;   // epoch the pending handshake announced
+    u16 acked_epoch = 0;    // last ack actually sent
+    u32 acked_floor = 0;
+    /// Reorder stage: sequenced frames admitted ahead of a gap wait here
+    /// and fold only once every lower sequence has arrived, so the merged
+    /// stream is the *sent* stream even when retransmissions fill gaps
+    /// late. Drained in lockstep with the ledger floor; bounded by the
+    /// probe's replay capacity (the gap can never be wider).
+    std::map<u32, memhist::wire::Message> pending;
+    u32 folded_floor = 0;  // highest sequence already folded (in order)
   };
 
   usize poll_probe(PerProbe& probe);
+  usize fold_frames(PerProbe& probe);
+  usize drain_in_order(PerProbe& probe);
+  usize flush_pending(PerProbe& probe);
+  usize fold(PerProbe& probe, const memhist::wire::Message& message);
+  void maybe_ack(PerProbe& probe);
+  void republish(PerProbe& probe);
 
+  resilience::LivenessConfig liveness_config_;
+  Cycles clock_ = 0;
   std::vector<std::unique_ptr<PerProbe>> probes_;
   usize samples_merged_ = 0;
 };

@@ -35,6 +35,27 @@ util::Cell damage_cell(usize count) {
   return {util::format("%zu", count), count > 0 ? util::Style::kYellow : util::Style::kDim};
 }
 
+// For plain probes the state is ended/live/mute as before; a supervised
+// probe's "live" is the collector's committed liveness verdict instead,
+// so an npat_top --fleet operator sees a dead probe go stale -> dead and
+// snap back to live when it resumes.
+util::Cell state_cell(const HostRow& row) {
+  if (row.ended) return {"ended", util::Style::kDim};
+  if (row.supervised) {
+    switch (row.liveness) {
+      case resilience::Liveness::kDead:
+        return {"dead", util::Style::kRed};
+      case resilience::Liveness::kStale:
+        return {"stale", util::Style::kYellow};
+      case resilience::Liveness::kLive:
+        break;
+    }
+    return {"live", util::Style::kGreen};
+  }
+  return row.hello_received ? util::Cell{"live", util::Style::kGreen}
+                            : util::Cell{"mute", util::Style::kYellow};
+}
+
 void push_rate_cells(std::vector<util::Cell>& cells, const monitor::NodeStats& stats,
                      Cycles span, const FleetViewOptions& options, util::Style style) {
   const double hitm_ratio =
@@ -56,23 +77,25 @@ std::string render_fleet_view(const FleetView& view, const FleetViewOptions& opt
   if (options.clear_screen && util::ansi_enabled()) out += "\x1b[H\x1b[2J";
 
   const ProbeDamage damage = view.damage_total();
+  const u64 duplicates = view.duplicates_total();
   out += util::format(
       "%s — hosts=%zu (%zu ended)  window=%s cycles  samples=%llu  "
-      "damage: drop=%zu resync=%zu trunc=%zu unexpected=%zu\n",
+      "damage: drop=%zu resync=%zu trunc=%zu unexpected=%zu dup=%llu\n",
       options.title.c_str(), view.hosts.size(), view.hosts_ended(),
       util::si_scaled(static_cast<double>(view.span)).c_str(),
       static_cast<unsigned long long>(view.samples), damage.dropped_frames, damage.resyncs,
-      damage.truncated_flushes, damage.unexpected_frames);
+      damage.truncated_flushes, damage.unexpected_frames,
+      static_cast<unsigned long long>(duplicates));
 
   const bool alerts = !options.host_alerts.empty();
   const bool phases = !options.host_phases.empty();
-  std::vector<std::string> headers = {"Host",      "Local%", "Remote%", "HITM%", "IPC",
-                                      "DRAM GB/s", "RSS",    "Samples", "Drop",  "Rsyn",
-                                      "Trunc",     "Unexp",  "State"};
+  std::vector<std::string> headers = {"Host",  "Local%",  "Remote%", "HITM%", "IPC",
+                                      "DRAM GB/s", "RSS", "Samples", "Drop",  "Rsyn",
+                                      "Trunc", "Unexp",   "Dup",     "State"};
   if (phases) headers.push_back("Phase");
   if (alerts) headers.push_back("Alert");
   util::Table table(std::move(headers));
-  for (usize c = 1; c <= 11; ++c) table.set_align(c, util::Align::kRight);
+  for (usize c = 1; c <= 12; ++c) table.set_align(c, util::Align::kRight);
 
   const Cycles span = view.span > 0 ? view.span : 1;
   for (usize host = 0; host < view.hosts.size(); ++host) {
@@ -92,9 +115,8 @@ std::string render_fleet_view(const FleetView& view, const FleetViewOptions& opt
     cells.push_back(damage_cell(row.damage.resyncs));
     cells.push_back(damage_cell(row.damage.truncated_flushes));
     cells.push_back(damage_cell(row.damage.unexpected_frames));
-    cells.push_back(row.ended ? util::Cell{"ended", util::Style::kDim}
-                              : (row.hello_received ? util::Cell{"live", util::Style::kGreen}
-                                                    : util::Cell{"mute", util::Style::kYellow}));
+    cells.push_back(damage_cell(static_cast<usize>(row.duplicates)));
+    cells.push_back(state_cell(row));
     if (phases) {
       cells.push_back({host < options.host_phases.size() ? options.host_phases[host] : "-",
                        util::Style::kCyan});
@@ -115,6 +137,7 @@ std::string render_fleet_view(const FleetView& view, const FleetViewOptions& opt
     cells.push_back(damage_cell(damage.resyncs));
     cells.push_back(damage_cell(damage.truncated_flushes));
     cells.push_back(damage_cell(damage.unexpected_frames));
+    cells.push_back(damage_cell(static_cast<usize>(duplicates)));
     cells.push_back({util::format("%zu/%zu", view.hosts_ended(), view.hosts.size()),
                      util::Style::kBold});
     if (phases) cells.push_back({"-", util::Style::kDim});

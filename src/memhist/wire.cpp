@@ -14,6 +14,12 @@ constexpr u8 kTypeHello = 1;
 constexpr u8 kTypeReading = 2;
 constexpr u8 kTypeEnd = 3;
 constexpr u8 kTypeMonitorSample = 4;  // since version 2
+constexpr u8 kTypeHeartbeat = 5;      // since version 4
+constexpr u8 kTypeResume = 6;         // since version 4
+constexpr u8 kTypeSequenced = 7;      // since version 4
+
+// Sequence envelope prefix: epoch(2) seq(4) inner_type(1).
+constexpr usize kSequencedPrefixBytes = 7;
 
 // MonitorSampleMsg payload: timestamp(8) footprint(8) node_count(2) then
 // 9 u64 fields per node.
@@ -64,22 +70,11 @@ const std::array<u32, 256>& crc_table() {
   return table;
 }
 
-}  // namespace
-
-u32 crc32(const u8* data, usize length) {
-  const auto& table = crc_table();
-  u32 crc = 0xFFFFFFFFu;
-  for (usize i = 0; i < length; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-std::vector<u8> encode(const Message& message) {
-  std::vector<u8> payload;
-  u8 type = 0;
+/// Message type byte + payload bytes for one message; shared by encode()
+/// (which adds the framing) and wrap_sequenced() (which nests the payload
+/// inside an envelope instead of a frame of its own).
+u8 encode_payload(const Message& message, std::vector<u8>& payload) {
   if (const Hello* hello = std::get_if<Hello>(&message)) {
-    type = kTypeHello;
     payload.push_back(hello->version);
     put_u32(payload, hello->node_count);
     // The host id rides only on version >= 3 hellos; a v1/v2 Hello keeps
@@ -89,14 +84,16 @@ std::vector<u8> encode(const Message& message) {
       payload.push_back(static_cast<u8>(hello->host_id.size()));
       payload.insert(payload.end(), hello->host_id.begin(), hello->host_id.end());
     }
-  } else if (const ReadingMsg* msg = std::get_if<ReadingMsg>(&message)) {
-    type = kTypeReading;
+    return kTypeHello;
+  }
+  if (const ReadingMsg* msg = std::get_if<ReadingMsg>(&message)) {
     put_u64(payload, msg->reading.threshold);
     put_u64(payload, msg->reading.counted);
     put_u64(payload, msg->reading.window_cycles);
     put_u64(payload, msg->reading.slices);
-  } else if (const MonitorSampleMsg* sample = std::get_if<MonitorSampleMsg>(&message)) {
-    type = kTypeMonitorSample;
+    return kTypeReading;
+  }
+  if (const MonitorSampleMsg* sample = std::get_if<MonitorSampleMsg>(&message)) {
     NPAT_CHECK_MSG(
         kMonitorHeaderBytes + sample->nodes.size() * kMonitorNodeBytes <= 0xFFFF,
         "too many nodes for one monitor frame");
@@ -114,10 +111,149 @@ std::vector<u8> encode(const Message& message) {
       put_u64(payload, node.qpi_flits);
       put_u64(payload, node.resident_bytes);
     }
-  } else {
-    type = kTypeEnd;
-    put_u64(payload, std::get<End>(message).total_cycles);
+    return kTypeMonitorSample;
   }
+  if (const Heartbeat* heartbeat = std::get_if<Heartbeat>(&message)) {
+    put_u16(payload, heartbeat->epoch);
+    put_u32(payload, heartbeat->seq);
+    put_u64(payload, heartbeat->timestamp);
+    return kTypeHeartbeat;
+  }
+  if (const Resume* resume = std::get_if<Resume>(&message)) {
+    NPAT_CHECK_MSG(resume->role <= kResumeCollector, "invalid Resume role");
+    payload.push_back(resume->role);
+    put_u16(payload, resume->epoch);
+    put_u32(payload, resume->seq);
+    return kTypeResume;
+  }
+  if (const SequencedMsg* envelope = std::get_if<SequencedMsg>(&message)) {
+    NPAT_CHECK_MSG(envelope->inner_type != kTypeSequenced, "sequence envelopes never nest");
+    NPAT_CHECK_MSG(kSequencedPrefixBytes + envelope->inner_payload.size() <= 0xFFFF,
+                   "inner payload too large for a sequence envelope");
+    put_u16(payload, envelope->epoch);
+    put_u32(payload, envelope->seq);
+    payload.push_back(envelope->inner_type);
+    payload.insert(payload.end(), envelope->inner_payload.begin(), envelope->inner_payload.end());
+    return kTypeSequenced;
+  }
+  put_u64(payload, std::get<End>(message).total_cycles);
+  return kTypeEnd;
+}
+
+/// Parses one CRC-verified payload; nullopt for malformed payloads and
+/// unknown (future-version) types. Shared by the Decoder and by
+/// unwrap_sequenced(), so an envelope's inner message obeys exactly the
+/// same validation as a bare frame.
+std::optional<Message> parse_payload(u8 type, const u8* payload, usize payload_len) {
+  switch (type) {
+    case kTypeHello:
+      // v1/v2 layout: version(1) node_count(4). v3+ appends
+      // host_len(1) + host bytes; the length must account exactly.
+      if (payload_len >= 5) {
+        Hello hello;
+        hello.version = payload[0];
+        hello.node_count = get_u32(payload + 1);
+        if (payload_len == 5 && hello.version <= 2) {
+          return hello;
+        }
+        if (payload_len >= 6 && payload_len == 6u + payload[5]) {
+          hello.host_id.assign(reinterpret_cast<const char*>(payload + 6), payload[5]);
+          return hello;
+        }
+      }
+      break;
+    case kTypeReading:
+      if (payload_len == 32) {
+        ReadingMsg msg;
+        msg.reading.threshold = get_u64(payload);
+        msg.reading.counted = get_u64(payload + 8);
+        msg.reading.window_cycles = get_u64(payload + 16);
+        msg.reading.slices = get_u64(payload + 24);
+        return msg;
+      }
+      break;
+    case kTypeEnd:
+      if (payload_len == 8) {
+        return End{get_u64(payload)};
+      }
+      break;
+    case kTypeMonitorSample:
+      if (payload_len >= kMonitorHeaderBytes &&
+          (payload_len - kMonitorHeaderBytes) % kMonitorNodeBytes == 0) {
+        MonitorSampleMsg sample;
+        sample.timestamp = get_u64(payload);
+        sample.footprint_bytes = get_u64(payload + 8);
+        const u16 node_count = get_u16(payload + 16);
+        if (payload_len == kMonitorHeaderBytes + node_count * kMonitorNodeBytes) {
+          sample.nodes.reserve(node_count);
+          for (u16 i = 0; i < node_count; ++i) {
+            const u8* p = payload + kMonitorHeaderBytes + i * kMonitorNodeBytes;
+            MonitorNodeCounters node;
+            node.instructions = get_u64(p);
+            node.cycles = get_u64(p + 8);
+            node.local_dram = get_u64(p + 16);
+            node.remote_dram = get_u64(p + 24);
+            node.remote_hitm = get_u64(p + 32);
+            node.imc_reads = get_u64(p + 40);
+            node.imc_writes = get_u64(p + 48);
+            node.qpi_flits = get_u64(p + 56);
+            node.resident_bytes = get_u64(p + 64);
+            sample.nodes.push_back(node);
+          }
+          return sample;
+        }
+      }
+      break;
+    case kTypeHeartbeat:
+      if (payload_len == 14) {
+        Heartbeat heartbeat;
+        heartbeat.epoch = get_u16(payload);
+        heartbeat.seq = get_u32(payload + 2);
+        heartbeat.timestamp = get_u64(payload + 6);
+        return heartbeat;
+      }
+      break;
+    case kTypeResume:
+      if (payload_len == 7 && payload[0] <= kResumeCollector) {
+        Resume resume;
+        resume.role = payload[0];
+        resume.epoch = get_u16(payload + 1);
+        resume.seq = get_u32(payload + 3);
+        return resume;
+      }
+      break;
+    case kTypeSequenced:
+      // Envelopes never nest; a sequenced inner type is malformed, not
+      // a recursion invitation.
+      if (payload_len >= kSequencedPrefixBytes && payload[6] != kTypeSequenced) {
+        SequencedMsg envelope;
+        envelope.epoch = get_u16(payload);
+        envelope.seq = get_u32(payload + 2);
+        envelope.inner_type = payload[6];
+        envelope.inner_payload.assign(payload + kSequencedPrefixBytes, payload + payload_len);
+        return envelope;
+      }
+      break;
+    default:
+      break;  // unknown (future-version) type
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+u32 crc32(const u8* data, usize length) {
+  const auto& table = crc_table();
+  u32 crc = 0xFFFFFFFFu;
+  for (usize i = 0; i < length; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<u8> encode(const Message& message) {
+  std::vector<u8> payload;
+  const u8 type = encode_payload(message, payload);
 
   std::vector<u8> frame;
   frame.reserve(kHeaderBytes + payload.size() + kCrcBytes);
@@ -129,6 +265,20 @@ std::vector<u8> encode(const Message& message) {
   frame.insert(frame.end(), payload.begin(), payload.end());
   put_u32(frame, crc32(payload.data(), payload.size()));
   return frame;
+}
+
+SequencedMsg wrap_sequenced(u16 epoch, u32 seq, const Message& inner) {
+  NPAT_CHECK_MSG(!std::holds_alternative<SequencedMsg>(inner), "sequence envelopes never nest");
+  SequencedMsg envelope;
+  envelope.epoch = epoch;
+  envelope.seq = seq;
+  envelope.inner_type = encode_payload(inner, envelope.inner_payload);
+  return envelope;
+}
+
+std::optional<Message> unwrap_sequenced(const SequencedMsg& envelope) {
+  return parse_payload(envelope.inner_type, envelope.inner_payload.data(),
+                       envelope.inner_payload.size());
 }
 
 void Decoder::feed(const std::vector<u8>& bytes) {
@@ -186,68 +336,7 @@ std::optional<Message> Decoder::poll() {
       continue;
     }
 
-    std::optional<Message> message;
-    switch (type) {
-      case kTypeHello:
-        // v1/v2 layout: version(1) node_count(4). v3 appends
-        // host_len(1) + host bytes; the length must account exactly.
-        if (payload_len >= 5) {
-          Hello hello;
-          hello.version = payload[0];
-          hello.node_count = get_u32(payload + 1);
-          if (payload_len == 5 && hello.version <= 2) {
-            message = std::move(hello);
-          } else if (payload_len >= 6 && payload_len == 6u + payload[5]) {
-            hello.host_id.assign(reinterpret_cast<const char*>(payload + 6), payload[5]);
-            message = std::move(hello);
-          }
-        }
-        break;
-      case kTypeReading:
-        if (payload_len == 32) {
-          ReadingMsg msg;
-          msg.reading.threshold = get_u64(payload);
-          msg.reading.counted = get_u64(payload + 8);
-          msg.reading.window_cycles = get_u64(payload + 16);
-          msg.reading.slices = get_u64(payload + 24);
-          message = msg;
-        }
-        break;
-      case kTypeEnd:
-        if (payload_len == 8) {
-          message = End{get_u64(payload)};
-        }
-        break;
-      case kTypeMonitorSample:
-        if (payload_len >= kMonitorHeaderBytes &&
-            (payload_len - kMonitorHeaderBytes) % kMonitorNodeBytes == 0) {
-          MonitorSampleMsg sample;
-          sample.timestamp = get_u64(payload);
-          sample.footprint_bytes = get_u64(payload + 8);
-          const u16 node_count = get_u16(payload + 16);
-          if (payload_len == kMonitorHeaderBytes + node_count * kMonitorNodeBytes) {
-            sample.nodes.reserve(node_count);
-            for (u16 i = 0; i < node_count; ++i) {
-              const u8* p = payload + kMonitorHeaderBytes + i * kMonitorNodeBytes;
-              MonitorNodeCounters node;
-              node.instructions = get_u64(p);
-              node.cycles = get_u64(p + 8);
-              node.local_dram = get_u64(p + 16);
-              node.remote_dram = get_u64(p + 24);
-              node.remote_hitm = get_u64(p + 32);
-              node.imc_reads = get_u64(p + 40);
-              node.imc_writes = get_u64(p + 48);
-              node.qpi_flits = get_u64(p + 56);
-              node.resident_bytes = get_u64(p + 64);
-              sample.nodes.push_back(node);
-            }
-            message = std::move(sample);
-          }
-        }
-        break;
-      default:
-        break;  // unknown (future-version) type: CRC-verified, drop whole frame
-    }
+    std::optional<Message> message = parse_payload(type, payload, payload_len);
 
     // The CRC passed, so the length field is trustworthy: skipping the
     // whole frame is safe even for unknown or malformed-payload types.

@@ -21,10 +21,13 @@ inline constexpr u8 kMagic0 = 'N';
 inline constexpr u8 kMagic1 = 'P';
 /// Version 2 added MonitorSampleMsg. Version 3 extends Hello with a host
 /// id so a fleet collector can attribute multiplexed streams to probes.
-/// Version-1/2 streams decode unchanged; older decoders skip newer frame
-/// types (unknown types are dropped whole, CRC-verified, without losing
-/// framing).
-inline constexpr u8 kProtocolVersion = 3;
+/// Version 4 adds the resilience frames: per-frame sequence envelopes
+/// (SequencedMsg), Heartbeat liveness beacons, and the Resume handshake
+/// that lets a reconnecting probe retransmit only what the collector
+/// never saw. Version-1/2/3 streams decode unchanged; older decoders skip
+/// newer frame types (unknown types are dropped whole, CRC-verified,
+/// without losing framing).
+inline constexpr u8 kProtocolVersion = 4;
 inline constexpr usize kMaxHostIdBytes = 255;
 
 struct Hello {
@@ -72,12 +75,66 @@ struct MonitorSampleMsg {
   friend bool operator==(const MonitorSampleMsg&, const MonitorSampleMsg&) = default;
 };
 
-using Message = std::variant<Hello, ReadingMsg, End, MonitorSampleMsg>;
+/// Liveness beacon (version >= 4): sent by a supervised probe when it has
+/// had nothing else to say for a while, so a collector can tell a silent
+/// probe from a dead one. `seq` is the highest sequence number the probe
+/// has assigned so far — an idle-period loss detector for free.
+struct Heartbeat {
+  u16 epoch = 0;
+  u32 seq = 0;
+  Cycles timestamp = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+inline constexpr u8 kResumeProbe = 0;      ///< probe announces "resuming epoch E"
+inline constexpr u8 kResumeCollector = 1;  ///< collector acks "delivered through seq S"
+
+/// Resume handshake (version >= 4). A reconnecting probe sends
+/// role=kResumeProbe with its session epoch and next fresh sequence; the
+/// collector replies role=kResumeCollector carrying the highest sequence
+/// it has delivered contiguously, so the probe retransmits only the gap.
+/// The collector reply doubles as the steady-state ack that lets the
+/// probe prune its replay buffer.
+struct Resume {
+  u8 role = kResumeProbe;
+  u16 epoch = 0;
+  u32 seq = 0;
+
+  friend bool operator==(const Resume&, const Resume&) = default;
+};
+
+/// Sequence envelope (version >= 4): any v1-v3 data frame's payload,
+/// prefixed with (epoch, seq) so the collector can deduplicate
+/// retransmissions for exactly-once accounting. The envelope replaces the
+/// inner frame's own framing (one magic/length/CRC for both layers), so
+/// the wire cost is 7 bytes per frame. Envelopes never nest.
+struct SequencedMsg {
+  u16 epoch = 0;
+  u32 seq = 0;
+  u8 inner_type = 0;
+  std::vector<u8> inner_payload;
+
+  friend bool operator==(const SequencedMsg&, const SequencedMsg&) = default;
+};
+
+using Message =
+    std::variant<Hello, ReadingMsg, End, MonitorSampleMsg, Heartbeat, Resume, SequencedMsg>;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected).
 u32 crc32(const u8* data, usize length);
 
 std::vector<u8> encode(const Message& message);
+
+/// Wraps `inner` (which must not itself be a SequencedMsg) in a sequence
+/// envelope for (epoch, seq).
+SequencedMsg wrap_sequenced(u16 epoch, u32 seq, const Message& inner);
+
+/// Decodes the envelope's inner message; nullopt if the inner payload is
+/// malformed or of an unknown (future) type. The outer frame's CRC
+/// already covered these bytes, so a nullopt here means a malformed
+/// *sender*, not transport damage.
+std::optional<Message> unwrap_sequenced(const SequencedMsg& envelope);
 
 /// Incremental decoder. Feed bytes as they arrive; poll() yields complete
 /// messages. Frames with bad CRCs or unknown types are dropped and counted;

@@ -1,0 +1,49 @@
+#include "resilience/ledger.hpp"
+
+#include "obs/obs.hpp"
+
+namespace npat::resilience {
+
+Admit DeliveryLedger::admit(u16 epoch, u32 seq) {
+  bool reset = false;
+  if (!started_ || epoch > epoch_) {
+    reset = started_;
+    started_ = true;
+    epoch_ = epoch;
+    floor_ = 0;
+    highest_seen_ = 0;
+    ahead_.clear();
+    if (reset) {
+      ++epoch_resets_;
+      NPAT_OBS_COUNT("npat_resilience_epoch_resets_total",
+                     "Delivery ledgers reset by a newer probe epoch", 1);
+    }
+  } else if (epoch < epoch_) {
+    // A frame from a dead incarnation (late retransmission racing a probe
+    // restart): its numbering means nothing now, suppress it.
+    ++duplicates_;
+    NPAT_OBS_COUNT("npat_resilience_duplicates_suppressed_total",
+                   "Frames suppressed by (epoch, seq) deduplication", 1);
+    return Admit::kDuplicate;
+  }
+
+  if (seq > highest_seen_) highest_seen_ = seq;
+  if (seq <= floor_ || ahead_.count(seq) > 0) {
+    ++duplicates_;
+    NPAT_OBS_COUNT("npat_resilience_duplicates_suppressed_total",
+                   "Frames suppressed by (epoch, seq) deduplication", 1);
+    return Admit::kDuplicate;
+  }
+
+  ahead_.insert(seq);
+  while (!ahead_.empty() && *ahead_.begin() == floor_ + 1) {
+    ++floor_;
+    ahead_.erase(ahead_.begin());
+  }
+  ++delivered_;
+  NPAT_OBS_COUNT("npat_resilience_frames_delivered_total",
+                 "Sequenced frames delivered exactly once", 1);
+  return reset ? Admit::kEpochReset : Admit::kDelivered;
+}
+
+}  // namespace npat::resilience

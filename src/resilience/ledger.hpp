@@ -1,0 +1,55 @@
+// Exactly-once delivery accounting for supervised probe streams. A probe
+// stamps every data frame with (epoch, seq) — the epoch names one probe
+// incarnation, sequences count its frames from 1 — and may retransmit
+// after a reconnect anything the collector never acknowledged. The ledger
+// is the collector-side dual: it admits each (epoch, seq) at most once,
+// tracks the highest *contiguously* delivered sequence (the resume/ack
+// floor), and keeps a sparse set of sequences delivered ahead of a gap so
+// a frame lost mid-connection can still be delivered exactly once when a
+// later resume replays it.
+#pragma once
+
+#include <set>
+
+#include "util/types.hpp"
+
+namespace npat::resilience {
+
+enum class Admit : u8 {
+  kDelivered,   ///< first delivery; fold the frame into the session
+  kDuplicate,   ///< retransmission of something already delivered; suppress
+  kEpochReset,  ///< first frame of a newer epoch; prior state discarded, frame delivered
+};
+
+class DeliveryLedger {
+ public:
+  /// Classifies one (epoch, seq). Sequences are 1-based; a newer epoch
+  /// resets the ledger (a restarted probe has no memory of the old
+  /// numbering), a stale epoch's frames are suppressed as duplicates.
+  Admit admit(u16 epoch, u32 seq);
+
+  u16 epoch() const noexcept { return epoch_; }
+  /// Highest sequence delivered with no gaps below it — the ack floor: a
+  /// probe may safely forget everything <= floor().
+  u32 floor() const noexcept { return floor_; }
+  /// Highest sequence seen at all (gaps included).
+  u32 highest_seen() const noexcept { return highest_seen_; }
+  /// Sequences delivered ahead of a gap (loss suspected below them).
+  usize gap_backlog() const noexcept { return ahead_.size(); }
+
+  u64 delivered() const noexcept { return delivered_; }
+  u64 duplicates() const noexcept { return duplicates_; }
+  u64 epoch_resets() const noexcept { return epoch_resets_; }
+
+ private:
+  bool started_ = false;
+  u16 epoch_ = 0;
+  u32 floor_ = 0;
+  u32 highest_seen_ = 0;
+  std::set<u32> ahead_;
+  u64 delivered_ = 0;
+  u64 duplicates_ = 0;
+  u64 epoch_resets_ = 0;
+};
+
+}  // namespace npat::resilience

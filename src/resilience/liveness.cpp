@@ -1,0 +1,62 @@
+#include "resilience/liveness.hpp"
+
+#include "obs/obs.hpp"
+#include "util/strings.hpp"
+
+namespace npat::resilience {
+
+const char* liveness_name(Liveness state) noexcept {
+  switch (state) {
+    case Liveness::kStale:
+      return "stale";
+    case Liveness::kDead:
+      return "dead";
+    case Liveness::kLive:
+      break;
+  }
+  return "live";
+}
+
+void LivenessTracker::heard(Cycles now) noexcept {
+  ever_heard_ = true;
+  if (now > last_heard_) last_heard_ = now;
+}
+
+Liveness LivenessTracker::evaluate(Cycles now) {
+  // A probe never heard from is "not yet live", not "dead of silence":
+  // the gap clock starts at first contact.
+  if (!ever_heard_) return committed_;
+  const Cycles gap = now > last_heard_ ? now - last_heard_ : 0;
+  Liveness target = Liveness::kLive;
+  if (gap >= config_.dead_after) {
+    target = Liveness::kDead;
+  } else if (gap >= config_.stale_after) {
+    target = Liveness::kStale;
+  }
+
+  if (target == committed_) {
+    candidate_ = committed_;
+    streak_ = 0;
+    return committed_;
+  }
+  if (target == candidate_) {
+    ++streak_;
+  } else {
+    candidate_ = target;
+    streak_ = 1;
+  }
+  if (streak_ < config_.dwell) return committed_;
+
+  transitions_.push_back({committed_, target, now, gap});
+  NPAT_OBS_COUNT("npat_resilience_liveness_transitions_total",
+                 "Committed probe liveness transitions", 1);
+  NPAT_OBS_INSTANT("resilience.liveness",
+                   util::format("%s->%s gap=%llu", liveness_name(committed_),
+                                liveness_name(target), static_cast<unsigned long long>(gap)));
+  committed_ = target;
+  candidate_ = target;
+  streak_ = 0;
+  return committed_;
+}
+
+}  // namespace npat::resilience

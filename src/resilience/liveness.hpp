@@ -1,0 +1,64 @@
+// Collector-side liveness for supervised probes: live → stale → dead,
+// driven by the gap since the probe was last heard (any valid frame
+// counts — data proves liveness; explicit Heartbeats only flow when a
+// probe is otherwise idle). Transitions pass through an AlertEngine-style
+// dwell: a *different* target state must persist for `dwell` consecutive
+// evaluations before the committed state changes, so one late poll never
+// declares a probe dead and one lucky frame never resurrects it.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npat::resilience {
+
+enum class Liveness : u8 { kLive = 0, kStale = 1, kDead = 2 };
+
+const char* liveness_name(Liveness state) noexcept;
+
+struct LivenessConfig {
+  /// Gap (in collector-clock cycles) after which a silent probe is stale.
+  Cycles stale_after = 200000;
+  /// Gap after which a stale probe is presumed dead.
+  Cycles dead_after = 1000000;
+  /// Consecutive evaluations a new target state must persist before the
+  /// committed state transitions (1 = immediate).
+  usize dwell = 2;
+};
+
+struct LivenessTransition {
+  Liveness from = Liveness::kLive;
+  Liveness to = Liveness::kLive;
+  Cycles at = 0;   ///< collector clock at commit time
+  Cycles gap = 0;  ///< silence that committed the transition
+};
+
+class LivenessTracker {
+ public:
+  LivenessTracker() = default;
+  explicit LivenessTracker(const LivenessConfig& config) : config_(config) {}
+
+  /// Any valid frame from the probe refreshes the clock.
+  void heard(Cycles now) noexcept;
+
+  /// Re-evaluates the committed state against `now`; called once per
+  /// collector poll. Returns the committed (post-dwell) state.
+  Liveness evaluate(Cycles now);
+
+  Liveness state() const noexcept { return committed_; }
+  Cycles last_heard() const noexcept { return last_heard_; }
+  bool ever_heard() const noexcept { return ever_heard_; }
+  const std::vector<LivenessTransition>& transitions() const noexcept { return transitions_; }
+
+ private:
+  LivenessConfig config_;
+  bool ever_heard_ = false;
+  Cycles last_heard_ = 0;
+  Liveness committed_ = Liveness::kLive;
+  Liveness candidate_ = Liveness::kLive;
+  usize streak_ = 0;
+  std::vector<LivenessTransition> transitions_;
+};
+
+}  // namespace npat::resilience

@@ -91,6 +91,22 @@ double variance(std::span<const double> values) {
 
 double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
 
+double median(std::span<const double> values) {
+  NPAT_CHECK_MSG(!values.empty(), "median of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, 0.5);
+}
+
+double mad(std::span<const double> values) {
+  const double center = median(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - center));
+  std::sort(deviations.begin(), deviations.end());
+  return quantile_sorted(deviations, 0.5);
+}
+
 std::optional<double> pearson(std::span<const double> x, std::span<const double> y) {
   NPAT_CHECK_MSG(x.size() == y.size(), "pearson length mismatch");
   if (x.size() < 2) return std::nullopt;

@@ -58,6 +58,14 @@ double mean(std::span<const double> values);
 double variance(std::span<const double> values);
 double stddev(std::span<const double> values);
 
+/// Median (copies & sorts internally).
+double median(std::span<const double> values);
+/// Median absolute deviation about the median, unscaled — multiply by
+/// 1.4826 for a robust sigma estimate under normality. Robust outlier
+/// screens (EvSel's repeated-run quarantine) use this instead of the
+/// stddev, which the outlier itself inflates.
+double mad(std::span<const double> values);
+
 /// Pearson correlation coefficient; nullopt if either side is constant.
 std::optional<double> pearson(std::span<const double> x, std::span<const double> y);
 

@@ -62,6 +62,7 @@ bool FaultyChannel::send(const std::vector<u8>& data) {
   std::vector<u8> payload = data;
   if (config_.truncate_to > 0 && payload.size() > config_.truncate_to) {
     payload.resize(config_.truncate_to);
+    ++truncated_;
   }
   if (!payload.empty() && config_.corrupt_probability > 0.0 &&
       rng_.chance(config_.corrupt_probability)) {
@@ -69,6 +70,52 @@ bool FaultyChannel::send(const std::vector<u8>& data) {
     ++corrupted_;
   }
   return inner_->send(payload);
+}
+
+bool DisconnectingChannel::send(const std::vector<u8>& data) {
+  if (closed()) return false;
+  if (stalled_) {
+    stall_queue_.push_back(data);
+    ++stalled_sends_;
+    return true;  // accepted; delivery is merely delayed
+  }
+  return forward(data);
+}
+
+usize DisconnectingChannel::release_stall() {
+  stalled_ = false;
+  usize flushed = 0;
+  for (usize i = 0; i < stall_queue_.size(); ++i) {
+    if (cut_) {
+      // The cut fired mid-burst; everything behind it dies with the
+      // connection. These frames were accepted earlier, so count them —
+      // reconciliation must see the loss somewhere.
+      stall_discards_ += stall_queue_.size() - i;
+      break;
+    }
+    forward(stall_queue_[i]);
+    ++flushed;
+  }
+  stall_queue_.clear();
+  return flushed;
+}
+
+bool DisconnectingChannel::forward(const std::vector<u8>& data) {
+  ++sends_seen_;
+  if (config_.cut_after_sends > 0 && sends_seen_ >= config_.cut_after_sends && !cut_) {
+    // The fatal send: a prefix escapes, then the connection is gone. The
+    // send itself still reports success — like a write the kernel
+    // accepted before the reset arrived — so the sender only learns of
+    // the cut from closed() on its next pump.
+    std::vector<u8> prefix = data;
+    if (prefix.size() > config_.cut_delivery_bytes) prefix.resize(config_.cut_delivery_bytes);
+    if (!prefix.empty()) inner_->send(prefix);
+    cut_ = true;
+    ++cut_frames_;
+    inner_->close();
+    return true;
+  }
+  return inner_->send(data);
 }
 
 }  // namespace npat::util

@@ -68,6 +68,7 @@ class FaultyChannel : public ByteChannel {
 
   usize dropped_sends() const { return dropped_; }
   usize corrupted_sends() const { return corrupted_; }
+  usize truncated_sends() const { return truncated_; }
 
  private:
   std::shared_ptr<ByteChannel> inner_;
@@ -75,6 +76,60 @@ class FaultyChannel : public ByteChannel {
   Xoshiro256ss rng_;
   usize dropped_ = 0;
   usize corrupted_ = 0;
+  usize truncated_ = 0;
+};
+
+/// Decorator that simulates an unreliable *connection* rather than a
+/// noisy wire: after a configured number of accepted sends the link cuts
+/// mid-frame — the fatal send is delivered only up to a prefix, the rest
+/// vanishes, and the channel reports closed() from then on, like a TCP
+/// reset mid-write. It can also stall: while stalled, accepted sends are
+/// buffered and release_stall() flushes them to the peer in their
+/// original order as one burst (delivery is delayed, never reordered).
+class DisconnectingChannel : public ByteChannel {
+ public:
+  struct Config {
+    /// The Nth accepted send is the fatal one (0 = never cut).
+    usize cut_after_sends = 0;
+    /// Bytes of the fatal send that still reach the peer before the cut.
+    usize cut_delivery_bytes = 0;
+  };
+
+  DisconnectingChannel(std::shared_ptr<ByteChannel> inner, const Config& config)
+      : inner_(std::move(inner)), config_(config) {}
+
+  bool send(const std::vector<u8>& data) override;
+  std::vector<u8> recv(usize max_bytes) override { return inner_->recv(max_bytes); }
+  void close() override { inner_->close(); }
+  bool closed() const override { return cut_ || inner_->closed(); }
+
+  /// Starts buffering accepted sends instead of delivering them.
+  void stall() { stalled_ = true; }
+  /// Flushes the stalled burst in order; returns sends actually delivered.
+  /// A cut scheduled to land inside the burst fires mid-flush; the
+  /// remainder of the burst is discarded (and counted).
+  usize release_stall();
+
+  bool cut() const noexcept { return cut_; }
+  usize sends_seen() const noexcept { return sends_seen_; }
+  /// Frames damaged by the cut itself: 1 once the cut fired, else 0.
+  usize cut_frames() const noexcept { return cut_frames_; }
+  usize stalled_sends() const noexcept { return stalled_sends_; }
+  /// Stalled frames discarded because the cut fired mid-burst.
+  usize stall_discards() const noexcept { return stall_discards_; }
+
+ private:
+  bool forward(const std::vector<u8>& data);
+
+  std::shared_ptr<ByteChannel> inner_;
+  Config config_;
+  bool cut_ = false;
+  bool stalled_ = false;
+  std::vector<std::vector<u8>> stall_queue_;
+  usize sends_seen_ = 0;
+  usize cut_frames_ = 0;
+  usize stalled_sends_ = 0;
+  usize stall_discards_ = 0;
 };
 
 }  // namespace npat::util

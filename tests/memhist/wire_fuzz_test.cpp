@@ -40,7 +40,7 @@ std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
   std::vector<Message> messages;
   messages.push_back(Hello{kProtocolVersion, 4});
   for (usize i = 1; i + 1 < count; ++i) {
-    switch (rng.below(3)) {
+    switch (rng.below(6)) {
       case 0:
         messages.push_back(ReadingMsg{ThresholdReading{
             rng.below(1024), rng.below(1000000), rng.below(50000000), rng.below(64)}});
@@ -56,6 +56,35 @@ std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
                                   rng.below(10000), rng.below(20000), rng.below(1u << 30)});
         }
         messages.push_back(std::move(sample));
+        break;
+      }
+      case 2: {
+        Heartbeat beat;
+        beat.epoch = static_cast<u16>(rng.below(8));
+        beat.seq = static_cast<u32>(rng.below(1u << 20));
+        beat.timestamp = rng() & ((1ULL << 40) - 1);
+        messages.push_back(beat);
+        break;
+      }
+      case 3: {
+        Resume resume;
+        resume.role = static_cast<u8>(rng.below(2));
+        resume.epoch = static_cast<u16>(rng.below(8));
+        resume.seq = static_cast<u32>(rng.below(1u << 20));
+        messages.push_back(resume);
+        break;
+      }
+      case 4: {
+        // Sequenced envelope over a small inner frame: the v4 resilience
+        // wrapper must resync and truncate exactly like a bare frame.
+        MonitorSampleMsg sample;
+        sample.timestamp = rng() & ((1ULL << 40) - 1);
+        sample.nodes.push_back({rng.below(100000), rng.below(100000), rng.below(5000),
+                                rng.below(5000), rng.below(500), rng.below(10000),
+                                rng.below(10000), rng.below(20000), rng.below(1u << 30)});
+        messages.push_back(wrap_sequenced(static_cast<u16>(1 + rng.below(4)),
+                                          static_cast<u32>(1 + rng.below(1u << 20)),
+                                          Message{std::move(sample)}));
         break;
       }
       default:

@@ -253,5 +253,157 @@ TEST(Wire, HostIdTooLongRejectedAtEncode) {
   EXPECT_THROW(encode(hello), CheckError);
 }
 
+// ---- protocol v4: Heartbeat / Resume / SequencedMsg -----------------------
+
+// Builds a raw frame with a correct CRC so only structural payload checks
+// can reject it.
+std::vector<u8> raw_frame(u8 type, const std::vector<u8>& payload) {
+  std::vector<u8> frame = {kMagic0, kMagic1, type};
+  frame.push_back(static_cast<u8>(payload.size() & 0xFF));
+  frame.push_back(static_cast<u8>(payload.size() >> 8));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const u32 crc = crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<u8>((crc >> (8 * i)) & 0xFF));
+  return frame;
+}
+
+TEST(WireV4, HeartbeatRoundTrip) {
+  Heartbeat beat;
+  beat.epoch = 3;
+  beat.seq = 0xDEADBEEF;
+  beat.timestamp = 123456789012ULL;
+  Decoder decoder;
+  decoder.feed(encode(beat));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(std::get<Heartbeat>(*message), beat);
+}
+
+TEST(WireV4, ResumeRoundTripBothRoles) {
+  for (const u8 role : {kResumeProbe, kResumeCollector}) {
+    Resume resume;
+    resume.role = role;
+    resume.epoch = 7;
+    resume.seq = 4242;
+    Decoder decoder;
+    decoder.feed(encode(resume));
+    const auto message = decoder.poll();
+    ASSERT_TRUE(message.has_value());
+    EXPECT_EQ(std::get<Resume>(*message), resume);
+  }
+}
+
+TEST(WireV4, SequencedSampleRoundTrip) {
+  MonitorSampleMsg sample;
+  sample.timestamp = 999;
+  sample.footprint_bytes = 1 << 20;
+  sample.nodes.push_back({10, 20, 3, 1, 0, 7, 5, 2, 4096});
+
+  const SequencedMsg envelope = wrap_sequenced(2, 17, Message{sample});
+  Decoder decoder;
+  decoder.feed(encode(envelope));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* decoded = std::get_if<SequencedMsg>(&*message);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->epoch, 2u);
+  EXPECT_EQ(decoded->seq, 17u);
+
+  const auto inner = unwrap_sequenced(*decoded);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(std::get<MonitorSampleMsg>(*inner), sample);
+}
+
+TEST(WireV4, SequencedEndAndReadingRoundTrip) {
+  for (const Message& original :
+       {Message{End{777}}, Message{ReadingMsg{ThresholdReading{64, 5, 100, 2}}}}) {
+    const SequencedMsg envelope = wrap_sequenced(1, 9, original);
+    Decoder decoder;
+    decoder.feed(encode(envelope));
+    const auto message = decoder.poll();
+    ASSERT_TRUE(message.has_value());
+    const auto inner = unwrap_sequenced(std::get<SequencedMsg>(*message));
+    ASSERT_TRUE(inner.has_value());
+    EXPECT_EQ(encode(*inner), encode(original));
+  }
+}
+
+TEST(WireV4, SequencedOverheadIsSevenBytes) {
+  // The envelope replaces the inner frame's framing, so the wire cost of
+  // supervision is exactly epoch(2) + seq(4) + inner type(1) per frame.
+  MonitorSampleMsg sample;
+  sample.nodes.push_back({});
+  sample.nodes.push_back({});
+  const usize plain = encode(sample).size();
+  const usize sequenced = encode(wrap_sequenced(1, 1, Message{sample})).size();
+  EXPECT_EQ(sequenced, plain + 7);
+}
+
+TEST(WireV4, EnvelopesNeverNest) {
+  const SequencedMsg envelope = wrap_sequenced(1, 1, Message{End{1}});
+  EXPECT_THROW(wrap_sequenced(1, 2, Message{envelope}), CheckError);
+}
+
+TEST(WireV4, MalformedHeartbeatDropped) {
+  // Correct CRC, wrong payload size (13 bytes instead of 14).
+  Decoder decoder;
+  decoder.feed(raw_frame(5, std::vector<u8>(13, 0)));
+  EXPECT_FALSE(decoder.poll().has_value());
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(WireV4, MalformedResumeDropped) {
+  // Unknown role byte (7) and truncated payload, both CRC-valid.
+  for (const auto& payload :
+       {std::vector<u8>{7, 1, 0, 1, 0, 0, 0}, std::vector<u8>{kResumeProbe, 1, 0}}) {
+    Decoder decoder;
+    decoder.feed(raw_frame(6, payload));
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_EQ(decoder.dropped_frames(), 1u);
+  }
+}
+
+TEST(WireV4, MalformedSequencedDropped) {
+  // Too short to hold the (epoch, seq, inner type) prefix.
+  Decoder short_decoder;
+  short_decoder.feed(raw_frame(7, std::vector<u8>(6, 0)));
+  EXPECT_FALSE(short_decoder.poll().has_value());
+  EXPECT_EQ(short_decoder.dropped_frames(), 1u);
+
+  // A nested envelope (inner type 7) is structurally forbidden.
+  std::vector<u8> nested = {1, 0, 2, 0, 0, 0, 7, 0};
+  Decoder nest_decoder;
+  nest_decoder.feed(raw_frame(7, nested));
+  EXPECT_FALSE(nest_decoder.poll().has_value());
+  EXPECT_EQ(nest_decoder.dropped_frames(), 1u);
+}
+
+TEST(WireV4, UnknownInnerTypeUnwrapsToNothing) {
+  // The envelope decodes (future inner types must survive framing), but
+  // unwrap reports the payload as unusable.
+  SequencedMsg envelope;
+  envelope.epoch = 1;
+  envelope.seq = 1;
+  envelope.inner_type = 42;
+  envelope.inner_payload = {1, 2, 3};
+  Decoder decoder;
+  decoder.feed(encode(envelope));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_FALSE(unwrap_sequenced(std::get<SequencedMsg>(*message)).has_value());
+}
+
+TEST(WireV4, LegacyFramesEncodeBitIdentically) {
+  // The v4 protocol bump must not move a single byte of the v1-v3 frame
+  // formats: golden-byte checks on an End and a legacy v2 Hello.
+  const std::vector<u8> end_frame = encode(End{0x0102030405060708ULL});
+  const std::vector<u8> expected_end = raw_frame(3, {8, 7, 6, 5, 4, 3, 2, 1});
+  EXPECT_EQ(end_frame, expected_end);
+
+  const std::vector<u8> hello_frame = encode(Hello{2, 7, {}});
+  const std::vector<u8> expected_hello = raw_frame(1, {2, 7, 0, 0, 0});
+  EXPECT_EQ(hello_frame, expected_hello);
+}
+
 }  // namespace
 }  // namespace npat::memhist::wire

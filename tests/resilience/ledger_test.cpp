@@ -1,0 +1,91 @@
+#include "resilience/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npat::resilience {
+namespace {
+
+TEST(DeliveryLedger, InOrderDelivery) {
+  DeliveryLedger ledger;
+  for (u32 seq = 1; seq <= 5; ++seq) {
+    EXPECT_EQ(ledger.admit(1, seq), Admit::kDelivered);
+  }
+  EXPECT_EQ(ledger.epoch(), 1u);
+  EXPECT_EQ(ledger.floor(), 5u);
+  EXPECT_EQ(ledger.highest_seen(), 5u);
+  EXPECT_EQ(ledger.gap_backlog(), 0u);
+  EXPECT_EQ(ledger.delivered(), 5u);
+  EXPECT_EQ(ledger.duplicates(), 0u);
+}
+
+TEST(DeliveryLedger, DuplicatesSuppressed) {
+  DeliveryLedger ledger;
+  EXPECT_EQ(ledger.admit(1, 1), Admit::kDelivered);
+  EXPECT_EQ(ledger.admit(1, 2), Admit::kDelivered);
+  EXPECT_EQ(ledger.admit(1, 2), Admit::kDuplicate);
+  EXPECT_EQ(ledger.admit(1, 1), Admit::kDuplicate);
+  EXPECT_EQ(ledger.delivered(), 2u);
+  EXPECT_EQ(ledger.duplicates(), 2u);
+  EXPECT_EQ(ledger.floor(), 2u);
+}
+
+TEST(DeliveryLedger, GapHoldsFloorUntilFilled) {
+  DeliveryLedger ledger;
+  EXPECT_EQ(ledger.admit(1, 1), Admit::kDelivered);
+  EXPECT_EQ(ledger.admit(1, 3), Admit::kDelivered);
+  EXPECT_EQ(ledger.admit(1, 4), Admit::kDelivered);
+  // Sequence 2 is missing: the floor (= what the probe may forget) must
+  // not advance past the hole, even though 3 and 4 arrived.
+  EXPECT_EQ(ledger.floor(), 1u);
+  EXPECT_EQ(ledger.highest_seen(), 4u);
+  EXPECT_EQ(ledger.gap_backlog(), 2u);
+
+  // The replayed frame fills the gap and the floor jumps over the
+  // already-delivered run.
+  EXPECT_EQ(ledger.admit(1, 2), Admit::kDelivered);
+  EXPECT_EQ(ledger.floor(), 4u);
+  EXPECT_EQ(ledger.gap_backlog(), 0u);
+
+  // A retransmission of something that sat ahead of the gap is still a
+  // duplicate — exactly-once spans the gap repair.
+  EXPECT_EQ(ledger.admit(1, 3), Admit::kDuplicate);
+  EXPECT_EQ(ledger.delivered(), 4u);
+}
+
+TEST(DeliveryLedger, NewerEpochResetsNumbering) {
+  DeliveryLedger ledger;
+  EXPECT_EQ(ledger.admit(1, 1), Admit::kDelivered);
+  EXPECT_EQ(ledger.admit(1, 2), Admit::kDelivered);
+  // A restarted probe starts a fresh epoch and counts from 1 again; its
+  // first frame both resets and delivers.
+  EXPECT_EQ(ledger.admit(2, 1), Admit::kEpochReset);
+  EXPECT_EQ(ledger.epoch(), 2u);
+  EXPECT_EQ(ledger.floor(), 1u);
+  EXPECT_EQ(ledger.epoch_resets(), 1u);
+  // Lifetime counters survive the reset — accounting is per session, not
+  // per incarnation.
+  EXPECT_EQ(ledger.delivered(), 3u);
+
+  // A late frame from the dead incarnation means nothing now.
+  EXPECT_EQ(ledger.admit(1, 3), Admit::kDuplicate);
+  EXPECT_EQ(ledger.duplicates(), 1u);
+}
+
+TEST(DeliveryLedger, FirstContactMidStream) {
+  // A collector that restarted can meet a probe mid-numbering: the first
+  // frame it ever sees is not seq 1. It delivers, but the floor stays
+  // below the (unfillable) gap so the probe keeps replaying history.
+  DeliveryLedger ledger;
+  EXPECT_EQ(ledger.admit(3, 5), Admit::kDelivered);
+  EXPECT_EQ(ledger.floor(), 0u);
+  EXPECT_EQ(ledger.highest_seen(), 5u);
+  EXPECT_EQ(ledger.gap_backlog(), 1u);
+  for (u32 seq = 1; seq <= 4; ++seq) {
+    EXPECT_EQ(ledger.admit(3, seq), Admit::kDelivered);
+  }
+  EXPECT_EQ(ledger.floor(), 5u);
+  EXPECT_EQ(ledger.gap_backlog(), 0u);
+}
+
+}  // namespace
+}  // namespace npat::resilience

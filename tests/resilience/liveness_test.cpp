@@ -1,0 +1,96 @@
+#include "resilience/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace npat::resilience {
+namespace {
+
+LivenessConfig config(usize dwell) {
+  LivenessConfig out;
+  out.stale_after = 100;
+  out.dead_after = 1000;
+  out.dwell = dwell;
+  return out;
+}
+
+TEST(Liveness, NeverHeardIsNotDeadOfSilence) {
+  LivenessTracker tracker(config(2));
+  // The gap clock starts at first contact: a probe that has not connected
+  // yet must not be declared dead by a collector clock that raced ahead.
+  EXPECT_EQ(tracker.evaluate(50000), Liveness::kLive);
+  EXPECT_FALSE(tracker.ever_heard());
+  EXPECT_TRUE(tracker.transitions().empty());
+}
+
+TEST(Liveness, StaleThenDeadWithDwell) {
+  LivenessTracker tracker(config(2));
+  tracker.heard(0);
+  EXPECT_EQ(tracker.evaluate(50), Liveness::kLive);
+  // The stale gap must persist two consecutive evaluations to commit.
+  EXPECT_EQ(tracker.evaluate(150), Liveness::kLive);
+  EXPECT_EQ(tracker.evaluate(160), Liveness::kStale);
+  ASSERT_EQ(tracker.transitions().size(), 1u);
+  EXPECT_EQ(tracker.transitions()[0].from, Liveness::kLive);
+  EXPECT_EQ(tracker.transitions()[0].to, Liveness::kStale);
+
+  EXPECT_EQ(tracker.evaluate(1100), Liveness::kStale);
+  EXPECT_EQ(tracker.evaluate(1200), Liveness::kDead);
+  ASSERT_EQ(tracker.transitions().size(), 2u);
+  EXPECT_EQ(tracker.transitions()[1].to, Liveness::kDead);
+}
+
+TEST(Liveness, RecoveryAlsoDwells) {
+  LivenessTracker tracker(config(2));
+  tracker.heard(0);
+  tracker.evaluate(1200);
+  tracker.evaluate(1300);
+  ASSERT_EQ(tracker.state(), Liveness::kDead);
+
+  // One frame does not resurrect the probe; a sustained return does.
+  tracker.heard(1400);
+  EXPECT_EQ(tracker.evaluate(1410), Liveness::kDead);
+  EXPECT_EQ(tracker.evaluate(1420), Liveness::kLive);
+}
+
+TEST(Liveness, OneLatePollIsNotACommit) {
+  LivenessTracker tracker(config(2));
+  tracker.heard(0);
+  EXPECT_EQ(tracker.evaluate(150), Liveness::kLive);  // one stale reading
+  tracker.heard(200);                                 // probe was fine all along
+  EXPECT_EQ(tracker.evaluate(210), Liveness::kLive);
+  EXPECT_EQ(tracker.evaluate(220), Liveness::kLive);
+  EXPECT_TRUE(tracker.transitions().empty());
+}
+
+TEST(Liveness, CandidateSwitchRestartsTheStreak) {
+  LivenessTracker tracker(config(2));
+  tracker.heard(0);
+  // One stale reading, then the gap has already crossed into dead: the
+  // dead candidate starts its own streak and the commit (when it lands)
+  // is live -> dead directly.
+  EXPECT_EQ(tracker.evaluate(150), Liveness::kLive);
+  EXPECT_EQ(tracker.evaluate(1100), Liveness::kLive);
+  EXPECT_EQ(tracker.evaluate(1200), Liveness::kDead);
+  ASSERT_EQ(tracker.transitions().size(), 1u);
+  EXPECT_EQ(tracker.transitions()[0].from, Liveness::kLive);
+  EXPECT_EQ(tracker.transitions()[0].to, Liveness::kDead);
+}
+
+TEST(Liveness, DwellOfOneCommitsImmediately) {
+  LivenessTracker tracker(config(1));
+  tracker.heard(0);
+  EXPECT_EQ(tracker.evaluate(150), Liveness::kStale);
+  EXPECT_EQ(tracker.evaluate(1200), Liveness::kDead);
+  tracker.heard(1300);
+  EXPECT_EQ(tracker.evaluate(1301), Liveness::kLive);
+  EXPECT_EQ(tracker.transitions().size(), 3u);
+}
+
+TEST(Liveness, Names) {
+  EXPECT_STREQ(liveness_name(Liveness::kLive), "live");
+  EXPECT_STREQ(liveness_name(Liveness::kStale), "stale");
+  EXPECT_STREQ(liveness_name(Liveness::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace npat::resilience

@@ -1,0 +1,228 @@
+#include "resilience/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fleet/collector.hpp"
+#include "util/channel.hpp"
+
+namespace npat::resilience {
+namespace {
+
+SupervisedProbeConfig fast_config() {
+  SupervisedProbeConfig config;
+  config.host_id = "probe-under-test";
+  config.node_count = 2;
+  config.epoch = 1;
+  config.heartbeat_interval = 1000000;  // keep heartbeats out of these tests
+  config.resume_timeout = 300;
+  config.backoff = {.initial = 20, .max = 100, .multiplier = 2.0, .jitter = 0.5};
+  config.seed = 7;
+  return config;
+}
+
+wire::MonitorSampleMsg make_sample(usize index) {
+  wire::MonitorSampleMsg sample;
+  sample.timestamp = 1000 + static_cast<Cycles>(index) * 100;
+  sample.footprint_bytes = 4096 * (index + 1);
+  sample.nodes.push_back({index + 1, index + 2, 3, 4, 5, 6, 7, 8, 4096});
+  sample.nodes.push_back({2 * index + 1, index, 1, 2, 3, 4, 5, 6, 4096});
+  return sample;
+}
+
+/// Dials loopback connections into a FleetCollector: the first connection
+/// registers the probe slot, later ones reattach it. Connections whose
+/// index has an entry in `cut_configs` get a DisconnectingChannel.
+struct CollectorHarness {
+  fleet::FleetCollector collector;
+  std::vector<util::DisconnectingChannel::Config> cut_configs;  // per connection
+  usize slot = 0;
+  usize connections = 0;
+  std::vector<std::shared_ptr<util::DisconnectingChannel>> cuts;
+
+  DialFn dialer() {
+    return [this]() -> std::shared_ptr<util::ByteChannel> {
+      auto pair = util::make_loopback_pair();
+      if (connections == 0) {
+        slot = collector.add_probe(pair.b, "fallback");
+      } else {
+        collector.reattach_probe(slot, pair.b);
+      }
+      const usize index = connections++;
+      if (index < cut_configs.size() && cut_configs[index].cut_after_sends > 0) {
+        auto cut = std::make_shared<util::DisconnectingChannel>(pair.a, cut_configs[index]);
+        cuts.push_back(cut);
+        return cut;
+      }
+      return pair.a;
+    };
+  }
+};
+
+/// One cooperative scheduling round: probe drives its state machine, the
+/// collector drains, the probe picks up any ack.
+void settle(SupervisedProbe& probe, fleet::FleetCollector& collector, Cycles& now,
+            usize rounds = 8) {
+  for (usize i = 0; i < rounds; ++i) {
+    probe.pump(now);
+    collector.poll(now);
+    probe.pump(now);
+    now += 10;
+  }
+}
+
+TEST(SupervisedProbe, DialFailureBacksOffAndRetries) {
+  usize attempts = 0;
+  SupervisedProbe probe(fast_config(),
+                        [&]() -> std::shared_ptr<util::ByteChannel> {
+                          ++attempts;
+                          return nullptr;
+                        });
+  probe.pump(0);
+  EXPECT_EQ(probe.link(), LinkState::kBackoff);
+  EXPECT_EQ(probe.dial_attempts(), 1u);
+  EXPECT_EQ(probe.dial_failures(), 1u);
+  probe.pump(5);  // backoff (>= 10 cycles with this config) not yet expired
+  EXPECT_EQ(probe.dial_attempts(), 1u);
+  probe.pump(200);  // well past the maximum first delay
+  EXPECT_EQ(probe.dial_attempts(), 2u);
+  EXPECT_EQ(attempts, 2u);
+}
+
+TEST(SupervisedProbe, ConnectsStreamsAndGetsAcked) {
+  CollectorHarness harness;
+  SupervisedProbe probe(fast_config(), harness.dialer());
+  Cycles now = 0;
+  settle(probe, harness.collector, now, 1);
+  EXPECT_EQ(probe.link(), LinkState::kConnected);
+
+  for (usize i = 0; i < 3; ++i) probe.send_sample(make_sample(i), now);
+  settle(probe, harness.collector, now);
+
+  EXPECT_EQ(probe.last_seq(), 3u);
+  EXPECT_EQ(probe.acked_floor(), 3u);
+  EXPECT_TRUE(probe.fully_acked());
+  EXPECT_EQ(probe.replay_depth(), 0u);  // acked frames are pruned
+
+  const fleet::ProbeState& state = harness.collector.probe(harness.slot);
+  EXPECT_TRUE(state.supervised);
+  EXPECT_TRUE(state.hello_received);
+  EXPECT_EQ(state.host_id, "probe-under-test");
+  EXPECT_EQ(state.delivered_frames, 3u);
+  EXPECT_EQ(state.duplicate_frames, 0u);
+  EXPECT_EQ(state.samples.size(), 3u);
+  EXPECT_EQ(state.resumes, 1u);
+  EXPECT_GE(state.acks_sent, 1u);
+}
+
+TEST(SupervisedProbe, BuffersWhileDownAndFlushesInOrderOnConnect) {
+  CollectorHarness harness;
+  bool reachable = false;
+  auto dial_inner = harness.dialer();
+  SupervisedProbe probe(fast_config(), [&]() -> std::shared_ptr<util::ByteChannel> {
+    return reachable ? dial_inner() : nullptr;
+  });
+
+  Cycles now = 0;
+  probe.pump(now);
+  for (usize i = 0; i < 4; ++i) probe.send_sample(make_sample(i), now);
+  EXPECT_EQ(probe.replay_depth(), 4u);
+  EXPECT_EQ(probe.data_transmissions(), 0u);  // nothing hit a wire yet
+
+  reachable = true;
+  now = 500;
+  settle(probe, harness.collector, now);
+  EXPECT_TRUE(probe.fully_acked());
+  const fleet::ProbeState& state = harness.collector.probe(harness.slot);
+  ASSERT_EQ(state.samples.size(), 4u);
+  for (usize i = 0; i < 4; ++i) {
+    EXPECT_EQ(state.samples[i].timestamp, static_cast<Cycles>(i) * 100);  // origin-aligned
+  }
+  EXPECT_EQ(state.duplicate_frames, 0u);
+}
+
+TEST(SupervisedProbe, ReplayBufferIsBoundedAndCountsEvictions) {
+  SupervisedProbeConfig config = fast_config();
+  config.replay_capacity = 4;
+  SupervisedProbe probe(config, []() -> std::shared_ptr<util::ByteChannel> { return nullptr; });
+  probe.pump(0);
+  for (usize i = 0; i < 6; ++i) probe.send_sample(make_sample(i), 0);
+  EXPECT_EQ(probe.replay_depth(), 4u);
+  EXPECT_EQ(probe.evictions(), 2u);
+  EXPECT_EQ(probe.last_seq(), 6u);
+}
+
+TEST(SupervisedProbe, ReconnectAfterCutRetransmitsWithoutDuplicates) {
+  CollectorHarness harness;
+  // First two connections die after 6 accepted sends (the fatal frame
+  // loses all but a 9-byte prefix); later connections are clean.
+  harness.cut_configs = {{.cut_after_sends = 6, .cut_delivery_bytes = 9},
+                         {.cut_after_sends = 6, .cut_delivery_bytes = 9}};
+  SupervisedProbe probe(fast_config(), harness.dialer());
+
+  Cycles now = 0;
+  usize sent = 0;
+  for (usize step = 0; step < 400 && !(sent == 12 && probe.fully_acked()); ++step) {
+    probe.pump(now);
+    if (sent < 12) probe.send_sample(make_sample(sent++), now);
+    harness.collector.poll(now);
+    probe.pump(now);
+    now += 10;
+  }
+
+  ASSERT_TRUE(probe.fully_acked());
+  EXPECT_GE(probe.reconnects(), 2u);
+  EXPECT_GT(probe.retransmissions(), 0u);
+  const fleet::ProbeState& state = harness.collector.probe(harness.slot);
+  EXPECT_EQ(state.delivered_frames, 12u);
+  EXPECT_EQ(state.seq_floor, 12u);
+  EXPECT_EQ(state.gap_backlog, 0u);
+  // Clean cuts lose frames but never double-deliver: the resume floor
+  // tells the probe exactly where to restart.
+  EXPECT_EQ(state.duplicate_frames, 0u);
+  EXPECT_EQ(state.reattaches, 2u);
+  ASSERT_EQ(state.samples.size(), 12u);
+  for (usize i = 0; i < 12; ++i) {
+    EXPECT_EQ(state.samples[i].timestamp, static_cast<Cycles>(i) * 100);
+  }
+  // Each cut truncated exactly one frame mid-wire, and that loss is
+  // visible in the per-probe damage ledger.
+  usize cut_frames = 0;
+  for (const auto& cut : harness.cuts) cut_frames += cut->cut_frames();
+  EXPECT_EQ(state.damage.truncated_flushes, cut_frames);
+}
+
+TEST(SupervisedProbe, RestartWithHigherEpochResetsTheLedger) {
+  CollectorHarness harness;
+  Cycles now = 0;
+  {
+    SupervisedProbe first(fast_config(), harness.dialer());
+    settle(first, harness.collector, now, 1);
+    first.send_sample(make_sample(0), now);
+    first.send_sample(make_sample(1), now);
+    settle(first, harness.collector, now);
+    EXPECT_TRUE(first.fully_acked());
+  }
+
+  // A restarted probe has no memory of the old numbering; it announces a
+  // higher epoch and the collector's ledger starts over instead of
+  // swallowing seq 1 as a duplicate.
+  SupervisedProbeConfig config = fast_config();
+  config.epoch = 2;
+  SupervisedProbe second(config, harness.dialer());
+  settle(second, harness.collector, now, 1);
+  second.send_sample(make_sample(2), now);
+  settle(second, harness.collector, now);
+  EXPECT_TRUE(second.fully_acked());
+
+  const fleet::ProbeState& state = harness.collector.probe(harness.slot);
+  EXPECT_EQ(state.epoch, 2u);
+  EXPECT_EQ(state.epoch_resets, 1u);
+  EXPECT_EQ(state.seq_floor, 1u);
+  EXPECT_EQ(state.delivered_frames, 3u);  // lifetime count spans epochs
+  EXPECT_EQ(state.samples.size(), 3u);
+}
+
+}  // namespace
+}  // namespace npat::resilience

@@ -90,6 +90,18 @@ TEST(FaultyChannel, Truncates) {
                                 .truncate_to = 2, .seed = 3});
   faulty.send(bytes({1, 2, 3, 4, 5}));
   EXPECT_EQ(pair.b->recv(10), bytes({1, 2}));
+  EXPECT_EQ(faulty.truncated_sends(), 1u);
+}
+
+TEST(FaultyChannel, TruncationOnlyCountedWhenItBites) {
+  auto pair = make_loopback_pair();
+  FaultyChannel faulty(pair.a, {.drop_probability = 0.0, .corrupt_probability = 0.0,
+                                .truncate_to = 4, .seed = 3});
+  faulty.send(bytes({1, 2}));  // already under the limit: untouched
+  EXPECT_EQ(faulty.truncated_sends(), 0u);
+  faulty.send(bytes({1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(faulty.truncated_sends(), 1u);
+  EXPECT_EQ(pair.b->recv(16), bytes({1, 2, 1, 2, 3, 4}));
 }
 
 TEST(FaultyChannel, CleanPassThrough) {
@@ -98,6 +110,75 @@ TEST(FaultyChannel, CleanPassThrough) {
                                 .truncate_to = 0, .seed = 4});
   faulty.send(bytes({7, 8}));
   EXPECT_EQ(pair.b->recv(10), bytes({7, 8}));
+}
+
+TEST(DisconnectingChannel, PassThroughWhenNeverCut) {
+  auto pair = make_loopback_pair();
+  DisconnectingChannel channel(pair.a, {.cut_after_sends = 0, .cut_delivery_bytes = 0});
+  EXPECT_TRUE(channel.send(bytes({1, 2})));
+  EXPECT_TRUE(channel.send(bytes({3})));
+  EXPECT_EQ(pair.b->recv(10), bytes({1, 2, 3}));
+  EXPECT_FALSE(channel.cut());
+  EXPECT_EQ(channel.sends_seen(), 2u);
+  EXPECT_EQ(channel.cut_frames(), 0u);
+}
+
+TEST(DisconnectingChannel, CutsMidFrameOnTheFatalSend) {
+  auto pair = make_loopback_pair();
+  DisconnectingChannel channel(pair.a, {.cut_after_sends = 2, .cut_delivery_bytes = 3});
+  EXPECT_TRUE(channel.send(bytes({1, 2})));
+  // The fatal send is "accepted" (like a write the kernel buffered before
+  // the reset) but only a 3-byte prefix reaches the peer.
+  EXPECT_TRUE(channel.send(bytes({10, 11, 12, 13, 14})));
+  EXPECT_TRUE(channel.cut());
+  EXPECT_TRUE(channel.closed());
+  EXPECT_EQ(channel.cut_frames(), 1u);
+  EXPECT_EQ(pair.b->recv(16), bytes({1, 2, 10, 11, 12}));
+  EXPECT_TRUE(pair.b->closed());  // the peer sees EOF after draining
+  // Everything after the cut is refused outright.
+  EXPECT_FALSE(channel.send(bytes({99})));
+  EXPECT_EQ(channel.sends_seen(), 2u);
+}
+
+TEST(DisconnectingChannel, CutShorterThanFrameDeliversPrefixOnly) {
+  auto pair = make_loopback_pair();
+  DisconnectingChannel channel(pair.a, {.cut_after_sends = 1, .cut_delivery_bytes = 100});
+  EXPECT_TRUE(channel.send(bytes({1, 2, 3})));
+  // Prefix longer than the frame: the whole frame goes through, then EOF.
+  EXPECT_EQ(pair.b->recv(10), bytes({1, 2, 3}));
+  EXPECT_TRUE(channel.cut());
+}
+
+TEST(DisconnectingChannel, StallBuffersAndReleasesInOrder) {
+  auto pair = make_loopback_pair();
+  DisconnectingChannel channel(pair.a, {.cut_after_sends = 0, .cut_delivery_bytes = 0});
+  channel.stall();
+  EXPECT_TRUE(channel.send(bytes({1})));
+  EXPECT_TRUE(channel.send(bytes({2, 3})));
+  EXPECT_EQ(channel.stalled_sends(), 2u);
+  EXPECT_TRUE(pair.b->recv(10).empty());  // nothing delivered while stalled
+  EXPECT_EQ(channel.release_stall(), 2u);
+  EXPECT_EQ(pair.b->recv(10), bytes({1, 2, 3}));  // burst, original order
+  // After release the channel delivers immediately again.
+  EXPECT_TRUE(channel.send(bytes({4})));
+  EXPECT_EQ(pair.b->recv(10), bytes({4}));
+}
+
+TEST(DisconnectingChannel, CutInsideStalledBurstDiscardsRemainder) {
+  auto pair = make_loopback_pair();
+  DisconnectingChannel channel(pair.a, {.cut_after_sends = 2, .cut_delivery_bytes = 1});
+  channel.stall();
+  EXPECT_TRUE(channel.send(bytes({1})));
+  EXPECT_TRUE(channel.send(bytes({2, 3})));
+  EXPECT_TRUE(channel.send(bytes({4})));
+  EXPECT_TRUE(channel.send(bytes({5})));
+  // The flush delivers send 1 whole, cuts inside send 2 (1-byte prefix),
+  // and discards sends 3 and 4.
+  EXPECT_EQ(channel.release_stall(), 2u);
+  EXPECT_TRUE(channel.cut());
+  EXPECT_EQ(channel.stall_discards(), 2u);
+  EXPECT_EQ(pair.b->recv(10), bytes({1, 2}));
+  EXPECT_TRUE(pair.b->closed());
 }
 
 }  // namespace
