@@ -29,6 +29,19 @@
 //
 //   npat_top --fleet=3 --supervise --fault-disconnect=12 --fault-drop=0.05
 //   npat_top --fleet=3 --supervise --die-round=4 --clear
+//
+// With --tasks the runner charges per-(pid, tid) PMU domains and the view
+// becomes a numatop-style keyboard drill-down: nodes (or fleet hosts) →
+// processes → threads → hot memory areas, each level a table of RMA, LMA,
+// RMA/LMA ratio, CPI and average load latency. --keys scripts one
+// keystroke per refresh ('.' is a no-op), so the whole descent is
+// reproducible in CI; in fleet mode the per-task telemetry travels as
+// protocol-v5 TaskTable + TaskSample frames over the same (faulty,
+// supervised) channels as the node samples:
+//
+//   npat_top --tasks --workload=sort --keys="djd d"
+//   npat_top --fleet=2 --tasks --keys="jdddd" --supervise
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -39,7 +52,10 @@
 #include "monitor/aggregate.hpp"
 #include "monitor/export.hpp"
 #include "monitor/sampler.hpp"
+#include "monitor/task_sampler.hpp"
 #include "monitor/view.hpp"
+#include "proc/drill.hpp"
+#include "proc/task.hpp"
 #include "obs/obs.hpp"
 #include "phasen/online.hpp"
 #include "resilience/probe.hpp"
@@ -106,12 +122,36 @@ struct FleetFlags {
   usize die_round = 0;         // host00 stops pumping at this refresh round
   usize revive_round = 0;      // ... and returns here (0 = die_round + 12)
   bool clear = false;
+  bool tasks = false;          // per-task attribution + drill-down view
+  std::string keys;            // scripted drill keystrokes, one per refresh
 };
 
 struct HostSession {
   std::string id;
   u32 node_count = 0;
   std::vector<monitor::Sample> samples;
+  std::vector<monitor::TaskSample> task_samples;  // --tasks only
+  proc::TaskRegistry registry;                    // probe-side identities
+};
+
+/// Applies the next scripted keystroke (if any) and renders the drill
+/// view; shared by the single-host and both fleet paths.
+struct DrillSession {
+  proc::DrillDown drill;
+  proc::DrillOptions options;
+  std::string keys;
+  usize next_key = 0;
+
+  DrillSession(bool fleet, bool clear, std::string title, std::string scripted)
+      : drill(fleet), keys(std::move(scripted)) {
+    options.clear_screen = clear;
+    options.title = std::move(title);
+  }
+
+  void refresh(const proc::DrillScope& scope) {
+    if (next_key < keys.size()) drill.apply_key(keys[next_key++], scope);
+    std::fputs(proc::render_drill(drill, scope, options).c_str(), stdout);
+  }
 };
 
 // Phase 1 of every fleet mode: simulate each probe host and capture its
@@ -121,26 +161,61 @@ std::vector<HostSession> simulate_hosts(const FleetFlags& flags) {
   for (usize h = 0; h < flags.hosts; ++h) {
     sim::Machine machine(sim::preset_by_name(flags.preset));
     os::AddressSpace space(machine.topology());
-    trace::Runner runner(machine, space);
+    trace::RunnerConfig runner_config;
+    runner_config.task_accounting = flags.tasks;
+    trace::Runner runner(machine, space, runner_config);
     monitor::SamplerConfig sampler_config;
     sampler_config.period = flags.period;
     sampler_config.ring_capacity = 1 << 16;  // keep the whole session
     monitor::Sampler sampler(machine, space, sampler_config);
     sampler.attach(runner);
-    runner.run(workload_by_name(flags.workload, flags.threads));
-    if (machine.max_clock() > 0) sampler.sample(machine.max_clock());
+    monitor::TaskSamplerConfig task_config;
+    task_config.period = flags.period;
+    task_config.ring_capacity = 1 << 16;
+    monitor::TaskSampler task_sampler(machine, task_config);
+    if (flags.tasks) task_sampler.attach(runner);
 
+    const trace::Program program = workload_by_name(flags.workload, flags.threads);
     HostSession host;
     host.id = util::format("host%02zu", h);
+    if (flags.tasks) host.registry.add_program(program);
+    runner.run(program);
+    if (machine.max_clock() > 0) {
+      sampler.sample(machine.max_clock());
+      if (flags.tasks) task_sampler.sample(machine.max_clock());
+    }
+
     host.node_count = machine.nodes();
     host.samples = sampler.ring().drain();
+    if (flags.tasks) host.task_samples = task_sampler.ring().drain();
     // Every host's clock starts at its own arbitrary offset, the way real
     // unsynchronized machines' do; the collector aligns the skew away.
     const Cycles skew = static_cast<Cycles>(h) * (flags.period * 17 + 1013);
     for (monitor::Sample& sample : host.samples) sample.timestamp += skew;
+    for (monitor::TaskSample& sample : host.task_samples) sample.timestamp += skew;
     hosts.push_back(std::move(host));
   }
   return hosts;
+}
+
+/// Builds the fleet drill scope for one refresh: host labels and task
+/// windows from the merged view, names from the drilled host's registry.
+proc::DrillScope make_fleet_drill_scope(const fleet::FleetCollector& collector,
+                                        const fleet::FleetView& view,
+                                        const proc::DrillDown& drill) {
+  proc::DrillScope scope;
+  scope.hosts.reserve(view.hosts.size());
+  scope.host_tasks.reserve(view.hosts.size());
+  for (const fleet::HostRow& row : view.hosts) {
+    scope.hosts.push_back(row.host_id);
+    scope.host_tasks.push_back(row.tasks);
+  }
+  if (!view.hosts.empty()) {
+    const usize selected = std::min(drill.selected_host(), view.hosts.size() - 1);
+    scope.tasks = view.hosts[selected].tasks;
+    scope.registry = &collector.probe(selected).registry;
+  }
+  return scope;
 }
 
 fleet::FleetViewOptions make_fleet_view_options(const FleetFlags& flags) {
@@ -176,6 +251,8 @@ int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>
     usize slot = 0;
     usize connections = 0;
     usize cursor = 0;
+    usize task_cursor = 0;
+    bool table_sent = false;
     bool end_sent = false;
   };
   std::vector<std::unique_ptr<Link>> links;  // stable addresses for the dial closures
@@ -236,6 +313,9 @@ int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>
   const usize revive_round = (flags.die_round > 0 && flags.revive_round == 0)
                                  ? flags.die_round + 12
                                  : flags.revive_round;
+  DrillSession drill(true, flags.clear,
+                     util::format("npat-top/proc — fleet of %zu (supervised)", hosts.size()),
+                     flags.keys);
   Cycles now = 0;
   bool done = false;
   for (usize round = 1; !done && round <= 20000; ++round) {
@@ -250,11 +330,26 @@ int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>
         continue;
       }
       link.probe->pump(now);
+      if (flags.tasks && !link.table_sent) {
+        // Identities ride ahead of the first per-task sample; the replay
+        // buffer delivers them exactly once across any reconnects.
+        link.probe->send_task_table(hosts[h].registry.to_wire(), now);
+        link.table_sent = true;
+      }
       for (usize i = 0; i < flags.refresh_every && link.cursor < samples.size();
            ++i, ++link.cursor) {
         link.probe->send_sample(monitor::to_wire(samples[link.cursor]), now);
       }
-      if (link.cursor >= samples.size() && !link.end_sent) {
+      for (usize i = 0;
+           i < flags.refresh_every && link.task_cursor < hosts[h].task_samples.size();
+           ++i, ++link.task_cursor) {
+        link.probe->send_task_sample(
+            monitor::to_wire_tasks(hosts[h].task_samples[link.task_cursor],
+                                   hosts[h].registry.task_ids()),
+            now);
+      }
+      if (link.cursor >= samples.size() && link.task_cursor >= hosts[h].task_samples.size() &&
+          !link.end_sent) {
         link.probe->send_end(samples.empty() ? 0 : samples.back().timestamp, now);
         link.end_sent = true;
       }
@@ -269,8 +364,12 @@ int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>
       view_options.host_phases[h] = phase_detectors[h].phase_label();
     }
     const fleet::FleetView view = collector.view();
-    view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
-    std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
+    if (flags.tasks) {
+      drill.refresh(make_fleet_drill_scope(collector, view, drill.drill));
+    } else {
+      view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
+      std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
+    }
     if (!done) std::fputs("\n", stdout);
     now += flags.period;
   }
@@ -314,6 +413,10 @@ int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>
       "%zu unexpected frames\n",
       cut_frames, stall_discards, dropped_in_transit, corrupted, damage.dropped_frames,
       damage.resyncs, damage.truncated_flushes, damage.unexpected_frames);
+  if (flags.tasks) {
+    std::printf("per-task telemetry: %zu rows orphaned before registration, %zu attributed late\n",
+                damage.orphaned_task_rows, damage.orphans_attributed);
+  }
   if (!alerts.transitions().empty()) {
     std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
   }
@@ -332,6 +435,7 @@ int run_fleet(const FleetFlags& flags) {
     std::shared_ptr<util::FaultyChannel> tx;
     memhist::Probe probe;
     usize cursor = 0;
+    usize task_cursor = 0;
   };
   std::vector<Link> links;
   for (usize h = 0; h < hosts.size(); ++h) {
@@ -342,8 +446,9 @@ int run_fleet(const FleetFlags& flags) {
     faults.seed = 1000 + h;
     auto tx = std::make_shared<util::FaultyChannel>(pair.a, faults);
     collector.add_probe(pair.b);
-    Link link{tx, memhist::Probe(tx), 0};
+    Link link{tx, memhist::Probe(tx), 0, 0};
     link.probe.send_hello(hosts[h].node_count, hosts[h].id);
+    if (flags.tasks) link.probe.send_task_table(hosts[h].registry.to_wire());
     links.push_back(std::move(link));
   }
 
@@ -360,16 +465,24 @@ int run_fleet(const FleetFlags& flags) {
   std::vector<usize> phase_cursors(hosts.size(), 0);
   view_options.host_phases.resize(hosts.size());
 
+  DrillSession drill(true, flags.clear,
+                     util::format("npat-top/proc — fleet of %zu", hosts.size()), flags.keys);
   for (bool sending = true; sending;) {
     sending = false;
     for (usize h = 0; h < links.size(); ++h) {
       Link& link = links[h];
       const auto& samples = hosts[h].samples;
+      const auto& task_samples = hosts[h].task_samples;
       for (usize i = 0; i < flags.refresh_every && link.cursor < samples.size();
            ++i, ++link.cursor) {
         link.probe.send_sample(monitor::to_wire(samples[link.cursor]));
       }
-      if (link.cursor < samples.size()) {
+      for (usize i = 0; i < flags.refresh_every && link.task_cursor < task_samples.size();
+           ++i, ++link.task_cursor) {
+        link.probe.send_task_sample(
+            monitor::to_wire_tasks(task_samples[link.task_cursor], hosts[h].registry.task_ids()));
+      }
+      if (link.cursor < samples.size() || link.task_cursor < task_samples.size()) {
         sending = true;
       } else if (!link.tx->closed()) {
         link.probe.send_end(samples.empty() ? 0 : samples.back().timestamp);
@@ -385,8 +498,12 @@ int run_fleet(const FleetFlags& flags) {
       view_options.host_phases[h] = phase_detectors[h].phase_label();
     }
     const fleet::FleetView view = collector.view();
-    view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
-    std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
+    if (flags.tasks) {
+      drill.refresh(make_fleet_drill_scope(collector, view, drill.drill));
+    } else {
+      view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
+      std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
+    }
     if (sending) std::fputs("\n", stdout);
   }
 
@@ -407,6 +524,10 @@ int run_fleet(const FleetFlags& flags) {
       "(%zu resyncs, %zu EOF truncations), %zu unexpected frames\n",
       dropped_in_transit, corrupted, damage.dropped_frames, damage.resyncs,
       damage.truncated_flushes, damage.unexpected_frames);
+  if (flags.tasks) {
+    std::printf("per-task telemetry: %zu rows orphaned before registration, %zu attributed late\n",
+                damage.orphaned_task_rows, damage.orphans_attributed);
+  }
   if (!alerts.transitions().empty()) {
     std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
   }
@@ -434,6 +555,11 @@ int main(int argc, char** argv) {
   i64 die_round = 0;
   i64 revive_round = 0;
   bool clear = false;
+  bool tasks = false;
+  std::string keys;
+  std::string csv_tasks_path;
+  std::string json_tasks_path;
+  std::string wire_tasks_path;
 
   util::Cli cli("npat top — live per-node NUMA telemetry for a running workload");
   cli.add_flag("workload", &workload, "sort | mlc | stream | gups | rampup");
@@ -454,6 +580,14 @@ int main(int argc, char** argv) {
   cli.add_flag("revive-round", &revive_round,
                "supervised fleet: host00 returns at this round (0 = die-round + 12)");
   cli.add_flag("clear", &clear, "ANSI clear-screen between refreshes (live top feel)");
+  cli.add_flag("tasks", &tasks,
+               "per-task attribution + numatop-style drill-down (node > process > thread > area)");
+  cli.add_flag("keys", &keys,
+               "scripted drill keystrokes, one per refresh ('.' = no-op; needs --tasks)");
+  cli.add_flag("csv-tasks", &csv_tasks_path, "dump per-task samples as CSV to this path");
+  cli.add_flag("json-tasks", &json_tasks_path, "dump per-task samples as JSON to this path");
+  cli.add_flag("wire-tasks", &wire_tasks_path,
+               "dump the per-task session as a v5 wire stream to this path");
   cli.add_flag("csv", &csv_path, "dump all samples as CSV to this path");
   cli.add_flag("json", &json_path, "dump all samples as JSON to this path");
   cli.add_flag("wire", &wire_path, "dump the session as a wire stream to this path");
@@ -480,6 +614,15 @@ int main(int argc, char** argv) {
     if (die_round < 0 || revive_round < 0 || (revive_round > 0 && revive_round <= die_round)) {
       throw util::CliError("--revive-round must be 0 or later than --die-round");
     }
+    if (!keys.empty() && !tasks) throw util::CliError("--keys needs --tasks (it drives the drill)");
+    if (!tasks && (!csv_tasks_path.empty() || !json_tasks_path.empty() ||
+                   !wire_tasks_path.empty())) {
+      throw util::CliError("--csv-tasks/--json-tasks/--wire-tasks need --tasks");
+    }
+    if (fleet > 0 && (!csv_tasks_path.empty() || !json_tasks_path.empty() ||
+                      !wire_tasks_path.empty())) {
+      throw util::CliError("task export flags are single-host only (fleet streams them as v5)");
+    }
     if (fleet > 0) {
       FleetFlags flags;
       flags.hosts = static_cast<usize>(fleet);
@@ -495,18 +638,31 @@ int main(int argc, char** argv) {
       flags.die_round = static_cast<usize>(die_round);
       flags.revive_round = static_cast<usize>(revive_round);
       flags.clear = clear;
+      flags.tasks = tasks;
+      flags.keys = keys;
       return run_fleet(flags);
     }
 
     sim::Machine machine(sim::preset_by_name(preset));
     os::AddressSpace space(machine.topology());
-    trace::Runner runner(machine, space);
+    trace::RunnerConfig runner_config;
+    runner_config.task_accounting = tasks;
+    trace::Runner runner(machine, space, runner_config);
 
     monitor::SamplerConfig sampler_config;
     sampler_config.period = static_cast<Cycles>(period);
     sampler_config.read_cost_cycles = static_cast<Cycles>(read_cost);
     monitor::Sampler sampler(machine, space, sampler_config);
     sampler.attach(runner);
+
+    monitor::TaskSamplerConfig task_config;
+    task_config.period = static_cast<Cycles>(period);
+    monitor::TaskSampler task_sampler(machine, task_config);
+    if (tasks) task_sampler.attach(runner);
+    proc::TaskRegistry registry;
+    DrillSession drill(false, clear,
+                       util::format("npat-top/proc — %s on %s", workload.c_str(), preset.c_str()),
+                       keys);
 
     monitor::ViewOptions view_options;
     view_options.clear_screen = clear;
@@ -519,8 +675,12 @@ int main(int argc, char** argv) {
     alerts.add_rule(obs::remote_ratio_rule(view_options.warn_remote_ratio,
                                            view_options.bad_remote_ratio));
 
+    const trace::Program program = workload_by_name(workload, static_cast<u32>(threads));
+    if (tasks) registry.add_program(program);
+
     monitor::TieredHistory tiers;
     std::vector<monitor::Sample> session;       // every sample, for the export paths
+    std::vector<monitor::TaskSample> task_session;  // every per-task sample (--tasks)
     std::vector<monitor::WindowStats> windows;  // one per refresh, for the sparkline
     // Online Phasenprüfer: every sample's footprint feeds the incremental
     // pivot scan, and the view's Phase column flips from ramp-up to compute
@@ -538,7 +698,17 @@ int main(int argc, char** argv) {
       windows.push_back(monitor::aggregate(batch));
       view_options.node_alerts = monitor::evaluate_node_alerts(alerts, windows.back());
       view_options.phase_label = phase_detector.phase_label();
-      std::fputs(monitor::render_view(windows.back(), windows, view_options).c_str(), stdout);
+      if (tasks) {
+        auto task_batch = task_sampler.ring().drain();
+        task_session.insert(task_session.end(), task_batch.begin(), task_batch.end());
+        proc::DrillScope scope;
+        scope.nodes = &windows.back();
+        scope.tasks = monitor::aggregate_tasks(task_session);
+        scope.registry = &registry;
+        drill.refresh(scope);
+      } else {
+        std::fputs(monitor::render_view(windows.back(), windows, view_options).c_str(), stdout);
+      }
       if (!final_flush) std::fputs("\n", stdout);
     };
     // Registered *after* the sampler's own hook, so every refresh tick sees
@@ -546,9 +716,12 @@ int main(int argc, char** argv) {
     runner.add_sampler(sampler_config.period * static_cast<Cycles>(refresh_every),
                        [&](Cycles) { refresh(false); });
 
-    const auto result = runner.run(workload_by_name(workload, static_cast<u32>(threads)));
+    const auto result = runner.run(program);
     // Flush the tail past the last periodic tick, then render what's left.
-    if (machine.max_clock() > 0) sampler.sample(machine.max_clock());
+    if (machine.max_clock() > 0) {
+      sampler.sample(machine.max_clock());
+      if (tasks) task_sampler.sample(machine.max_clock());
+    }
     refresh(true);
 
     const monitor::NodeStats total = monitor::aggregate(session).total();
@@ -591,6 +764,24 @@ int main(int argc, char** argv) {
       const auto bytes = monitor::encode_stream(session);
       write_file(wire_path, bytes.data(), bytes.size());
       std::printf("wrote %s (%s)\n", wire_path.c_str(), util::human_bytes(bytes.size()).c_str());
+    }
+    if (!csv_tasks_path.empty()) {
+      const std::string csv = monitor::to_csv_tasks(task_session, registry.name_table());
+      write_file(csv_tasks_path, csv.data(), csv.size());
+      std::printf("wrote %s (%s)\n", csv_tasks_path.c_str(),
+                  util::human_bytes(csv.size()).c_str());
+    }
+    if (!json_tasks_path.empty()) {
+      const std::string json = monitor::to_json_tasks(task_session, registry.name_table()).dump(2);
+      write_file(json_tasks_path, json.data(), json.size());
+      std::printf("wrote %s (%s)\n", json_tasks_path.c_str(),
+                  util::human_bytes(json.size()).c_str());
+    }
+    if (!wire_tasks_path.empty()) {
+      const auto bytes = monitor::encode_task_stream(task_session, registry.name_table());
+      write_file(wire_tasks_path, bytes.data(), bytes.size());
+      std::printf("wrote %s (%s)\n", wire_tasks_path.c_str(),
+                  util::human_bytes(bytes.size()).c_str());
     }
     if (!trace_path.empty()) {
       const std::string trace = obs::tracer().chrome_trace().dump(2);

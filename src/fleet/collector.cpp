@@ -24,6 +24,8 @@ ProbeDamage FleetView::damage_total() const noexcept {
     sum.resyncs += host.damage.resyncs;
     sum.truncated_flushes += host.damage.truncated_flushes;
     sum.unexpected_frames += host.damage.unexpected_frames;
+    sum.orphaned_task_rows += host.damage.orphaned_task_rows;
+    sum.orphans_attributed += host.damage.orphans_attributed;
   }
   return sum;
 }
@@ -217,6 +219,11 @@ usize FleetCollector::fold(PerProbe& probe, const wire::Message& message) {
     NPAT_OBS_COUNT("npat_fleet_samples_merged_total",
                    "Monitor samples merged into the fleet view", 1);
     return 1;
+  } else if (const auto* table = std::get_if<wire::TaskTableMsg>(&message)) {
+    state.registry.merge_wire(*table);
+    attribute_orphans(probe);
+  } else if (const auto* tasks = std::get_if<wire::TaskSampleMsg>(&message)) {
+    fold_task_sample(probe, *tasks);
   } else if (const auto* end = std::get_if<wire::End>(&message)) {
     state.ended = true;
     state.total_cycles = end->total_cycles;
@@ -228,6 +235,100 @@ usize FleetCollector::fold(PerProbe& probe, const wire::Message& message) {
                    "Valid frames the fleet collector could not merge", 1);
   }
   return 0;
+}
+
+namespace {
+
+monitor::TaskCounters task_counters_of(const proc::TaskInfo& info,
+                                       const wire::TaskSampleRow& row) {
+  monitor::TaskCounters t;
+  t.pid = info.pid;
+  t.tid = info.tid;
+  t.node = row.node;
+  t.instructions = row.instructions;
+  t.cycles = row.cycles;
+  t.local_dram = row.local_dram;
+  t.remote_dram = row.remote_dram;
+  t.remote_hitm = row.remote_hitm;
+  t.loads = row.loads;
+  t.latency_sum = row.latency_sum;
+  t.latency_loads = row.latency_loads;
+  t.areas.reserve(row.areas.size());
+  for (const wire::TaskAreaCounters& area : row.areas) {
+    t.areas.push_back(monitor::TaskArea{area.base, area.samples});
+  }
+  return t;
+}
+
+void sort_tasks(std::vector<monitor::TaskCounters>& tasks) {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const monitor::TaskCounters& a, const monitor::TaskCounters& b) {
+              return std::pair{a.pid, a.tid} < std::pair{b.pid, b.tid};
+            });
+}
+
+}  // namespace
+
+void FleetCollector::fold_task_sample(PerProbe& probe, const wire::TaskSampleMsg& message) {
+  ProbeState& state = probe.state;
+  // Task frames ride the same probe clock as node samples, so they share
+  // (and may establish) the probe's timestamp origin.
+  if (!state.origin) state.origin = message.timestamp;
+  const Cycles aligned =
+      message.timestamp >= *state.origin ? message.timestamp - *state.origin : 0;
+  monitor::TaskSample sample;
+  sample.timestamp = aligned;
+  sample.tasks.reserve(message.rows.size());
+  for (const wire::TaskSampleRow& row : message.rows) {
+    const proc::TaskInfo* info = state.registry.find(row.task_id);
+    if (info == nullptr) {
+      // Unknown id: the TaskTable frame naming it may simply not have
+      // arrived yet (reordering, a resync that ate it, a probe announcing
+      // lazily). Hold the row for late attribution instead of dropping it
+      // silently — and count it in the ledger either way.
+      ++state.damage.orphaned_task_rows;
+      NPAT_OBS_COUNT("npat_fleet_orphaned_task_rows_total",
+                     "v5 task rows that arrived before their TaskTable registration", 1);
+      if (probe.orphans.size() >= kMaxOrphanRows) probe.orphans.erase(probe.orphans.begin());
+      probe.orphans.push_back(PerProbe::OrphanRow{aligned, row});
+      continue;
+    }
+    sample.tasks.push_back(task_counters_of(*info, row));
+  }
+  sort_tasks(sample.tasks);
+  // Keep the record even when every row orphaned: the frame happened, and
+  // late attribution will repopulate it at this timestamp.
+  state.task_samples.push_back(std::move(sample));
+  NPAT_OBS_COUNT("npat_fleet_task_samples_merged_total",
+                 "Per-task telemetry samples merged into the fleet view", 1);
+}
+
+void FleetCollector::attribute_orphans(PerProbe& probe) {
+  if (probe.orphans.empty()) return;
+  ProbeState& state = probe.state;
+  std::vector<PerProbe::OrphanRow> still_unknown;
+  for (PerProbe::OrphanRow& orphan : probe.orphans) {
+    const proc::TaskInfo* info = state.registry.find(orphan.row.task_id);
+    if (info == nullptr) {
+      still_unknown.push_back(std::move(orphan));
+      continue;
+    }
+    // Re-insert at the sorted timestamp position so the rescued row lands
+    // in the sample it was sent with (or a new record if that sample's
+    // every row orphaned and the record was evicted meanwhile).
+    auto it = std::lower_bound(
+        state.task_samples.begin(), state.task_samples.end(), orphan.timestamp,
+        [](const monitor::TaskSample& s, Cycles t) { return s.timestamp < t; });
+    if (it == state.task_samples.end() || it->timestamp != orphan.timestamp) {
+      it = state.task_samples.insert(it, monitor::TaskSample{orphan.timestamp, {}});
+    }
+    it->tasks.push_back(task_counters_of(*info, orphan.row));
+    sort_tasks(it->tasks);
+    ++state.damage.orphans_attributed;
+    NPAT_OBS_COUNT("npat_fleet_orphans_attributed_total",
+                   "Orphaned task rows attributed after late registration", 1);
+  }
+  probe.orphans = std::move(still_unknown);
 }
 
 void FleetCollector::maybe_ack(PerProbe& probe) {
@@ -298,6 +399,11 @@ FleetView FleetCollector::view(usize window_samples) const {
     row.ended = state.ended;
     row.samples_total = state.samples.size();
     row.window = monitor::aggregate(tail);
+    const usize task_take = window_samples == 0
+                                ? state.task_samples.size()
+                                : std::min(state.task_samples.size(), window_samples);
+    row.tasks = monitor::aggregate_tasks(std::span<const monitor::TaskSample>(
+        state.task_samples.data() + state.task_samples.size() - task_take, task_take));
     row.damage = state.damage;
     row.supervised = state.supervised;
     row.liveness = state.liveness;

@@ -17,6 +17,8 @@
 #include "memhist/wire.hpp"
 #include "monitor/aggregate.hpp"
 #include "monitor/sampler.hpp"
+#include "monitor/task_sampler.hpp"
+#include "proc/task.hpp"
 #include "resilience/ledger.hpp"
 #include "resilience/liveness.hpp"
 #include "util/channel.hpp"
@@ -34,6 +36,14 @@ struct ProbeDamage {
   usize resyncs = 0;
   usize truncated_flushes = 0;
   usize unexpected_frames = 0;
+  /// Per-task sample rows (v5) whose task id had no TaskTable registration
+  /// when they arrived. Held — not dropped — and attributed retroactively
+  /// if the registration shows up late; `orphans_attributed` counts the
+  /// rescues. Neither joins total(): orphaning is an ordering hazard of a
+  /// healthy transport, and keeping it out preserves the reconciliation
+  /// identity total() == dropped + unexpected that v1-v4 tests pin.
+  usize orphaned_task_rows = 0;
+  usize orphans_attributed = 0;
 
   usize total() const noexcept {
     return dropped_frames + unexpected_frames;  // resyncs/truncations are subsets of drops
@@ -53,6 +63,11 @@ struct ProbeState {
   /// sample so unsynchronized probe clocks share origin 0.
   std::optional<Cycles> origin;
   std::vector<monitor::Sample> samples;  // aligned timestamps, stream order
+  /// Per-task telemetry (protocol v5): merged TaskSample records with the
+  /// same aligned timestamps, and the id -> identity registry accumulated
+  /// from this probe's TaskTable frames.
+  std::vector<monitor::TaskSample> task_samples;
+  proc::TaskRegistry registry;
   ProbeDamage damage;
 
   /// Resilience accounting, re-published from this probe's DeliveryLedger
@@ -81,6 +96,7 @@ struct HostRow {
   bool ended = false;
   usize samples_total = 0;        // samples merged over the whole session
   monitor::WindowStats window;    // aggregation over the requested window
+  monitor::TaskWindowStats tasks; // per-task aggregation over the same window
   ProbeDamage damage;
   bool supervised = false;        // probe speaks the v4 resilience protocol
   resilience::Liveness liveness = resilience::Liveness::kLive;
@@ -139,8 +155,13 @@ class FleetCollector {
   usize samples_merged() const noexcept { return samples_merged_; }
 
   /// Per-host aggregation over each host's most recent `window_samples`
-  /// samples (0 = the whole session) plus the cross-host totals.
+  /// samples (0 = the whole session) plus the cross-host totals. Task
+  /// windows take the same number of most-recent TaskSample records.
   FleetView view(usize window_samples = 0) const;
+
+  /// Orphaned v5 rows a probe may hold awaiting late registration; beyond
+  /// this, the oldest are evicted (they stay counted in the damage ledger).
+  static constexpr usize kMaxOrphanRows = 4096;
 
   /// Monotonic collector clock (the largest `now` ever passed to poll()).
   Cycles clock() const noexcept { return clock_; }
@@ -164,6 +185,15 @@ class FleetCollector {
     /// probe's replay capacity (the gap can never be wider).
     std::map<u32, memhist::wire::Message> pending;
     u32 folded_floor = 0;  // highest sequence already folded (in order)
+    /// v5 sample rows whose task id had no registration on arrival; held
+    /// (timestamp already aligned) until a TaskTable names the id, then
+    /// attributed at the sorted timestamp position. Bounded by
+    /// kMaxOrphanRows, oldest first out.
+    struct OrphanRow {
+      Cycles timestamp = 0;
+      memhist::wire::TaskSampleRow row;
+    };
+    std::vector<OrphanRow> orphans;
   };
 
   usize poll_probe(PerProbe& probe);
@@ -171,6 +201,8 @@ class FleetCollector {
   usize drain_in_order(PerProbe& probe);
   usize flush_pending(PerProbe& probe);
   usize fold(PerProbe& probe, const memhist::wire::Message& message);
+  void fold_task_sample(PerProbe& probe, const memhist::wire::TaskSampleMsg& message);
+  void attribute_orphans(PerProbe& probe);
   void maybe_ack(PerProbe& probe);
   void republish(PerProbe& probe);
 

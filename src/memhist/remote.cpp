@@ -38,6 +38,10 @@ void Probe::send_readings(const std::vector<ThresholdReading>& readings) {
 
 void Probe::send_sample(const wire::MonitorSampleMsg& sample) { send_frame(sample); }
 
+void Probe::send_task_table(const wire::TaskTableMsg& table) { send_frame(table); }
+
+void Probe::send_task_sample(const wire::TaskSampleMsg& sample) { send_frame(sample); }
+
 void Probe::send_end(Cycles total_cycles) { send_frame(wire::End{total_cycles}); }
 
 GuiCollector::GuiCollector(std::shared_ptr<util::ByteChannel> channel)

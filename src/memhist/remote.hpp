@@ -27,6 +27,10 @@ class Probe {
   void send_readings(const std::vector<ThresholdReading>& readings);
   /// Streams one continuous-monitoring telemetry sample (protocol >= 2).
   void send_sample(const wire::MonitorSampleMsg& sample);
+  /// Registers task identities ahead of per-task samples (protocol >= 5).
+  void send_task_table(const wire::TaskTableMsg& table);
+  /// Streams one per-task telemetry sample (protocol >= 5).
+  void send_task_sample(const wire::TaskSampleMsg& sample);
   /// Ends the session; the collector can build the histogram afterwards.
   void send_end(Cycles total_cycles);
 

@@ -17,6 +17,8 @@ constexpr u8 kTypeMonitorSample = 4;  // since version 2
 constexpr u8 kTypeHeartbeat = 5;      // since version 4
 constexpr u8 kTypeResume = 6;         // since version 4
 constexpr u8 kTypeSequenced = 7;      // since version 4
+constexpr u8 kTypeTaskTable = 8;      // since version 5
+constexpr u8 kTypeTaskSample = 9;     // since version 5
 
 // Sequence envelope prefix: epoch(2) seq(4) inner_type(1).
 constexpr usize kSequencedPrefixBytes = 7;
@@ -25,6 +27,16 @@ constexpr usize kSequencedPrefixBytes = 7;
 // 9 u64 fields per node.
 constexpr usize kMonitorHeaderBytes = 18;
 constexpr usize kMonitorNodeBytes = 72;
+
+// TaskTableMsg payload: entry_count(2) then per entry task_id(4) pid(4)
+// tid(4) pname_len(1) pname tname_len(1) tname.
+constexpr usize kTaskEntryFixedBytes = 14;
+
+// TaskSampleMsg payload: timestamp(8) row_count(2) then per row
+// task_id(4) node(4), 8 u64 counters, area_count(1) and 16 bytes per area.
+constexpr usize kTaskSampleHeaderBytes = 10;
+constexpr usize kTaskRowFixedBytes = 73;
+constexpr usize kTaskAreaBytes = 16;
 
 // Frame layout: magic(2) type(1) payload_len(2, LE) payload crc32(4, LE).
 constexpr usize kHeaderBytes = 5;
@@ -136,6 +148,49 @@ u8 encode_payload(const Message& message, std::vector<u8>& payload) {
     payload.insert(payload.end(), envelope->inner_payload.begin(), envelope->inner_payload.end());
     return kTypeSequenced;
   }
+  if (const TaskTableMsg* table = std::get_if<TaskTableMsg>(&message)) {
+    put_u16(payload, static_cast<u16>(table->entries.size()));
+    for (const TaskTableEntry& entry : table->entries) {
+      NPAT_CHECK_MSG(entry.process_name.size() <= kMaxTaskNameBytes &&
+                         entry.thread_name.size() <= kMaxTaskNameBytes,
+                     "task name too long for TaskTable frame");
+      put_u32(payload, entry.task_id);
+      put_u32(payload, entry.pid);
+      put_u32(payload, entry.tid);
+      payload.push_back(static_cast<u8>(entry.process_name.size()));
+      payload.insert(payload.end(), entry.process_name.begin(), entry.process_name.end());
+      payload.push_back(static_cast<u8>(entry.thread_name.size()));
+      payload.insert(payload.end(), entry.thread_name.begin(), entry.thread_name.end());
+    }
+    NPAT_CHECK_MSG(table->entries.size() <= 0xFFFF && payload.size() <= 0xFFFF,
+                   "too many task entries for one TaskTable frame");
+    return kTypeTaskTable;
+  }
+  if (const TaskSampleMsg* sample = std::get_if<TaskSampleMsg>(&message)) {
+    put_u64(payload, sample->timestamp);
+    put_u16(payload, static_cast<u16>(sample->rows.size()));
+    for (const TaskSampleRow& row : sample->rows) {
+      NPAT_CHECK_MSG(row.areas.size() <= 0xFF, "too many hot areas for one task sample row");
+      put_u32(payload, row.task_id);
+      put_u32(payload, row.node);
+      put_u64(payload, row.instructions);
+      put_u64(payload, row.cycles);
+      put_u64(payload, row.local_dram);
+      put_u64(payload, row.remote_dram);
+      put_u64(payload, row.remote_hitm);
+      put_u64(payload, row.loads);
+      put_u64(payload, row.latency_sum);
+      put_u64(payload, row.latency_loads);
+      payload.push_back(static_cast<u8>(row.areas.size()));
+      for (const TaskAreaCounters& area : row.areas) {
+        put_u64(payload, area.base);
+        put_u64(payload, area.samples);
+      }
+    }
+    NPAT_CHECK_MSG(sample->rows.size() <= 0xFFFF && payload.size() <= 0xFFFF,
+                   "too many task rows for one TaskSample frame");
+    return kTypeTaskSample;
+  }
   put_u64(payload, std::get<End>(message).total_cycles);
   return kTypeEnd;
 }
@@ -202,6 +257,86 @@ std::optional<Message> parse_payload(u8 type, const u8* payload, usize payload_l
           }
           return sample;
         }
+      }
+      break;
+    case kTypeTaskTable:
+      // entry_count(2) then variable-length entries; the payload must
+      // account byte-exactly (no trailing garbage, no short names).
+      if (payload_len >= 2) {
+        TaskTableMsg table;
+        const u16 count = get_u16(payload);
+        table.entries.reserve(count);
+        usize off = 2;
+        bool ok = true;
+        for (u16 i = 0; i < count; ++i) {
+          if (payload_len - off < kTaskEntryFixedBytes - 1) {
+            ok = false;
+            break;
+          }
+          TaskTableEntry entry;
+          entry.task_id = get_u32(payload + off);
+          entry.pid = get_u32(payload + off + 4);
+          entry.tid = get_u32(payload + off + 8);
+          const u8 pname_len = payload[off + 12];
+          off += 13;
+          if (payload_len - off < pname_len + 1u) {
+            ok = false;
+            break;
+          }
+          entry.process_name.assign(reinterpret_cast<const char*>(payload + off), pname_len);
+          off += pname_len;
+          const u8 tname_len = payload[off];
+          off += 1;
+          if (payload_len - off < tname_len) {
+            ok = false;
+            break;
+          }
+          entry.thread_name.assign(reinterpret_cast<const char*>(payload + off), tname_len);
+          off += tname_len;
+          table.entries.push_back(std::move(entry));
+        }
+        if (ok && off == payload_len) return table;
+      }
+      break;
+    case kTypeTaskSample:
+      if (payload_len >= kTaskSampleHeaderBytes) {
+        TaskSampleMsg sample;
+        sample.timestamp = get_u64(payload);
+        const u16 row_count = get_u16(payload + 8);
+        sample.rows.reserve(row_count);
+        usize off = kTaskSampleHeaderBytes;
+        bool ok = true;
+        for (u16 i = 0; i < row_count; ++i) {
+          if (payload_len - off < kTaskRowFixedBytes) {
+            ok = false;
+            break;
+          }
+          TaskSampleRow row;
+          const u8* p = payload + off;
+          row.task_id = get_u32(p);
+          row.node = get_u32(p + 4);
+          row.instructions = get_u64(p + 8);
+          row.cycles = get_u64(p + 16);
+          row.local_dram = get_u64(p + 24);
+          row.remote_dram = get_u64(p + 32);
+          row.remote_hitm = get_u64(p + 40);
+          row.loads = get_u64(p + 48);
+          row.latency_sum = get_u64(p + 56);
+          row.latency_loads = get_u64(p + 64);
+          const u8 area_count = p[72];
+          off += kTaskRowFixedBytes;
+          if (payload_len - off < area_count * kTaskAreaBytes) {
+            ok = false;
+            break;
+          }
+          row.areas.reserve(area_count);
+          for (u8 a = 0; a < area_count; ++a) {
+            row.areas.push_back(TaskAreaCounters{get_u64(payload + off), get_u64(payload + off + 8)});
+            off += kTaskAreaBytes;
+          }
+          sample.rows.push_back(std::move(row));
+        }
+        if (ok && off == payload_len) return sample;
       }
       break;
     case kTypeHeartbeat:

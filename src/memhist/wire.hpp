@@ -24,11 +24,14 @@ inline constexpr u8 kMagic1 = 'P';
 /// Version 4 adds the resilience frames: per-frame sequence envelopes
 /// (SequencedMsg), Heartbeat liveness beacons, and the Resume handshake
 /// that lets a reconnecting probe retransmit only what the collector
-/// never saw. Version-1/2/3 streams decode unchanged; older decoders skip
-/// newer frame types (unknown types are dropped whole, CRC-verified,
-/// without losing framing).
-inline constexpr u8 kProtocolVersion = 4;
+/// never saw. Version 5 adds per-task attribution: TaskTableMsg registers
+/// (pid, tid, name) tuples under compact task ids and TaskSampleMsg ships
+/// per-task counter deltas keyed by those ids. Version-1/2/3/4 streams
+/// decode unchanged; older decoders skip newer frame types (unknown types
+/// are dropped whole, CRC-verified, without losing framing).
+inline constexpr u8 kProtocolVersion = 5;
 inline constexpr usize kMaxHostIdBytes = 255;
+inline constexpr usize kMaxTaskNameBytes = 255;
 
 struct Hello {
   u8 version = kProtocolVersion;
@@ -118,8 +121,69 @@ struct SequencedMsg {
   friend bool operator==(const SequencedMsg&, const SequencedMsg&) = default;
 };
 
-using Message =
-    std::variant<Hello, ReadingMsg, End, MonitorSampleMsg, Heartbeat, Resume, SequencedMsg>;
+/// One row of a TaskTableMsg (version >= 5): binds a stream-local compact
+/// task id to the task's OS identity and human-readable names. Sample rows
+/// reference the id so the identity bytes ship once per task, not once per
+/// tick — the same indirection numatop's /proc scraper keeps in memory.
+struct TaskTableEntry {
+  u32 task_id = 0;
+  u32 pid = 0;
+  u32 tid = 0;
+  std::string process_name;
+  std::string thread_name;
+
+  friend bool operator==(const TaskTableEntry&, const TaskTableEntry&) = default;
+};
+
+/// Task registration frame (version >= 5). A probe announces each task
+/// before (or, across a lossy resume, possibly after) the first sample row
+/// that references it; collectors must tolerate either order.
+struct TaskTableMsg {
+  std::vector<TaskTableEntry> entries;
+
+  friend bool operator==(const TaskTableMsg&, const TaskTableMsg&) = default;
+};
+
+/// One hot memory area of a task: `base` is the area base address (1 MiB
+/// granularity) and `samples` the cumulative sampled-load count landing in
+/// it. Snapshots, not deltas, like resident_bytes.
+struct TaskAreaCounters {
+  u64 base = 0;
+  u64 samples = 0;
+
+  friend bool operator==(const TaskAreaCounters&, const TaskAreaCounters&) = default;
+};
+
+/// Per-task counter deltas of one sampling period (version >= 5). `node`
+/// is the NUMA node that executed most of the task's cycles this period —
+/// the row the task sorts under in a numatop-style drill-down.
+struct TaskSampleRow {
+  u32 task_id = 0;
+  u32 node = 0;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 local_dram = 0;
+  u64 remote_dram = 0;
+  u64 remote_hitm = 0;
+  u64 loads = 0;
+  u64 latency_sum = 0;
+  u64 latency_loads = 0;
+  std::vector<TaskAreaCounters> areas;
+
+  friend bool operator==(const TaskSampleRow&, const TaskSampleRow&) = default;
+};
+
+/// One timestamped per-task telemetry sample (version >= 5); the task-level
+/// sibling of MonitorSampleMsg, sharing its timestamp domain.
+struct TaskSampleMsg {
+  Cycles timestamp = 0;
+  std::vector<TaskSampleRow> rows;
+
+  friend bool operator==(const TaskSampleMsg&, const TaskSampleMsg&) = default;
+};
+
+using Message = std::variant<Hello, ReadingMsg, End, MonitorSampleMsg, Heartbeat, Resume,
+                             SequencedMsg, TaskTableMsg, TaskSampleMsg>;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected).
 u32 crc32(const u8* data, usize length);

@@ -106,6 +106,120 @@ Sample merge_samples(std::span<const Sample> samples) {
   return merged;
 }
 
+double TaskStats::rma_lma_ratio() const noexcept {
+  return lma() == 0 ? 0.0 : static_cast<double>(rma()) / static_cast<double>(lma());
+}
+
+double TaskStats::remote_ratio() const noexcept {
+  const u64 numa_loads = local_dram + remote_dram + remote_hitm;
+  return numa_loads == 0 ? 0.0 : static_cast<double>(rma()) / static_cast<double>(numa_loads);
+}
+
+double TaskStats::cpi() const noexcept {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(cycles) / static_cast<double>(instructions);
+}
+
+double TaskStats::avg_load_latency() const noexcept {
+  return latency_loads == 0
+             ? 0.0
+             : static_cast<double>(latency_sum) / static_cast<double>(latency_loads);
+}
+
+const TaskStats* TaskWindowStats::find(u32 pid, u32 tid) const noexcept {
+  for (const TaskStats& task : tasks) {
+    if (task.pid == pid && task.tid == tid) return &task;
+  }
+  return nullptr;
+}
+
+TaskWindowStats aggregate_tasks(std::span<const TaskSample> samples) {
+  NPAT_OBS_SPAN("monitor.aggregate_tasks");
+  NPAT_OBS_COUNT("npat_monitor_task_windows_total", "Per-task aggregation windows computed", 1);
+  TaskWindowStats window;
+  if (samples.empty()) return window;
+
+  window.start = samples.front().timestamp;
+  window.end = samples.back().timestamp;
+  window.samples = samples.size();
+
+  // (pid, tid) -> index into window.tasks; per-task per-node cycle tally
+  // for the window-dominant node.
+  std::map<std::pair<u32, u32>, usize> index;
+  std::vector<std::map<u32, u64>> node_cycles;
+  for (const TaskSample& sample : samples) {
+    for (const TaskCounters& row : sample.tasks) {
+      const auto [it, inserted] = index.try_emplace({row.pid, row.tid}, window.tasks.size());
+      if (inserted) {
+        window.tasks.emplace_back();
+        node_cycles.emplace_back();
+        window.tasks.back().pid = row.pid;
+        window.tasks.back().tid = row.tid;
+      }
+      TaskStats& out = window.tasks[it->second];
+      ++out.samples;
+      out.instructions += row.instructions;
+      out.cycles += row.cycles;
+      out.local_dram += row.local_dram;
+      out.remote_dram += row.remote_dram;
+      out.remote_hitm += row.remote_hitm;
+      out.loads += row.loads;
+      out.latency_sum += row.latency_sum;
+      out.latency_loads += row.latency_loads;
+      if (!row.areas.empty()) out.areas = row.areas;  // keep the last snapshot
+      node_cycles[it->second][row.node] += row.cycles;
+    }
+  }
+  for (usize i = 0; i < window.tasks.size(); ++i) {
+    u64 best = 0;
+    for (const auto& [node, cycles] : node_cycles[i]) {
+      if (cycles > best) {
+        best = cycles;
+        window.tasks[i].node = node;
+      }
+    }
+  }
+  std::sort(window.tasks.begin(), window.tasks.end(), [](const TaskStats& a, const TaskStats& b) {
+    return std::pair{a.pid, a.tid} < std::pair{b.pid, b.tid};
+  });
+  return window;
+}
+
+TaskSample merge_task_samples(std::span<const TaskSample> samples) {
+  NPAT_CHECK_MSG(!samples.empty(), "cannot merge zero task samples");
+  TaskSample merged = samples.front();
+  std::map<std::pair<u32, u32>, usize> index;
+  for (usize i = 0; i < merged.tasks.size(); ++i) {
+    index[{merged.tasks[i].pid, merged.tasks[i].tid}] = i;
+  }
+  for (const TaskSample& sample : samples.subspan(1)) {
+    merged.timestamp = sample.timestamp;
+    for (const TaskCounters& row : sample.tasks) {
+      const auto [it, inserted] = index.try_emplace({row.pid, row.tid}, merged.tasks.size());
+      if (inserted) {
+        merged.tasks.push_back(row);
+        continue;
+      }
+      TaskCounters& out = merged.tasks[it->second];
+      out.instructions += row.instructions;
+      out.cycles += row.cycles;
+      out.local_dram += row.local_dram;
+      out.remote_dram += row.remote_dram;
+      out.remote_hitm += row.remote_hitm;
+      out.loads += row.loads;
+      out.latency_sum += row.latency_sum;
+      out.latency_loads += row.latency_loads;
+      if (row.cycles > 0) out.node = row.node;  // follow the task's latest placement
+      if (!row.areas.empty()) out.areas = row.areas;
+    }
+  }
+  std::sort(merged.tasks.begin(), merged.tasks.end(),
+            [](const TaskCounters& a, const TaskCounters& b) {
+              return std::pair{a.pid, a.tid} < std::pair{b.pid, b.tid};
+            });
+  return merged;
+}
+
 TieredHistory::TieredHistory(TierConfig config) : config_(config) {
   NPAT_CHECK_MSG(config_.tiers >= 1, "need at least one tier");
   NPAT_CHECK_MSG(config_.factor >= 2, "downsampling factor must be >= 2");

@@ -15,6 +15,7 @@
 
 #include "monitor/ring.hpp"
 #include "monitor/sampler.hpp"
+#include "monitor/task_sampler.hpp"
 #include "util/types.hpp"
 
 namespace npat::monitor {
@@ -70,6 +71,54 @@ WindowStats aggregate(std::span<const Sample> samples);
 /// Merges consecutive samples into one coarser sample (deltas sum,
 /// snapshots and the timestamp take the last value).
 Sample merge_samples(std::span<const Sample> samples);
+
+/// Per-task totals over a window, with the derived numatop columns.
+struct TaskStats {
+  u32 pid = 0;
+  u32 tid = 0;
+  /// Node carrying the most of the task's cycles over the window.
+  u32 node = 0;
+  u64 samples = 0;  // window rows contributing to this task
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 local_dram = 0;
+  u64 remote_dram = 0;
+  u64 remote_hitm = 0;
+  u64 loads = 0;
+  u64 latency_sum = 0;
+  u64 latency_loads = 0;
+  /// Last hot-area snapshot seen in the window.
+  std::vector<TaskArea> areas;
+
+  /// Remote memory accesses (numatop's RMA column).
+  u64 rma() const noexcept { return remote_dram + remote_hitm; }
+  /// Local memory accesses (numatop's LMA column).
+  u64 lma() const noexcept { return local_dram; }
+  double rma_lma_ratio() const noexcept;
+  /// Fraction of NUMA-relevant loads served remotely.
+  double remote_ratio() const noexcept;
+  double cpi() const noexcept;
+  double avg_load_latency() const noexcept;
+};
+
+/// One aggregated per-task window.
+struct TaskWindowStats {
+  Cycles start = 0;
+  Cycles end = 0;
+  u64 samples = 0;  // TaskSample records in the window
+  std::vector<TaskStats> tasks;  // sorted by (pid, tid)
+
+  const TaskStats* find(u32 pid, u32 tid) const noexcept;
+};
+
+/// Collapses consecutive per-task samples into one window; tasks are
+/// matched by (pid, tid) across samples (rows may appear or vanish as
+/// tasks start and exit).
+TaskWindowStats aggregate_tasks(std::span<const TaskSample> samples);
+
+/// Merges consecutive task samples into one coarser sample (deltas sum,
+/// area snapshots and the timestamp take the last value).
+TaskSample merge_task_samples(std::span<const TaskSample> samples);
 
 struct TierConfig {
   usize tiers = 3;

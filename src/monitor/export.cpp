@@ -112,4 +112,188 @@ DecodedStream decode_stream(const std::vector<u8>& bytes) {
   return out;
 }
 
+std::string to_csv_tasks(std::span<const TaskSample> samples, const TaskNameTable& names) {
+  util::CsvWriter csv({"timestamp", "pid", "tid", "process", "thread", "node", "instructions",
+                       "cycles", "local_dram", "remote_dram", "remote_hitm", "loads",
+                       "latency_sum", "latency_loads"});
+  for (const TaskSample& sample : samples) {
+    for (const TaskCounters& t : sample.tasks) {
+      const auto named = names.find({t.pid, t.tid});
+      const TaskNames& n = named != names.end() ? named->second : TaskNames{};
+      csv.add_row({std::to_string(sample.timestamp), std::to_string(t.pid),
+                   std::to_string(t.tid), n.process_name, n.thread_name,
+                   std::to_string(t.node), std::to_string(t.instructions),
+                   std::to_string(t.cycles), std::to_string(t.local_dram),
+                   std::to_string(t.remote_dram), std::to_string(t.remote_hitm),
+                   std::to_string(t.loads), std::to_string(t.latency_sum),
+                   std::to_string(t.latency_loads)});
+    }
+  }
+  return csv.str();
+}
+
+util::Json to_json_tasks(std::span<const TaskSample> samples, const TaskNameTable& names) {
+  util::JsonArray list;
+  for (const TaskSample& sample : samples) {
+    util::JsonArray tasks;
+    for (const TaskCounters& t : sample.tasks) {
+      util::JsonObject task;
+      const auto named = names.find({t.pid, t.tid});
+      task["pid"] = static_cast<u64>(t.pid);
+      task["tid"] = static_cast<u64>(t.tid);
+      task["process"] = named != names.end() ? named->second.process_name : "";
+      task["thread"] = named != names.end() ? named->second.thread_name : "";
+      task["node"] = static_cast<u64>(t.node);
+      task["instructions"] = t.instructions;
+      task["cycles"] = t.cycles;
+      task["local_dram"] = t.local_dram;
+      task["remote_dram"] = t.remote_dram;
+      task["remote_hitm"] = t.remote_hitm;
+      task["loads"] = t.loads;
+      task["latency_sum"] = t.latency_sum;
+      task["latency_loads"] = t.latency_loads;
+      util::JsonArray areas;
+      for (const TaskArea& area : t.areas) {
+        util::JsonObject a;
+        a["base"] = area.base;
+        a["samples"] = area.samples;
+        areas.push_back(std::move(a));
+      }
+      task["areas"] = std::move(areas);
+      tasks.push_back(std::move(task));
+    }
+    util::JsonObject record;
+    record["timestamp"] = sample.timestamp;
+    record["tasks"] = std::move(tasks);
+    list.push_back(std::move(record));
+  }
+  util::JsonObject doc;
+  doc["task_samples"] = std::move(list);
+  return doc;
+}
+
+memhist::wire::TaskSampleMsg to_wire_tasks(const TaskSample& sample,
+                                           const std::map<std::pair<u32, u32>, u32>& task_ids) {
+  memhist::wire::TaskSampleMsg message;
+  message.timestamp = sample.timestamp;
+  message.rows.reserve(sample.tasks.size());
+  for (const TaskCounters& t : sample.tasks) {
+    const auto it = task_ids.find({t.pid, t.tid});
+    if (it == task_ids.end()) continue;  // unregistered: caller must announce first
+    memhist::wire::TaskSampleRow row;
+    row.task_id = it->second;
+    row.node = t.node;
+    row.instructions = t.instructions;
+    row.cycles = t.cycles;
+    row.local_dram = t.local_dram;
+    row.remote_dram = t.remote_dram;
+    row.remote_hitm = t.remote_hitm;
+    row.loads = t.loads;
+    row.latency_sum = t.latency_sum;
+    row.latency_loads = t.latency_loads;
+    row.areas.reserve(t.areas.size());
+    for (const TaskArea& area : t.areas) {
+      row.areas.push_back(memhist::wire::TaskAreaCounters{area.base, area.samples});
+    }
+    message.rows.push_back(std::move(row));
+  }
+  return message;
+}
+
+TaskSample from_wire_tasks(const memhist::wire::TaskSampleMsg& message,
+                           const std::map<u32, std::pair<u32, u32>>& identities) {
+  TaskSample sample;
+  sample.timestamp = message.timestamp;
+  sample.tasks.reserve(message.rows.size());
+  for (const memhist::wire::TaskSampleRow& row : message.rows) {
+    const auto it = identities.find(row.task_id);
+    if (it == identities.end()) continue;
+    TaskCounters t;
+    t.pid = it->second.first;
+    t.tid = it->second.second;
+    t.node = row.node;
+    t.instructions = row.instructions;
+    t.cycles = row.cycles;
+    t.local_dram = row.local_dram;
+    t.remote_dram = row.remote_dram;
+    t.remote_hitm = row.remote_hitm;
+    t.loads = row.loads;
+    t.latency_sum = row.latency_sum;
+    t.latency_loads = row.latency_loads;
+    t.areas.reserve(row.areas.size());
+    for (const memhist::wire::TaskAreaCounters& area : row.areas) {
+      t.areas.push_back(TaskArea{area.base, area.samples});
+    }
+    sample.tasks.push_back(std::move(t));
+  }
+  return sample;
+}
+
+std::vector<u8> encode_task_stream(std::span<const TaskSample> samples,
+                                   const TaskNameTable& names) {
+  namespace wire = memhist::wire;
+  // Register every task seen anywhere in the stream (or named by the
+  // caller), with ids assigned in (pid, tid) order for determinism.
+  std::map<std::pair<u32, u32>, u32> task_ids;
+  for (const auto& [key, value] : names) task_ids.emplace(key, 0);
+  for (const TaskSample& sample : samples) {
+    for (const TaskCounters& t : sample.tasks) task_ids.emplace(std::pair{t.pid, t.tid}, 0);
+  }
+  u32 next_id = 1;
+  for (auto& [key, id] : task_ids) id = next_id++;
+
+  wire::TaskTableMsg table;
+  table.entries.reserve(task_ids.size());
+  for (const auto& [key, id] : task_ids) {
+    wire::TaskTableEntry entry;
+    entry.task_id = id;
+    entry.pid = key.first;
+    entry.tid = key.second;
+    const auto named = names.find(key);
+    if (named != names.end()) {
+      entry.process_name = named->second.process_name;
+      entry.thread_name = named->second.thread_name;
+    }
+    table.entries.push_back(std::move(entry));
+  }
+
+  std::vector<u8> out;
+  const auto append = [&out](const std::vector<u8>& frame) {
+    out.insert(out.end(), frame.begin(), frame.end());
+  };
+  append(wire::encode(wire::Hello{wire::kProtocolVersion, 0, {}}));
+  append(wire::encode(table));
+  for (const TaskSample& sample : samples) append(wire::encode(to_wire_tasks(sample, task_ids)));
+  append(wire::encode(wire::End{samples.empty() ? 0 : samples.back().timestamp}));
+  return out;
+}
+
+DecodedTaskStream decode_task_stream(const std::vector<u8>& bytes) {
+  namespace wire = memhist::wire;
+  wire::Decoder decoder;
+  decoder.feed(bytes);
+  decoder.finish();
+
+  DecodedTaskStream out;
+  std::map<u32, std::pair<u32, u32>> identities;
+  while (auto message = decoder.poll()) {
+    if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
+      out.version = hello->version;
+    } else if (const auto* table = std::get_if<wire::TaskTableMsg>(&*message)) {
+      for (const wire::TaskTableEntry& entry : table->entries) {
+        identities[entry.task_id] = {entry.pid, entry.tid};
+        out.names[{entry.pid, entry.tid}] = TaskNames{entry.process_name, entry.thread_name};
+      }
+    } else if (const auto* sample = std::get_if<wire::TaskSampleMsg>(&*message)) {
+      TaskSample decoded = from_wire_tasks(*sample, identities);
+      out.unknown_task_rows += sample->rows.size() - decoded.tasks.size();
+      out.samples.push_back(std::move(decoded));
+    } else if (std::get_if<wire::End>(&*message) != nullptr) {
+      out.ended = true;
+    }
+  }
+  out.dropped_frames = decoder.dropped_frames();
+  return out;
+}
+
 }  // namespace npat::monitor

@@ -5,12 +5,15 @@
 // Memhist GUI already uses (protocol version 2's MonitorSampleMsg).
 #pragma once
 
+#include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "memhist/wire.hpp"
 #include "monitor/sampler.hpp"
+#include "monitor/task_sampler.hpp"
 #include "util/json.hpp"
 #include "util/types.hpp"
 
@@ -44,5 +47,55 @@ struct DecodedStream {
 /// Decodes whatever intact monitor frames a (possibly damaged) byte stream
 /// contains; non-monitor frames are tolerated and summarized.
 DecodedStream decode_stream(const std::vector<u8>& bytes);
+
+// --- per-task export -------------------------------------------------------
+
+/// Display names for a (pid, tid) row; tasks without an entry export with
+/// empty name columns.
+struct TaskNames {
+  std::string process_name;
+  std::string thread_name;
+};
+using TaskNameTable = std::map<std::pair<u32, u32>, TaskNames>;
+
+/// One row per (sample, task); stable column order for plotting scripts.
+/// Task names pass through the CSV writer's RFC-4180 escaping.
+std::string to_csv_tasks(std::span<const TaskSample> samples, const TaskNameTable& names = {});
+
+/// {"task_samples": [{"timestamp": .., "tasks": [{.., "areas": [..]}]}]}
+util::Json to_json_tasks(std::span<const TaskSample> samples, const TaskNameTable& names = {});
+
+/// Converts one task sample for the wire; `task_ids` maps (pid, tid) to
+/// the stream-local id announced in the TaskTable frame. Tasks without an
+/// id are skipped (register them first).
+memhist::wire::TaskSampleMsg to_wire_tasks(const TaskSample& sample,
+                                           const std::map<std::pair<u32, u32>, u32>& task_ids);
+
+/// Inverse of to_wire_tasks: resolves rows against `identities` (task id
+/// -> (pid, tid)); rows with unknown ids are dropped here — stateful
+/// consumers (fleet::FleetCollector) hold them for late registration
+/// instead of using this helper.
+TaskSample from_wire_tasks(const memhist::wire::TaskSampleMsg& message,
+                           const std::map<u32, std::pair<u32, u32>>& identities);
+
+/// Encodes a complete per-task monitoring session: Hello (protocol v5),
+/// one TaskTable frame registering every task appearing in `samples` or
+/// `names`, one TaskSample frame per sample, End with the last timestamp.
+std::vector<u8> encode_task_stream(std::span<const TaskSample> samples,
+                                   const TaskNameTable& names = {});
+
+struct DecodedTaskStream {
+  std::vector<TaskSample> samples;
+  TaskNameTable names;
+  u8 version = 0;
+  bool ended = false;
+  usize dropped_frames = 0;
+  /// Sample rows referencing a task id never registered by a TaskTable.
+  usize unknown_task_rows = 0;
+};
+
+/// Decodes a per-task stream produced by encode_task_stream (or any v5
+/// probe); tolerates damage and interleaved non-task frames.
+DecodedTaskStream decode_task_stream(const std::vector<u8>& bytes);
 
 }  // namespace npat::monitor

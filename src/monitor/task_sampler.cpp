@@ -1,0 +1,101 @@
+#include "monitor/task_sampler.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace npat::monitor {
+
+TaskSampler::TaskSampler(sim::Machine& machine, TaskSamplerConfig config)
+    : machine_(&machine), config_(config), ring_(config.ring_capacity) {
+  NPAT_CHECK_MSG(config_.period > 0, "sampling period must be positive");
+  previous_ = totals();
+}
+
+void TaskSampler::attach(trace::Runner& runner) {
+  runner.add_sampler(config_.period, [this](Cycles now) { sample(now); });
+}
+
+std::map<sim::TaskKey, TaskSampler::TaskTotals> TaskSampler::totals() const {
+  machine_->flush_task_accounting();
+  const sim::Topology& topology = machine_->topology();
+  std::map<sim::TaskKey, TaskTotals> merged;
+  for (u32 core = 0; core < machine_->cores(); ++core) {
+    const sim::NodeId node = topology.node_of_core(core);
+    for (const auto& [key, domain] : machine_->pmu(core).task_domains()) {
+      TaskTotals& totals = merged[key];
+      totals.instructions += domain.counters[sim::Event::kInstructions];
+      totals.cycles += domain.counters[sim::Event::kCycles];
+      totals.local_dram += domain.counters[sim::Event::kMemLoadLocalDram];
+      totals.remote_dram += domain.counters[sim::Event::kMemLoadRemoteDram];
+      totals.remote_hitm += domain.counters[sim::Event::kMemLoadRemoteHitm];
+      totals.loads += domain.counters[sim::Event::kLoadsRetired];
+      totals.latency_sum += domain.latency_sum;
+      totals.latency_loads += domain.latency_loads;
+      totals.node_cycles.resize(topology.nodes);
+      totals.node_cycles[node] += domain.counters[sim::Event::kCycles];
+      for (const auto& [area, samples] : domain.areas) {
+        totals.areas[area << sim::kTaskAreaShift] += samples;
+      }
+    }
+  }
+  return merged;
+}
+
+void TaskSampler::sample(Cycles now) {
+  NPAT_OBS_COUNT("npat_monitor_task_samples_total",
+                 "Per-task telemetry samples captured by the monitor", 1);
+  std::map<sim::TaskKey, TaskTotals> current = totals();
+
+  TaskSample record;
+  record.timestamp = now;
+  record.tasks.reserve(current.size());
+  for (const auto& [key, cur] : current) {
+    const auto prev_it = previous_.find(key);
+    static const TaskTotals kZero;
+    const TaskTotals& prev = prev_it != previous_.end() ? prev_it->second : kZero;
+
+    TaskCounters row;
+    row.pid = key.pid;
+    row.tid = key.tid;
+    row.instructions = cur.instructions - prev.instructions;
+    row.cycles = cur.cycles - prev.cycles;
+    row.local_dram = cur.local_dram - prev.local_dram;
+    row.remote_dram = cur.remote_dram - prev.remote_dram;
+    row.remote_hitm = cur.remote_hitm - prev.remote_hitm;
+    row.loads = cur.loads - prev.loads;
+    row.latency_sum = cur.latency_sum - prev.latency_sum;
+    row.latency_loads = cur.latency_loads - prev.latency_loads;
+
+    // Dominant node of *this period*: argmax over the per-node cycle
+    // delta, so a migrating task moves rows as it moves sockets.
+    u64 best_cycles = 0;
+    for (usize node = 0; node < cur.node_cycles.size(); ++node) {
+      const u64 prev_cycles =
+          node < prev.node_cycles.size() ? prev.node_cycles[node] : 0;
+      const u64 delta = cur.node_cycles[node] - prev_cycles;
+      if (delta > best_cycles) {
+        best_cycles = delta;
+        row.node = static_cast<u32>(node);
+      }
+    }
+
+    // Hot areas ship as a cumulative top-N snapshot, ordered by sampled
+    // loads (descending) then base address for determinism.
+    std::vector<TaskArea> areas;
+    areas.reserve(cur.areas.size());
+    for (const auto& [base, samples] : cur.areas) areas.push_back(TaskArea{base, samples});
+    std::sort(areas.begin(), areas.end(), [](const TaskArea& a, const TaskArea& b) {
+      return a.samples != b.samples ? a.samples > b.samples : a.base < b.base;
+    });
+    if (areas.size() > config_.max_areas) areas.resize(config_.max_areas);
+    row.areas = std::move(areas);
+
+    record.tasks.push_back(std::move(row));
+  }
+  previous_ = std::move(current);
+  ring_.push(std::move(record));
+}
+
+}  // namespace npat::monitor

@@ -1,0 +1,109 @@
+// Per-task telemetry sampling — the numatop half of the monitor. Where
+// Sampler emits per-node counter deltas, TaskSampler rides the same
+// trace::Runner hook and emits per-(pid, tid) deltas read from the
+// machine's per-task PMU domains (sim::CorePmu::task_domains), so the
+// live view can answer *which task* is generating remote traffic, not
+// just which node is suffering it.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "monitor/ring.hpp"
+#include "sim/machine.hpp"
+#include "trace/runner.hpp"
+#include "util/types.hpp"
+
+namespace npat::monitor {
+
+/// One hot memory area of a task: `base` is the area's base virtual
+/// address (1 MiB granularity) and `samples` the cumulative sampled-load
+/// count (a snapshot, like resident_bytes — not a delta).
+struct TaskArea {
+  u64 base = 0;
+  u64 samples = 0;
+
+  friend bool operator==(const TaskArea&, const TaskArea&) = default;
+};
+
+/// Per-task counter deltas over one sampling period. `node` is the NUMA
+/// node that executed most of the task's cycles this period.
+struct TaskCounters {
+  u32 pid = 0;
+  u32 tid = 0;
+  u32 node = 0;
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 local_dram = 0;
+  u64 remote_dram = 0;
+  u64 remote_hitm = 0;
+  u64 loads = 0;
+  u64 latency_sum = 0;    // over all retired loads of the task
+  u64 latency_loads = 0;  // loads contributing to latency_sum
+  /// Top hot areas by cumulative sampled loads (snapshot).
+  std::vector<TaskArea> areas;
+
+  friend bool operator==(const TaskCounters&, const TaskCounters&) = default;
+};
+
+/// One timestamped per-task telemetry record; rows sorted by (pid, tid).
+struct TaskSample {
+  Cycles timestamp = 0;
+  std::vector<TaskCounters> tasks;
+
+  friend bool operator==(const TaskSample&, const TaskSample&) = default;
+};
+
+struct TaskSamplerConfig {
+  /// Base sampling period in simulated cycles (matches SamplerConfig so
+  /// node and task streams share timestamps).
+  Cycles period = 100000;
+  usize ring_capacity = 4096;
+  /// Hot areas reported per task per sample (top-N by sampled loads).
+  usize max_areas = 8;
+};
+
+class TaskSampler {
+ public:
+  /// Baselines the machine's current per-task domains; deltas start here.
+  /// The runner driving the workload must have task accounting enabled
+  /// (RunnerConfig::task_accounting) or every sample will be empty.
+  explicit TaskSampler(sim::Machine& machine, TaskSamplerConfig config = {});
+
+  /// Registers the periodic hook with `runner`; the sampler must outlive
+  /// the run.
+  void attach(trace::Runner& runner);
+
+  /// Takes one sample immediately (flushes in-flight task slices first).
+  void sample(Cycles now);
+
+  Ring<TaskSample>& ring() noexcept { return ring_; }
+  const Ring<TaskSample>& ring() const noexcept { return ring_; }
+  const TaskSamplerConfig& config() const noexcept { return config_; }
+  u64 samples_taken() const noexcept { return ring_.pushed(); }
+
+ private:
+  /// Cumulative per-task totals merged across cores, plus the per-node
+  /// cycle split needed to call the period's dominant node.
+  struct TaskTotals {
+    u64 instructions = 0;
+    u64 cycles = 0;
+    u64 local_dram = 0;
+    u64 remote_dram = 0;
+    u64 remote_hitm = 0;
+    u64 loads = 0;
+    u64 latency_sum = 0;
+    u64 latency_loads = 0;
+    std::vector<u64> node_cycles;
+    std::map<u64, u64> areas;  // area base -> cumulative sampled loads
+  };
+
+  std::map<sim::TaskKey, TaskTotals> totals() const;
+
+  sim::Machine* machine_;
+  TaskSamplerConfig config_;
+  Ring<TaskSample> ring_;
+  std::map<sim::TaskKey, TaskTotals> previous_;
+};
+
+}  // namespace npat::monitor

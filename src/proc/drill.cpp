@@ -1,0 +1,437 @@
+#include "proc/drill.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/obs.hpp"
+#include "util/ansi.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace npat::proc {
+
+namespace {
+
+util::Style remote_style(double remote_ratio, const DrillOptions& options) {
+  if (remote_ratio >= options.bad_remote_ratio) return util::Style::kRed;
+  if (remote_ratio >= options.warn_remote_ratio) return util::Style::kYellow;
+  return util::Style::kGreen;
+}
+
+std::string count(u64 value) { return util::si_scaled(static_cast<double>(value)); }
+
+std::string ratio(double value) { return util::format("%5.2f", value); }
+
+std::string percent(double value) { return util::format("%5.1f%%", value * 100.0); }
+
+/// Sum of every task in a window — the fleet host-row totals.
+monitor::TaskStats total_of(const monitor::TaskWindowStats& window) {
+  monitor::TaskStats total;
+  for (const monitor::TaskStats& task : window.tasks) {
+    total.samples += task.samples;
+    total.instructions += task.instructions;
+    total.cycles += task.cycles;
+    total.local_dram += task.local_dram;
+    total.remote_dram += task.remote_dram;
+    total.remote_hitm += task.remote_hitm;
+    total.loads += task.loads;
+    total.latency_sum += task.latency_sum;
+    total.latency_loads += task.latency_loads;
+  }
+  return total;
+}
+
+const char* process_name_of(const TaskRegistry* registry, u32 pid, u32 tid) {
+  if (registry == nullptr) return "";
+  const TaskInfo* info = registry->find_identity(pid, tid);
+  return info != nullptr ? info->process_name.c_str() : "";
+}
+
+const char* thread_name_of(const TaskRegistry* registry, u32 pid, u32 tid) {
+  if (registry == nullptr) return "";
+  const TaskInfo* info = registry->find_identity(pid, tid);
+  return info != nullptr ? info->thread_name.c_str() : "";
+}
+
+/// The numatop metric columns shared by process and thread rows.
+void push_metric_cells(std::vector<util::Cell>& cells, const monitor::TaskStats& stats,
+                       const DrillOptions& options, util::Style base) {
+  cells.push_back({count(stats.rma()), base});
+  cells.push_back({count(stats.lma()), base});
+  cells.push_back({ratio(stats.rma_lma_ratio()), base});
+  cells.push_back({ratio(stats.cpi()), base});
+  cells.push_back({util::format("%6.1f", stats.avg_load_latency()), base});
+  cells.push_back({percent(stats.remote_ratio()),
+                   base == util::Style::kDim ? base : remote_style(stats.remote_ratio(), options)});
+}
+
+std::vector<std::string> metric_headers() {
+  return {"RMA", "LMA", "RMA/LMA", "CPI", "Lat(cyc)", "Remote%"};
+}
+
+}  // namespace
+
+const char* drill_level_name(DrillLevel level) {
+  switch (level) {
+    case DrillLevel::kTop:
+      return "top";
+    case DrillLevel::kProcesses:
+      return "processes";
+    case DrillLevel::kThreads:
+      return "threads";
+    case DrillLevel::kAreas:
+      return "areas";
+  }
+  return "?";
+}
+
+std::vector<ProcessRow> process_rows(const monitor::TaskWindowStats& window,
+                                     const TaskRegistry* registry,
+                                     std::optional<u32> node_filter) {
+  std::map<u32, ProcessRow> by_pid;
+  std::map<u32, std::map<u32, u64>> node_cycles;  // pid -> node -> cycles
+  for (const monitor::TaskStats& task : window.tasks) {
+    if (node_filter && task.node != *node_filter) continue;
+    ProcessRow& row = by_pid[task.pid];
+    if (row.threads == 0) {
+      row.pid = task.pid;
+      row.name = process_name_of(registry, task.pid, task.tid);
+    }
+    ++row.threads;
+    monitor::TaskStats& stats = row.stats;
+    stats.samples += task.samples;
+    stats.instructions += task.instructions;
+    stats.cycles += task.cycles;
+    stats.local_dram += task.local_dram;
+    stats.remote_dram += task.remote_dram;
+    stats.remote_hitm += task.remote_hitm;
+    stats.loads += task.loads;
+    stats.latency_sum += task.latency_sum;
+    stats.latency_loads += task.latency_loads;
+    node_cycles[task.pid][task.node] += task.cycles;
+  }
+  std::vector<ProcessRow> rows;
+  rows.reserve(by_pid.size());
+  for (auto& [pid, row] : by_pid) {
+    u64 best = 0;
+    for (const auto& [node, cycles] : node_cycles[pid]) {
+      if (cycles > best) {
+        best = cycles;
+        row.stats.node = node;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const ProcessRow& a, const ProcessRow& b) {
+    if (a.stats.rma() != b.stats.rma()) return a.stats.rma() > b.stats.rma();
+    if (a.stats.cycles != b.stats.cycles) return a.stats.cycles > b.stats.cycles;
+    return a.pid < b.pid;
+  });
+  return rows;
+}
+
+std::vector<monitor::TaskStats> thread_rows(const monitor::TaskWindowStats& window, u32 pid) {
+  std::vector<monitor::TaskStats> rows;
+  for (const monitor::TaskStats& task : window.tasks) {
+    if (task.pid == pid) rows.push_back(task);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const monitor::TaskStats& a, const monitor::TaskStats& b) {
+              if (a.rma() != b.rma()) return a.rma() > b.rma();
+              if (a.cycles != b.cycles) return a.cycles > b.cycles;
+              return a.tid < b.tid;
+            });
+  return rows;
+}
+
+std::optional<u32> DrillDown::node_filter() const noexcept {
+  if (fleet_ || level_ == DrillLevel::kTop) return std::nullopt;
+  return node_;
+}
+
+usize DrillDown::rows_at_level(const DrillScope& scope) const {
+  switch (level_) {
+    case DrillLevel::kTop:
+      return scope.fleet() ? scope.hosts.size()
+                           : (scope.nodes != nullptr ? scope.nodes->nodes.size() : 0);
+    case DrillLevel::kProcesses:
+      return process_rows(scope.tasks, scope.registry, node_filter()).size();
+    case DrillLevel::kThreads:
+      return thread_rows(scope.tasks, pid_).size();
+    case DrillLevel::kAreas: {
+      const monitor::TaskStats* task = scope.tasks.find(pid_, tid_);
+      return task != nullptr ? task->areas.size() : 0;
+    }
+  }
+  return 0;
+}
+
+void DrillDown::descend(const DrillScope& scope) {
+  switch (level_) {
+    case DrillLevel::kTop: {
+      const usize rows = rows_at_level(scope);
+      if (cursor_ >= rows) return;
+      if (scope.fleet()) {
+        host_ = cursor_;
+      } else {
+        node_ = static_cast<u32>(cursor_);
+      }
+      level_ = DrillLevel::kProcesses;
+      cursor_ = 0;
+      return;
+    }
+    case DrillLevel::kProcesses: {
+      const std::vector<ProcessRow> rows =
+          process_rows(scope.tasks, scope.registry, node_filter());
+      if (cursor_ >= rows.size()) return;
+      pid_ = rows[cursor_].pid;
+      level_ = DrillLevel::kThreads;
+      cursor_ = 0;
+      return;
+    }
+    case DrillLevel::kThreads: {
+      const std::vector<monitor::TaskStats> rows = thread_rows(scope.tasks, pid_);
+      if (cursor_ >= rows.size()) return;
+      tid_ = rows[cursor_].tid;
+      level_ = DrillLevel::kAreas;
+      cursor_ = 0;
+      return;
+    }
+    case DrillLevel::kAreas:
+      return;  // leaf
+  }
+}
+
+void DrillDown::ascend() {
+  if (level_ == DrillLevel::kTop) return;
+  level_ = static_cast<DrillLevel>(static_cast<u8>(level_) - 1);
+  cursor_ = 0;
+}
+
+void DrillDown::apply_key(char key, const DrillScope& scope) {
+  NPAT_OBS_COUNT("npat_proc_drill_keys_total", "Drill-down keys applied", 1);
+  if (key >= '0' && key <= '9') {
+    const usize target = static_cast<usize>(key - '0');
+    if (target < rows_at_level(scope)) cursor_ = target;
+    return;
+  }
+  switch (key) {
+    case 'j':
+      if (cursor_ + 1 < rows_at_level(scope)) ++cursor_;
+      return;
+    case 'k':
+      if (cursor_ > 0) --cursor_;
+      return;
+    case 'd':
+    case '\n':
+    case '\r':
+      descend(scope);
+      return;
+    case 'u':
+    case 'b':
+      ascend();
+      return;
+    case 'q':
+      quit_ = true;
+      return;
+    default:
+      return;  // ignore unknown keys ('.' is the scripted no-op)
+  }
+}
+
+std::string DrillDown::breadcrumb(const DrillScope& scope) const {
+  if (level_ == DrillLevel::kTop) return scope.fleet() ? "fleet" : "nodes";
+  std::string out;
+  if (scope.fleet()) {
+    out = "host " + (host_ < scope.hosts.size() ? scope.hosts[host_] : util::format("%zu", host_));
+  } else {
+    out = util::format("node %u", node_);
+  }
+  if (level_ >= DrillLevel::kThreads) {
+    const char* name = process_name_of(scope.registry, pid_, 0);
+    // Any thread of the pid names the process; tid 0 rarely exists, so
+    // fall back to scanning the window for one.
+    if (name[0] == '\0') {
+      for (const monitor::TaskStats& task : scope.tasks.tasks) {
+        if (task.pid == pid_) {
+          name = process_name_of(scope.registry, task.pid, task.tid);
+          break;
+        }
+      }
+    }
+    out += name[0] != '\0' ? util::format(" > pid %u (%s)", pid_, name)
+                           : util::format(" > pid %u", pid_);
+  }
+  if (level_ >= DrillLevel::kAreas) {
+    const char* name = thread_name_of(scope.registry, pid_, tid_);
+    out += name[0] != '\0' ? util::format(" > tid %u (%s)", tid_, name)
+                           : util::format(" > tid %u", tid_);
+  }
+  return out;
+}
+
+std::string render_drill(const DrillDown& drill, const DrillScope& scope,
+                         const DrillOptions& options) {
+  std::string out;
+  if (options.clear_screen && util::ansi_enabled()) out += "\x1b[H\x1b[2J";
+  out += util::format("%s — %s [%s]  t=%s cycles  window=%s cycles  tasks=%zu\n",
+                      options.title.c_str(), drill.breadcrumb(scope).c_str(),
+                      drill_level_name(drill.level()),
+                      util::si_scaled(static_cast<double>(scope.tasks.end)).c_str(),
+                      util::si_scaled(static_cast<double>(scope.tasks.end - scope.tasks.start))
+                          .c_str(),
+                      scope.tasks.tasks.size());
+
+  const auto cursor_mark = [&drill](usize row) {
+    return std::string(row == drill.cursor() ? ">" : " ");
+  };
+  const auto truncate = [&options](usize rows) {
+    return options.max_rows > 0 ? std::min(rows, options.max_rows) : rows;
+  };
+
+  switch (drill.level()) {
+    case DrillLevel::kTop: {
+      if (scope.fleet()) {
+        std::vector<std::string> headers = {"", "Host"};
+        for (std::string& h : metric_headers()) headers.push_back(std::move(h));
+        util::Table table(std::move(headers));
+        for (usize c = 2; c <= 7; ++c) table.set_align(c, util::Align::kRight);
+        const usize rows = truncate(scope.hosts.size());
+        for (usize i = 0; i < rows; ++i) {
+          const monitor::TaskStats total = i < scope.host_tasks.size()
+                                               ? total_of(scope.host_tasks[i])
+                                               : monitor::TaskStats{};
+          std::vector<util::Cell> cells;
+          cells.push_back({cursor_mark(i), util::Style::kBold});
+          cells.push_back({scope.hosts[i], util::Style::kNone});
+          push_metric_cells(cells, total, options, util::Style::kNone);
+          table.add_styled_row(std::move(cells));
+        }
+        out += table.render();
+      } else if (scope.nodes != nullptr) {
+        // Per-node latency comes from the task stream (NodeStats carries
+        // no load-latency fields): sum tasks by dominant node.
+        std::map<u32, std::pair<u64, u64>> latency_by_node;  // node -> (sum, loads)
+        for (const monitor::TaskStats& task : scope.tasks.tasks) {
+          latency_by_node[task.node].first += task.latency_sum;
+          latency_by_node[task.node].second += task.latency_loads;
+        }
+        util::Table table({"", "Node", "RMA", "LMA", "RMA/LMA", "CPI", "Lat(cyc)", "Remote%"});
+        for (usize c = 2; c <= 7; ++c) table.set_align(c, util::Align::kRight);
+        const usize rows = truncate(scope.nodes->nodes.size());
+        for (usize node = 0; node < rows; ++node) {
+          const monitor::NodeStats& stats = scope.nodes->nodes[node];
+          const u64 rma = stats.remote_dram + stats.remote_hitm;
+          const double cpi = stats.instructions == 0
+                                 ? 0.0
+                                 : static_cast<double>(stats.cycles) /
+                                       static_cast<double>(stats.instructions);
+          const auto latency = latency_by_node.find(static_cast<u32>(node));
+          const double avg_latency =
+              latency != latency_by_node.end() && latency->second.second > 0
+                  ? static_cast<double>(latency->second.first) /
+                        static_cast<double>(latency->second.second)
+                  : 0.0;
+          const bool idle = stats.instructions == 0;
+          const util::Style base = idle ? util::Style::kDim : util::Style::kNone;
+          std::vector<util::Cell> cells;
+          cells.push_back({cursor_mark(node), util::Style::kBold});
+          cells.push_back({util::format("%zu", node), base});
+          cells.push_back({count(rma), base});
+          cells.push_back({count(stats.local_dram), base});
+          cells.push_back({ratio(stats.local_dram == 0
+                                     ? 0.0
+                                     : static_cast<double>(rma) /
+                                           static_cast<double>(stats.local_dram)),
+                           base});
+          cells.push_back({ratio(cpi), base});
+          cells.push_back({util::format("%6.1f", avg_latency), base});
+          cells.push_back({percent(stats.remote_ratio()),
+                           idle ? base : remote_style(stats.remote_ratio(), options)});
+          table.add_styled_row(std::move(cells));
+        }
+        out += table.render();
+      }
+      break;
+    }
+    case DrillLevel::kProcesses: {
+      const std::vector<ProcessRow> rows =
+          process_rows(scope.tasks, scope.registry, drill.node_filter());
+      std::vector<std::string> headers = {"", "PID", "Process", "Thr", "Node"};
+      for (std::string& h : metric_headers()) headers.push_back(std::move(h));
+      util::Table table(std::move(headers));
+      for (usize c = 5; c <= 10; ++c) table.set_align(c, util::Align::kRight);
+      const usize shown = truncate(rows.size());
+      for (usize i = 0; i < shown; ++i) {
+        const ProcessRow& row = rows[i];
+        std::vector<util::Cell> cells;
+        cells.push_back({cursor_mark(i), util::Style::kBold});
+        cells.push_back({util::format("%u", row.pid), util::Style::kNone});
+        cells.push_back({row.name, util::Style::kNone});
+        cells.push_back({util::format("%u", row.threads), util::Style::kNone});
+        cells.push_back({util::format("%u", row.stats.node), util::Style::kNone});
+        push_metric_cells(cells, row.stats, options, util::Style::kNone);
+        table.add_styled_row(std::move(cells));
+      }
+      out += table.render();
+      if (shown < rows.size()) {
+        out += util::format("… %zu more processes\n", rows.size() - shown);
+      }
+      break;
+    }
+    case DrillLevel::kThreads: {
+      const std::vector<monitor::TaskStats> rows = thread_rows(scope.tasks, drill.selected_pid());
+      std::vector<std::string> headers = {"", "TID", "Thread", "Node"};
+      for (std::string& h : metric_headers()) headers.push_back(std::move(h));
+      util::Table table(std::move(headers));
+      for (usize c = 4; c <= 9; ++c) table.set_align(c, util::Align::kRight);
+      const usize shown = truncate(rows.size());
+      for (usize i = 0; i < shown; ++i) {
+        const monitor::TaskStats& row = rows[i];
+        std::vector<util::Cell> cells;
+        cells.push_back({cursor_mark(i), util::Style::kBold});
+        cells.push_back({util::format("%u", row.tid), util::Style::kNone});
+        cells.push_back({thread_name_of(scope.registry, row.pid, row.tid), util::Style::kNone});
+        cells.push_back({util::format("%u", row.node), util::Style::kNone});
+        push_metric_cells(cells, row, options, util::Style::kNone);
+        table.add_styled_row(std::move(cells));
+      }
+      out += table.render();
+      break;
+    }
+    case DrillLevel::kAreas: {
+      const monitor::TaskStats* task =
+          scope.tasks.find(drill.selected_pid(), drill.selected_tid());
+      util::Table table({"", "Area", "Samples", "Share"});
+      table.set_align(2, util::Align::kRight);
+      table.set_align(3, util::Align::kRight);
+      if (task != nullptr) {
+        u64 total_samples = 0;
+        for (const monitor::TaskArea& area : task->areas) total_samples += area.samples;
+        const usize shown = truncate(task->areas.size());
+        for (usize i = 0; i < shown; ++i) {
+          const monitor::TaskArea& area = task->areas[i];
+          const double share = total_samples == 0 ? 0.0
+                                                  : static_cast<double>(area.samples) /
+                                                        static_cast<double>(total_samples);
+          std::vector<util::Cell> cells;
+          cells.push_back({cursor_mark(i), util::Style::kBold});
+          cells.push_back({util::format("0x%012llx",
+                                        static_cast<unsigned long long>(area.base)),
+                           util::Style::kNone});
+          cells.push_back({util::format("%llu", static_cast<unsigned long long>(area.samples)),
+                           util::Style::kNone});
+          cells.push_back({percent(share), util::Style::kNone});
+          table.add_styled_row(std::move(cells));
+        }
+      }
+      out += table.render();
+      break;
+    }
+  }
+
+  out += "keys: 0-9 select  j/k move  d drill  u up  q quit\n";
+  return out;
+}
+
+}  // namespace npat::proc

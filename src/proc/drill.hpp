@@ -1,0 +1,116 @@
+// Keyboard drill-down over per-task telemetry, numatop's interaction
+// model: a top level of NUMA nodes (or fleet hosts), descending into the
+// processes running there, a process's threads, and finally a thread's
+// hot memory areas. Each level renders a numatop-style table (RMA, LMA,
+// RMA/LMA ratio, CPI, average load latency); navigation state is a tiny
+// pure state machine driven one key at a time, so scripted key sequences
+// exercise it deterministically in tests and CI.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitor/aggregate.hpp"
+#include "proc/task.hpp"
+#include "util/types.hpp"
+
+namespace npat::proc {
+
+enum class DrillLevel : u8 { kTop = 0, kProcesses, kThreads, kAreas };
+
+const char* drill_level_name(DrillLevel level);
+
+/// Everything one refresh of the drill view navigates and renders.
+/// Rebuilt by the caller per refresh; the DrillDown keeps only cursor and
+/// selection state across refreshes.
+struct DrillScope {
+  /// Per-node window for the single-host top level. Ignored in fleet mode.
+  const monitor::WindowStats* nodes = nullptr;
+  /// Fleet mode: host labels for the top level (non-empty enables it).
+  std::vector<std::string> hosts;
+  /// Per-host task windows, parallel to `hosts` (fleet top-level totals).
+  std::vector<monitor::TaskWindowStats> host_tasks;
+  /// Task window of the drilled scope: the whole host in single-host
+  /// mode, the selected host's merge in fleet mode.
+  monitor::TaskWindowStats tasks;
+  /// Names for pid/tid rows; optional.
+  const TaskRegistry* registry = nullptr;
+
+  bool fleet() const noexcept { return !hosts.empty(); }
+};
+
+/// One process row: threads of a pid aggregated (numatop's top-level
+/// process table).
+struct ProcessRow {
+  u32 pid = 0;
+  std::string name;
+  u32 threads = 0;
+  monitor::TaskStats stats;  // pid/tid meaningless on the aggregate
+};
+
+/// Processes in the window, heaviest RMA first. `node_filter` keeps only
+/// tasks whose dominant node matches (the single-host drill path).
+std::vector<ProcessRow> process_rows(const monitor::TaskWindowStats& window,
+                                     const TaskRegistry* registry,
+                                     std::optional<u32> node_filter);
+
+/// Threads of `pid` in the window, heaviest RMA first.
+std::vector<monitor::TaskStats> thread_rows(const monitor::TaskWindowStats& window, u32 pid);
+
+struct DrillOptions {
+  double warn_remote_ratio = 0.2;
+  double bad_remote_ratio = 0.5;
+  /// Rows rendered per level (heaviest first); 0 = unlimited.
+  usize max_rows = 16;
+  bool clear_screen = false;
+  std::string title = "npat-top/proc";
+};
+
+/// Keys: '0'..'9' put the cursor on a row, 'j'/'k' move it down/up, 'd'
+/// (or Enter) descends into the row under the cursor, 'u' (or 'b')
+/// ascends, 'q' requests quit, anything else is ignored.
+class DrillDown {
+ public:
+  explicit DrillDown(bool fleet = false) : fleet_(fleet) {}
+
+  DrillLevel level() const noexcept { return level_; }
+  usize cursor() const noexcept { return cursor_; }
+  bool quit_requested() const noexcept { return quit_; }
+  bool fleet() const noexcept { return fleet_; }
+
+  /// Committed selections (valid at levels below the selecting one).
+  usize selected_host() const noexcept { return host_; }
+  u32 selected_node() const noexcept { return node_; }
+  u32 selected_pid() const noexcept { return pid_; }
+  u32 selected_tid() const noexcept { return tid_; }
+  /// Node filter for process rows: the selected node in single-host mode,
+  /// nullopt in fleet mode (hosts, not nodes, partition the fleet view).
+  std::optional<u32> node_filter() const noexcept;
+
+  /// Applies one key against the rows `scope` currently offers.
+  void apply_key(char key, const DrillScope& scope);
+
+  /// "node 1 > pid 42 (sort) > tid 3" — the path above the table.
+  std::string breadcrumb(const DrillScope& scope) const;
+
+ private:
+  usize rows_at_level(const DrillScope& scope) const;
+  void descend(const DrillScope& scope);
+  void ascend();
+
+  bool fleet_ = false;
+  DrillLevel level_ = DrillLevel::kTop;
+  usize cursor_ = 0;
+  bool quit_ = false;
+  usize host_ = 0;
+  u32 node_ = 0;
+  u32 pid_ = 0;
+  u32 tid_ = 0;
+};
+
+/// Renders one frame of the drill view at the DrillDown's current level.
+std::string render_drill(const DrillDown& drill, const DrillScope& scope,
+                         const DrillOptions& options = {});
+
+}  // namespace npat::proc

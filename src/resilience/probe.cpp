@@ -77,6 +77,14 @@ void SupervisedProbe::send_reading(const memhist::ThresholdReading& reading, Cyc
   enqueue_and_send(wire::Message{wire::ReadingMsg{reading}}, now);
 }
 
+void SupervisedProbe::send_task_table(const wire::TaskTableMsg& table, Cycles now) {
+  enqueue_and_send(wire::Message{table}, now);
+}
+
+void SupervisedProbe::send_task_sample(const wire::TaskSampleMsg& sample, Cycles now) {
+  enqueue_and_send(wire::Message{sample}, now);
+}
+
 void SupervisedProbe::send_end(Cycles total_cycles, Cycles now) {
   enqueue_and_send(wire::Message{wire::End{total_cycles}}, now);
 }

@@ -84,6 +84,8 @@ class SupervisedProbe {
   /// handshake, in sequence order.
   void send_sample(const wire::MonitorSampleMsg& sample, Cycles now);
   void send_reading(const memhist::ThresholdReading& reading, Cycles now);
+  void send_task_table(const wire::TaskTableMsg& table, Cycles now);
+  void send_task_sample(const wire::TaskSampleMsg& sample, Cycles now);
   void send_end(Cycles total_cycles, Cycles now);
 
   LinkState link() const noexcept { return state_; }

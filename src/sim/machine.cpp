@@ -425,6 +425,10 @@ CounterBlock Machine::aggregate_counters() const {
   return total;
 }
 
+void Machine::flush_task_accounting() {
+  for (auto& core : cores_) core.pmu.flush_current_task();
+}
+
 void Machine::reset() {
   for (auto& core : cores_) {
     core.l1.clear();

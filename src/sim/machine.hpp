@@ -140,6 +140,11 @@ class Machine {
   /// Sum over all cores plus all uncore blocks (system-wide totals).
   CounterBlock aggregate_counters() const;
 
+  /// Folds every core's in-flight per-task counter slice (see
+  /// CorePmu::flush_current_task) so task-domain reads are consistent
+  /// across cores.
+  void flush_task_accounting();
+
   /// Memory-stall EMA of a core in [0,1]; feeds the speculation model.
   double stall_ratio(CoreId core) const { return core_state(core).stall_ema; }
 

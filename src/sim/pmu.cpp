@@ -17,6 +17,26 @@ void CorePmu::disarm_pebs() {
 }
 
 void CorePmu::on_load_retired(VirtAddr vaddr, Cycles latency, DataSource source, Cycles now) {
+  // Task accounting sees every retired load regardless of PEBS state: the
+  // per-task latency average must not depend on which threshold Memhist
+  // happens to have armed.
+  if (current_domain_ != nullptr) {
+    TaskDomain& domain = *current_domain_;
+    domain.latency_sum += latency;
+    ++domain.latency_loads;
+    if (--domain.area_countdown == 0) {
+      domain.area_countdown = kTaskAreaPeriod;
+      const u64 area = vaddr >> kTaskAreaShift;
+      auto it = domain.areas.find(area);
+      if (it != domain.areas.end()) {
+        ++it->second;
+      } else if (domain.areas.size() < kMaxTaskAreas) {
+        domain.areas.emplace(area, 1);
+      } else {
+        ++domain.area_samples_dropped;
+      }
+    }
+  }
   if (!pebs_) return;
   if (latency < pebs_->latency_threshold) return;
   if (pebs_->source_filter && *pebs_->source_filter != source) return;
@@ -35,10 +55,35 @@ std::vector<PebsRecord> CorePmu::take_samples() {
   return out;
 }
 
+void CorePmu::set_current_task(const TaskKey& key) {
+  if (current_task_ && *current_task_ == key) return;  // steady state: no switch
+  flush_current_task();
+  current_task_ = key;
+  current_domain_ = &task_domains_[key];
+  task_baseline_ = counters_;
+}
+
+void CorePmu::flush_current_task() {
+  if (current_domain_ == nullptr) return;
+  CounterBlock& into = current_domain_->counters;
+  for (usize i = 0; i < kEventCount; ++i) {
+    into.values[i] += counters_.values[i] - task_baseline_.values[i];
+  }
+  task_baseline_ = counters_;
+}
+
+void CorePmu::clear_task_accounting() {
+  task_domains_.clear();
+  current_task_.reset();
+  current_domain_ = nullptr;
+  task_baseline_.clear();
+}
+
 void CorePmu::clear() {
   counters_.clear();
   disarm_pebs();
   samples_.clear();
+  clear_task_accounting();
 }
 
 }  // namespace npat::sim

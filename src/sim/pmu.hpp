@@ -12,6 +12,7 @@
 // periodically recorded with their data source.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -20,6 +21,41 @@
 #include "util/types.hpp"
 
 namespace npat::sim {
+
+/// Identity of a software task for per-task attribution (numatop's unit
+/// of account). Ordered so task domains iterate deterministically.
+struct TaskKey {
+  u32 pid = 0;
+  u32 tid = 0;
+
+  friend auto operator<=>(const TaskKey&, const TaskKey&) = default;
+};
+
+/// Hot-area tracking granularity: 1 MiB regions, numatop's default
+/// memory-area bucket.
+inline constexpr u32 kTaskAreaShift = 20;
+/// Every Nth retired load of a task records its area (statistical, like
+/// PEBS — exact per-access attribution would double the hot-path cost).
+inline constexpr u32 kTaskAreaPeriod = 64;
+/// Bounded per-task area map; the coldest overflow is tallied, not kept.
+inline constexpr usize kMaxTaskAreas = 256;
+
+/// Per-task counter domain. The PMU charges the core's free-running
+/// counters unconditionally; on every task switch the delta since the
+/// previous switch is folded into the outgoing task's domain — the same
+/// save/restore-on-context-switch model perf uses for per-task counting.
+struct TaskDomain {
+  CounterBlock counters;
+  /// Load-latency accumulation over *all* retired loads (not only those
+  /// above the armed PEBS threshold), so avg latency is meaningful even
+  /// when PEBS is disarmed.
+  u64 latency_sum = 0;
+  u64 latency_loads = 0;
+  /// Sampled hot memory areas: (vaddr >> kTaskAreaShift) -> sampled loads.
+  std::map<u64, u64> areas;
+  u64 area_samples_dropped = 0;
+  u32 area_countdown = kTaskAreaPeriod;
+};
 
 struct PebsConfig {
   Cycles latency_threshold = 32;
@@ -63,6 +99,24 @@ class CorePmu {
   std::vector<PebsRecord> take_samples();
   usize pending_samples() const noexcept { return samples_.size(); }
 
+  // --- per-task counter domains ---
+  /// Switches the current task: folds the counter delta since the last
+  /// switch into the outgoing task's domain, then re-baselines for the
+  /// incoming one. First call enables task accounting on this core.
+  /// Cheap when the key does not change (the thread-per-core steady
+  /// state): a single comparison.
+  void set_current_task(const TaskKey& key);
+  /// Folds the in-flight delta of the current task without switching, so
+  /// a sampler can read up-to-date domains mid-run.
+  void flush_current_task();
+  /// Stops per-task accounting and drops all domains.
+  void clear_task_accounting();
+  bool task_accounting_active() const noexcept { return current_domain_ != nullptr; }
+  const std::optional<TaskKey>& current_task() const noexcept { return current_task_; }
+  /// Folded per-task domains; call flush_current_task() first for totals
+  /// that include the running slice.
+  const std::map<TaskKey, TaskDomain>& task_domains() const noexcept { return task_domains_; }
+
   void clear();
 
  private:
@@ -72,6 +126,15 @@ class CorePmu {
   std::vector<PebsRecord> samples_;
   // Real PEBS buffers are finite; cap so pathological runs cannot OOM.
   static constexpr usize kMaxSamples = 1 << 20;
+
+  std::map<TaskKey, TaskDomain> task_domains_;
+  std::optional<TaskKey> current_task_;
+  /// Domain of the current task (map nodes are pointer-stable), so the
+  /// retired-load hot path avoids a map lookup.
+  TaskDomain* current_domain_ = nullptr;
+  /// Counter snapshot at the last task switch; the next fold charges
+  /// counters_ - task_baseline_ to the outgoing task.
+  CounterBlock task_baseline_;
 };
 
 }  // namespace npat::sim

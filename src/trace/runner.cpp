@@ -101,6 +101,40 @@ Program Program::homogeneous(u32 threads, ThreadBody body) {
   return p;
 }
 
+Program& Program::name_process(u32 pid, std::string process_name) {
+  NPAT_CHECK_MSG(pid != 0, "pid 0 is reserved for the default identity");
+  if (tasks.size() < threads.size()) tasks.resize(threads.size());
+  for (usize i = 0; i < tasks.size(); ++i) {
+    tasks[i].pid = pid;
+    tasks[i].process_name = process_name;
+    if (tasks[i].tid == 0) tasks[i].tid = static_cast<u32>(i) + 1;
+  }
+  return *this;
+}
+
+Program& Program::add_process(u32 pid, std::string process_name, Program other) {
+  other.name_process(pid, std::move(process_name));
+  if (tasks.size() < threads.size()) tasks.resize(threads.size());
+  for (auto& body : other.threads) threads.push_back(std::move(body));
+  for (auto& spec : other.tasks) tasks.push_back(std::move(spec));
+  return *this;
+}
+
+std::vector<TaskSpec> resolved_tasks(const Program& program) {
+  NPAT_CHECK_MSG(program.tasks.empty() || program.tasks.size() == program.threads.size(),
+                 "program task specs must be empty or match the thread count");
+  std::vector<TaskSpec> resolved(program.tasks);
+  resolved.resize(program.threads.size());
+  for (usize i = 0; i < resolved.size(); ++i) {
+    TaskSpec& spec = resolved[i];
+    if (spec.pid == 0) spec.pid = 1;
+    if (spec.tid == 0) spec.tid = static_cast<u32>(i) + 1;
+    if (spec.process_name.empty()) spec.process_name = "main";
+    if (spec.thread_name.empty()) spec.thread_name = "t" + std::to_string(i);
+  }
+  return resolved;
+}
+
 // --- Runner ----------------------------------------------------------------
 
 Runner::Runner(sim::Machine& machine, os::AddressSpace& space, RunnerConfig config)
@@ -184,11 +218,14 @@ RunResult Runner::run(const Program& program) {
 
   // Materialize thread records. Bodies are created suspended.
   live_threads_ = static_cast<u32>(program.threads.size());
+  const std::vector<TaskSpec> tasks = resolved_tasks(program);
   for (u32 i = 0; i < program.threads.size(); ++i) {
     const sim::CoreId core =
         os::core_for_thread(machine_->topology(), config_.affinity, i);
     auto context = std::unique_ptr<ThreadContext>(
         new ThreadContext(*this, i, core, config_.seed ^ (0x9e3779b9ULL * (i + 1))));
+    context->pid_ = tasks[i].pid;
+    context->tid_ = tasks[i].tid;
     SimTask task = program.threads[i](*context);
     NPAT_CHECK_MSG(task.valid(), "thread body must return a live SimTask");
     context->active_ = task.handle();
@@ -223,6 +260,11 @@ RunResult Runner::run(const Program& program) {
     ThreadContext& ctx = *record.context;
     fire_samplers(best);
     ctx.slice_end_ = best + config_.quantum;
+    if (config_.task_accounting) {
+      // Context switch: charge the outgoing task's counter delta and
+      // re-baseline for this slice's (pid, tid).
+      machine_->pmu(ctx.core_).set_current_task(sim::TaskKey{ctx.pid_, ctx.tid_});
+    }
     ctx.active_.resume();  // innermost coroutine of this thread's chain
     ++result.scheduler_slices;
 
@@ -255,6 +297,7 @@ RunResult Runner::run(const Program& program) {
     }
   }
 
+  if (config_.task_accounting) machine_->flush_task_accounting();
   fire_samplers(machine_->max_clock());
   result.duration = machine_->max_clock() - start_clock;
   result.phase_marks = std::move(phase_marks_);

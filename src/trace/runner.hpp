@@ -61,6 +61,9 @@ class ThreadContext {
 
   // --- introspection ---
   u32 index() const noexcept { return index_; }
+  /// Task identity (resolved from the program's TaskSpec at run start).
+  u32 pid() const noexcept { return pid_; }
+  u32 tid() const noexcept { return tid_; }
   u32 thread_count() const noexcept;
   sim::CoreId core() const noexcept { return core_; }
   sim::NodeId node() const noexcept;
@@ -83,6 +86,8 @@ class ThreadContext {
 
   Runner* runner_;
   u32 index_;
+  u32 pid_ = 1;
+  u32 tid_ = 0;
   sim::CoreId core_;
   State state_ = State::kRunnable;
   Cycles slice_end_ = 0;
@@ -160,8 +165,22 @@ class SubTask {
 
 using ThreadBody = std::function<SimTask(ThreadContext&)>;
 
+/// Task identity of one program thread: which simulated process/thread it
+/// belongs to (the `(pid, tid)` every access is attributed to when task
+/// accounting is on) plus human-readable names for drill-down views.
+struct TaskSpec {
+  u32 pid = 0;  ///< 0 = assign the default identity at run start
+  u32 tid = 0;
+  std::string process_name;
+  std::string thread_name;
+};
+
 struct Program {
   std::vector<ThreadBody> threads;
+  /// Optional task identities, parallel to `threads`. May be empty (every
+  /// thread gets pid 1 / tid index+1 and generated names) but if non-empty
+  /// must match `threads` in size. Unset entries (pid == 0) get defaults.
+  std::vector<TaskSpec> tasks;
 
   static Program single(ThreadBody body) {
     Program p;
@@ -170,6 +189,14 @@ struct Program {
   }
   /// `threads` copies of the same body (they differentiate via ctx.index()).
   static Program homogeneous(u32 threads, ThreadBody body);
+
+  /// Names this program's process: all threads get `pid` and
+  /// `process_name`; threads keep (or are assigned) per-thread tids/names.
+  Program& name_process(u32 pid, std::string process_name);
+
+  /// Appends `other`'s threads as a separate process `pid` — the way a
+  /// multi-process workload mix is composed from single-process programs.
+  Program& add_process(u32 pid, std::string process_name, Program other);
 };
 
 struct RunnerConfig {
@@ -177,6 +204,11 @@ struct RunnerConfig {
   os::AffinityPolicy affinity = os::AffinityPolicy::kCompact;
   Cycles barrier_overhead = 120;
   u64 seed = 0x5eedULL;
+  /// When true every scheduler slice charges the machine's per-task PMU
+  /// domains with the running thread's (pid, tid) — the data behind
+  /// numatop-style drill-down. Off by default: node-only aggregation
+  /// stays the zero-overhead baseline.
+  bool task_accounting = false;
 };
 
 struct PhaseMark {
@@ -189,6 +221,11 @@ struct RunResult {
   std::vector<PhaseMark> phase_marks;
   u64 scheduler_slices = 0;
 };
+
+/// The task identities a run of `program` will use, with defaults filled
+/// in (pid 1, tid = index + 1, generated names). Exposed so callers can
+/// register tasks (e.g. in a wire TaskTable) before the run starts.
+std::vector<TaskSpec> resolved_tasks(const Program& program);
 
 class Runner {
  public:

@@ -110,7 +110,7 @@ trace::Program stream_triad_program(const StreamParams& params) {
   NPAT_CHECK_MSG(params.threads >= 1, "need at least one thread");
   return trace::Program::homogeneous(params.threads, [params](trace::ThreadContext& ctx) {
     return stream_body(ctx, params);
-  });
+  }).name_process(1, "stream");
 }
 
 trace::Program matmul_program(const MatmulParams& params) {
@@ -120,7 +120,8 @@ trace::Program matmul_program(const MatmulParams& params) {
   return trace::Program::homogeneous(params.threads,
                                      [params, shared](trace::ThreadContext& ctx) {
                                        return matmul_body(ctx, params, shared);
-                                     });
+                                     })
+      .name_process(1, "matmul");
 }
 
 trace::Program gups_program(const GupsParams& params) {
@@ -130,7 +131,8 @@ trace::Program gups_program(const GupsParams& params) {
   return trace::Program::homogeneous(params.threads,
                                      [params, table](trace::ThreadContext& ctx) {
                                        return gups_body(ctx, params, table);
-                                     });
+                                     })
+      .name_process(1, "gups");
 }
 
 }  // namespace npat::workloads

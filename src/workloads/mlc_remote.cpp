@@ -35,7 +35,8 @@ trace::Program mlc_program(const MlcParams& params) {
   NPAT_CHECK_MSG(params.buffer_bytes >= kPageBytes, "buffer must cover at least a page");
   NPAT_CHECK_MSG(params.chase_steps > 0, "need at least one chase step");
   return trace::Program::single(
-      [params](trace::ThreadContext& ctx) { return mlc_body(ctx, params); });
+             [params](trace::ThreadContext& ctx) { return mlc_body(ctx, params); })
+      .name_process(1, "mlc");
 }
 
 MlcParams mlc_local(usize buffer_bytes) {

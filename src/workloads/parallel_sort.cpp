@@ -109,9 +109,9 @@ trace::Program parallel_sort_program(const ParallelSortParams& params) {
   NPAT_CHECK_MSG(params.elements >= params.threads * 2, "array too small for thread count");
   auto plan = std::make_shared<SharedPlan>();
   return trace::Program::homogeneous(
-      params.threads, [params, plan](trace::ThreadContext& ctx) {
-        return sort_body(ctx, params, plan);
-      });
+             params.threads,
+             [params, plan](trace::ThreadContext& ctx) { return sort_body(ctx, params, plan); })
+      .name_process(1, "parallel_sort");
 }
 
 }  // namespace npat::workloads

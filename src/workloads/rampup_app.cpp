@@ -55,7 +55,8 @@ trace::Program rampup_app_program(const RampupParams& params) {
   NPAT_CHECK_MSG(params.regions >= 1, "need at least one ramp-up allocation");
   NPAT_CHECK_MSG(params.region_bytes >= kCacheLineBytes, "regions must hold a line");
   return trace::Program::single(
-      [params](trace::ThreadContext& ctx) { return rampup_body(ctx, params); });
+             [params](trace::ThreadContext& ctx) { return rampup_body(ctx, params); })
+      .name_process(1, "rampup");
 }
 
 }  // namespace npat::workloads

@@ -1,0 +1,198 @@
+// Per-probe merge of protocol v5 task frames, and the orphan-row ledger:
+// sample rows referencing a task id with no TaskTable registration yet are
+// held and attributed when the registration lands late — never silently
+// dropped — and the damage counters reconcile either way.
+#include <gtest/gtest.h>
+
+#include "fleet/collector.hpp"
+#include "memhist/wire.hpp"
+#include "util/channel.hpp"
+
+namespace npat::fleet {
+namespace {
+
+namespace wire = memhist::wire;
+
+wire::TaskTableEntry entry(u32 id, u32 pid, u32 tid, std::string pname = "proc",
+                           std::string tname = "thr") {
+  return wire::TaskTableEntry{id, pid, tid, std::move(pname), std::move(tname)};
+}
+
+wire::TaskSampleRow row(u32 task_id, u32 node = 0, u64 salt = 0) {
+  wire::TaskSampleRow r;
+  r.task_id = task_id;
+  r.node = node;
+  r.instructions = 500 + salt;
+  r.cycles = 1000 + salt;
+  r.local_dram = 40;
+  r.remote_dram = 10 + salt;
+  r.remote_hitm = 1;
+  r.loads = 60;
+  r.latency_sum = 12000;
+  r.latency_loads = 60;
+  return r;
+}
+
+wire::TaskSampleMsg sample_msg(Cycles timestamp, std::vector<wire::TaskSampleRow> rows) {
+  wire::TaskSampleMsg msg;
+  msg.timestamp = timestamp;
+  msg.rows = std::move(rows);
+  return msg;
+}
+
+struct Rig {
+  FleetCollector collector;
+  std::shared_ptr<util::ByteChannel> probe_end;
+
+  Rig() {
+    auto pair = util::make_loopback_pair();
+    collector.add_probe(pair.b, "host");
+    probe_end = pair.a;
+    send(wire::Hello{wire::kProtocolVersion, 2, "host"});
+  }
+  void send(const wire::Message& message) { probe_end->send(wire::encode(message)); }
+};
+
+TEST(TaskMerge, TableBeforeSamplesMergesCleanly) {
+  Rig rig;
+  rig.send(wire::TaskTableMsg{{entry(1, 10, 1), entry(2, 10, 2)}});
+  for (Cycles t = 100; t <= 300; t += 100) {
+    // Rows deliberately id-descending: the merge must sort by (pid, tid).
+    rig.send(sample_msg(t, {row(2, 1, t), row(1, 0, t)}));
+  }
+  rig.collector.poll();
+
+  const ProbeState& state = rig.collector.probe(0);
+  EXPECT_EQ(state.registry.size(), 2u);
+  ASSERT_EQ(state.task_samples.size(), 3u);
+  for (const monitor::TaskSample& sample : state.task_samples) {
+    ASSERT_EQ(sample.tasks.size(), 2u);
+    EXPECT_EQ(sample.tasks[0].tid, 1u);
+    EXPECT_EQ(sample.tasks[1].tid, 2u);
+  }
+  EXPECT_EQ(state.damage.orphaned_task_rows, 0u);
+  EXPECT_EQ(state.damage.orphans_attributed, 0u);
+
+  const FleetView full = rig.collector.view();
+  ASSERT_EQ(full.hosts.size(), 1u);
+  EXPECT_EQ(full.hosts[0].tasks.samples, 3u);
+  ASSERT_EQ(full.hosts[0].tasks.tasks.size(), 2u);
+  EXPECT_EQ(full.hosts[0].tasks.tasks[0].pid, 10u);
+  // Windowed view: only the most recent task sample contributes.
+  const FleetView windowed = rig.collector.view(1);
+  EXPECT_EQ(windowed.hosts[0].tasks.samples, 1u);
+}
+
+TEST(TaskMerge, SamplesBeforeTableAreHeldThenAttributed) {
+  Rig rig;
+  rig.send(sample_msg(1000, {row(7, 0, 1)}));
+  rig.send(sample_msg(2000, {row(7, 1, 2)}));
+  rig.collector.poll();
+
+  const ProbeState& state = rig.collector.probe(0);
+  EXPECT_EQ(state.damage.orphaned_task_rows, 2u);
+  EXPECT_EQ(state.damage.orphans_attributed, 0u);
+  // Orphaning is an ordering hazard, not transport damage: total() keeps
+  // the v1-v4 reconciliation identity.
+  EXPECT_EQ(state.damage.total(), 0u);
+  // The sample records exist (the frames happened) but carry no rows yet.
+  ASSERT_EQ(state.task_samples.size(), 2u);
+  EXPECT_TRUE(state.task_samples[0].tasks.empty());
+  EXPECT_TRUE(rig.collector.view().hosts[0].tasks.tasks.empty());
+
+  // Late registration rescues both rows into their original samples.
+  rig.send(wire::TaskTableMsg{{entry(7, 42, 3, "late", "joiner")}});
+  rig.collector.poll();
+  EXPECT_EQ(state.damage.orphaned_task_rows, 2u);
+  EXPECT_EQ(state.damage.orphans_attributed, 2u);
+  EXPECT_EQ(state.damage.total(), 0u);
+  ASSERT_EQ(state.task_samples.size(), 2u);
+  EXPECT_EQ(state.task_samples[0].timestamp, 0u);     // origin-aligned
+  EXPECT_EQ(state.task_samples[1].timestamp, 1000u);  // 2000 - origin
+  for (const monitor::TaskSample& sample : state.task_samples) {
+    ASSERT_EQ(sample.tasks.size(), 1u);
+    EXPECT_EQ(sample.tasks[0].pid, 42u);
+    EXPECT_EQ(sample.tasks[0].tid, 3u);
+  }
+  const FleetView view = rig.collector.view();
+  ASSERT_EQ(view.hosts[0].tasks.tasks.size(), 1u);
+  EXPECT_EQ(view.hosts[0].tasks.tasks[0].cycles, 2003u);  // both periods summed
+  EXPECT_EQ(view.damage_total().orphans_attributed, 2u);
+}
+
+TEST(TaskMerge, MixedKnownAndUnknownRowsSplitThenRejoin) {
+  Rig rig;
+  rig.send(wire::TaskTableMsg{{entry(1, 10, 1)}});
+  rig.send(sample_msg(500, {row(1, 0, 1), row(99, 1, 2)}));
+  rig.collector.poll();
+
+  const ProbeState& state = rig.collector.probe(0);
+  EXPECT_EQ(state.damage.orphaned_task_rows, 1u);
+  ASSERT_EQ(state.task_samples.size(), 1u);
+  ASSERT_EQ(state.task_samples[0].tasks.size(), 1u);
+  EXPECT_EQ(state.task_samples[0].tasks[0].pid, 10u);
+
+  rig.send(wire::TaskTableMsg{{entry(99, 5, 9)}});
+  rig.collector.poll();
+  EXPECT_EQ(state.damage.orphans_attributed, 1u);
+  // The rescued row rejoined the sample it was sent with, in sorted order.
+  ASSERT_EQ(state.task_samples.size(), 1u);
+  ASSERT_EQ(state.task_samples[0].tasks.size(), 2u);
+  EXPECT_EQ(state.task_samples[0].tasks[0].pid, 5u);
+  EXPECT_EQ(state.task_samples[0].tasks[1].pid, 10u);
+}
+
+TEST(TaskMerge, OrphanBufferEvictsOldestBeyondCap) {
+  // 5 frames x 850 unknown rows = 4250 orphans against a 4096-row buffer:
+  // the oldest 154 are evicted, everything else is rescued.
+  Rig rig;
+  constexpr usize kFrames = 5;
+  constexpr usize kRowsPerFrame = 850;
+  wire::TaskTableMsg table;
+  for (usize f = 0; f < kFrames; ++f) {
+    std::vector<wire::TaskSampleRow> rows;
+    rows.reserve(kRowsPerFrame);
+    for (usize i = 0; i < kRowsPerFrame; ++i) {
+      const u32 id = static_cast<u32>(f * kRowsPerFrame + i + 1);
+      rows.push_back(row(id));
+      table.entries.push_back(entry(id, id, 1, "", ""));
+    }
+    rig.send(sample_msg(1000 * (f + 1), std::move(rows)));
+  }
+  rig.collector.poll();
+  const ProbeState& state = rig.collector.probe(0);
+  EXPECT_EQ(state.damage.orphaned_task_rows, kFrames * kRowsPerFrame);
+
+  rig.send(table);
+  rig.collector.poll();
+  EXPECT_EQ(state.damage.orphans_attributed, FleetCollector::kMaxOrphanRows);
+  usize rescued = 0;
+  for (const monitor::TaskSample& sample : state.task_samples) rescued += sample.tasks.size();
+  EXPECT_EQ(rescued, FleetCollector::kMaxOrphanRows);
+}
+
+TEST(TaskMerge, SequencedTaskFramesReorderAndDeduplicate) {
+  // v5 frames under v4 sequence envelopes: the reorder stage delivers the
+  // TaskTable before the sample that overtook it in flight, so no row
+  // orphans at all, and a retransmitted envelope folds at most once.
+  Rig rig;
+  const wire::Message table{wire::TaskTableMsg{{entry(1, 10, 1)}}};
+  const wire::Message first{sample_msg(100, {row(1, 0, 1)})};
+  const wire::Message second{sample_msg(200, {row(1, 0, 2)})};
+
+  rig.send(wire::wrap_sequenced(1, 2, first));  // overtakes the table
+  rig.send(wire::wrap_sequenced(1, 1, table));
+  rig.send(wire::wrap_sequenced(1, 2, first));  // duplicate retransmission
+  rig.send(wire::wrap_sequenced(1, 3, second));
+  rig.collector.poll();
+
+  const ProbeState& state = rig.collector.probe(0);
+  EXPECT_TRUE(state.supervised);
+  EXPECT_EQ(state.damage.orphaned_task_rows, 0u);
+  ASSERT_EQ(state.task_samples.size(), 2u);
+  EXPECT_EQ(state.task_samples[0].tasks.size(), 1u);
+  EXPECT_EQ(state.duplicate_frames, 1u);
+}
+
+}  // namespace
+}  // namespace npat::fleet

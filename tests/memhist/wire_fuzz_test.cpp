@@ -40,7 +40,7 @@ std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
   std::vector<Message> messages;
   messages.push_back(Hello{kProtocolVersion, 4});
   for (usize i = 1; i + 1 < count; ++i) {
-    switch (rng.below(6)) {
+    switch (rng.below(8)) {
       case 0:
         messages.push_back(ReadingMsg{ThresholdReading{
             rng.below(1024), rng.below(1000000), rng.below(50000000), rng.below(64)}});
@@ -85,6 +85,49 @@ std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
         messages.push_back(wrap_sequenced(static_cast<u16>(1 + rng.below(4)),
                                           static_cast<u32>(1 + rng.below(1u << 20)),
                                           Message{std::move(sample)}));
+        break;
+      }
+      case 5: {
+        // v5 TaskTable: variable-length names stress the resync path (a
+        // corrupted length byte must not swallow the next frame).
+        TaskTableMsg table;
+        const usize entries = 1 + rng.below(6);
+        for (usize e = 0; e < entries; ++e) {
+          TaskTableEntry entry;
+          entry.task_id = static_cast<u32>(1 + rng.below(64));
+          entry.pid = static_cast<u32>(1 + rng.below(8));
+          entry.tid = static_cast<u32>(1 + rng.below(32));
+          entry.process_name = std::string(rng.below(12), 'p');
+          entry.thread_name = std::string(rng.below(8), 't');
+          table.entries.push_back(std::move(entry));
+        }
+        messages.push_back(std::move(table));
+        break;
+      }
+      case 6: {
+        // v5 TaskSample with nested per-row area lists.
+        TaskSampleMsg sample;
+        sample.timestamp = rng() & ((1ULL << 40) - 1);
+        const usize rows = 1 + rng.below(5);
+        for (usize r = 0; r < rows; ++r) {
+          TaskSampleRow row;
+          row.task_id = static_cast<u32>(1 + rng.below(64));
+          row.node = static_cast<u32>(rng.below(8));
+          row.instructions = rng.below(1000000);
+          row.cycles = rng.below(2000000);
+          row.local_dram = rng.below(10000);
+          row.remote_dram = rng.below(10000);
+          row.remote_hitm = rng.below(1000);
+          row.loads = rng.below(50000);
+          row.latency_sum = rng.below(10000000);
+          row.latency_loads = rng.below(50000);
+          const usize areas = rng.below(4);
+          for (usize a = 0; a < areas; ++a) {
+            row.areas.push_back(TaskAreaCounters{rng.below(256) << 20, rng.below(100000)});
+          }
+          sample.rows.push_back(std::move(row));
+        }
+        messages.push_back(std::move(sample));
         break;
       }
       default:

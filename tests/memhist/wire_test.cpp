@@ -393,6 +393,186 @@ TEST(WireV4, UnknownInnerTypeUnwrapsToNothing) {
   EXPECT_FALSE(unwrap_sequenced(std::get<SequencedMsg>(*message)).has_value());
 }
 
+// ---- protocol v5: TaskTable / TaskSample ----------------------------------
+
+TaskSampleMsg make_task_sample() {
+  TaskSampleMsg sample;
+  sample.timestamp = 123456789ULL;
+  TaskSampleRow row;
+  row.task_id = 7;
+  row.node = 1;
+  row.instructions = 1000;
+  row.cycles = 2500;
+  row.local_dram = 40;
+  row.remote_dram = 30;
+  row.remote_hitm = 5;
+  row.loads = 600;
+  row.latency_sum = 90000;
+  row.latency_loads = 600;
+  row.areas.push_back(TaskAreaCounters{2 << 20, 17});
+  row.areas.push_back(TaskAreaCounters{5 << 20, 3});
+  sample.rows.push_back(row);
+  sample.rows.push_back(TaskSampleRow{8, 0, 1, 2, 3, 4, 5, 6, 7, 8, {}});
+  return sample;
+}
+
+TEST(WireV5, TaskTableRoundTrip) {
+  TaskTableMsg table;
+  table.entries.push_back(TaskTableEntry{1, 100, 101, "parallel_sort", "t0"});
+  table.entries.push_back(TaskTableEntry{2, 100, 102, "parallel_sort", "t1"});
+  table.entries.push_back(TaskTableEntry{3, 200, 201, "", ""});  // nameless is legal
+
+  Decoder decoder;
+  decoder.feed(encode(table));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* decoded = std::get_if<TaskTableMsg>(&*message);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(*decoded, table);
+  EXPECT_EQ(decoder.dropped_frames(), 0u);
+}
+
+TEST(WireV5, TaskSampleRoundTrip) {
+  const TaskSampleMsg sample = make_task_sample();
+  Decoder decoder;
+  decoder.feed(encode(sample));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* decoded = std::get_if<TaskSampleMsg>(&*message);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(*decoded, sample);
+}
+
+TEST(WireV5, EmptyTaskFramesRoundTrip) {
+  Decoder decoder;
+  decoder.feed(encode(TaskTableMsg{}));
+  decoder.feed(encode(TaskSampleMsg{42, {}}));
+  EXPECT_EQ(std::get<TaskTableMsg>(*decoder.poll()).entries.size(), 0u);
+  EXPECT_EQ(std::get<TaskSampleMsg>(*decoder.poll()).timestamp, 42u);
+  EXPECT_EQ(decoder.dropped_frames(), 0u);
+}
+
+TEST(WireV5, SequencedTaskFramesRoundTrip) {
+  // v5 frames must ride the v4 resilience envelope unchanged, so
+  // supervised probes can stream per-task telemetry with exactly-once
+  // delivery.
+  TaskTableMsg table;
+  table.entries.push_back(TaskTableEntry{1, 10, 11, "mlc", "t0"});
+  for (const Message& original : {Message{table}, Message{make_task_sample()}}) {
+    const SequencedMsg envelope = wrap_sequenced(3, 21, original);
+    Decoder decoder;
+    decoder.feed(encode(envelope));
+    const auto message = decoder.poll();
+    ASSERT_TRUE(message.has_value());
+    const auto inner = unwrap_sequenced(std::get<SequencedMsg>(*message));
+    ASSERT_TRUE(inner.has_value());
+    EXPECT_EQ(encode(*inner), encode(original));
+  }
+}
+
+TEST(WireV5, TaskTableGoldenBytes) {
+  // Pins the v5 TaskTable format: entry_count(2) then per entry
+  // task_id(4) pid(4) tid(4) pname_len(1) pname tname_len(1) tname.
+  TaskTableMsg table;
+  table.entries.push_back(TaskTableEntry{1, 2, 3, "a", "bc"});
+  const std::vector<u8> expected = raw_frame(
+      8, {1, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 1, 'a', 2, 'b', 'c'});
+  EXPECT_EQ(encode(table), expected);
+}
+
+TEST(WireV5, TaskSampleGoldenBytes) {
+  // Pins the v5 TaskSample format: timestamp(8) row_count(2) then per row
+  // task_id(4) node(4), 8 LE u64 counters (instructions, cycles,
+  // local_dram, remote_dram, remote_hitm, loads, latency_sum,
+  // latency_loads), area_count(1), then base(8) samples(8) per area.
+  TaskSampleMsg sample;
+  sample.timestamp = 5;
+  sample.rows.push_back(
+      TaskSampleRow{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, {TaskAreaCounters{11, 12}}});
+  std::vector<u8> payload = {5, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 2, 0, 0, 0};
+  for (const u8 value : {3, 4, 5, 6, 7, 8, 9, 10}) {
+    payload.push_back(value);
+    for (int i = 0; i < 7; ++i) payload.push_back(0);
+  }
+  payload.push_back(1);  // area count
+  for (const u8 value : {11, 12}) {
+    payload.push_back(value);
+    for (int i = 0; i < 7; ++i) payload.push_back(0);
+  }
+  EXPECT_EQ(encode(sample), raw_frame(9, payload));
+}
+
+TEST(WireV5, MalformedTaskTableDropped) {
+  // All CRC-valid: a count that promises more entries than the payload
+  // holds, a name length running past the payload, and trailing garbage.
+  const std::vector<std::vector<u8>> malformed = {
+      {2, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0},     // count 2, one entry
+      {1, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 9, 'a', 0},  // pname_len 9, 1 byte
+      {1, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0xEE},  // trailing byte
+      {1, 0},                                                // truncated entry
+  };
+  for (const auto& payload : malformed) {
+    Decoder decoder;
+    decoder.feed(raw_frame(8, payload));
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_EQ(decoder.dropped_frames(), 1u);
+  }
+}
+
+TEST(WireV5, MalformedTaskSampleDropped) {
+  // Row count mismatch, area count overrunning the payload, short header.
+  // (Header is timestamp(8) + row_count(2) = 10 bytes; a row is 73 bytes
+  // before its areas.)
+  std::vector<u8> short_row(10, 0);
+  short_row[8] = 1;  // one row promised, zero bytes of row
+  std::vector<u8> bad_area(10 + 73, 0);
+  bad_area[8] = 1;                 // one row
+  bad_area[bad_area.size() - 1] = 3;  // claims 3 areas, payload ends here
+  for (const auto& payload : {short_row, bad_area, std::vector<u8>(9, 0)}) {
+    Decoder decoder;
+    decoder.feed(raw_frame(9, payload));
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_EQ(decoder.dropped_frames(), 1u);
+  }
+}
+
+TEST(WireV5, DecoderResyncsAfterMalformedTaskFrame) {
+  // A dropped v5 frame must not take the following good frame with it.
+  Decoder decoder;
+  decoder.feed(raw_frame(8, {2, 0, 0, 0}));  // malformed table
+  decoder.feed(encode(make_task_sample()));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_TRUE(std::holds_alternative<TaskSampleMsg>(*message));
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(WireV5, TaskNameTooLongRejectedAtEncode) {
+  TaskTableMsg table;
+  table.entries.push_back(TaskTableEntry{1, 1, 1, std::string(kMaxTaskNameBytes + 1, 'x'), ""});
+  EXPECT_THROW(encode(table), CheckError);
+}
+
+TEST(WireV5, LegacyMonitorSampleStillBitIdentical) {
+  // The v5 bump must not move a byte of the v2 MonitorSample format.
+  MonitorSampleMsg sample;
+  sample.timestamp = 1;
+  sample.footprint_bytes = 2;
+  sample.nodes.push_back({3, 4, 5, 6, 7, 8, 9, 10, 11});
+  std::vector<u8> payload;
+  for (const u8 lead : {1, 2}) {
+    payload.push_back(lead);
+    for (int i = 0; i < 7; ++i) payload.push_back(0);
+  }
+  payload.push_back(1);  // node count (u16 LE)
+  payload.push_back(0);
+  for (const u8 lead : {3, 4, 5, 6, 7, 8, 9, 10, 11}) {
+    payload.push_back(lead);
+    for (int i = 0; i < 7; ++i) payload.push_back(0);
+  }
+  EXPECT_EQ(encode(sample), raw_frame(4, payload));
+}
+
 TEST(WireV4, LegacyFramesEncodeBitIdentically) {
   // The v4 protocol bump must not move a single byte of the v1-v3 frame
   // formats: golden-byte checks on an End and a legacy v2 Hello.

@@ -142,5 +142,121 @@ TEST(TieredHistory, InvalidConfigsRejected) {
   EXPECT_THROW(TieredHistory{tiny_factor}, CheckError);
 }
 
+// --- per-task windows ------------------------------------------------------
+
+TaskCounters task_row(u32 pid, u32 tid, u32 node, u64 scale) {
+  TaskCounters row;
+  row.pid = pid;
+  row.tid = tid;
+  row.node = node;
+  row.instructions = 100 * scale;
+  row.cycles = 200 * scale;
+  row.local_dram = 30 * scale;
+  row.remote_dram = 10 * scale;
+  row.remote_hitm = 2 * scale;
+  row.loads = 42 * scale;
+  row.latency_sum = 8400 * scale;
+  row.latency_loads = 42 * scale;
+  return row;
+}
+
+TEST(AggregateTasks, EmptyWindow) {
+  const TaskWindowStats window = aggregate_tasks({});
+  EXPECT_EQ(window.samples, 0u);
+  EXPECT_TRUE(window.tasks.empty());
+  EXPECT_EQ(window.find(1, 1), nullptr);
+}
+
+TEST(AggregateTasks, SumsPerTaskAcrossSamplesAndSorts) {
+  TaskSample first;
+  first.timestamp = 100;
+  first.tasks = {task_row(2, 1, 0, 1), task_row(1, 1, 0, 1)};
+  TaskSample second;
+  second.timestamp = 200;
+  second.tasks = {task_row(1, 1, 0, 2)};  // task (2, 1) vanished this period
+
+  const TaskWindowStats window = aggregate_tasks(std::vector<TaskSample>{first, second});
+  EXPECT_EQ(window.start, 100u);
+  EXPECT_EQ(window.end, 200u);
+  EXPECT_EQ(window.samples, 2u);
+  ASSERT_EQ(window.tasks.size(), 2u);
+  EXPECT_EQ(window.tasks[0].pid, 1u);  // sorted by (pid, tid)
+  EXPECT_EQ(window.tasks[1].pid, 2u);
+  const TaskStats* merged = window.find(1, 1);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->samples, 2u);
+  EXPECT_EQ(merged->instructions, 300u);
+  EXPECT_EQ(merged->rma(), 36u);  // (10 + 2) * 3
+  EXPECT_EQ(merged->lma(), 90u);
+  EXPECT_DOUBLE_EQ(merged->cpi(), 2.0);
+  EXPECT_DOUBLE_EQ(merged->avg_load_latency(), 200.0);
+  EXPECT_EQ(window.find(2, 1)->samples, 1u);
+}
+
+TEST(AggregateTasks, DominantNodeIsWindowArgmax) {
+  TaskSample first;
+  first.timestamp = 100;
+  first.tasks = {task_row(1, 1, 0, 1)};  // 200 cycles on node 0
+  TaskSample second;
+  second.timestamp = 200;
+  second.tasks = {task_row(1, 1, 1, 3)};  // 600 cycles on node 1
+  const TaskWindowStats window = aggregate_tasks(std::vector<TaskSample>{first, second});
+  ASSERT_EQ(window.tasks.size(), 1u);
+  EXPECT_EQ(window.tasks[0].node, 1u);
+}
+
+TEST(AggregateTasks, AreasKeepLastNonEmptySnapshot) {
+  TaskSample first;
+  first.timestamp = 100;
+  first.tasks = {task_row(1, 1, 0, 1)};
+  first.tasks[0].areas = {{0x100, 5}};
+  TaskSample second;
+  second.timestamp = 200;
+  second.tasks = {task_row(1, 1, 0, 1)};
+  second.tasks[0].areas = {{0x100, 9}, {0x200, 3}};
+  TaskSample third;
+  third.timestamp = 300;
+  third.tasks = {task_row(1, 1, 0, 1)};  // no area snapshot this period
+
+  const TaskWindowStats window =
+      aggregate_tasks(std::vector<TaskSample>{first, second, third});
+  ASSERT_EQ(window.tasks.size(), 1u);
+  // Areas are cumulative snapshots, not deltas: the last non-empty one
+  // represents the window.
+  ASSERT_EQ(window.tasks[0].areas.size(), 2u);
+  EXPECT_EQ(window.tasks[0].areas[0].samples, 9u);
+}
+
+TEST(AggregateTasks, RatiosDegradeGracefullyWhenIdle) {
+  TaskSample sample;
+  sample.timestamp = 100;
+  sample.tasks = {TaskCounters{}};  // all-zero task
+  const TaskWindowStats window = aggregate_tasks(std::vector<TaskSample>{sample});
+  ASSERT_EQ(window.tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(window.tasks[0].rma_lma_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(window.tasks[0].remote_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(window.tasks[0].cpi(), 0.0);
+  EXPECT_DOUBLE_EQ(window.tasks[0].avg_load_latency(), 0.0);
+}
+
+TEST(MergeTaskSamples, SumsDeltasTakesLastTimestampAndSnapshot) {
+  TaskSample first;
+  first.timestamp = 100;
+  first.tasks = {task_row(1, 1, 0, 1)};
+  first.tasks[0].areas = {{0x100, 5}};
+  TaskSample second;
+  second.timestamp = 200;
+  second.tasks = {task_row(1, 1, 0, 2), task_row(2, 1, 1, 1)};
+  second.tasks[0].areas = {{0x100, 8}};
+
+  const TaskSample merged = merge_task_samples(std::vector<TaskSample>{first, second});
+  EXPECT_EQ(merged.timestamp, 200u);
+  ASSERT_EQ(merged.tasks.size(), 2u);
+  EXPECT_EQ(merged.tasks[0].instructions, 300u);
+  ASSERT_EQ(merged.tasks[0].areas.size(), 1u);
+  EXPECT_EQ(merged.tasks[0].areas[0].samples, 8u);
+  EXPECT_EQ(merged.tasks[1].pid, 2u);  // task first seen mid-merge joins
+}
+
 }  // namespace
 }  // namespace npat::monitor

@@ -83,6 +83,128 @@ TEST(ExportGolden, JsonBytesAreStable) {
   EXPECT_EQ(to_json(two_samples()).dump(), expected);
 }
 
+// --- per-task exports (protocol v5's numatop columns) ----------------------
+
+std::vector<TaskSample> two_task_samples() {
+  TaskCounters t1;
+  t1.pid = 1;
+  t1.tid = 1;
+  t1.node = 0;
+  t1.instructions = 500;
+  t1.cycles = 1000;
+  t1.local_dram = 40;
+  t1.remote_dram = 10;
+  t1.remote_hitm = 2;
+  t1.loads = 52;
+  t1.latency_sum = 5200;
+  t1.latency_loads = 52;
+  t1.areas = {{1u << 20, 10}, {2u << 20, 5}};
+
+  TaskCounters t2;
+  t2.pid = 2;
+  t2.tid = 7;
+  t2.node = 1;
+  t2.instructions = 250;
+  t2.cycles = 1000;
+  t2.local_dram = 5;
+  t2.remote_dram = 20;
+  t2.remote_hitm = 1;
+  t2.loads = 26;
+  t2.latency_sum = 7800;
+  t2.latency_loads = 26;
+
+  TaskSample first;
+  first.timestamp = 1000;
+  first.tasks = {t1, t2};
+
+  TaskCounters t3 = t1;
+  t3.instructions = 600;
+  t3.cycles = 1200;
+  t3.local_dram = 50;
+  t3.remote_dram = 5;
+  t3.remote_hitm = 0;
+  t3.loads = 55;
+  t3.latency_sum = 4400;
+  t3.latency_loads = 55;
+  t3.areas.clear();
+
+  TaskCounters t4;  // deliberately absent from the name table
+  t4.pid = 3;
+  t4.tid = 1;
+  t4.node = 1;
+  t4.instructions = 100;
+  t4.cycles = 1000;
+  t4.local_dram = 7;
+  t4.remote_dram = 3;
+  t4.loads = 10;
+  t4.latency_sum = 900;
+  t4.latency_loads = 10;
+
+  TaskSample second;
+  second.timestamp = 2000;
+  second.tasks = {t3, t4};
+  return {first, second};
+}
+
+TaskNameTable task_names() {
+  TaskNameTable names;
+  names[{1, 1}] = {"sort", "worker-0"};
+  // Hostile names: the CSV writer must quote the separator and double the
+  // quotes; the JSON dumper must backslash-escape.
+  names[{2, 7}] = {"a,b", "say \"hi\""};
+  return names;
+}
+
+TEST(ExportGolden, TaskCsvBytesAreStable) {
+  const std::string expected =
+      "timestamp,pid,tid,process,thread,node,instructions,cycles,local_dram,"
+      "remote_dram,remote_hitm,loads,latency_sum,latency_loads\n"
+      "1000,1,1,sort,worker-0,0,500,1000,40,10,2,52,5200,52\n"
+      "1000,2,7,\"a,b\",\"say \"\"hi\"\"\",1,250,1000,5,20,1,26,7800,26\n"
+      "2000,1,1,sort,worker-0,0,600,1200,50,5,0,55,4400,55\n"
+      "2000,3,1,,,1,100,1000,7,3,0,10,900,10\n";
+  EXPECT_EQ(to_csv_tasks(two_task_samples(), task_names()), expected);
+}
+
+TEST(ExportGolden, TaskCsvOfNoSamplesIsJustTheHeader) {
+  EXPECT_EQ(to_csv_tasks({}),
+            "timestamp,pid,tid,process,thread,node,instructions,cycles,local_dram,"
+            "remote_dram,remote_hitm,loads,latency_sum,latency_loads\n");
+}
+
+TEST(ExportGolden, TaskJsonBytesAreStable) {
+  const std::string expected =
+      R"({"task_samples":[{"tasks":[)"
+      R"({"areas":[{"base":1048576,"samples":10},{"base":2097152,"samples":5}],)"
+      R"("cycles":1000,"instructions":500,"latency_loads":52,"latency_sum":5200,)"
+      R"("loads":52,"local_dram":40,"node":0,"pid":1,"process":"sort",)"
+      R"("remote_dram":10,"remote_hitm":2,"thread":"worker-0","tid":1},)"
+      R"({"areas":[],"cycles":1000,"instructions":250,"latency_loads":26,)"
+      R"("latency_sum":7800,"loads":26,"local_dram":5,"node":1,"pid":2,)"
+      R"("process":"a,b","remote_dram":20,"remote_hitm":1,"thread":"say \"hi\"",)"
+      R"("tid":7}],"timestamp":1000},{"tasks":[)"
+      R"({"areas":[],"cycles":1200,"instructions":600,"latency_loads":55,)"
+      R"("latency_sum":4400,"loads":55,"local_dram":50,"node":0,"pid":1,)"
+      R"("process":"sort","remote_dram":5,"remote_hitm":0,"thread":"worker-0",)"
+      R"("tid":1},)"
+      R"({"areas":[],"cycles":1000,"instructions":100,"latency_loads":10,)"
+      R"("latency_sum":900,"loads":10,"local_dram":7,"node":1,"pid":3,)"
+      R"("process":"","remote_dram":3,"remote_hitm":0,"thread":"","tid":1}],)"
+      R"("timestamp":2000}]})";
+  EXPECT_EQ(to_json_tasks(two_task_samples(), task_names()).dump(), expected);
+}
+
+TEST(ExportGolden, TaskJsonRoundTripsThroughParse) {
+  const util::Json doc = to_json_tasks(two_task_samples(), task_names());
+  const util::Json parsed = util::Json::parse(doc.dump(2));
+  EXPECT_EQ(parsed.dump(), doc.dump());
+  const auto& samples = parsed.at("task_samples").as_array();
+  ASSERT_EQ(samples.size(), 2u);
+  const auto& hostile = samples[0].at("tasks").as_array()[1];
+  EXPECT_EQ(hostile.at("process").as_string(), "a,b");
+  EXPECT_EQ(hostile.at("thread").as_string(), "say \"hi\"");
+}
+
 TEST(ExportGolden, JsonRoundTripsThroughParse) {
   const util::Json doc = to_json(two_samples());
   const util::Json parsed = util::Json::parse(doc.dump(2));

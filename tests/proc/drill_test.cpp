@@ -1,0 +1,257 @@
+#include "proc/drill.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/ansi.hpp"
+
+namespace npat::proc {
+namespace {
+
+monitor::TaskStats make_task(u32 pid, u32 tid, u32 node, u64 remote_dram, u64 local_dram,
+                             u64 cycles = 1000) {
+  monitor::TaskStats task;
+  task.pid = pid;
+  task.tid = tid;
+  task.node = node;
+  task.samples = 1;
+  task.instructions = cycles / 2;
+  task.cycles = cycles;
+  task.local_dram = local_dram;
+  task.remote_dram = remote_dram;
+  task.remote_hitm = 0;
+  task.loads = local_dram + remote_dram;
+  task.latency_sum = 200 * (local_dram + remote_dram);
+  task.latency_loads = local_dram + remote_dram;
+  return task;
+}
+
+/// Two processes on node 0 (pid 2 the heavier remote offender), one
+/// single-thread process on node 1.
+monitor::TaskWindowStats make_window() {
+  monitor::TaskWindowStats window;
+  window.start = 100000;
+  window.end = 500000;
+  window.samples = 4;
+  window.tasks.push_back(make_task(1, 1, 0, 10, 500));
+  window.tasks.push_back(make_task(1, 2, 0, 20, 400));
+  window.tasks.push_back(make_task(2, 1, 0, 900, 100, 5000));
+  window.tasks.push_back(make_task(3, 1, 1, 50, 50));
+  return window;
+}
+
+TaskRegistry make_registry() {
+  TaskRegistry registry;
+  registry.add(TaskInfo{1, 1, "sort", "worker-0"});
+  registry.add(TaskInfo{1, 2, "sort", "worker-1"});
+  registry.add(TaskInfo{2, 1, "gups", "main"});
+  registry.add(TaskInfo{3, 1, "scan", "main"});
+  return registry;
+}
+
+monitor::WindowStats make_nodes(usize nodes) {
+  monitor::WindowStats window;
+  window.start = 100000;
+  window.end = 500000;
+  window.samples = 4;
+  for (usize n = 0; n < nodes; ++n) {
+    monitor::NodeStats stats;
+    stats.samples = 4;
+    stats.instructions = 1000 * (n + 1);
+    stats.cycles = 3000 * (n + 1);
+    stats.local_dram = 500;
+    stats.remote_dram = 100 * n;
+    window.nodes.push_back(stats);
+  }
+  return window;
+}
+
+TEST(ProcessRows, AggregatesThreadsAndSortsByRma) {
+  const monitor::TaskWindowStats window = make_window();
+  const TaskRegistry registry = make_registry();
+  const std::vector<ProcessRow> rows = process_rows(window, &registry, std::nullopt);
+  ASSERT_EQ(rows.size(), 3u);
+  // pid 2 has 900 RMA, pid 3 has 50, pid 1's two threads sum to 30.
+  EXPECT_EQ(rows[0].pid, 2u);
+  EXPECT_EQ(rows[0].name, "gups");
+  EXPECT_EQ(rows[0].threads, 1u);
+  EXPECT_EQ(rows[1].pid, 3u);
+  EXPECT_EQ(rows[2].pid, 1u);
+  EXPECT_EQ(rows[2].name, "sort");
+  EXPECT_EQ(rows[2].threads, 2u);
+  EXPECT_EQ(rows[2].stats.rma(), 30u);
+  EXPECT_EQ(rows[2].stats.lma(), 900u);
+  EXPECT_EQ(rows[2].stats.cycles, 2000u);
+  // Dominant node is the argmax of per-pid cycles by node.
+  EXPECT_EQ(rows[0].stats.node, 0u);
+  EXPECT_EQ(rows[1].stats.node, 1u);
+}
+
+TEST(ProcessRows, NodeFilterKeepsOnlyMatchingTasks) {
+  const monitor::TaskWindowStats window = make_window();
+  const std::vector<ProcessRow> node1 = process_rows(window, nullptr, 1u);
+  ASSERT_EQ(node1.size(), 1u);
+  EXPECT_EQ(node1[0].pid, 3u);
+  EXPECT_EQ(node1[0].name, "");  // no registry: names degrade to empty
+  EXPECT_TRUE(process_rows(window, nullptr, 7u).empty());
+}
+
+TEST(ThreadRows, FiltersByPidAndSortsByRma) {
+  monitor::TaskWindowStats window = make_window();
+  const std::vector<monitor::TaskStats> rows = thread_rows(window, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tid, 2u);  // 20 RMA beats 10
+  EXPECT_EQ(rows[1].tid, 1u);
+  EXPECT_TRUE(thread_rows(window, 9).empty());
+}
+
+TEST(DrillDown, CursorMovesStayInBounds) {
+  DrillScope scope;
+  const monitor::WindowStats nodes = make_nodes(2);
+  scope.nodes = &nodes;
+  scope.tasks = make_window();
+
+  DrillDown drill;
+  EXPECT_EQ(drill.cursor(), 0u);
+  drill.apply_key('k', scope);  // already at the top
+  EXPECT_EQ(drill.cursor(), 0u);
+  drill.apply_key('j', scope);
+  EXPECT_EQ(drill.cursor(), 1u);
+  drill.apply_key('j', scope);  // only 2 node rows
+  EXPECT_EQ(drill.cursor(), 1u);
+  drill.apply_key('0', scope);
+  EXPECT_EQ(drill.cursor(), 0u);
+  drill.apply_key('7', scope);  // digit beyond the row count: ignored
+  EXPECT_EQ(drill.cursor(), 0u);
+  drill.apply_key('.', scope);  // unknown key is the scripted no-op
+  EXPECT_EQ(drill.cursor(), 0u);
+  EXPECT_FALSE(drill.quit_requested());
+  drill.apply_key('q', scope);
+  EXPECT_TRUE(drill.quit_requested());
+}
+
+TEST(DrillDown, DescendsNodeProcessThreadArea) {
+  DrillScope scope;
+  const monitor::WindowStats nodes = make_nodes(2);
+  scope.nodes = &nodes;
+  scope.tasks = make_window();
+  const TaskRegistry registry = make_registry();
+  scope.registry = &registry;
+  // Give pid 2 / tid 1 hot areas so the leaf level has rows.
+  scope.tasks.tasks[2].areas = {{0x100000, 80}, {0x200000, 20}};
+
+  DrillDown drill;
+  EXPECT_EQ(drill.node_filter(), std::nullopt);  // no filter at the top
+  drill.apply_key('d', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kProcesses);
+  EXPECT_EQ(drill.selected_node(), 0u);
+  EXPECT_EQ(drill.node_filter(), std::optional<u32>(0u));
+  EXPECT_EQ(drill.breadcrumb(scope), "node 0");
+
+  // Node 0's heaviest process is pid 2 (gups).
+  drill.apply_key('d', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kThreads);
+  EXPECT_EQ(drill.selected_pid(), 2u);
+  EXPECT_EQ(drill.breadcrumb(scope), "node 0 > pid 2 (gups)");
+
+  drill.apply_key('d', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kAreas);
+  EXPECT_EQ(drill.selected_tid(), 1u);
+  EXPECT_EQ(drill.breadcrumb(scope), "node 0 > pid 2 (gups) > tid 1 (main)");
+
+  drill.apply_key('d', scope);  // leaf: descending again is a no-op
+  EXPECT_EQ(drill.level(), DrillLevel::kAreas);
+
+  drill.apply_key('u', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kThreads);
+  drill.apply_key('b', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kProcesses);
+  drill.apply_key('u', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kTop);
+  drill.apply_key('u', scope);  // ascending from the top stays put
+  EXPECT_EQ(drill.level(), DrillLevel::kTop);
+}
+
+TEST(DrillDown, DescendOnEmptyRowsIsIgnored) {
+  DrillScope scope;  // no nodes, no tasks: zero rows everywhere
+  DrillDown drill;
+  drill.apply_key('d', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kTop);
+}
+
+TEST(DrillDown, FleetModeSelectsHostsWithoutNodeFilter) {
+  DrillScope scope;
+  scope.hosts = {"alpha", "beta"};
+  scope.host_tasks.resize(2);
+  scope.tasks = make_window();
+  ASSERT_TRUE(scope.fleet());
+
+  DrillDown drill(true);
+  drill.apply_key('j', scope);
+  drill.apply_key('d', scope);
+  EXPECT_EQ(drill.level(), DrillLevel::kProcesses);
+  EXPECT_EQ(drill.selected_host(), 1u);
+  // Hosts, not nodes, partition the fleet: processes are unfiltered.
+  EXPECT_EQ(drill.node_filter(), std::nullopt);
+  EXPECT_EQ(drill.breadcrumb(scope), "host beta");
+}
+
+TEST(RenderDrill, TopLevelShowsNodeTable) {
+  util::AnsiGuard plain(false);
+  DrillScope scope;
+  const monitor::WindowStats nodes = make_nodes(2);
+  scope.nodes = &nodes;
+  scope.tasks = make_window();
+
+  DrillDown drill;
+  const std::string out = render_drill(drill, scope);
+  EXPECT_NE(out.find("nodes [top]"), std::string::npos);
+  EXPECT_NE(out.find("RMA/LMA"), std::string::npos);
+  EXPECT_NE(out.find("Lat(cyc)"), std::string::npos);
+  EXPECT_NE(out.find("keys: 0-9 select"), std::string::npos);
+  EXPECT_EQ(out.find("\x1b["), std::string::npos);  // ANSI off: no escapes
+}
+
+TEST(RenderDrill, ProcessLevelShowsNamesAndOverflowLine) {
+  util::AnsiGuard plain(false);
+  DrillScope scope;
+  const monitor::WindowStats nodes = make_nodes(2);
+  scope.nodes = &nodes;
+  scope.tasks = make_window();
+  const TaskRegistry registry = make_registry();
+  scope.registry = &registry;
+
+  DrillDown drill;
+  drill.apply_key('d', scope);  // node 0 -> processes
+
+  DrillOptions options;
+  options.max_rows = 1;
+  const std::string out = render_drill(drill, scope, options);
+  EXPECT_NE(out.find("gups"), std::string::npos);   // heaviest survives the cut
+  EXPECT_EQ(out.find("sort"), std::string::npos);   // truncated away
+  EXPECT_NE(out.find("… 1 more processes"), std::string::npos);
+}
+
+TEST(RenderDrill, AreaLevelShowsBasesAndShares) {
+  util::AnsiGuard plain(false);
+  DrillScope scope;
+  scope.tasks = make_window();
+  scope.tasks.tasks[2].areas = {{0x100000, 80}, {0x200000, 20}};
+
+  DrillDown drill;
+  // Walk straight to the leaf through the heaviest rows.
+  const monitor::WindowStats nodes = make_nodes(1);
+  scope.nodes = &nodes;
+  drill.apply_key('d', scope);
+  drill.apply_key('d', scope);
+  drill.apply_key('d', scope);
+  ASSERT_EQ(drill.level(), DrillLevel::kAreas);
+
+  const std::string out = render_drill(drill, scope);
+  EXPECT_NE(out.find("0x000000100000"), std::string::npos);
+  EXPECT_NE(out.find("80"), std::string::npos);
+  EXPECT_NE(out.find("80.0%"), std::string::npos);
+  EXPECT_NE(out.find("20.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace npat::proc

@@ -90,6 +90,91 @@ TEST(Pmu, ClearResetsEverything) {
   EXPECT_EQ(pmu.pending_samples(), 0u);
 }
 
+TEST(PmuTasks, SwitchFoldsDeltaIntoOutgoingDomain) {
+  CorePmu pmu;
+  pmu.set_current_task(TaskKey{1, 1});
+  pmu.counters().add(Event::kInstructions, 100);
+  pmu.set_current_task(TaskKey{1, 2});  // folds the 100 into (1, 1)
+  pmu.counters().add(Event::kInstructions, 30);
+  pmu.flush_current_task();
+
+  const auto& domains = pmu.task_domains();
+  ASSERT_EQ(domains.size(), 2u);
+  EXPECT_EQ(domains.at(TaskKey{1, 1}).counters[Event::kInstructions], 100u);
+  EXPECT_EQ(domains.at(TaskKey{1, 2}).counters[Event::kInstructions], 30u);
+  // Counters charged before the first switch belong to nobody.
+  EXPECT_EQ(pmu.read(Event::kInstructions), 130u);
+}
+
+TEST(PmuTasks, ResumingSameTaskIsNotASwitch) {
+  CorePmu pmu;
+  pmu.set_current_task(TaskKey{1, 1});
+  pmu.counters().add(Event::kCycles, 10);
+  pmu.set_current_task(TaskKey{1, 1});  // steady state: no fold, no rebaseline
+  pmu.counters().add(Event::kCycles, 5);
+  pmu.flush_current_task();
+  EXPECT_EQ(pmu.task_domains().at(TaskKey{1, 1}).counters[Event::kCycles], 15u);
+}
+
+TEST(PmuTasks, FlushIsIdempotentUntilNewWork) {
+  CorePmu pmu;
+  pmu.set_current_task(TaskKey{2, 1});
+  pmu.counters().add(Event::kLoadsRetired, 7);
+  pmu.flush_current_task();
+  pmu.flush_current_task();  // no new delta: must not double-charge
+  EXPECT_EQ(pmu.task_domains().at(TaskKey{2, 1}).counters[Event::kLoadsRetired], 7u);
+}
+
+TEST(PmuTasks, LoadsAttributeLatencyRegardlessOfPebs) {
+  CorePmu pmu;  // PEBS never armed
+  pmu.set_current_task(TaskKey{1, 1});
+  pmu.on_load_retired(0x1000, 100, DataSource::kLocalDram, 1);
+  pmu.on_load_retired(0x2000, 300, DataSource::kRemoteDram, 2);
+  const TaskDomain& domain = pmu.task_domains().at(TaskKey{1, 1});
+  EXPECT_EQ(domain.latency_sum, 400u);
+  EXPECT_EQ(domain.latency_loads, 2u);
+}
+
+TEST(PmuTasks, AreaSamplingIsPeriodicAndBucketsByMegabyte) {
+  CorePmu pmu;
+  pmu.set_current_task(TaskKey{1, 1});
+  // kTaskAreaPeriod loads inside one 1 MiB area: exactly one area sample.
+  for (u32 i = 0; i < kTaskAreaPeriod; ++i) {
+    pmu.on_load_retired(0x100000 + i * 64, 50, DataSource::kLocalDram, i);
+  }
+  const TaskDomain& domain = pmu.task_domains().at(TaskKey{1, 1});
+  ASSERT_EQ(domain.areas.size(), 1u);
+  EXPECT_EQ(domain.areas.begin()->first, 0x100000u >> kTaskAreaShift);
+  EXPECT_EQ(domain.areas.begin()->second, 1u);
+}
+
+TEST(PmuTasks, AreaMapIsBoundedAndOverflowIsCounted) {
+  CorePmu pmu;
+  pmu.set_current_task(TaskKey{1, 1});
+  // One sampled load per distinct area, kMaxTaskAreas + 3 areas total.
+  for (usize a = 0; a < kMaxTaskAreas + 3; ++a) {
+    for (u32 i = 0; i < kTaskAreaPeriod; ++i) {
+      pmu.on_load_retired((a << kTaskAreaShift) + i * 64, 50, DataSource::kLocalDram, 1);
+    }
+  }
+  const TaskDomain& domain = pmu.task_domains().at(TaskKey{1, 1});
+  EXPECT_EQ(domain.areas.size(), kMaxTaskAreas);
+  EXPECT_EQ(domain.area_samples_dropped, 3u);
+}
+
+TEST(PmuTasks, ClearTaskAccountingDropsDomainsKeepsCounters) {
+  CorePmu pmu;
+  pmu.set_current_task(TaskKey{1, 1});
+  pmu.counters().add(Event::kCycles, 50);
+  pmu.clear_task_accounting();
+  EXPECT_FALSE(pmu.task_accounting_active());
+  EXPECT_TRUE(pmu.task_domains().empty());
+  EXPECT_EQ(pmu.read(Event::kCycles), 50u);  // free-running counters survive
+  // Loads after the clear attribute to nobody and must not crash.
+  pmu.on_load_retired(0x1000, 100, DataSource::kLocalDram, 1);
+  EXPECT_TRUE(pmu.task_domains().empty());
+}
+
 TEST(DataSource, Names) {
   EXPECT_EQ(data_source_name(DataSource::kL2), "L2");
   EXPECT_EQ(data_source_name(DataSource::kLocalDram), "local memory");

@@ -267,5 +267,88 @@ TEST(Runner, SamplersSurviveAcrossRuns) {
   EXPECT_GT(fires, first);  // re-armed relative to the new start clock
 }
 
+TEST(Tasks, ResolvedTasksFillDefaults) {
+  Program program = Program::homogeneous(
+      3, [](ThreadContext& ctx) { return touch_n_lines(ctx, 1); });
+  const auto resolved = resolved_tasks(program);
+  ASSERT_EQ(resolved.size(), 3u);
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_EQ(resolved[i].pid, 1u);
+    EXPECT_EQ(resolved[i].tid, i + 1);
+    EXPECT_FALSE(resolved[i].process_name.empty());
+    EXPECT_FALSE(resolved[i].thread_name.empty());
+  }
+}
+
+TEST(Tasks, NameProcessAppliesPidAndName) {
+  Program program = Program::homogeneous(
+      2, [](ThreadContext& ctx) { return touch_n_lines(ctx, 1); });
+  program.name_process(42, "sorter");
+  const auto resolved = resolved_tasks(program);
+  ASSERT_EQ(resolved.size(), 2u);
+  EXPECT_EQ(resolved[0].pid, 42u);
+  EXPECT_EQ(resolved[0].process_name, "sorter");
+  EXPECT_EQ(resolved[1].tid, 2u);
+}
+
+TEST(Tasks, AddProcessComposesMultiProcessMix) {
+  Program mix = Program::single([](ThreadContext& ctx) { return touch_n_lines(ctx, 1); });
+  mix.name_process(1, "front");
+  mix.add_process(
+      2, "back",
+      Program::homogeneous(2, [](ThreadContext& ctx) { return touch_n_lines(ctx, 1); }));
+  const auto resolved = resolved_tasks(mix);
+  ASSERT_EQ(resolved.size(), 3u);
+  EXPECT_EQ(resolved[0].pid, 1u);
+  EXPECT_EQ(resolved[0].process_name, "front");
+  EXPECT_EQ(resolved[1].pid, 2u);
+  EXPECT_EQ(resolved[1].process_name, "back");
+  EXPECT_EQ(resolved[2].pid, 2u);
+  EXPECT_EQ(resolved[2].tid, 2u);
+}
+
+TEST(Tasks, MismatchedTaskSpecCountRejected) {
+  Program program = Program::homogeneous(
+      2, [](ThreadContext& ctx) { return touch_n_lines(ctx, 1); });
+  program.tasks.resize(1);
+  EXPECT_THROW(resolved_tasks(program), CheckError);
+}
+
+TEST(Tasks, AccountingPopulatesPerTaskDomains) {
+  Fixture f;
+  RunnerConfig config;
+  config.task_accounting = true;
+  config.affinity = os::AffinityPolicy::kScatter;
+  Runner runner(f.machine, f.space, config);
+  Program program = Program::homogeneous(
+      2, [](ThreadContext& ctx) { return touch_n_lines(ctx, 50); });
+  program.name_process(7, "writer");
+  runner.run(program);
+
+  f.machine.flush_task_accounting();
+  usize domains = 0;
+  u64 stores = 0;
+  for (u32 core = 0; core < f.machine.cores(); ++core) {
+    for (const auto& [key, domain] : f.machine.pmu(core).task_domains()) {
+      ++domains;
+      EXPECT_EQ(key.pid, 7u);
+      stores += domain.counters[sim::Event::kStoresRetired];
+    }
+  }
+  EXPECT_GE(domains, 2u);
+  // Every store the run retired is attributed to some task.
+  EXPECT_EQ(stores, 100u);
+}
+
+TEST(Tasks, AccountingOffLeavesDomainsEmpty) {
+  Fixture f;
+  Runner runner(f.machine, f.space);  // default: node-only accounting
+  runner.run(Program::single([](ThreadContext& ctx) { return touch_n_lines(ctx, 10); }));
+  for (u32 core = 0; core < f.machine.cores(); ++core) {
+    EXPECT_FALSE(f.machine.pmu(core).task_accounting_active());
+    EXPECT_TRUE(f.machine.pmu(core).task_domains().empty());
+  }
+}
+
 }  // namespace
 }  // namespace npat::trace
