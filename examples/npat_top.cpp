@@ -41,6 +41,20 @@
 //
 //   npat_top --tasks --workload=sort --keys="djd d"
 //   npat_top --fleet=2 --tasks --keys="jdddd" --supervise
+//
+// --health appends the npat::introspect pane after every refresh: one row
+// per probe with hop latency (from sampled emit stamps), reorder dwell,
+// stage depths and damage, plus the flight-recorder summary line. In
+// single-host mode the drained samples are routed through an internal
+// stamped loopback probe so the pipeline observes itself end to end; in
+// fleet mode the rows come straight from the collector. The self-metrics
+// surface exports on exit: --prom (Prometheus text), --metrics-json, and
+// --flight (the flight-recorder ring as JSON — also dumped on a fatal
+// error so the black box survives a crash):
+//
+//   npat_top --health --workload=stream
+//   npat_top --fleet=3 --supervise --fault-disconnect=12 --health
+//   npat_top --health --prom=self.prom --metrics-json=self.json --flight=flight.json
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -48,6 +62,8 @@
 
 #include "fleet/collector.hpp"
 #include "fleet/view.hpp"
+#include "introspect/flight.hpp"
+#include "introspect/health.hpp"
 #include "memhist/remote.hpp"
 #include "monitor/aggregate.hpp"
 #include "monitor/export.hpp"
@@ -108,6 +124,29 @@ void write_file(const std::string& path, const void* data, usize bytes) {
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
 }
 
+/// End-of-run self-metrics surface: the obs registry + flight totals as
+/// Prometheus text and JSON, and the flight ring itself as the black-box
+/// artifact. All three read process-wide state, so they cover whichever
+/// mode (single-host, fleet, supervised) just ran.
+void write_self_exports(const std::string& prom_path, const std::string& json_path,
+                        const std::string& flight_path) {
+  if (!prom_path.empty()) {
+    const std::string text = introspect::self_metrics_prometheus();
+    write_file(prom_path, text.data(), text.size());
+    std::printf("wrote %s (%s)\n", prom_path.c_str(), util::human_bytes(text.size()).c_str());
+  }
+  if (!json_path.empty()) {
+    const std::string json = introspect::self_metrics_json().dump(2) + "\n";
+    write_file(json_path, json.data(), json.size());
+    std::printf("wrote %s (%s)\n", json_path.c_str(), util::human_bytes(json.size()).c_str());
+  }
+  if (!flight_path.empty()) {
+    introspect::flight().dump(flight_path);
+    std::printf("wrote %s (flight ring: %llu events)\n", flight_path.c_str(),
+                static_cast<unsigned long long>(introspect::flight().recorded()));
+  }
+}
+
 struct FleetFlags {
   usize hosts = 0;
   std::string workload;
@@ -124,7 +163,16 @@ struct FleetFlags {
   bool clear = false;
   bool tasks = false;          // per-task attribution + drill-down view
   std::string keys;            // scripted drill keystrokes, one per refresh
+  bool health = false;         // append the introspect health pane per refresh
 };
+
+void render_health_pane(const fleet::FleetCollector& collector, const std::string& title) {
+  introspect::HealthOptions options;
+  options.title = title;
+  std::fputs(introspect::render_health(collector.health_rows(), collector.clock(), options)
+                 .c_str(),
+             stdout);
+}
 
 struct HostSession {
   std::string id;
@@ -370,6 +418,7 @@ int run_supervised_fleet(const FleetFlags& flags, const std::vector<HostSession>
       view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
       std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
     }
+    if (flags.health) render_health_pane(collector, "npat-health — supervised fleet");
     if (!done) std::fputs("\n", stdout);
     now += flags.period;
   }
@@ -447,6 +496,9 @@ int run_fleet(const FleetFlags& flags) {
     auto tx = std::make_shared<util::FaultyChannel>(pair.a, faults);
     collector.add_probe(pair.b);
     Link link{tx, memhist::Probe(tx), 0, 0};
+    // With --health the plain probes opt into sampled emit stamping, so
+    // the pane's latency column measures the loopback hop end to end.
+    if (flags.health) link.probe.set_stamp_interval(4);
     link.probe.send_hello(hosts[h].node_count, hosts[h].id);
     if (flags.tasks) link.probe.send_task_table(hosts[h].registry.to_wire());
     links.push_back(std::move(link));
@@ -467,6 +519,7 @@ int run_fleet(const FleetFlags& flags) {
 
   DrillSession drill(true, flags.clear,
                      util::format("npat-top/proc — fleet of %zu", hosts.size()), flags.keys);
+  Cycles wall = 0;  // largest timestamp sent so far; drives the health pane's clock
   for (bool sending = true; sending;) {
     sending = false;
     for (usize h = 0; h < links.size(); ++h) {
@@ -475,10 +528,16 @@ int run_fleet(const FleetFlags& flags) {
       const auto& task_samples = hosts[h].task_samples;
       for (usize i = 0; i < flags.refresh_every && link.cursor < samples.size();
            ++i, ++link.cursor) {
-        link.probe.send_sample(monitor::to_wire(samples[link.cursor]));
+        const monitor::Sample& sample = samples[link.cursor];
+        if (flags.health) {
+          link.probe.set_clock(sample.timestamp);
+          wall = std::max(wall, sample.timestamp);
+        }
+        link.probe.send_sample(monitor::to_wire(sample));
       }
       for (usize i = 0; i < flags.refresh_every && link.task_cursor < task_samples.size();
            ++i, ++link.task_cursor) {
+        if (flags.health) link.probe.set_clock(task_samples[link.task_cursor].timestamp);
         link.probe.send_task_sample(
             monitor::to_wire_tasks(task_samples[link.task_cursor], hosts[h].registry.task_ids()));
       }
@@ -489,7 +548,7 @@ int run_fleet(const FleetFlags& flags) {
         link.tx->close();
       }
     }
-    collector.poll();
+    collector.poll(flags.health ? wall : 0);
     for (usize h = 0; h < hosts.size(); ++h) {
       const auto& merged = collector.probe(h).samples;
       for (; phase_cursors[h] < merged.size(); ++phase_cursors[h]) {
@@ -504,6 +563,7 @@ int run_fleet(const FleetFlags& flags) {
       view_options.host_alerts = fleet::evaluate_host_alerts(alerts, view);
       std::fputs(fleet::render_fleet_view(view, view_options).c_str(), stdout);
     }
+    if (flags.health) render_health_pane(collector, "npat-health — fleet");
     if (sending) std::fputs("\n", stdout);
   }
 
@@ -560,6 +620,10 @@ int main(int argc, char** argv) {
   std::string csv_tasks_path;
   std::string json_tasks_path;
   std::string wire_tasks_path;
+  bool health = false;
+  std::string prom_path;
+  std::string metrics_json_path;
+  std::string flight_path;
 
   util::Cli cli("npat top — live per-node NUMA telemetry for a running workload");
   cli.add_flag("workload", &workload, "sort | mlc | stream | gups | rampup");
@@ -588,6 +652,12 @@ int main(int argc, char** argv) {
   cli.add_flag("json-tasks", &json_tasks_path, "dump per-task samples as JSON to this path");
   cli.add_flag("wire-tasks", &wire_tasks_path,
                "dump the per-task session as a v5 wire stream to this path");
+  cli.add_flag("health", &health,
+               "append the pipeline self-observability pane (hop latency, depths, damage)");
+  cli.add_flag("prom", &prom_path, "export self-metrics as Prometheus text to this path");
+  cli.add_flag("metrics-json", &metrics_json_path, "export self-metrics as JSON to this path");
+  cli.add_flag("flight", &flight_path,
+               "dump the flight-recorder ring as JSON to this path (also on fatal error)");
   cli.add_flag("csv", &csv_path, "dump all samples as CSV to this path");
   cli.add_flag("json", &json_path, "dump all samples as JSON to this path");
   cli.add_flag("wire", &wire_path, "dump the session as a wire stream to this path");
@@ -595,6 +665,11 @@ int main(int argc, char** argv) {
 
   try {
     if (!cli.parse(argc, argv)) return 0;
+    // Arm the black box before anything can crash: committed alert
+    // transitions land in the flight ring, and a std::terminate dumps the
+    // ring so the last events before a crash survive it.
+    introspect::install_alert_hook();
+    introspect::install_terminate_dump("npat_flight_fatal.json");
     if (period <= 0 || refresh_every <= 0) throw util::CliError("period/refresh-every must be > 0");
     if (fleet < 0 || fault_drop < 0.0 || fault_drop > 1.0 || fault_corrupt < 0.0 ||
         fault_corrupt > 1.0) {
@@ -640,7 +715,10 @@ int main(int argc, char** argv) {
       flags.clear = clear;
       flags.tasks = tasks;
       flags.keys = keys;
-      return run_fleet(flags);
+      flags.health = health;
+      const int code = run_fleet(flags);
+      write_self_exports(prom_path, metrics_json_path, flight_path);
+      return code;
     }
 
     sim::Machine machine(sim::preset_by_name(preset));
@@ -660,6 +738,20 @@ int main(int argc, char** argv) {
     monitor::TaskSampler task_sampler(machine, task_config);
     if (tasks) task_sampler.attach(runner);
     proc::TaskRegistry registry;
+
+    // --health: an internal stamped loopback probe routes every drained
+    // sample through a FleetCollector, so even the single-host pipeline
+    // observes its own hop latency, stage depths and decode rate.
+    std::unique_ptr<fleet::FleetCollector> health_collector;
+    std::unique_ptr<memhist::Probe> health_probe;
+    if (health) {
+      health_collector = std::make_unique<fleet::FleetCollector>();
+      auto pair = util::make_loopback_pair();
+      health_collector->add_probe(pair.b, "local");
+      health_probe = std::make_unique<memhist::Probe>(pair.a);
+      health_probe->set_stamp_interval(4);
+      health_probe->send_hello(machine.nodes(), "local");
+    }
     DrillSession drill(false, clear,
                        util::format("npat-top/proc — %s on %s", workload.c_str(), preset.c_str()),
                        keys);
@@ -709,6 +801,14 @@ int main(int argc, char** argv) {
       } else {
         std::fputs(monitor::render_view(windows.back(), windows, view_options).c_str(), stdout);
       }
+      if (health_probe) {
+        for (const monitor::Sample& sample : batch) {
+          health_probe->set_clock(sample.timestamp);
+          health_probe->send_sample(monitor::to_wire(sample));
+        }
+        health_collector->poll(machine.max_clock());
+        render_health_pane(*health_collector, "npat-health — local pipeline");
+      }
       if (!final_flush) std::fputs("\n", stdout);
     };
     // Registered *after* the sampler's own hook, so every refresh tick sees
@@ -723,6 +823,12 @@ int main(int argc, char** argv) {
       if (tasks) task_sampler.sample(machine.max_clock());
     }
     refresh(true);
+    if (health_probe) {
+      // Close the internal stream and show the converged (ended) state.
+      health_probe->send_end(machine.max_clock());
+      health_collector->poll(machine.max_clock());
+      render_health_pane(*health_collector, "npat-health — local pipeline (final)");
+    }
 
     const monitor::NodeStats total = monitor::aggregate(session).total();
     std::printf(
@@ -789,9 +895,12 @@ int main(int argc, char** argv) {
       std::printf("wrote %s (%s) — open in chrome://tracing or Perfetto\n", trace_path.c_str(),
                   util::human_bytes(trace.size()).c_str());
     }
+    write_self_exports(prom_path, metrics_json_path, flight_path);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "npat_top: %s\n", error.what());
+    // The fatal-error path still leaves the black box behind.
+    if (!flight_path.empty()) introspect::flight().dump(flight_path);
     return 1;
   }
 }

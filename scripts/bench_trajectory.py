@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Merge bench reports (BENCH_*.json) into one markdown trajectory table.
+
+Every gated bench writes a flat JSON object named BENCH_<name>.json into
+the build directory (ablation_proc_overhead -> BENCH_proc.json,
+ablation_introspect_overhead -> BENCH_introspect.json, ...). CI runs this
+script after the bench steps and appends the output to
+$GITHUB_STEP_SUMMARY, so every run shows the whole overhead trajectory at
+a glance instead of burying the numbers in step logs:
+
+    python3 scripts/bench_trajectory.py build >> "$GITHUB_STEP_SUMMARY"
+
+The script is schema-agnostic: the summary table shows each bench's
+verdict and its headline percentages (any *_percent field next to its
+*_budget_percent partner), and a details section lists every remaining
+field verbatim. Stdlib only; exits non-zero if any report says pass=false
+so the summary step can double as a cheap gate.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_reports(directory):
+    reports = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping {path}: {error}", file=sys.stderr)
+            continue
+        if isinstance(payload, dict):
+            reports.append((name, payload))
+    return reports
+
+
+def fmt(value):
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def headline(report):
+    """`x_percent` paired with `x_budget_percent` -> 'x 1.2% / 3%'."""
+    cells = []
+    for key in sorted(report):
+        if not key.endswith("_percent") or key.endswith("_budget_percent"):
+            continue
+        label = key[: -len("_percent")]
+        budget = report.get(label + "_budget_percent")
+        text = f"{label} {fmt(report[key])}%"
+        if budget is not None:
+            text += f" / {fmt(budget)}%"
+        cells.append(text)
+    return ", ".join(cells) if cells else "-"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", nargs="?", default="build",
+                        help="directory holding BENCH_*.json (default: build)")
+    args = parser.parse_args()
+
+    reports = load_reports(args.directory)
+    if not reports:
+        print(f"no BENCH_*.json reports under {args.directory}", file=sys.stderr)
+        return 0  # nothing ran, nothing to gate
+
+    print("## Bench trajectory")
+    print()
+    print("| bench | verdict | overhead vs budget |")
+    print("|---|---|---|")
+    failed = []
+    for name, report in reports:
+        verdict = report.get("pass")
+        if verdict is False:
+            failed.append(name)
+        verdict_text = "pass" if verdict else ("FAIL" if verdict is False else "-")
+        print(f"| {name} | {verdict_text} | {headline(report)} |")
+    print()
+
+    print("<details><summary>full reports</summary>")
+    print()
+    for name, report in reports:
+        print(f"### {name}")
+        print()
+        print("| field | value |")
+        print("|---|---|")
+        for key in sorted(report):
+            print(f"| {key} | {fmt(report[key])} |")
+        print()
+    print("</details>")
+
+    if failed:
+        print(f"failed benches: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

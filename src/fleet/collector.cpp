@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "introspect/flight.hpp"
 #include "monitor/export.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
@@ -90,6 +91,8 @@ void FleetCollector::reattach_probe(usize index, std::shared_ptr<util::ByteChann
   NPAT_OBS_COUNT("npat_fleet_reattaches_total",
                  "Probe channels swapped under a slot after a reconnect", 1);
   NPAT_OBS_INSTANT("fleet.reattach", probe.state.host_id);
+  introspect::flight().record(introspect::FlightKind::kReattach, clock_, probe.state.host_id,
+                              "channel swapped under the slot");
 }
 
 usize FleetCollector::poll_probe(PerProbe& probe) {
@@ -106,7 +109,14 @@ usize FleetCollector::poll_probe(PerProbe& probe) {
   const usize merged = fold_frames(probe);
   maybe_ack(probe);
   republish(probe);
-  probe.state.liveness = probe.liveness.evaluate(clock_);
+  const resilience::Liveness verdict = probe.liveness.evaluate(clock_);
+  if (verdict != probe.state.liveness) {
+    introspect::flight().record(
+        introspect::FlightKind::kLivenessChange, clock_, probe.state.host_id,
+        util::format("%s->%s", resilience::liveness_name(probe.state.liveness),
+                     resilience::liveness_name(verdict)));
+  }
+  probe.state.liveness = verdict;
   return merged;
 }
 
@@ -117,6 +127,7 @@ usize FleetCollector::fold_frames(PerProbe& probe) {
     // Any CRC-valid frame proves the probe is alive, duplicates included —
     // a retransmission is still a working transport.
     probe.liveness.heard(clock_);
+    ++state.pipeline.frames;
     if (const auto* envelope = std::get_if<wire::SequencedMsg>(&*message)) {
       state.supervised = true;
       const resilience::Admit admit = probe.ledger.admit(envelope->epoch, envelope->seq);
@@ -130,6 +141,20 @@ usize FleetCollector::fold_frames(PerProbe& probe) {
         merged += flush_pending(probe);
       }
       std::optional<wire::Message> inner = wire::unwrap_sequenced(*envelope);
+      if (inner) {
+        // An emit-stamped payload observes ingest latency here — decode
+        // time — then sheds the annotation so the reorder stage and
+        // fold() see the bare data frame.
+        if (const auto* stamped = std::get_if<wire::StampedMsg>(&*inner)) {
+          observe_ingest(probe, stamped->emit_timestamp);
+          std::optional<wire::Message> data = wire::unwrap_stamped(*stamped);
+          if (data) {
+            inner = std::move(data);
+          } else {
+            inner.reset();
+          }
+        }
+      }
       if (!inner) {
         // The outer CRC already vouched for these bytes, so a bad inner
         // payload is a malformed sender, not transport damage — but it is
@@ -141,9 +166,21 @@ usize FleetCollector::fold_frames(PerProbe& probe) {
         // Reorder stage: even a frame that is contiguous right now goes
         // through `pending` so delivery order to fold() is always
         // sequence order, not arrival order.
-        probe.pending.emplace(envelope->seq, std::move(*inner));
+        probe.pending.emplace(envelope->seq, PerProbe::Pending{std::move(*inner), clock_});
       }
       merged += drain_in_order(probe);
+    } else if (const auto* stamped = std::get_if<wire::StampedMsg>(&*message)) {
+      // A bare stamped frame: an unsupervised (plain memhist::Probe)
+      // stream opted into emit stamping without sequence envelopes.
+      observe_ingest(probe, stamped->emit_timestamp);
+      std::optional<wire::Message> data = wire::unwrap_stamped(*stamped);
+      if (data) {
+        merged += fold(probe, *data);
+      } else {
+        ++state.damage.unexpected_frames;
+        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
+                       "Valid frames the fleet collector could not merge", 1);
+      }
     } else if (std::get_if<wire::Heartbeat>(&*message) != nullptr) {
       state.supervised = true;
       ++state.heartbeats;
@@ -175,7 +212,8 @@ usize FleetCollector::drain_in_order(PerProbe& probe) {
     const u32 next = probe.folded_floor + 1;
     auto it = probe.pending.find(next);
     if (it != probe.pending.end()) {
-      merged += fold(probe, it->second);
+      observe_dwell(probe, it->second.decoded_at);
+      merged += fold(probe, it->second.message);
       probe.pending.erase(it);
     }
     probe.folded_floor = next;
@@ -185,7 +223,10 @@ usize FleetCollector::drain_in_order(PerProbe& probe) {
 
 usize FleetCollector::flush_pending(PerProbe& probe) {
   usize merged = 0;
-  for (auto& [seq, message] : probe.pending) merged += fold(probe, message);
+  for (auto& [seq, pending] : probe.pending) {
+    observe_dwell(probe, pending.decoded_at);
+    merged += fold(probe, pending.message);
+  }
   probe.pending.clear();
   probe.folded_floor = 0;
   return merged;
@@ -381,6 +422,139 @@ void FleetCollector::republish(PerProbe& probe) {
   state.delivered_frames = probe.ledger.delivered();
   state.duplicate_frames = probe.ledger.duplicates();
   state.epoch_resets = probe.ledger.epoch_resets();
+
+  introspect::PipelineStats& pipeline = state.pipeline;
+  pipeline.pending_depth = probe.pending.size();
+  pipeline.orphan_depth = probe.orphans.size();
+  pipeline.frames_per_mcycle =
+      clock_ > 0 ? 1e6 * static_cast<double>(pipeline.frames) / static_cast<double>(clock_) : 0.0;
+  if (probe.ingest_hist != nullptr) {
+    pipeline.ingest_p99 = introspect::histogram_quantile(*probe.ingest_hist, 0.99);
+  }
+  if (obs::enabled()) {
+    ensure_metrics(probe);
+    probe.pending_gauge->set(static_cast<double>(pipeline.pending_depth));
+    probe.orphan_gauge->set(static_cast<double>(pipeline.orphan_depth));
+    probe.rate_gauge->set(pipeline.frames_per_mcycle);
+    narrate_flight(probe);
+  }
+}
+
+void FleetCollector::ensure_metrics(PerProbe& probe) {
+  if (probe.ingest_hist != nullptr && probe.metric_host == probe.state.host_id) return;
+  // (Re-)resolve the per-probe labeled series. A late v3 Hello can rename
+  // the host; observations already made stay under the fallback name —
+  // series are keyed by the id current at observation time.
+  probe.metric_host = probe.state.host_id;
+  obs::Registry& registry = obs::metrics();
+  const auto name = [&](const char* base) {
+    return obs::labeled_name(base, {{"host", probe.metric_host}});
+  };
+  static const std::vector<double> kLatencyBounds = {0.0,    10.0,    100.0,    1000.0,
+                                                     10000.0, 100000.0, 1000000.0, 10000000.0};
+  probe.ingest_hist =
+      &registry.histogram(name("npat_introspect_ingest_latency_cycles"), kLatencyBounds,
+                          "Probe-emit to collector-decode latency of stamped frames");
+  probe.reorder_hist =
+      &registry.histogram(name("npat_introspect_reorder_dwell_cycles"), kLatencyBounds,
+                          "Decode to in-order delivery dwell in the reorder stage");
+  probe.pending_gauge = &registry.gauge(name("npat_introspect_reorder_depth"),
+                                        "Sequenced frames waiting in the reorder stage");
+  probe.orphan_gauge = &registry.gauge(name("npat_introspect_orphan_depth"),
+                                       "Task rows held awaiting late registration");
+  probe.rate_gauge = &registry.gauge(name("npat_introspect_frames_per_mcycle"),
+                                     "Decoded frames per million collector cycles");
+}
+
+void FleetCollector::observe_ingest(PerProbe& probe, Cycles emit_timestamp) {
+  introspect::PipelineStats& pipeline = probe.state.pipeline;
+  ++pipeline.stamped_frames;
+  // First stamp aligns the probe's emit clock to the collector clock (the
+  // same origin-alignment trick sample timestamps use), so latencies are
+  // relative to the fastest hop ever seen, immune to clock skew.
+  if (!probe.stamp_offset) {
+    probe.stamp_offset = static_cast<i64>(emit_timestamp) - static_cast<i64>(clock_);
+  }
+  const i64 lag = static_cast<i64>(clock_) -
+                  (static_cast<i64>(emit_timestamp) - *probe.stamp_offset);
+  const Cycles latency = lag > 0 ? static_cast<Cycles>(lag) : 0;
+  ++pipeline.ingest_observations;
+  pipeline.ingest_sum += static_cast<double>(latency);
+  pipeline.ingest_max = std::max(pipeline.ingest_max, latency);
+  if (obs::enabled()) {
+    ensure_metrics(probe);
+    probe.ingest_hist->observe(static_cast<double>(latency));
+  }
+}
+
+void FleetCollector::observe_dwell(PerProbe& probe, Cycles decoded_at) {
+  introspect::PipelineStats& pipeline = probe.state.pipeline;
+  const Cycles dwell = clock_ > decoded_at ? clock_ - decoded_at : 0;
+  ++pipeline.reorder_observations;
+  pipeline.reorder_sum += static_cast<double>(dwell);
+  pipeline.reorder_max = std::max(pipeline.reorder_max, dwell);
+  if (obs::enabled()) {
+    ensure_metrics(probe);
+    probe.reorder_hist->observe(static_cast<double>(dwell));
+  }
+}
+
+void FleetCollector::narrate_flight(PerProbe& probe) {
+  // One flight event per poll per kind, carrying the occurrence delta, so
+  // the ring totals reconcile exactly with the damage ledger without a
+  // damage storm flooding the ring.
+  ProbeState& state = probe.state;
+  introspect::FlightRecorder& recorder = introspect::flight();
+  const auto narrate = [&](usize current, usize& reported, introspect::FlightKind kind,
+                           const char* detail) {
+    if (current > reported) {
+      recorder.record(kind, clock_, state.host_id, detail, current - reported);
+      reported = current;
+    }
+  };
+  ProbeDamage& reported = probe.flight_reported;
+  narrate(state.damage.resyncs, reported.resyncs, introspect::FlightKind::kResync,
+          "decoder resynchronized on frame magic");
+  narrate(state.damage.dropped_frames, reported.dropped_frames,
+          introspect::FlightKind::kFrameDrop, "frames dropped by the decoder");
+  narrate(state.damage.truncated_flushes, reported.truncated_flushes,
+          introspect::FlightKind::kTruncation, "incomplete frame flushed at end of stream");
+  narrate(state.damage.unexpected_frames, reported.unexpected_frames,
+          introspect::FlightKind::kUnexpectedFrame, "valid frames the collector could not merge");
+  narrate(state.damage.orphaned_task_rows, reported.orphaned_task_rows,
+          introspect::FlightKind::kOrphanHeld, "task rows held awaiting registration");
+  narrate(state.damage.orphans_attributed, reported.orphans_attributed,
+          introspect::FlightKind::kOrphanAttributed, "held rows attributed after late TaskTable");
+  if (state.epoch_resets > probe.flight_epoch_resets) {
+    recorder.record(introspect::FlightKind::kEpochReset, clock_, state.host_id,
+                    util::format("ledger adopted epoch %u", state.epoch),
+                    state.epoch_resets - probe.flight_epoch_resets);
+    probe.flight_epoch_resets = state.epoch_resets;
+  }
+}
+
+std::vector<introspect::HealthRow> FleetCollector::health_rows() const {
+  std::vector<introspect::HealthRow> rows;
+  rows.reserve(probes_.size());
+  for (const auto& probe : probes_) {
+    const ProbeState& state = probe->state;
+    introspect::HealthRow row;
+    row.host = state.host_id;
+    row.supervised = state.supervised;
+    row.liveness = resilience::liveness_name(state.liveness);
+    row.ended = state.ended;
+    row.pipeline = state.pipeline;
+    row.delivered = state.delivered_frames;
+    row.duplicates = state.duplicate_frames;
+    row.gap_backlog = state.gap_backlog;
+    row.dropped = state.damage.dropped_frames;
+    row.resyncs = state.damage.resyncs;
+    row.truncated = state.damage.truncated_flushes;
+    row.unexpected = state.damage.unexpected_frames;
+    row.orphaned = state.damage.orphaned_task_rows;
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 FleetView FleetCollector::view(usize window_samples) const {

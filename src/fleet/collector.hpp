@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "introspect/health.hpp"
 #include "memhist/wire.hpp"
 #include "monitor/aggregate.hpp"
 #include "monitor/sampler.hpp"
@@ -87,6 +88,11 @@ struct ProbeState {
   u64 acks_sent = 0;        ///< Resume acks sent back to the probe
   usize reattaches = 0;     ///< channels swapped in by reattach_probe()
   resilience::Liveness liveness = resilience::Liveness::kLive;
+
+  /// Pipeline self-observability (npat::introspect), republished each
+  /// poll: hop latency from emit stamps, reorder dwell, stage depths,
+  /// decode rate. Plain values so views never touch the obs registry.
+  introspect::PipelineStats pipeline;
 };
 
 /// One host's row in the merged fleet view.
@@ -159,6 +165,10 @@ class FleetCollector {
   /// windows take the same number of most-recent TaskSample records.
   FleetView view(usize window_samples = 0) const;
 
+  /// Per-probe rows for the --health pane / self-metrics surface: the
+  /// republished PipelineStats joined with identity and damage.
+  std::vector<introspect::HealthRow> health_rows() const;
+
   /// Orphaned v5 rows a probe may hold awaiting late registration; beyond
   /// this, the oldest are evicted (they stay counted in the damage ledger).
   static constexpr usize kMaxOrphanRows = 4096;
@@ -182,9 +192,29 @@ class FleetCollector {
     /// and fold only once every lower sequence has arrived, so the merged
     /// stream is the *sent* stream even when retransmissions fill gaps
     /// late. Drained in lockstep with the ledger floor; bounded by the
-    /// probe's replay capacity (the gap can never be wider).
-    std::map<u32, memhist::wire::Message> pending;
+    /// probe's replay capacity (the gap can never be wider). `decoded_at`
+    /// is the collector clock at decode, so delivery observes the frame's
+    /// reorder-stage dwell.
+    struct Pending {
+      memhist::wire::Message message;
+      Cycles decoded_at = 0;
+    };
+    std::map<u32, Pending> pending;
     u32 folded_floor = 0;  // highest sequence already folded (in order)
+    /// introspect: emit-clock alignment (first stamped frame defines the
+    /// offset, so the first observation is latency 0 by construction),
+    /// cached per-probe labeled metric handles (re-resolved if a late
+    /// Hello renames the host), and the damage already narrated to the
+    /// flight ring so each poll records only the delta.
+    std::optional<i64> stamp_offset;
+    std::string metric_host;
+    obs::Histogram* ingest_hist = nullptr;
+    obs::Histogram* reorder_hist = nullptr;
+    obs::Gauge* pending_gauge = nullptr;
+    obs::Gauge* orphan_gauge = nullptr;
+    obs::Gauge* rate_gauge = nullptr;
+    ProbeDamage flight_reported;
+    u64 flight_epoch_resets = 0;
     /// v5 sample rows whose task id had no registration on arrival; held
     /// (timestamp already aligned) until a TaskTable names the id, then
     /// attributed at the sorted timestamp position. Bounded by
@@ -205,6 +235,10 @@ class FleetCollector {
   void attribute_orphans(PerProbe& probe);
   void maybe_ack(PerProbe& probe);
   void republish(PerProbe& probe);
+  void ensure_metrics(PerProbe& probe);
+  void observe_ingest(PerProbe& probe, Cycles emit_timestamp);
+  void observe_dwell(PerProbe& probe, Cycles decoded_at);
+  void narrate_flight(PerProbe& probe);
 
   resilience::LivenessConfig liveness_config_;
   Cycles clock_ = 0;

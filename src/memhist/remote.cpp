@@ -11,11 +11,21 @@ Probe::Probe(std::shared_ptr<util::ByteChannel> channel) : channel_(std::move(ch
   NPAT_CHECK_MSG(channel_ != nullptr, "probe needs a channel");
 }
 
-void Probe::send_frame(const wire::Message& message) {
+void Probe::send_frame(const wire::Message& message, bool stampable) {
+  // Sampled emit stamping (protocol v6): every Nth data frame carries the
+  // probe clock so the collector can attribute per-hop latency. Control
+  // frames (Hello) stay bare — they predate the handshake's clock origin.
+  std::vector<u8> frame;
+  if (stampable && stamp_interval_ > 0 && data_frames_++ % stamp_interval_ == 0) {
+    ++stamped_frames_;
+    frame = wire::encode(wire::Message{wire::wrap_stamped(clock_, message)});
+  } else {
+    frame = wire::encode(message);
+  }
   // Only frames the channel accepted count as sent; a closed channel's
   // rejections are accounted separately so the probe's tally reconciles
   // with what could ever reach the collector.
-  if (channel_->send(wire::encode(message))) {
+  if (channel_->send(frame)) {
     ++frames_sent_;
   } else {
     ++send_failures_;
@@ -25,7 +35,7 @@ void Probe::send_frame(const wire::Message& message) {
 }
 
 void Probe::send_hello(u32 node_count, const std::string& host_id) {
-  send_frame(wire::Hello{wire::kProtocolVersion, node_count, host_id});
+  send_frame(wire::Hello{wire::kProtocolVersion, node_count, host_id}, /*stampable=*/false);
 }
 
 void Probe::send_reading(const ThresholdReading& reading) {
@@ -61,6 +71,19 @@ void GuiCollector::poll() {
   // monitor::decode_stream).
   if (channel_->closed()) decoder_.finish();
   while (auto message = decoder_.poll()) {
+    // Emit-stamp annotations (v6) are transparent to this collector: it
+    // does not measure latency, so it unwraps and processes the inner
+    // frame as if the stamp were never there.
+    if (const auto* stamped = std::get_if<wire::StampedMsg>(&*message)) {
+      std::optional<wire::Message> inner = wire::unwrap_stamped(*stamped);
+      if (!inner.has_value()) {
+        ++unexpected_frames_;
+        NPAT_OBS_COUNT("npat_remote_unexpected_frames_total",
+                       "Valid frames of a type the collector has no use for", 1);
+        continue;
+      }
+      message = std::move(inner);
+    }
     if (const auto* hello = std::get_if<wire::Hello>(&*message)) {
       hello_ = *hello;
     } else if (const auto* reading = std::get_if<wire::ReadingMsg>(&*message)) {

@@ -34,17 +34,34 @@ class Probe {
   /// Ends the session; the collector can build the histogram afterwards.
   void send_end(Cycles total_cycles);
 
+  /// Enables sampled emit stamping (protocol v6): every `interval`-th data
+  /// frame is wrapped in a StampedMsg carrying the probe clock so a
+  /// collector can measure per-hop pipeline latency. 0 (the default)
+  /// disables stamping and keeps the byte stream identical to v5 — golden
+  /// captures of unstamped sessions never change.
+  void set_stamp_interval(usize interval) noexcept { stamp_interval_ = interval; }
+  /// Advances the probe-side emit clock used for stamps. The probe is
+  /// clockless like the rest of the transport: callers thread simulated
+  /// cycles through explicitly.
+  void set_clock(Cycles now) noexcept { clock_ = now; }
+
   /// Frames the channel accepted. Sends rejected by a closed channel are
   /// counted separately — they never reached the wire.
   usize frames_sent() const noexcept { return frames_sent_; }
   usize send_failures() const noexcept { return send_failures_; }
+  /// Data frames that carried an emit-timestamp annotation.
+  usize stamped_frames() const noexcept { return stamped_frames_; }
 
  private:
-  void send_frame(const wire::Message& message);
+  void send_frame(const wire::Message& message, bool stampable = true);
 
   std::shared_ptr<util::ByteChannel> channel_;
   usize frames_sent_ = 0;
   usize send_failures_ = 0;
+  usize stamp_interval_ = 0;
+  usize stamped_frames_ = 0;
+  usize data_frames_ = 0;
+  Cycles clock_ = 0;
 };
 
 /// GUI-side endpoint ("EventFor(Interval) + Accumulate(...)" in Fig. 6).

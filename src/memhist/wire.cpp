@@ -19,9 +19,13 @@ constexpr u8 kTypeResume = 6;         // since version 4
 constexpr u8 kTypeSequenced = 7;      // since version 4
 constexpr u8 kTypeTaskTable = 8;      // since version 5
 constexpr u8 kTypeTaskSample = 9;     // since version 5
+constexpr u8 kTypeStamped = 10;       // since version 6
 
 // Sequence envelope prefix: epoch(2) seq(4) inner_type(1).
 constexpr usize kSequencedPrefixBytes = 7;
+
+// Emit-stamp annotation prefix: emit_timestamp(8) inner_type(1).
+constexpr usize kStampedPrefixBytes = 9;
 
 // MonitorSampleMsg payload: timestamp(8) footprint(8) node_count(2) then
 // 9 u64 fields per node.
@@ -147,6 +151,16 @@ u8 encode_payload(const Message& message, std::vector<u8>& payload) {
     payload.push_back(envelope->inner_type);
     payload.insert(payload.end(), envelope->inner_payload.begin(), envelope->inner_payload.end());
     return kTypeSequenced;
+  }
+  if (const StampedMsg* stamped = std::get_if<StampedMsg>(&message)) {
+    NPAT_CHECK_MSG(stamped->inner_type != kTypeStamped && stamped->inner_type != kTypeSequenced,
+                   "emit stamps annotate data frames, never envelopes");
+    NPAT_CHECK_MSG(kStampedPrefixBytes + stamped->inner_payload.size() <= 0xFFFF,
+                   "inner payload too large for an emit-stamp annotation");
+    put_u64(payload, stamped->emit_timestamp);
+    payload.push_back(stamped->inner_type);
+    payload.insert(payload.end(), stamped->inner_payload.begin(), stamped->inner_payload.end());
+    return kTypeStamped;
   }
   if (const TaskTableMsg* table = std::get_if<TaskTableMsg>(&message)) {
     put_u16(payload, static_cast<u16>(table->entries.size()));
@@ -357,6 +371,18 @@ std::optional<Message> parse_payload(u8 type, const u8* payload, usize payload_l
         return resume;
       }
       break;
+    case kTypeStamped:
+      // The stamp is the innermost envelope: an inner stamp or sequence
+      // envelope is malformed, not a recursion invitation.
+      if (payload_len >= kStampedPrefixBytes && payload[8] != kTypeStamped &&
+          payload[8] != kTypeSequenced) {
+        StampedMsg stamped;
+        stamped.emit_timestamp = get_u64(payload);
+        stamped.inner_type = payload[8];
+        stamped.inner_payload.assign(payload + kStampedPrefixBytes, payload + payload_len);
+        return stamped;
+      }
+      break;
     case kTypeSequenced:
       // Envelopes never nest; a sequenced inner type is malformed, not
       // a recursion invitation.
@@ -414,6 +440,21 @@ SequencedMsg wrap_sequenced(u16 epoch, u32 seq, const Message& inner) {
 std::optional<Message> unwrap_sequenced(const SequencedMsg& envelope) {
   return parse_payload(envelope.inner_type, envelope.inner_payload.data(),
                        envelope.inner_payload.size());
+}
+
+StampedMsg wrap_stamped(Cycles emit_timestamp, const Message& inner) {
+  NPAT_CHECK_MSG(!std::holds_alternative<StampedMsg>(inner) &&
+                     !std::holds_alternative<SequencedMsg>(inner),
+                 "emit stamps annotate data frames, never envelopes");
+  StampedMsg stamped;
+  stamped.emit_timestamp = emit_timestamp;
+  stamped.inner_type = encode_payload(inner, stamped.inner_payload);
+  return stamped;
+}
+
+std::optional<Message> unwrap_stamped(const StampedMsg& stamped) {
+  return parse_payload(stamped.inner_type, stamped.inner_payload.data(),
+                       stamped.inner_payload.size());
 }
 
 void Decoder::feed(const std::vector<u8>& bytes) {

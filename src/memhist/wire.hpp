@@ -26,10 +26,13 @@ inline constexpr u8 kMagic1 = 'P';
 /// that lets a reconnecting probe retransmit only what the collector
 /// never saw. Version 5 adds per-task attribution: TaskTableMsg registers
 /// (pid, tid, name) tuples under compact task ids and TaskSampleMsg ships
-/// per-task counter deltas keyed by those ids. Version-1/2/3/4 streams
-/// decode unchanged; older decoders skip newer frame types (unknown types
-/// are dropped whole, CRC-verified, without losing framing).
-inline constexpr u8 kProtocolVersion = 5;
+/// per-task counter deltas keyed by those ids. Version 6 adds pipeline
+/// self-observability: StampedMsg annotates a data frame's payload with
+/// the probe-side monotonic emit timestamp so a collector can attribute
+/// per-hop latency (encode→send→decode→reorder→deliver). Version-1/2/3/4/5
+/// streams decode unchanged; older decoders skip newer frame types
+/// (unknown types are dropped whole, CRC-verified, without losing framing).
+inline constexpr u8 kProtocolVersion = 6;
 inline constexpr usize kMaxHostIdBytes = 255;
 inline constexpr usize kMaxTaskNameBytes = 255;
 
@@ -121,6 +124,22 @@ struct SequencedMsg {
   friend bool operator==(const SequencedMsg&, const SequencedMsg&) = default;
 };
 
+/// Emit-timestamp annotation (version >= 6): a data frame's payload,
+/// prefixed with the probe's monotonic emit clock so the collector — which
+/// already aligns per-probe clock origins — can compute ingest latency per
+/// hop. Like SequencedMsg, the annotation replaces the inner frame's own
+/// framing, so the wire cost is a flat 9 bytes per stamped frame; probes
+/// stamp a sampled subset (every Nth frame) to keep the stream overhead
+/// bounded. The stamp is always the *innermost* envelope: a SequencedMsg
+/// may carry a StampedMsg, but a StampedMsg never carries an envelope.
+struct StampedMsg {
+  Cycles emit_timestamp = 0;
+  u8 inner_type = 0;
+  std::vector<u8> inner_payload;
+
+  friend bool operator==(const StampedMsg&, const StampedMsg&) = default;
+};
+
 /// One row of a TaskTableMsg (version >= 5): binds a stream-local compact
 /// task id to the task's OS identity and human-readable names. Sample rows
 /// reference the id so the identity bytes ship once per task, not once per
@@ -183,7 +202,7 @@ struct TaskSampleMsg {
 };
 
 using Message = std::variant<Hello, ReadingMsg, End, MonitorSampleMsg, Heartbeat, Resume,
-                             SequencedMsg, TaskTableMsg, TaskSampleMsg>;
+                             SequencedMsg, TaskTableMsg, TaskSampleMsg, StampedMsg>;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected).
 u32 crc32(const u8* data, usize length);
@@ -199,6 +218,16 @@ SequencedMsg wrap_sequenced(u16 epoch, u32 seq, const Message& inner);
 /// already covered these bytes, so a nullopt here means a malformed
 /// *sender*, not transport damage.
 std::optional<Message> unwrap_sequenced(const SequencedMsg& envelope);
+
+/// Annotates `inner` (a data frame — never an envelope) with the probe's
+/// emit timestamp. The result may in turn be wrapped by wrap_sequenced():
+/// the nesting order on the wire is Sequenced(Stamped(data)).
+StampedMsg wrap_stamped(Cycles emit_timestamp, const Message& inner);
+
+/// Decodes the annotated inner message; nullopt if the inner payload is
+/// malformed or of an unknown (future) type — sender damage, not
+/// transport damage, exactly as for unwrap_sequenced().
+std::optional<Message> unwrap_stamped(const StampedMsg& stamped);
 
 /// Incremental decoder. Feed bytes as they arrive; poll() yields complete
 /// messages. Frames with bad CRCs or unknown types are dropped and counted;

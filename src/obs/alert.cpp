@@ -102,6 +102,16 @@ Severity AlertEngine::state(const std::string& rule, const std::string& subject)
   return it == states_.end() ? Severity::kOk : it->second.committed;
 }
 
+namespace {
+TransitionObserver g_transition_observer = nullptr;
+}  // namespace
+
+void set_transition_observer(TransitionObserver observer) noexcept {
+  g_transition_observer = observer;
+}
+
+TransitionObserver transition_observer() noexcept { return g_transition_observer; }
+
 void AlertEngine::emit(const AlertRule& rule, const std::string& subject,
                        const AlertTransition& transition) {
   metrics()
@@ -119,6 +129,7 @@ void AlertEngine::emit(const AlertRule& rule, const std::string& subject,
       util::format("%s %s->%s value=%.4f window=%llu", subject.c_str(),
                    severity_name(transition.from), severity_name(transition.to), transition.value,
                    static_cast<unsigned long long>(transition.window)));
+  if (g_transition_observer != nullptr) g_transition_observer(transition);
 }
 
 std::string AlertEngine::render_transitions() const {

@@ -54,6 +54,14 @@ struct AlertTransition {
   double value = 0.0;  // the value that committed the transition
 };
 
+/// Process-wide observer invoked on every committed transition, after the
+/// metric/trace emission. npat::introspect hooks its flight recorder here
+/// (obs sits below introspect in the DAG, so the dependency is inverted
+/// through this pointer); nullptr disables. Swap only from one thread.
+using TransitionObserver = void (*)(const AlertTransition&);
+void set_transition_observer(TransitionObserver observer) noexcept;
+TransitionObserver transition_observer() noexcept;
+
 class AlertEngine {
  public:
   AlertEngine() = default;

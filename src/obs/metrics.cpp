@@ -27,6 +27,23 @@ std::string render_double(double value) {
   return util::compact_double(value, 6);
 }
 
+/// HELP text escaping per the exposition format: backslash and newline
+/// (a raw newline in help would end the HELP line mid-sentence).
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -37,6 +54,10 @@ Histogram::Histogram(std::vector<double> bounds)
 
 void Histogram::observe(double value) noexcept {
   if (!enabled()) return;
+  if (value != value) {  // NaN: would land in +Inf *and* poison sum_ forever
+    nan_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   usize bucket = bounds_.size();  // +Inf
   for (usize i = 0; i < bounds_.size(); ++i) {
     if (value <= bounds_[i]) {
@@ -52,7 +73,40 @@ void Histogram::observe(double value) noexcept {
 void Histogram::reset() noexcept {
   for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  nan_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>> labels) {
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
 }
 
 Registry::Entry& Registry::entry_of(const std::string& name, Kind kind, const std::string& help) {
@@ -62,6 +116,14 @@ Registry::Entry& Registry::entry_of(const std::string& name, Kind kind, const st
     it->second.help = help;
   } else {
     NPAT_CHECK_MSG(it->second.kind == kind, "metric re-registered with a different kind");
+    // Help policy: first non-empty help wins, a later empty help backfills
+    // nothing away, and two call sites disagreeing out loud is a bug.
+    if (it->second.help.empty()) {
+      it->second.help = help;
+    } else {
+      NPAT_CHECK_MSG(help.empty() || help == it->second.help,
+                     "metric re-registered with a conflicting help string");
+    }
   }
   return it->second;
 }
@@ -100,6 +162,12 @@ double Registry::gauge_value(const std::string& name) const {
   return it != entries_.end() && it->second.gauge ? it->second.gauge->value() : 0.0;
 }
 
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() ? it->second.histogram.get() : nullptr;
+}
+
 usize Registry::size() const {
   std::lock_guard lock(mutex_);
   return entries_.size();
@@ -114,7 +182,7 @@ std::string Registry::prometheus_text() const {
     if (base != last_base) {
       if (!entry.help.empty()) {
         out += util::format("# HELP %.*s %s\n", static_cast<int>(base.size()), base.data(),
-                            entry.help.c_str());
+                            escape_help(entry.help).c_str());
       }
       const char* type = entry.kind == Kind::kCounter  ? "counter"
                          : entry.kind == Kind::kGauge ? "gauge"
@@ -132,18 +200,27 @@ std::string Registry::prometheus_text() const {
         break;
       case Kind::kHistogram: {
         const Histogram& histogram = *entry.histogram;
+        // A labeled series "base{l=\"v\"}" must fold `le` into the existing
+        // label set: "base_bucket{l=\"v\",le=\"...\"}" — suffixing the full
+        // name would put text after the closing brace, which Prometheus
+        // rejects.
+        const std::string series(base);
+        const std::string labels = name.size() > base.size() ? name.substr(base.size()) : "";
+        const std::string inner =
+            labels.empty() ? "" : labels.substr(1, labels.size() - 2) + ",";
         u64 cumulative = 0;
         for (usize i = 0; i < histogram.bounds().size(); ++i) {
           cumulative += histogram.bucket_count(i);
-          out += util::format("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+          out += util::format("%s_bucket{%sle=\"%s\"} %llu\n", series.c_str(), inner.c_str(),
                               render_double(histogram.bounds()[i]).c_str(),
                               static_cast<unsigned long long>(cumulative));
         }
         cumulative += histogram.bucket_count(histogram.bounds().size());
-        out += util::format("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+        out += util::format("%s_bucket{%sle=\"+Inf\"} %llu\n", series.c_str(), inner.c_str(),
                             static_cast<unsigned long long>(cumulative));
-        out += util::format("%s_sum %s\n", name.c_str(), render_double(histogram.sum()).c_str());
-        out += util::format("%s_count %llu\n", name.c_str(),
+        out += util::format("%s_sum%s %s\n", series.c_str(), labels.c_str(),
+                            render_double(histogram.sum()).c_str());
+        out += util::format("%s_count%s %llu\n", series.c_str(), labels.c_str(),
                             static_cast<unsigned long long>(histogram.count()));
         break;
       }
@@ -184,6 +261,7 @@ util::Json Registry::to_json() const {
         metric["buckets"] = std::move(buckets);
         metric["sum"] = histogram.sum();
         metric["count"] = histogram.count();
+        metric["nan_observations"] = histogram.nan_observations();
         break;
       }
     }

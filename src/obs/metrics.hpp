@@ -13,11 +13,14 @@
 #pragma once
 
 #include <atomic>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/runtime.hpp"
@@ -54,6 +57,8 @@ class Gauge {
 
 /// Fixed-bucket histogram (ascending upper bounds; an implicit +Inf bucket
 /// catches the overflow). Buckets are cumulative in the Prometheus export.
+/// NaN observations are dropped — a NaN would otherwise poison `sum` for
+/// the rest of the process — and tallied in nan_observations() instead.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -67,19 +72,36 @@ class Histogram {
   }
   u64 count() const noexcept { return count_.load(std::memory_order_relaxed); }
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// NaN values passed to observe(): dropped from every bucket and from
+  /// `sum`/`count`, counted here so the damage is visible, not silent.
+  u64 nan_observations() const noexcept { return nan_.load(std::memory_order_relaxed); }
   void reset() noexcept;
 
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<u64>> counts_;  // bounds_.size() + 1
   std::atomic<u64> count_{0};
+  std::atomic<u64> nan_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Escapes a Prometheus label *value*: backslash, double quote and newline
+/// per the text exposition format.
+std::string escape_label_value(std::string_view value);
+
+/// Renders `base{key="value",...}` with escaped values — the registry's
+/// labeled-name convention (per-probe metric series use this).
+std::string labeled_name(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>> labels);
 
 class Registry {
  public:
   /// Returns the named metric, creating it on first use. Re-registering an
-  /// existing name with a different metric kind throws.
+  /// existing name with a different metric kind throws. Help text: the
+  /// first non-empty help wins, a later empty help never erases it, and a
+  /// later *conflicting* non-empty help throws — two call sites silently
+  /// disagreeing about what a metric means is a bug, not a preference.
   Counter& counter(const std::string& name, const std::string& help = "");
   Gauge& gauge(const std::string& name, const std::string& help = "");
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
@@ -88,6 +110,9 @@ class Registry {
   /// Current value of a registered counter/gauge; 0 if absent.
   u64 counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;
+  /// Stable pointer to a registered histogram; nullptr if the name is
+  /// absent or registered as another kind. Handles outlive the lookup.
+  const Histogram* find_histogram(const std::string& name) const;
   usize size() const;
 
   /// Prometheus text exposition format, metrics sorted by name, one HELP/

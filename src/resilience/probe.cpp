@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "introspect/flight.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/strings.hpp"
@@ -91,8 +92,20 @@ void SupervisedProbe::send_end(Cycles total_cycles, Cycles now) {
 
 void SupervisedProbe::enqueue_and_send(const wire::Message& inner, Cycles now) {
   const u32 seq = ++last_seq_;
-  std::vector<u8> frame =
-      wire::encode(wire::Message{wire::wrap_sequenced(config_.epoch, seq, inner)});
+  // Sampled emit stamping: every Nth data frame is annotated with the
+  // probe's send clock before the sequence envelope goes on (nesting
+  // Sequenced(Stamped(data))), so the collector can measure per-hop
+  // latency without paying 9 bytes on every frame. The stamp rides the
+  // replay buffer too: a retransmission keeps its original emit time, so
+  // the measured latency honestly includes the outage.
+  std::vector<u8> frame;
+  if (config_.stamp_interval > 0 && (seq - 1) % config_.stamp_interval == 0) {
+    ++stamped_frames_;
+    frame = wire::encode(wire::Message{
+        wire::wrap_sequenced(config_.epoch, seq, wire::Message{wire::wrap_stamped(now, inner)})});
+  } else {
+    frame = wire::encode(wire::Message{wire::wrap_sequenced(config_.epoch, seq, inner)});
+  }
   if (replay_.size() >= config_.replay_capacity) {
     // The oldest unacked frame is gone for good; the collector's ledger
     // will report the hole. Bounded memory beats silent unbounded growth.
@@ -100,8 +113,11 @@ void SupervisedProbe::enqueue_and_send(const wire::Message& inner, Cycles now) {
     ++evictions_;
     NPAT_OBS_COUNT("npat_resilience_replay_evictions_total",
                    "Unacked frames evicted from full replay buffers", 1);
+    introspect::flight().record(introspect::FlightKind::kReplayEviction, now, config_.host_id,
+                                "unacked frame evicted from a full replay buffer");
   }
   replay_.push_back(Buffered{seq, frame});
+  publish_replay_depth();
   // While resuming, fresh frames stay buffered: retransmissions of the gap
   // must hit the wire first so the collector's floor advances in order.
   if (state_ == LinkState::kConnected) {
@@ -137,6 +153,10 @@ void SupervisedProbe::dial(Cycles now) {
   }
   state_ = LinkState::kAwaitingResume;
   resume_deadline_ = now + config_.resume_timeout;
+  introspect::flight().record(
+      introspect::FlightKind::kDial, now, config_.host_id,
+      util::format("epoch=%u next_seq=%u", static_cast<unsigned>(config_.epoch),
+                   static_cast<unsigned>(last_seq_ + 1)));
   NPAT_OBS_INSTANT("resilience.dial",
                    util::format("host=%s epoch=%u next_seq=%u", config_.host_id.c_str(),
                                 static_cast<unsigned>(config_.epoch),
@@ -181,6 +201,10 @@ void SupervisedProbe::complete_resume(Cycles now) {
     ++reconnects_;
     NPAT_OBS_COUNT("npat_resilience_reconnects_total",
                    "Resume handshakes completed after a link loss", 1);
+    introspect::flight().record(
+        introspect::FlightKind::kReconnect, now, config_.host_id,
+        util::format("floor=%u replayed=%zu", static_cast<unsigned>(acked_floor_),
+                     replay_.size()));
   }
   connected_once_ = true;
   NPAT_OBS_INSTANT("resilience.resume",
@@ -192,6 +216,17 @@ void SupervisedProbe::prune_acked() {
   while (!replay_.empty() && replay_.front().seq <= acked_floor_) {
     replay_.pop_front();
   }
+  publish_replay_depth();
+}
+
+void SupervisedProbe::publish_replay_depth() {
+  if (!obs::enabled()) return;
+  if (replay_gauge_ == nullptr) {
+    replay_gauge_ = &obs::metrics().gauge(
+        obs::labeled_name("npat_introspect_replay_depth", {{"host", config_.host_id}}),
+        "Unacked frames held in a supervised probe's replay buffer");
+  }
+  replay_gauge_->set(static_cast<double>(replay_.size()));
 }
 
 void SupervisedProbe::lose_link(Cycles now) {

@@ -48,6 +48,40 @@ struct ChannelPair {
 /// whatever is queued (the probe/collector loops are cooperative).
 ChannelPair make_loopback_pair();
 
+/// Decorator that tallies traffic without touching it. Benchmarks use it
+/// to gate wire-byte overhead (e.g. the cost of emit-stamp annotations)
+/// and tests use it to assert exactly what hit the wire.
+class CountingChannel : public ByteChannel {
+ public:
+  explicit CountingChannel(std::shared_ptr<ByteChannel> inner) : inner_(std::move(inner)) {}
+
+  bool send(const std::vector<u8>& data) override {
+    const bool ok = inner_->send(data);
+    if (ok) {
+      ++sends_;
+      bytes_sent_ += data.size();
+    }
+    return ok;
+  }
+  std::vector<u8> recv(usize max_bytes) override {
+    std::vector<u8> data = inner_->recv(max_bytes);
+    bytes_received_ += data.size();
+    return data;
+  }
+  void close() override { inner_->close(); }
+  bool closed() const override { return inner_->closed(); }
+
+  usize sends() const noexcept { return sends_; }
+  usize bytes_sent() const noexcept { return bytes_sent_; }
+  usize bytes_received() const noexcept { return bytes_received_; }
+
+ private:
+  std::shared_ptr<ByteChannel> inner_;
+  usize sends_ = 0;
+  usize bytes_sent_ = 0;
+  usize bytes_received_ = 0;
+};
+
 /// Decorator that injects faults for protocol robustness tests.
 class FaultyChannel : public ByteChannel {
  public:

@@ -1,0 +1,266 @@
+// End-to-end self-observability under chaos: a supervised probe streams
+// through links that cut mid-frame (and drop frames in transit), and the
+// introspection surface must tell the truth about everything that
+// happened. Concretely:
+//
+//   * the flight recorder's per-kind totals reconcile *exactly* against
+//     the collector's damage ledger and the probe's own counters — every
+//     drop, truncation, dial, reconnect and reattach is narrated, none
+//     twice;
+//   * every stamped frame the probe emitted is observed by the ingest
+//     histogram exactly once (duplicates suppressed by the ledger never
+//     re-observe), and every delivered frame observes reorder dwell;
+//   * the health rows, rendered pane and self-metrics exports are all
+//     live views of the same converged state.
+//
+// This is the CI chaos artifact too: the flight ring is dumped to JSON
+// unconditionally so a failing run leaves its black box behind.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fleet/collector.hpp"
+#include "introspect/flight.hpp"
+#include "introspect/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/runtime.hpp"
+#include "resilience/probe.hpp"
+#include "util/ansi.hpp"
+#include "util/channel.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace npat::introspect {
+namespace {
+
+namespace wire = memhist::wire;
+
+constexpr usize kSamples = 60;
+
+wire::MonitorSampleMsg make_sample(usize index) {
+  wire::MonitorSampleMsg sample;
+  sample.timestamp = 1000 + static_cast<Cycles>(index) * 100;
+  sample.footprint_bytes = 4096 * (index + 1);
+  sample.nodes.push_back({index + 1, index + 2, 3, 4, 5, 6, 7, 8, 4096});
+  sample.nodes.push_back({2 * index + 1, index, 1, 2, 3, 4, 5, 6, 8192});
+  return sample;
+}
+
+/// The soak-test chaos dialer: the first `chaos_connections` links cut
+/// mid-frame after a fixed number of sends (optionally behind a lossy
+/// FaultyChannel); later links are clean so the stream can converge.
+struct ChaosHarness {
+  ChaosHarness(std::string host, usize chaos_connections,
+               util::DisconnectingChannel::Config cut_config, double drop_probability = 0.0)
+      : host_(std::move(host)),
+        chaos_connections_(chaos_connections),
+        cut_config_(cut_config),
+        drop_probability_(drop_probability) {}
+
+  resilience::DialFn dialer() {
+    return [this]() -> std::shared_ptr<util::ByteChannel> {
+      auto pair = util::make_loopback_pair();
+      if (connections_ == 0) {
+        slot_ = collector.add_probe(pair.b, host_);
+      } else {
+        collector.reattach_probe(slot_, pair.b);
+      }
+      const usize index = connections_++;
+      if (index >= chaos_connections_) return pair.a;
+      auto cut = std::make_shared<util::DisconnectingChannel>(pair.a, cut_config_);
+      cuts.push_back(cut);
+      if (drop_probability_ <= 0.0) return cut;
+      util::FaultyChannel::Config faulty_config;
+      faulty_config.drop_probability = drop_probability_;
+      faulty_config.seed = 1000 + index;
+      auto faulty = std::make_shared<util::FaultyChannel>(cut, faulty_config);
+      faults.push_back(faulty);
+      return faulty;
+    };
+  }
+
+  const fleet::ProbeState& state() const { return collector.probe(slot_); }
+
+  fleet::FleetCollector collector;
+  std::vector<std::shared_ptr<util::DisconnectingChannel>> cuts;
+  std::vector<std::shared_ptr<util::FaultyChannel>> faults;
+  usize connections_ = 0;
+
+ private:
+  std::string host_;
+  usize chaos_connections_;
+  util::DisconnectingChannel::Config cut_config_;
+  double drop_probability_;
+  usize slot_ = 0;
+};
+
+resilience::SupervisedProbeConfig chaos_config(const std::string& host) {
+  resilience::SupervisedProbeConfig config;
+  config.host_id = host;
+  config.node_count = 2;
+  config.epoch = 1;
+  config.replay_capacity = 1024;         // nothing evicted: losses are the links' fault
+  config.heartbeat_interval = 1u << 30;  // off unless a test opts in
+  config.resume_timeout = 300;
+  config.backoff = {.initial = 20, .max = 100, .multiplier = 2.0, .jitter = 0.5};
+  config.seed = 7;
+  // stamp_interval stays at its default: the chaos run must exercise the
+  // same sampled-stamping configuration production probes ship with.
+  return config;
+}
+
+usize drive_to_convergence(resilience::SupervisedProbe& probe, ChaosHarness& harness,
+                           Cycles& now) {
+  usize sent = 0;
+  bool end_sent = false;
+  usize step = 0;
+  for (; step < 20000; ++step) {
+    probe.pump(now);
+    if (sent < kSamples) {
+      probe.send_sample(make_sample(sent), now);
+      ++sent;
+    } else if (!end_sent) {
+      probe.send_end(999999, now);
+      end_sent = true;
+    }
+    harness.collector.poll(now);
+    probe.pump(now);
+    now += 10;
+    if (end_sent && probe.fully_acked() && harness.state().ended) break;
+  }
+  harness.collector.poll(now);
+  return step;
+}
+
+/// The tentpole identity: the flight ring's eviction-proof totals must
+/// equal the damage ledger and probe counters kind by kind. A miss in
+/// either direction means an event was dropped or narrated twice.
+void expect_flight_reconciles(const resilience::SupervisedProbe& probe,
+                              const ChaosHarness& harness) {
+  const fleet::ProbeState& state = harness.state();
+  const FlightRecorder& recorder = flight();
+  EXPECT_EQ(recorder.total(FlightKind::kFrameDrop), state.damage.dropped_frames);
+  EXPECT_EQ(recorder.total(FlightKind::kTruncation), state.damage.truncated_flushes);
+  EXPECT_EQ(recorder.total(FlightKind::kResync), state.damage.resyncs);
+  EXPECT_EQ(recorder.total(FlightKind::kUnexpectedFrame), state.damage.unexpected_frames);
+  EXPECT_EQ(recorder.total(FlightKind::kOrphanHeld), state.damage.orphaned_task_rows);
+  EXPECT_EQ(recorder.total(FlightKind::kOrphanAttributed), state.damage.orphans_attributed);
+  EXPECT_EQ(recorder.total(FlightKind::kEpochReset), state.epoch_resets);
+  EXPECT_EQ(recorder.total(FlightKind::kReattach), state.reattaches);
+  EXPECT_EQ(recorder.total(FlightKind::kDial),
+            probe.dial_attempts() - probe.dial_failures());
+  EXPECT_EQ(recorder.total(FlightKind::kReconnect), probe.reconnects());
+  EXPECT_EQ(recorder.total(FlightKind::kReplayEviction), probe.evictions());
+}
+
+/// Hop instrumentation: every stamped frame observed exactly once, every
+/// delivered frame observed by the reorder stage, and the labeled
+/// histograms really registered in the global registry.
+void expect_hops_observed(const resilience::SupervisedProbe& probe, const ChaosHarness& harness,
+                          const std::string& host) {
+  const introspect::PipelineStats& pipeline = harness.state().pipeline;
+  EXPECT_GT(probe.stamped_frames(), 0u);
+  // Duplicates are suppressed by the ledger *before* the stamp is
+  // observed, so even under retransmission storms each stamped sequence
+  // lands in the histogram exactly once.
+  EXPECT_EQ(pipeline.stamped_frames, static_cast<u64>(probe.stamped_frames()));
+  EXPECT_EQ(pipeline.ingest_observations, static_cast<u64>(probe.stamped_frames()));
+  // Every exactly-once delivery passed through the reorder stage.
+  EXPECT_EQ(pipeline.reorder_observations, harness.state().delivered_frames);
+  EXPECT_GE(pipeline.ingest_max, 0u);
+  EXPECT_GE(pipeline.ingest_p99, 0.0);
+  EXPECT_GT(pipeline.frames, 0u);
+  EXPECT_GT(pipeline.frames_per_mcycle, 0.0);
+
+  const obs::Histogram* ingest = obs::metrics().find_histogram(
+      obs::labeled_name("npat_introspect_ingest_latency_cycles", {{"host", host}}));
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_EQ(ingest->count(), pipeline.ingest_observations);
+  EXPECT_NE(obs::metrics().find_histogram(
+                obs::labeled_name("npat_introspect_reorder_dwell_cycles", {{"host", host}})),
+            nullptr);
+}
+
+TEST(IntrospectE2E, ChaosCutsReconcileFlightAgainstDamageLedger) {
+  obs::EnabledGuard on(true);
+  flight().reset();  // reconcile against exactly this run
+  ChaosHarness harness("chaos-probe", 5, {.cut_after_sends = 17, .cut_delivery_bytes = 9});
+  resilience::SupervisedProbe probe(chaos_config("chaos-probe"), harness.dialer());
+
+  Cycles now = 0;
+  const usize steps = drive_to_convergence(probe, harness, now);
+  // Always leave the black box behind: CI uploads npat_flight_*.json when
+  // the suite fails, and this dump is what a postmortem reads.
+  flight().dump("npat_flight_introspect_chaos.json");
+  ASSERT_LT(steps, 20000u) << "chaos run never converged";
+
+  // The chaos actually happened, and the stream still converged whole.
+  const fleet::ProbeState& state = harness.state();
+  EXPECT_GE(probe.reconnects(), 2u);
+  EXPECT_GT(state.damage.dropped_frames, 0u);
+  ASSERT_EQ(state.samples.size(), kSamples);
+  EXPECT_EQ(state.delivered_frames, static_cast<u64>(probe.last_seq()));
+
+  expect_flight_reconciles(probe, harness);
+  expect_hops_observed(probe, harness, "chaos-probe");
+
+  // The dumped artifact is the same reconciled ring, byte-for-value.
+  const util::Json dump = util::Json::parse(util::read_file("npat_flight_introspect_chaos.json"));
+  EXPECT_DOUBLE_EQ(dump.at("totals").at("frame_drop").as_number(),
+                   static_cast<double>(state.damage.dropped_frames));
+  EXPECT_DOUBLE_EQ(dump.at("totals").at("reconnect").as_number(),
+                   static_cast<double>(probe.reconnects()));
+
+  // The health surface is a live view of the converged state.
+  const std::vector<HealthRow> rows = harness.collector.health_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].host, "chaos-probe");
+  EXPECT_TRUE(rows[0].supervised);
+  EXPECT_TRUE(rows[0].ended);
+  EXPECT_EQ(rows[0].dropped, state.damage.dropped_frames);
+  EXPECT_EQ(rows[0].pipeline.stamped_frames, state.pipeline.stamped_frames);
+  {
+    util::AnsiGuard plain(false);
+    const std::string pane =
+        render_health(rows, harness.collector.clock(), {.title = "chaos-health"});
+    EXPECT_NE(pane.find("chaos-probe"), std::string::npos);
+    EXPECT_NE(pane.find("chaos-health"), std::string::npos);
+  }
+
+  // Self-metrics exports surface the same flight totals.
+  const std::string prom = self_metrics_prometheus();
+  EXPECT_NE(prom.find(util::format("npat_flight_events_total{kind=\"reconnect\"} %llu\n",
+                                   static_cast<unsigned long long>(probe.reconnects()))),
+            std::string::npos);
+  const util::Json self = self_metrics_json();
+  EXPECT_DOUBLE_EQ(self.at("flight").at("totals").at("dial").as_number(),
+                   static_cast<double>(probe.dial_attempts()));
+}
+
+TEST(IntrospectE2E, LossyLinksNeverDoubleObserveStampedFrames) {
+  obs::EnabledGuard on(true);
+  flight().reset();
+  // One-in-five sends vanish in transit: reconnect replays then overlap
+  // frames already delivered, so the ledger's duplicate suppression is
+  // load-bearing for the "observed exactly once" guarantee.
+  ChaosHarness harness("lossy-probe", 8, {.cut_after_sends = 13, .cut_delivery_bytes = 9},
+                       /*drop_probability=*/0.2);
+  resilience::SupervisedProbeConfig config = chaos_config("lossy-probe");
+  config.heartbeat_interval = 200;  // keeps an idle lossy link moving
+  resilience::SupervisedProbe probe(config, harness.dialer());
+
+  Cycles now = 0;
+  const usize steps = drive_to_convergence(probe, harness, now);
+  flight().dump("npat_flight_introspect_lossy.json");
+  ASSERT_LT(steps, 20000u) << "lossy run never converged";
+
+  // The dedup path really ran — and still no stamp was observed twice.
+  EXPECT_GT(harness.state().duplicate_frames, 0u);
+  expect_flight_reconciles(probe, harness);
+  expect_hops_observed(probe, harness, "lossy-probe");
+}
+
+}  // namespace
+}  // namespace npat::introspect

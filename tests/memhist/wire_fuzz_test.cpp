@@ -40,7 +40,7 @@ std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
   std::vector<Message> messages;
   messages.push_back(Hello{kProtocolVersion, 4});
   for (usize i = 1; i + 1 < count; ++i) {
-    switch (rng.below(8)) {
+    switch (rng.below(10)) {
       case 0:
         messages.push_back(ReadingMsg{ThresholdReading{
             rng.below(1024), rng.below(1000000), rng.below(50000000), rng.below(64)}});
@@ -128,6 +128,27 @@ std::vector<Message> make_messages(util::Xoshiro256ss& rng, usize count) {
           sample.rows.push_back(std::move(row));
         }
         messages.push_back(std::move(sample));
+        break;
+      }
+      case 7: {
+        // v6 emit-stamp annotation over a bare data frame.
+        messages.push_back(wrap_stamped(
+            rng() & ((1ULL << 40) - 1),
+            Message{ReadingMsg{ThresholdReading{rng.below(1024), rng.below(1000000),
+                                                rng.below(50000000), rng.below(64)}}}));
+        break;
+      }
+      case 8: {
+        // The production v6 nesting: Sequenced(Stamped(sample)). Corruption
+        // anywhere in the chain must drop the whole frame, never a piece.
+        MonitorSampleMsg sample;
+        sample.timestamp = rng() & ((1ULL << 40) - 1);
+        sample.nodes.push_back({rng.below(100000), rng.below(100000), rng.below(5000),
+                                rng.below(5000), rng.below(500), rng.below(10000),
+                                rng.below(10000), rng.below(20000), rng.below(1u << 30)});
+        messages.push_back(wrap_sequenced(
+            static_cast<u16>(1 + rng.below(4)), static_cast<u32>(1 + rng.below(1u << 20)),
+            Message{wrap_stamped(rng() & ((1ULL << 40) - 1), Message{std::move(sample)})}));
         break;
       }
       default:

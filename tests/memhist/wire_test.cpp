@@ -573,6 +573,144 @@ TEST(WireV5, LegacyMonitorSampleStillBitIdentical) {
   EXPECT_EQ(encode(sample), raw_frame(4, payload));
 }
 
+// ---- protocol v6: emit-stamp annotations ----------------------------------
+
+TEST(WireV6, StampedSampleRoundTrip) {
+  MonitorSampleMsg sample;
+  sample.timestamp = 999;
+  sample.footprint_bytes = 1 << 20;
+  sample.nodes.push_back({10, 20, 3, 1, 0, 7, 5, 2, 4096});
+
+  const StampedMsg stamped = wrap_stamped(0xABCDEF0123456789ULL, Message{sample});
+  Decoder decoder;
+  decoder.feed(encode(stamped));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  const auto* decoded = std::get_if<StampedMsg>(&*message);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->emit_timestamp, 0xABCDEF0123456789ULL);
+
+  const auto inner = unwrap_stamped(*decoded);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(std::get<MonitorSampleMsg>(*inner), sample);
+}
+
+TEST(WireV6, SequencedStampedChainRoundTrip) {
+  // The production nesting: Sequenced(Stamped(data)). The envelope carries
+  // (epoch, seq) for exactly-once delivery; the annotation inside carries
+  // the probe's emit clock for hop-latency attribution.
+  TaskTableMsg table;
+  table.entries.push_back(TaskTableEntry{1, 10, 11, "mlc", "t0"});
+  for (const Message& original :
+       {Message{table}, Message{make_task_sample()}, Message{End{777}}}) {
+    const SequencedMsg envelope =
+        wrap_sequenced(3, 21, Message{wrap_stamped(123456, original)});
+    Decoder decoder;
+    decoder.feed(encode(envelope));
+    const auto message = decoder.poll();
+    ASSERT_TRUE(message.has_value());
+    const auto inner = unwrap_sequenced(std::get<SequencedMsg>(*message));
+    ASSERT_TRUE(inner.has_value());
+    const auto* stamped = std::get_if<StampedMsg>(&*inner);
+    ASSERT_NE(stamped, nullptr);
+    EXPECT_EQ(stamped->emit_timestamp, 123456u);
+    const auto data = unwrap_stamped(*stamped);
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ(encode(*data), encode(original));
+  }
+}
+
+TEST(WireV6, StampedOverheadIsNineBytes) {
+  // The annotation replaces the inner frame's framing, so its wire cost is
+  // exactly emit_timestamp(8) + inner type(1) per stamped frame.
+  MonitorSampleMsg sample;
+  sample.nodes.push_back({});
+  sample.nodes.push_back({});
+  const usize plain = encode(sample).size();
+  const usize stamped = encode(wrap_stamped(1, Message{sample})).size();
+  EXPECT_EQ(stamped, plain + 9);
+}
+
+TEST(WireV6, StampedGoldenBytes) {
+  // Pins the v6 layout: emit_timestamp(8 LE) + inner type(1) + inner
+  // payload, framed as type 10.
+  const StampedMsg stamped = wrap_stamped(5, Message{End{7}});
+  std::vector<u8> payload = {5, 0, 0, 0, 0, 0, 0, 0, 3};  // stamp, End's type
+  for (const u8 value : {7, 0, 0, 0, 0, 0, 0, 0}) payload.push_back(value);
+  EXPECT_EQ(encode(stamped), raw_frame(10, payload));
+}
+
+TEST(WireV6, StampsNeverWrapEnvelopes) {
+  // A stamp annotates a data frame; wrapping an envelope (or another
+  // stamp) is structurally forbidden at encode and rejected at decode.
+  const SequencedMsg envelope = wrap_sequenced(1, 1, Message{End{1}});
+  EXPECT_THROW(wrap_stamped(1, Message{envelope}), CheckError);
+  const StampedMsg stamped = wrap_stamped(1, Message{End{1}});
+  EXPECT_THROW(wrap_stamped(2, Message{stamped}), CheckError);
+
+  // Decode side: inner type 7 (Sequenced) or 10 (Stamped) inside a stamp.
+  for (const u8 inner_type : {u8{7}, u8{10}}) {
+    std::vector<u8> payload(9, 0);
+    payload[8] = inner_type;
+    Decoder decoder;
+    decoder.feed(raw_frame(10, payload));
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_EQ(decoder.dropped_frames(), 1u);
+  }
+}
+
+TEST(WireV6, MalformedStampedDropped) {
+  // Too short to hold the (emit_timestamp, inner type) prefix.
+  Decoder decoder;
+  decoder.feed(raw_frame(10, std::vector<u8>(8, 0)));
+  EXPECT_FALSE(decoder.poll().has_value());
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(WireV6, UnknownInnerTypeUnwrapsToNothing) {
+  // The annotation decodes (future inner types must survive framing), but
+  // unwrap reports the payload as unusable.
+  StampedMsg stamped;
+  stamped.emit_timestamp = 1;
+  stamped.inner_type = 42;
+  stamped.inner_payload = {1, 2, 3};
+  Decoder decoder;
+  decoder.feed(encode(stamped));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_FALSE(unwrap_stamped(std::get<StampedMsg>(*message)).has_value());
+}
+
+TEST(WireV6, DecoderResyncsAfterMalformedStampedFrame) {
+  // A dropped v6 frame must not take the following good frame with it.
+  Decoder decoder;
+  decoder.feed(raw_frame(10, {1, 2, 3}));  // shorter than the 9-byte prefix
+  decoder.feed(encode(wrap_stamped(9, Message{End{4}})));
+  const auto message = decoder.poll();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_TRUE(std::holds_alternative<StampedMsg>(*message));
+  EXPECT_EQ(decoder.dropped_frames(), 1u);
+}
+
+TEST(WireV6, LegacyFramesStillBitIdentical) {
+  // The v6 bump must not move a byte of any v1-v5 frame format: golden
+  // checks spanning one frame per prior protocol generation.
+  EXPECT_EQ(encode(End{0x0102030405060708ULL}),
+            raw_frame(3, {8, 7, 6, 5, 4, 3, 2, 1}));  // v1
+  EXPECT_EQ(encode(Hello{2, 7, {}}), raw_frame(1, {2, 7, 0, 0, 0}));  // v2 Hello
+  EXPECT_EQ(encode(Hello{3, 7, "h"}),
+            raw_frame(1, {3, 7, 0, 0, 0, 1, 'h'}));  // v3 Hello with host id
+  EXPECT_EQ(encode(Heartbeat{1, 2, 3}),
+            raw_frame(5, {1, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0}));  // v4
+  const SequencedMsg envelope = wrap_sequenced(1, 2, Message{End{3}});
+  EXPECT_EQ(encode(envelope),
+            raw_frame(7, {1, 0, 2, 0, 0, 0, 3, 3, 0, 0, 0, 0, 0, 0, 0}));  // v4
+  TaskTableMsg table;
+  table.entries.push_back(TaskTableEntry{1, 2, 3, "a", "bc"});
+  EXPECT_EQ(encode(table),
+            raw_frame(8, {1, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 1, 'a', 2, 'b', 'c'}));  // v5
+}
+
 TEST(WireV4, LegacyFramesEncodeBitIdentically) {
   // The v4 protocol bump must not move a single byte of the v1-v3 frame
   // formats: golden-byte checks on an End and a legacy v2 Hello.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "obs/runtime.hpp"
 #include "util/json.hpp"
 
@@ -59,6 +61,77 @@ TEST(Registry, KindMismatchThrows) {
   Registry registry;
   registry.counter("npat_test_total");
   EXPECT_ANY_THROW(registry.gauge("npat_test_total"));
+}
+
+TEST(Registry, HelpBackfillsButNeverSilentlyChanges) {
+  Registry registry;
+  // First registration with empty help, second with real help: the real
+  // one wins (backfill), and re-registering with the same help is fine.
+  registry.counter("npat_test_total");
+  registry.counter("npat_test_total", "Things counted");
+  registry.counter("npat_test_total", "Things counted");
+  // An empty help on a later lookup never erases the documented one.
+  registry.counter("npat_test_total");
+  EXPECT_NE(registry.prometheus_text().find("# HELP npat_test_total Things counted\n"),
+            std::string::npos);
+  // Two call sites silently disagreeing about what a metric means is a
+  // bug, not a preference: a *conflicting* non-empty help throws.
+  EXPECT_ANY_THROW(registry.counter("npat_test_total", "Something else entirely"));
+}
+
+TEST(Histogram, NanObservationsAreDroppedAndCounted) {
+  EnabledGuard on(true);
+  Registry registry;
+  Histogram& h = registry.histogram("npat_test_us", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(5.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  // NaN never reaches a bucket or the sum — it would poison every later
+  // export — but it is not silent either.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.5);
+  EXPECT_EQ(h.nan_observations(), 2u);
+
+  const util::Json doc = registry.to_json();
+  EXPECT_DOUBLE_EQ(doc.at("npat_test_us").at("nan_observations").as_number(), 2.0);
+
+  h.reset();
+  EXPECT_EQ(h.nan_observations(), 0u);
+}
+
+TEST(Labels, EscapingAndRendering) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(labeled_name("npat_test_total", {{"host", "alpha"}, {"mode", "x\"y"}}),
+            "npat_test_total{host=\"alpha\",mode=\"x\\\"y\"}");
+  // Labeled series built through the helper round-trip the registry and
+  // render as one valid Prometheus sample line.
+  EnabledGuard on(true);
+  Registry registry;
+  registry.counter(labeled_name("npat_test_total", {{"host", "al\"pha"}})).add(2);
+  EXPECT_NE(registry.prometheus_text().find("npat_test_total{host=\"al\\\"pha\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(Registry, PrometheusHelpTextIsEscaped) {
+  Registry registry;
+  registry.counter("npat_test_total", "line one\nline \\two");
+  // A newline inside help would split the exposition mid-comment; the
+  // text format requires \n and \\ escapes in HELP lines.
+  EXPECT_NE(registry.prometheus_text().find("# HELP npat_test_total line one\\nline \\\\two\n"),
+            std::string::npos);
+}
+
+TEST(Registry, FindHistogramLooksUpWithoutRegistering) {
+  Registry registry;
+  EXPECT_EQ(registry.find_histogram("npat_test_us"), nullptr);
+  Histogram& h = registry.histogram("npat_test_us", {1.0});
+  EXPECT_EQ(registry.find_histogram("npat_test_us"), &h);
+  // Wrong-kind lookups answer "no histogram" rather than throwing: the
+  // caller is probing, not registering.
+  registry.counter("npat_test_total");
+  EXPECT_EQ(registry.find_histogram("npat_test_total"), nullptr);
 }
 
 TEST(Registry, DisabledRecordingIsANoOp) {
