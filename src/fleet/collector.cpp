@@ -40,11 +40,11 @@ u64 FleetView::duplicates_total() const noexcept {
 usize FleetCollector::add_probe(std::shared_ptr<util::ByteChannel> channel,
                                 std::string fallback_host_id) {
   NPAT_CHECK_MSG(channel != nullptr, "fleet probe needs a channel");
-  auto probe = std::make_unique<PerProbe>();
-  probe->channel = std::move(channel);
-  probe->liveness = resilience::LivenessTracker(liveness_config_);
+  auto probe = std::make_unique<PerProbe>(std::move(channel));
+  probe->liveness = resilience::LivenessTracker(config_.liveness);
   probe->state.host_id = fallback_host_id.empty() ? util::format("probe%zu", probes_.size())
                                                   : std::move(fallback_host_id);
+  fronts_.push_back(&probe->front);
   probes_.push_back(std::move(probe));
   NPAT_OBS_COUNT("npat_fleet_probes_total", "Probe channels registered with a FleetCollector", 1);
   return probes_.size() - 1;
@@ -66,9 +66,49 @@ usize FleetCollector::poll(Cycles now) {
   NPAT_OBS_SPAN("fleet.poll");
   clock_ = std::max(clock_, now);
   usize merged = 0;
-  for (auto& probe : probes_) merged += poll_probe(*probe);
+  if (config_.shards <= 1 || probes_.size() <= 1) {
+    // Sequential oracle: front + merge inline, per probe, in index order.
+    for (auto& probe : probes_) {
+      merged += apply_batch(*probe, probe->front.collect(clock_));
+      finish_poll(*probe);
+    }
+  } else {
+    // Sharded: workers run the fronts in parallel; the merge stage
+    // consumes batches in probe-index order, so every observable effect
+    // (state, registry, flight ring, acks) lands in oracle order.
+    ensure_pool();
+    pool_->begin_round(clock_, fronts_);
+    for (usize index = 0; index < probes_.size(); ++index) {
+      PerProbe& probe = *probes_[index];
+      merged += apply_batch(probe, pool_->pop(index));
+      finish_poll(probe);
+    }
+    if (obs::enabled()) publish_shard_gauges();
+  }
   samples_merged_ += merged;
   return merged;
+}
+
+void FleetCollector::ensure_pool() {
+  if (pool_ != nullptr) return;
+  pool_ = std::make_unique<ShardPool>(config_.shards, config_.ring_capacity);
+  introspect::flight().record(
+      introspect::FlightKind::kNote, clock_, "fleet",
+      util::format("shard pool started: %zu decode workers", config_.shards));
+}
+
+void FleetCollector::publish_shard_gauges() {
+  // How far each worker's decode ran ahead of the merge stage this round:
+  // the high-water occupancy of its handoff ring (capacity = the
+  // backpressure bound).
+  obs::Registry& registry = obs::metrics();
+  for (usize shard = 0; shard < pool_->shards(); ++shard) {
+    obs::Gauge& gauge = registry.gauge(
+        obs::labeled_name("npat_introspect_shard_ring_depth",
+                          {{"shard", util::format("%zu", shard)}}),
+        "High-water SPSC ring occupancy of a decode shard in the last poll");
+    gauge.set(static_cast<double>(pool_->ring_high_water(shard)));
+  }
 }
 
 void FleetCollector::reattach_probe(usize index, std::shared_ptr<util::ByteChannel> channel) {
@@ -76,16 +116,13 @@ void FleetCollector::reattach_probe(usize index, std::shared_ptr<util::ByteChann
   NPAT_CHECK_MSG(channel != nullptr, "fleet reattach needs a channel");
   PerProbe& probe = *probes_[index];
   // Fold whatever the dying connection still buffered, then retire its
-  // decoder: finish() flushes a frame truncated mid-disconnect into the
-  // damage tally instead of leaving it pending forever.
-  samples_merged_ += poll_probe(probe);
-  probe.decoder.finish();
-  samples_merged_ += fold_frames(probe);
-  probe.carried.dropped_frames += probe.decoder.dropped_frames();
-  probe.carried.resyncs += probe.decoder.resyncs();
-  probe.carried.truncated_flushes += probe.decoder.truncated_flushes();
-  probe.channel = std::move(channel);
-  probe.decoder = wire::Decoder{};
+  // decoder: finish_collect() flushes a frame truncated mid-disconnect
+  // into the damage tally instead of leaving it pending forever. Runs
+  // inline — reattach happens between polls, when the workers are parked.
+  samples_merged_ += apply_batch(probe, probe.front.collect(clock_));
+  finish_poll(probe);
+  samples_merged_ += apply_batch(probe, probe.front.finish_collect(clock_));
+  probe.front.adopt_channel(std::move(channel));
   ++probe.state.reattaches;
   republish(probe);
   NPAT_OBS_COUNT("npat_fleet_reattaches_total",
@@ -95,18 +132,42 @@ void FleetCollector::reattach_probe(usize index, std::shared_ptr<util::ByteChann
                               "channel swapped under the slot");
 }
 
-usize FleetCollector::poll_probe(PerProbe& probe) {
-  for (;;) {
-    const auto bytes = probe.channel->recv(4096);
-    if (bytes.empty()) break;
-    probe.decoder.feed(bytes);
+usize FleetCollector::apply_batch(PerProbe& probe, ShardBatch&& batch) {
+  ProbeState& state = probe.state;
+  // Any CRC-valid frame proves the probe is alive, duplicates included —
+  // a retransmission is still a working transport.
+  if (batch.frames_decoded > 0) probe.liveness.heard(clock_);
+  state.pipeline.frames += batch.frames_decoded;
+  if (batch.saw_supervised) state.supervised = true;
+  usize merged = 0;
+  for (BatchItem& item : batch.items) {
+    switch (item.kind) {
+      case BatchItem::Kind::kFold:
+        if (item.has_dwell) observe_dwell(probe, item.dwell);
+        merged += fold(probe, item.message);
+        break;
+      case BatchItem::Kind::kIngest:
+        observe_ingest(probe, item.ingest_latency);
+        break;
+      case BatchItem::Kind::kHeartbeat:
+        ++state.heartbeats;
+        break;
+      case BatchItem::Kind::kResume:
+        ++state.resumes;
+        probe.ack_due = true;  // reply even when the floor is unchanged
+        probe.resume_epoch = item.resume_epoch;
+        break;
+      case BatchItem::Kind::kUnexpected:
+        ++state.damage.unexpected_frames;
+        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
+                       "Valid frames the fleet collector could not merge", 1);
+        break;
+    }
   }
-  // Drained and closed: a partial frame can never complete. Let the
-  // decoder flush and count the truncation (same EOF handling as the
-  // single-probe GuiCollector and monitor::decode_stream).
-  if (probe.channel->closed()) probe.decoder.finish();
+  return merged;
+}
 
-  const usize merged = fold_frames(probe);
+void FleetCollector::finish_poll(PerProbe& probe) {
   maybe_ack(probe);
   republish(probe);
   const resilience::Liveness verdict = probe.liveness.evaluate(clock_);
@@ -117,119 +178,6 @@ usize FleetCollector::poll_probe(PerProbe& probe) {
                      resilience::liveness_name(verdict)));
   }
   probe.state.liveness = verdict;
-  return merged;
-}
-
-usize FleetCollector::fold_frames(PerProbe& probe) {
-  ProbeState& state = probe.state;
-  usize merged = 0;
-  while (auto message = probe.decoder.poll()) {
-    // Any CRC-valid frame proves the probe is alive, duplicates included —
-    // a retransmission is still a working transport.
-    probe.liveness.heard(clock_);
-    ++state.pipeline.frames;
-    if (const auto* envelope = std::get_if<wire::SequencedMsg>(&*message)) {
-      state.supervised = true;
-      const resilience::Admit admit = probe.ledger.admit(envelope->epoch, envelope->seq);
-      if (admit == resilience::Admit::kDuplicate) {
-        continue;  // ledger counted it; exactly-once means fold at most once
-      }
-      if (admit == resilience::Admit::kEpochReset) {
-        // A new incarnation took over. Frames of the dead epoch stuck
-        // behind a gap will never become contiguous; fold what we hold in
-        // sequence order (best effort) before adopting the new numbering.
-        merged += flush_pending(probe);
-      }
-      std::optional<wire::Message> inner = wire::unwrap_sequenced(*envelope);
-      if (inner) {
-        // An emit-stamped payload observes ingest latency here — decode
-        // time — then sheds the annotation so the reorder stage and
-        // fold() see the bare data frame.
-        if (const auto* stamped = std::get_if<wire::StampedMsg>(&*inner)) {
-          observe_ingest(probe, stamped->emit_timestamp);
-          std::optional<wire::Message> data = wire::unwrap_stamped(*stamped);
-          if (data) {
-            inner = std::move(data);
-          } else {
-            inner.reset();
-          }
-        }
-      }
-      if (!inner) {
-        // The outer CRC already vouched for these bytes, so a bad inner
-        // payload is a malformed sender, not transport damage — but it is
-        // still a frame this collector could not use.
-        ++state.damage.unexpected_frames;
-        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
-                       "Valid frames the fleet collector could not merge", 1);
-      } else {
-        // Reorder stage: even a frame that is contiguous right now goes
-        // through `pending` so delivery order to fold() is always
-        // sequence order, not arrival order.
-        probe.pending.emplace(envelope->seq, PerProbe::Pending{std::move(*inner), clock_});
-      }
-      merged += drain_in_order(probe);
-    } else if (const auto* stamped = std::get_if<wire::StampedMsg>(&*message)) {
-      // A bare stamped frame: an unsupervised (plain memhist::Probe)
-      // stream opted into emit stamping without sequence envelopes.
-      observe_ingest(probe, stamped->emit_timestamp);
-      std::optional<wire::Message> data = wire::unwrap_stamped(*stamped);
-      if (data) {
-        merged += fold(probe, *data);
-      } else {
-        ++state.damage.unexpected_frames;
-        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
-                       "Valid frames the fleet collector could not merge", 1);
-      }
-    } else if (std::get_if<wire::Heartbeat>(&*message) != nullptr) {
-      state.supervised = true;
-      ++state.heartbeats;
-    } else if (const auto* resume = std::get_if<wire::Resume>(&*message)) {
-      if (resume->role == wire::kResumeProbe) {
-        state.supervised = true;
-        ++state.resumes;
-        probe.ack_due = true;  // reply even when the floor is unchanged
-        probe.resume_epoch = resume->epoch;
-      } else {
-        // A collector-role ack echoed back at a collector is nonsense.
-        ++state.damage.unexpected_frames;
-        NPAT_OBS_COUNT("npat_fleet_unexpected_frames_total",
-                       "Valid frames the fleet collector could not merge", 1);
-      }
-    } else {
-      merged += fold(probe, *message);
-    }
-  }
-  return merged;
-}
-
-usize FleetCollector::drain_in_order(PerProbe& probe) {
-  // Folds the contiguous run the ledger floor just certified, in sequence
-  // order. A sequence missing from `pending` inside that run was admitted
-  // but unusable (unwrap failure, already counted as unexpected) — skip it.
-  usize merged = 0;
-  while (probe.folded_floor < probe.ledger.floor()) {
-    const u32 next = probe.folded_floor + 1;
-    auto it = probe.pending.find(next);
-    if (it != probe.pending.end()) {
-      observe_dwell(probe, it->second.decoded_at);
-      merged += fold(probe, it->second.message);
-      probe.pending.erase(it);
-    }
-    probe.folded_floor = next;
-  }
-  return merged;
-}
-
-usize FleetCollector::flush_pending(PerProbe& probe) {
-  usize merged = 0;
-  for (auto& [seq, pending] : probe.pending) {
-    observe_dwell(probe, pending.decoded_at);
-    merged += fold(probe, pending.message);
-  }
-  probe.pending.clear();
-  probe.folded_floor = 0;
-  return merged;
 }
 
 usize FleetCollector::fold(PerProbe& probe, const wire::Message& message) {
@@ -374,6 +322,7 @@ void FleetCollector::attribute_orphans(PerProbe& probe) {
 
 void FleetCollector::maybe_ack(PerProbe& probe) {
   if (!probe.state.supervised) return;
+  const resilience::DeliveryLedger& ledger = probe.front.ledger();
   u16 epoch;
   u32 floor;
   if (probe.ack_due) {
@@ -382,18 +331,19 @@ void FleetCollector::maybe_ack(PerProbe& probe) {
     // it and the floor is current; otherwise nothing of that incarnation
     // was ever delivered and the floor is zero.
     epoch = probe.resume_epoch;
-    floor = epoch == probe.ledger.epoch() ? probe.ledger.floor() : 0;
+    floor = epoch == ledger.epoch() ? ledger.floor() : 0;
   } else {
     // Steady-state ack: only when it tells the probe something new.
-    epoch = probe.ledger.epoch();
-    floor = probe.ledger.floor();
+    epoch = ledger.epoch();
+    floor = ledger.floor();
     if (epoch == probe.acked_epoch && floor <= probe.acked_floor) return;
   }
   wire::Resume ack;
   ack.role = wire::kResumeCollector;
   ack.epoch = epoch;
   ack.seq = floor;
-  if (probe.channel != nullptr && probe.channel->send(wire::encode(wire::Message{ack}))) {
+  util::ByteChannel* channel = probe.front.channel();
+  if (channel != nullptr && channel->send(wire::encode(wire::Message{ack}))) {
     // On failure ack_due stays set: the channel is dying and the probe
     // will redial, so the reply is retried on the next connection.
     probe.ack_due = false;
@@ -406,30 +356,36 @@ void FleetCollector::maybe_ack(PerProbe& probe) {
 }
 
 void FleetCollector::republish(PerProbe& probe) {
-  // Re-publish the decoder's own tallies (plus anything carried over from
-  // decoders retired by reattach_probe) so per-probe damage always
-  // reconciles exactly with the framing layer, and mirror the ledger and
-  // liveness state into the plain-value ProbeState.
+  // Re-publish the front's framing tallies (decoder plus anything carried
+  // over from decoders retired by reattach_probe) so per-probe damage
+  // always reconciles exactly with the framing layer, and mirror the
+  // ledger and liveness state into the plain-value ProbeState. Safe even
+  // in sharded mode: the merge stage only reaches a probe's front after
+  // popping its batch, which the worker pushed after finishing the probe.
   ProbeState& state = probe.state;
-  state.damage.dropped_frames = probe.carried.dropped_frames + probe.decoder.dropped_frames();
-  state.damage.resyncs = probe.carried.resyncs + probe.decoder.resyncs();
-  state.damage.truncated_flushes =
-      probe.carried.truncated_flushes + probe.decoder.truncated_flushes();
-  state.epoch = probe.ledger.epoch();
-  state.seq_floor = probe.ledger.floor();
-  state.highest_seq = probe.ledger.highest_seen();
-  state.gap_backlog = probe.ledger.gap_backlog();
-  state.delivered_frames = probe.ledger.delivered();
-  state.duplicate_frames = probe.ledger.duplicates();
-  state.epoch_resets = probe.ledger.epoch_resets();
+  const ProbeDamage framing = probe.front.damage();
+  state.damage.dropped_frames = framing.dropped_frames;
+  state.damage.resyncs = framing.resyncs;
+  state.damage.truncated_flushes = framing.truncated_flushes;
+  const resilience::DeliveryLedger& ledger = probe.front.ledger();
+  state.epoch = ledger.epoch();
+  state.seq_floor = ledger.floor();
+  state.highest_seq = ledger.highest_seen();
+  state.gap_backlog = ledger.gap_backlog();
+  state.delivered_frames = ledger.delivered();
+  state.duplicate_frames = ledger.duplicates();
+  state.epoch_resets = ledger.epoch_resets();
 
   introspect::PipelineStats& pipeline = state.pipeline;
-  pipeline.pending_depth = probe.pending.size();
+  pipeline.pending_depth = probe.front.pending_depth();
   pipeline.orphan_depth = probe.orphans.size();
   pipeline.frames_per_mcycle =
       clock_ > 0 ? 1e6 * static_cast<double>(pipeline.frames) / static_cast<double>(clock_) : 0.0;
   if (probe.ingest_hist != nullptr) {
-    pipeline.ingest_p99 = introspect::histogram_quantile(*probe.ingest_hist, 0.99);
+    const introspect::QuantileEstimate p99 =
+        introspect::histogram_quantile_estimate(*probe.ingest_hist, 0.99);
+    pipeline.ingest_p99 = p99.value;
+    pipeline.ingest_p99_overflow = p99.overflow;
   }
   if (obs::enabled()) {
     ensure_metrics(probe);
@@ -440,11 +396,23 @@ void FleetCollector::republish(PerProbe& probe) {
   }
 }
 
+namespace {
+
+constexpr const char* kPerProbeMetricBases[] = {
+    "npat_introspect_ingest_latency_cycles", "npat_introspect_reorder_dwell_cycles",
+    "npat_introspect_reorder_depth",         "npat_introspect_orphan_depth",
+    "npat_introspect_frames_per_mcycle",
+};
+
+}  // namespace
+
 void FleetCollector::ensure_metrics(PerProbe& probe) {
   if (probe.ingest_hist != nullptr && probe.metric_host == probe.state.host_id) return;
   // (Re-)resolve the per-probe labeled series. A late v3 Hello can rename
-  // the host; observations already made stay under the fallback name —
-  // series are keyed by the id current at observation time.
+  // the host; observations already made stay under the fallback name only
+  // until the rename is noticed, then the stale series are retired so a
+  // Prometheus scrape never keeps reporting a dead host id.
+  const std::string old_host = probe.ingest_hist != nullptr ? probe.metric_host : std::string();
   probe.metric_host = probe.state.host_id;
   obs::Registry& registry = obs::metrics();
   const auto name = [&](const char* base) {
@@ -464,20 +432,26 @@ void FleetCollector::ensure_metrics(PerProbe& probe) {
                                        "Task rows held awaiting late registration");
   probe.rate_gauge = &registry.gauge(name("npat_introspect_frames_per_mcycle"),
                                      "Decoded frames per million collector cycles");
+  if (!old_host.empty() && old_host != probe.metric_host) retire_metrics(old_host);
 }
 
-void FleetCollector::observe_ingest(PerProbe& probe, Cycles emit_timestamp) {
+void FleetCollector::retire_metrics(const std::string& host) {
+  // A probe re-handshaked under a new host id: drop the old id's labeled
+  // series so the export stops reporting a host that no longer exists —
+  // unless a sibling probe still publishes under that label (two probes
+  // may legitimately share a host id; their series are shared too).
+  for (const auto& other : probes_) {
+    if (other->ingest_hist != nullptr && other->metric_host == host) return;
+  }
+  obs::Registry& registry = obs::metrics();
+  for (const char* base : kPerProbeMetricBases) {
+    registry.remove(obs::labeled_name(base, {{"host", host}}));
+  }
+}
+
+void FleetCollector::observe_ingest(PerProbe& probe, Cycles latency) {
   introspect::PipelineStats& pipeline = probe.state.pipeline;
   ++pipeline.stamped_frames;
-  // First stamp aligns the probe's emit clock to the collector clock (the
-  // same origin-alignment trick sample timestamps use), so latencies are
-  // relative to the fastest hop ever seen, immune to clock skew.
-  if (!probe.stamp_offset) {
-    probe.stamp_offset = static_cast<i64>(emit_timestamp) - static_cast<i64>(clock_);
-  }
-  const i64 lag = static_cast<i64>(clock_) -
-                  (static_cast<i64>(emit_timestamp) - *probe.stamp_offset);
-  const Cycles latency = lag > 0 ? static_cast<Cycles>(lag) : 0;
   ++pipeline.ingest_observations;
   pipeline.ingest_sum += static_cast<double>(latency);
   pipeline.ingest_max = std::max(pipeline.ingest_max, latency);
@@ -487,9 +461,8 @@ void FleetCollector::observe_ingest(PerProbe& probe, Cycles emit_timestamp) {
   }
 }
 
-void FleetCollector::observe_dwell(PerProbe& probe, Cycles decoded_at) {
+void FleetCollector::observe_dwell(PerProbe& probe, Cycles dwell) {
   introspect::PipelineStats& pipeline = probe.state.pipeline;
-  const Cycles dwell = clock_ > decoded_at ? clock_ - decoded_at : 0;
   ++pipeline.reorder_observations;
   pipeline.reorder_sum += static_cast<double>(dwell);
   pipeline.reorder_max = std::max(pipeline.reorder_max, dwell);

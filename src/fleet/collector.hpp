@@ -8,12 +8,12 @@
 // aligned to a common origin so hosts with skewed clocks merge cleanly.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "fleet/shard.hpp"
 #include "introspect/health.hpp"
 #include "memhist/wire.hpp"
 #include "monitor/aggregate.hpp"
@@ -26,31 +26,6 @@
 #include "util/types.hpp"
 
 namespace npat::fleet {
-
-/// Transport damage attributed to one probe's stream. The first three
-/// counters mirror that probe's wire::Decoder tallies exactly;
-/// `unexpected_frames` counts frames that decoded fine but carry a type
-/// the fleet layer has no use for (e.g. memhist ThresholdReadings in a
-/// telemetry stream) or a node count that contradicts the stream so far.
-struct ProbeDamage {
-  usize dropped_frames = 0;
-  usize resyncs = 0;
-  usize truncated_flushes = 0;
-  usize unexpected_frames = 0;
-  /// Per-task sample rows (v5) whose task id had no TaskTable registration
-  /// when they arrived. Held — not dropped — and attributed retroactively
-  /// if the registration shows up late; `orphans_attributed` counts the
-  /// rescues. Neither joins total(): orphaning is an ordering hazard of a
-  /// healthy transport, and keeping it out preserves the reconciliation
-  /// identity total() == dropped + unexpected that v1-v4 tests pin.
-  usize orphaned_task_rows = 0;
-  usize orphans_attributed = 0;
-
-  usize total() const noexcept {
-    return dropped_frames + unexpected_frames;  // resyncs/truncations are subsets of drops
-  }
-  friend bool operator==(const ProbeDamage&, const ProbeDamage&) = default;
-};
 
 /// Everything the collector knows about one probe stream.
 struct ProbeState {
@@ -123,15 +98,38 @@ struct FleetView {
   u64 duplicates_total() const noexcept;
 };
 
-/// Merges several probe streams. Single-threaded and cooperative like the
-/// memhist GuiCollector: call poll() whenever channel data may be pending.
+/// Collector tuning. `shards == 1` (the default) keeps every poll on the
+/// caller's thread — the sequential oracle; `shards >= 2` spins that many
+/// persistent decode workers on first poll and fans the probe channels
+/// out across them (probe index mod shards), with results merged back on
+/// the caller's thread in probe-index order so all observable state is
+/// bit-for-bit identical to the oracle.
+struct FleetCollectorConfig {
+  usize shards = 1;
+  /// Bounded SPSC handoff depth per worker; a full ring blocks the worker
+  /// (backpressure), it never drops or reorders batches.
+  usize ring_capacity = 64;
+  /// Stale/dead thresholds and dwell applied to supervised probes (the
+  /// defaults suit the simulated-cycle clock of the tests).
+  resilience::LivenessConfig liveness;
+};
+
+/// Merges several probe streams. The public API is cooperative like the
+/// memhist GuiCollector: call poll() whenever channel data may be
+/// pending. Internally the decode/dedup/reorder front half of each
+/// probe's pipeline may run on a shard worker (see FleetCollectorConfig);
+/// between polls the workers are parked, so probes may freely use their
+/// channels. The collector itself must be polled from one thread.
 class FleetCollector {
  public:
   FleetCollector() = default;
-  /// Tunes the stale/dead thresholds and dwell applied to supervised
-  /// probes (the defaults suit the simulated-cycle clock of the tests).
-  explicit FleetCollector(const resilience::LivenessConfig& liveness_config)
-      : liveness_config_(liveness_config) {}
+  explicit FleetCollector(const FleetCollectorConfig& config) : config_(config) {
+    if (config_.shards == 0) config_.shards = 1;
+  }
+  /// Legacy convenience: liveness tuning only, sequential collection.
+  explicit FleetCollector(const resilience::LivenessConfig& liveness_config) {
+    config_.liveness = liveness_config;
+  }
 
   /// Registers a probe channel; returns its index. `fallback_host_id`
   /// names the probe until (or unless) a v3 Hello carries its own id;
@@ -176,37 +174,29 @@ class FleetCollector {
   /// Monotonic collector clock (the largest `now` ever passed to poll()).
   Cycles clock() const noexcept { return clock_; }
 
+  /// Configured shard count (1 = sequential oracle).
+  usize shards() const noexcept { return config_.shards; }
+
  private:
+  /// The merge-side half of one probe: front (worker-safe decode/dedup/
+  /// reorder, see fleet/shard.hpp) plus everything that must stay on the
+  /// polling thread — ProbeState, liveness, ack bookkeeping, metric
+  /// handles, flight narration and the orphan-row pool.
   struct PerProbe {
-    std::shared_ptr<util::ByteChannel> channel;
-    memhist::wire::Decoder decoder;
+    explicit PerProbe(std::shared_ptr<util::ByteChannel> channel)
+        : front(std::move(channel)) {}
+
+    ProbeFront front;
     ProbeState state;
-    ProbeDamage carried;  // decoder tallies retired by reattach_probe()
-    resilience::DeliveryLedger ledger;
     resilience::LivenessTracker liveness;
     bool ack_due = false;   // a Resume handshake awaits its reply
     u16 resume_epoch = 0;   // epoch the pending handshake announced
     u16 acked_epoch = 0;    // last ack actually sent
     u32 acked_floor = 0;
-    /// Reorder stage: sequenced frames admitted ahead of a gap wait here
-    /// and fold only once every lower sequence has arrived, so the merged
-    /// stream is the *sent* stream even when retransmissions fill gaps
-    /// late. Drained in lockstep with the ledger floor; bounded by the
-    /// probe's replay capacity (the gap can never be wider). `decoded_at`
-    /// is the collector clock at decode, so delivery observes the frame's
-    /// reorder-stage dwell.
-    struct Pending {
-      memhist::wire::Message message;
-      Cycles decoded_at = 0;
-    };
-    std::map<u32, Pending> pending;
-    u32 folded_floor = 0;  // highest sequence already folded (in order)
-    /// introspect: emit-clock alignment (first stamped frame defines the
-    /// offset, so the first observation is latency 0 by construction),
-    /// cached per-probe labeled metric handles (re-resolved if a late
-    /// Hello renames the host), and the damage already narrated to the
-    /// flight ring so each poll records only the delta.
-    std::optional<i64> stamp_offset;
+    /// introspect: cached per-probe labeled metric handles (re-resolved —
+    /// and the old host's series retired — if a late Hello renames the
+    /// host), and the damage already narrated to the flight ring so each
+    /// poll records only the delta.
     std::string metric_host;
     obs::Histogram* ingest_hist = nullptr;
     obs::Histogram* reorder_hist = nullptr;
@@ -226,23 +216,29 @@ class FleetCollector {
     std::vector<OrphanRow> orphans;
   };
 
-  usize poll_probe(PerProbe& probe);
-  usize fold_frames(PerProbe& probe);
-  usize drain_in_order(PerProbe& probe);
-  usize flush_pending(PerProbe& probe);
+  /// Replays one front batch into the probe's merge-side state, in item
+  /// order — the exact effect sequence the sequential collector produces.
+  usize apply_batch(PerProbe& probe, ShardBatch&& batch);
+  /// Per-probe poll tail: ack, republish, liveness verdict + flight.
+  void finish_poll(PerProbe& probe);
+  void ensure_pool();
+  void publish_shard_gauges();
   usize fold(PerProbe& probe, const memhist::wire::Message& message);
   void fold_task_sample(PerProbe& probe, const memhist::wire::TaskSampleMsg& message);
   void attribute_orphans(PerProbe& probe);
   void maybe_ack(PerProbe& probe);
   void republish(PerProbe& probe);
   void ensure_metrics(PerProbe& probe);
-  void observe_ingest(PerProbe& probe, Cycles emit_timestamp);
-  void observe_dwell(PerProbe& probe, Cycles decoded_at);
+  void retire_metrics(const std::string& host);
+  void observe_ingest(PerProbe& probe, Cycles latency);
+  void observe_dwell(PerProbe& probe, Cycles dwell);
   void narrate_flight(PerProbe& probe);
 
-  resilience::LivenessConfig liveness_config_;
+  FleetCollectorConfig config_;
   Cycles clock_ = 0;
   std::vector<std::unique_ptr<PerProbe>> probes_;
+  std::vector<ProbeFront*> fronts_;  // parallel to probes_, for the pool
+  std::unique_ptr<ShardPool> pool_;  // lazily spun on the first sharded poll
   usize samples_merged_ = 0;
 };
 

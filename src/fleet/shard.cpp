@@ -1,0 +1,245 @@
+#include "fleet/shard.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace npat::fleet {
+
+namespace wire = memhist::wire;
+
+ShardBatch ProbeFront::collect(Cycles clock) {
+  for (;;) {
+    const auto bytes = channel_->recv(4096);
+    if (bytes.empty()) break;
+    decoder_.feed(bytes);
+  }
+  // Drained and closed: a partial frame can never complete. Let the
+  // decoder flush and count the truncation (same EOF handling as the
+  // single-probe GuiCollector and monitor::decode_stream).
+  if (channel_->closed()) decoder_.finish();
+  return process(clock);
+}
+
+ShardBatch ProbeFront::finish_collect(Cycles clock) {
+  decoder_.finish();
+  return process(clock);
+}
+
+void ProbeFront::adopt_channel(std::shared_ptr<util::ByteChannel> channel) {
+  NPAT_CHECK_MSG(channel != nullptr, "fleet reattach needs a channel");
+  carried_.dropped_frames += decoder_.dropped_frames();
+  carried_.resyncs += decoder_.resyncs();
+  carried_.truncated_flushes += decoder_.truncated_flushes();
+  channel_ = std::move(channel);
+  decoder_ = wire::Decoder{};
+}
+
+ProbeDamage ProbeFront::damage() const noexcept {
+  ProbeDamage damage;
+  damage.dropped_frames = carried_.dropped_frames + decoder_.dropped_frames();
+  damage.resyncs = carried_.resyncs + decoder_.resyncs();
+  damage.truncated_flushes = carried_.truncated_flushes + decoder_.truncated_flushes();
+  return damage;
+}
+
+ShardBatch ProbeFront::process(Cycles clock) {
+  ShardBatch batch;
+  while (auto message = decoder_.poll()) {
+    ++batch.frames_decoded;
+    if (const auto* envelope = std::get_if<wire::SequencedMsg>(&*message)) {
+      batch.saw_supervised = true;
+      const resilience::Admit admit = ledger_.admit(envelope->epoch, envelope->seq);
+      if (admit == resilience::Admit::kDuplicate) {
+        continue;  // ledger counted it; exactly-once means fold at most once
+      }
+      if (admit == resilience::Admit::kEpochReset) {
+        // A new incarnation took over. Frames of the dead epoch stuck
+        // behind a gap will never become contiguous; fold what we hold in
+        // sequence order (best effort) before adopting the new numbering.
+        flush_pending(batch, clock);
+      }
+      std::optional<wire::Message> inner = wire::unwrap_sequenced(*envelope);
+      if (inner) {
+        // An emit-stamped payload observes ingest latency here — decode
+        // time — then sheds the annotation so the reorder stage and
+        // fold() see the bare data frame.
+        if (const auto* stamped = std::get_if<wire::StampedMsg>(&*inner)) {
+          push_ingest(batch, stamped->emit_timestamp, clock);
+          std::optional<wire::Message> data = wire::unwrap_stamped(*stamped);
+          if (data) {
+            inner = std::move(data);
+          } else {
+            inner.reset();
+          }
+        }
+      }
+      if (!inner) {
+        // The outer CRC already vouched for these bytes, so a bad inner
+        // payload is a malformed sender, not transport damage — but it is
+        // still a frame this collector could not use.
+        BatchItem item;
+        item.kind = BatchItem::Kind::kUnexpected;
+        batch.items.push_back(std::move(item));
+      } else {
+        // Reorder stage: even a frame that is contiguous right now goes
+        // through `pending_` so delivery order to fold() is always
+        // sequence order, not arrival order.
+        pending_.emplace(envelope->seq, Pending{std::move(*inner), clock});
+      }
+      drain_in_order(batch, clock);
+    } else if (const auto* stamped = std::get_if<wire::StampedMsg>(&*message)) {
+      // A bare stamped frame: an unsupervised (plain memhist::Probe)
+      // stream opted into emit stamping without sequence envelopes.
+      push_ingest(batch, stamped->emit_timestamp, clock);
+      std::optional<wire::Message> data = wire::unwrap_stamped(*stamped);
+      BatchItem item;
+      if (data) {
+        item.kind = BatchItem::Kind::kFold;
+        item.message = std::move(*data);
+      } else {
+        item.kind = BatchItem::Kind::kUnexpected;
+      }
+      batch.items.push_back(std::move(item));
+    } else if (std::get_if<wire::Heartbeat>(&*message) != nullptr) {
+      batch.saw_supervised = true;
+      BatchItem item;
+      item.kind = BatchItem::Kind::kHeartbeat;
+      batch.items.push_back(std::move(item));
+    } else if (const auto* resume = std::get_if<wire::Resume>(&*message)) {
+      BatchItem item;
+      if (resume->role == wire::kResumeProbe) {
+        batch.saw_supervised = true;
+        item.kind = BatchItem::Kind::kResume;
+        item.resume_epoch = resume->epoch;
+      } else {
+        // A collector-role ack echoed back at a collector is nonsense.
+        item.kind = BatchItem::Kind::kUnexpected;
+      }
+      batch.items.push_back(std::move(item));
+    } else {
+      BatchItem item;
+      item.kind = BatchItem::Kind::kFold;
+      item.message = std::move(*message);
+      batch.items.push_back(std::move(item));
+    }
+  }
+  return batch;
+}
+
+void ProbeFront::push_ingest(ShardBatch& batch, Cycles emit_timestamp, Cycles clock) {
+  // First stamp aligns the probe's emit clock to the collector clock (the
+  // same origin-alignment trick sample timestamps use), so latencies are
+  // relative to the fastest hop ever seen, immune to clock skew.
+  if (!stamp_offset_) {
+    stamp_offset_ = static_cast<i64>(emit_timestamp) - static_cast<i64>(clock);
+  }
+  const i64 lag =
+      static_cast<i64>(clock) - (static_cast<i64>(emit_timestamp) - *stamp_offset_);
+  BatchItem item;
+  item.kind = BatchItem::Kind::kIngest;
+  item.ingest_latency = lag > 0 ? static_cast<Cycles>(lag) : 0;
+  batch.items.push_back(std::move(item));
+}
+
+void ProbeFront::drain_in_order(ShardBatch& batch, Cycles clock) {
+  // Emits the contiguous run the ledger floor just certified, in sequence
+  // order. A sequence missing from `pending_` inside that run was admitted
+  // but unusable (unwrap failure, already counted as unexpected) — skip it.
+  while (folded_floor_ < ledger_.floor()) {
+    const u32 next = folded_floor_ + 1;
+    auto it = pending_.find(next);
+    if (it != pending_.end()) {
+      BatchItem item;
+      item.kind = BatchItem::Kind::kFold;
+      item.message = std::move(it->second.message);
+      item.has_dwell = true;
+      item.dwell = clock > it->second.decoded_at ? clock - it->second.decoded_at : 0;
+      batch.items.push_back(std::move(item));
+      pending_.erase(it);
+    }
+    folded_floor_ = next;
+  }
+}
+
+void ProbeFront::flush_pending(ShardBatch& batch, Cycles clock) {
+  for (auto& [seq, pending] : pending_) {
+    BatchItem item;
+    item.kind = BatchItem::Kind::kFold;
+    item.message = std::move(pending.message);
+    item.has_dwell = true;
+    item.dwell = clock > pending.decoded_at ? clock - pending.decoded_at : 0;
+    batch.items.push_back(std::move(item));
+  }
+  pending_.clear();
+  folded_floor_ = 0;
+}
+
+ShardPool::ShardPool(usize shards, usize ring_capacity) {
+  NPAT_CHECK_MSG(shards > 0, "shard pool needs at least one worker");
+  rings_.reserve(shards);
+  high_water_.reserve(shards);
+  for (usize shard = 0; shard < shards; ++shard) {
+    rings_.push_back(std::make_unique<util::SpscRing<ShardBatch>>(
+        ring_capacity > 0 ? ring_capacity : 1));
+    high_water_.push_back(std::make_unique<std::atomic<usize>>(0));
+  }
+  workers_.reserve(shards);
+  for (usize shard = 0; shard < shards; ++shard) {
+    workers_.emplace_back([this, shard] { worker_main(shard); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  round_start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardPool::begin_round(Cycles clock, std::span<ProbeFront* const> fronts) {
+  {
+    std::lock_guard lock(mutex_);
+    ++round_seq_;
+    round_clock_ = clock;
+    round_fronts_ = fronts.data();
+    round_count_ = fronts.size();
+    for (auto& hw : high_water_) hw->store(0, std::memory_order_relaxed);
+  }
+  round_start_.notify_all();
+}
+
+ShardBatch ShardPool::pop(usize probe_index) {
+  return rings_[probe_index % rings_.size()]->pop();
+}
+
+void ShardPool::worker_main(usize shard) {
+  u64 seen = 0;
+  for (;;) {
+    Cycles clock;
+    ProbeFront* const* fronts;
+    usize count;
+    {
+      std::unique_lock lock(mutex_);
+      round_start_.wait(lock, [&] { return shutdown_ || round_seq_ > seen; });
+      if (shutdown_) return;
+      seen = round_seq_;
+      clock = round_clock_;
+      fronts = round_fronts_;
+      count = round_count_;
+    }
+    util::SpscRing<ShardBatch>& ring = *rings_[shard];
+    std::atomic<usize>& high_water = *high_water_[shard];
+    for (usize index = shard; index < count; index += rings_.size()) {
+      ring.push(fronts[index]->collect(clock));
+      const usize depth = ring.size();
+      if (depth > high_water.load(std::memory_order_relaxed)) {
+        high_water.store(depth, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace npat::fleet

@@ -1,0 +1,211 @@
+// Sharded ingest for the fleet collector: the per-probe pipeline is split
+// into a *front* (channel drain → wire decode → (epoch, seq) dedup →
+// sequence reorder) that is safe to run on a decode-worker thread, and a
+// merge stage (fold into ProbeState, metrics, flight narration, acks)
+// that stays on the caller's thread. A front never touches the obs
+// registry, the flight recorder or ProbeState — everything it decides is
+// written down as an ordered ShardBatch of BatchItems, so the merge stage
+// replays the exact effect sequence the single-threaded collector would
+// have produced. With shards=1 the collector runs front + merge inline
+// (the bit-for-bit oracle); with N shards a ShardPool runs N workers,
+// each owning the probes whose index ≡ worker (mod N), handing batches
+// back over one bounded SPSC ring per worker.
+//
+// Ordering invariants the split preserves:
+//  - per-probe: items are emitted in the order the sequential collector
+//    would have acted (epoch-reset flush, ingest observation, in-order
+//    drain — all relative to the decoded frame stream);
+//  - cross-probe: the merge stage consumes batches in probe-index order,
+//    so flight-ring events and registry traffic interleave exactly as the
+//    sequential per-probe loop would interleave them;
+//  - memory: a worker pushes a probe's batch only after it is completely
+//    done with that probe for the round, and the ring's release/acquire
+//    pair lets the merge stage then read that probe's front (ledger,
+//    damage tallies, reorder depth) and send acks on its channel without
+//    locks.
+//
+// Backpressure: rings are bounded; a worker that outruns the merge stage
+// blocks in push() (spin + yield) instead of queueing unboundedly.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "memhist/wire.hpp"
+#include "resilience/ledger.hpp"
+#include "util/channel.hpp"
+#include "util/spsc_ring.hpp"
+#include "util/types.hpp"
+
+namespace npat::fleet {
+
+/// Transport damage attributed to one probe's stream. The first three
+/// counters mirror that probe's wire::Decoder tallies exactly;
+/// `unexpected_frames` counts frames that decoded fine but carry a type
+/// the fleet layer has no use for (e.g. memhist ThresholdReadings in a
+/// telemetry stream) or a node count that contradicts the stream so far.
+struct ProbeDamage {
+  usize dropped_frames = 0;
+  usize resyncs = 0;
+  usize truncated_flushes = 0;
+  usize unexpected_frames = 0;
+  /// Per-task sample rows (v5) whose task id had no TaskTable registration
+  /// when they arrived. Held — not dropped — and attributed retroactively
+  /// if the registration shows up late; `orphans_attributed` counts the
+  /// rescues. Neither joins total(): orphaning is an ordering hazard of a
+  /// healthy transport, and keeping it out preserves the reconciliation
+  /// identity total() == dropped + unexpected that v1-v4 tests pin.
+  usize orphaned_task_rows = 0;
+  usize orphans_attributed = 0;
+
+  usize total() const noexcept {
+    return dropped_frames + unexpected_frames;  // resyncs/truncations are subsets of drops
+  }
+  friend bool operator==(const ProbeDamage&, const ProbeDamage&) = default;
+};
+
+/// One deferred collector action, in the order the sequential collector
+/// would have performed it.
+struct BatchItem {
+  enum class Kind : u8 {
+    kFold,        ///< deliver `message` to fold(); dwell observed first when set
+    kIngest,      ///< a stamped frame's emit→decode latency observation
+    kHeartbeat,   ///< idle heartbeat: supervised + heartbeat count
+    kResume,      ///< probe-role Resume: ack due for `resume_epoch`
+    kUnexpected,  ///< CRC-valid frame the collector cannot use
+  };
+
+  Kind kind = Kind::kFold;
+  memhist::wire::Message message;  // kFold only
+  bool has_dwell = false;          // kFold delivered through the reorder stage
+  Cycles dwell = 0;                // decode → in-order delivery dwell
+  Cycles ingest_latency = 0;       // kIngest only, aligned-clock cycles
+  u16 resume_epoch = 0;            // kResume only
+};
+
+/// Everything one front produced for one probe in one round.
+struct ShardBatch {
+  u64 frames_decoded = 0;  ///< CRC-valid frames (duplicates included)
+  /// A sequence envelope, heartbeat or probe-role Resume was seen — the
+  /// stream speaks the v4 supervision protocol (set even when every such
+  /// frame deduplicated away, matching the sequential collector).
+  bool saw_supervised = false;
+  std::vector<BatchItem> items;
+};
+
+/// The worker-side half of one probe's pipeline: owns the channel, the
+/// decoder, the delivery ledger and the reorder stage. Produces
+/// ShardBatches; holds no reference to collector state, the obs registry
+/// or the flight recorder, so collect() is safe off-thread as long as
+/// nothing else touches this front (or its channel) concurrently.
+class ProbeFront {
+ public:
+  explicit ProbeFront(std::shared_ptr<util::ByteChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  /// One round: drain the channel, decode, dedup, reorder. `clock` is the
+  /// collector's round clock (fixed for the whole poll), used for ingest
+  /// latency and reorder-dwell arithmetic.
+  ShardBatch collect(Cycles clock);
+
+  /// Retires the current decoder's stream: flushes a frame truncated
+  /// mid-disconnect (finish()) and processes whatever completes. Used by
+  /// reattach before adopt_channel().
+  ShardBatch finish_collect(Cycles clock);
+
+  /// Swaps in a fresh channel + decoder; the retiring decoder's damage
+  /// tallies are carried forward so accounting stays cumulative.
+  void adopt_channel(std::shared_ptr<util::ByteChannel> channel);
+
+  util::ByteChannel* channel() noexcept { return channel_.get(); }
+  const resilience::DeliveryLedger& ledger() const noexcept { return ledger_; }
+  usize pending_depth() const noexcept { return pending_.size(); }
+
+  /// Decoder framing damage, carried tallies included (dropped/resync/
+  /// truncated only — unexpected/orphan counts live merge-side).
+  ProbeDamage damage() const noexcept;
+
+ private:
+  struct Pending {
+    memhist::wire::Message message;
+    Cycles decoded_at = 0;
+  };
+
+  ShardBatch process(Cycles clock);
+  void push_ingest(ShardBatch& batch, Cycles emit_timestamp, Cycles clock);
+  void drain_in_order(ShardBatch& batch, Cycles clock);
+  void flush_pending(ShardBatch& batch, Cycles clock);
+
+  std::shared_ptr<util::ByteChannel> channel_;
+  memhist::wire::Decoder decoder_;
+  ProbeDamage carried_;  // tallies of decoders retired by adopt_channel()
+  resilience::DeliveryLedger ledger_;
+  /// Reorder stage: sequenced frames admitted ahead of a gap wait here
+  /// and fold only once every lower sequence has arrived, so the merged
+  /// stream is the *sent* stream even when retransmissions fill gaps
+  /// late. Drained in lockstep with the ledger floor; bounded by the
+  /// probe's replay capacity (the gap can never be wider). `decoded_at`
+  /// is the collector clock at decode, so delivery observes the frame's
+  /// reorder-stage dwell.
+  std::map<u32, Pending> pending_;
+  u32 folded_floor_ = 0;  // highest sequence already folded (in order)
+  /// introspect: emit-clock alignment — the first stamped frame defines
+  /// the offset, so the first observation is latency 0 by construction.
+  std::optional<i64> stamp_offset_;
+};
+
+/// N persistent decode workers. Worker w owns probes with index ≡ w
+/// (mod N) and, each round, collect()s them in ascending index order into
+/// its SPSC ring; the merge thread pops rings in probe-index order, which
+/// matches each ring's FIFO order by construction. Workers idle between
+/// rounds (condvar), so probes may freely use their channels while no
+/// poll is running.
+class ShardPool {
+ public:
+  ShardPool(usize shards, usize ring_capacity);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Publishes the round (clock + current front table) and wakes every
+  /// worker. `fronts` must stay valid and untouched by the caller until
+  /// every probe's batch has been popped.
+  void begin_round(Cycles clock, std::span<ProbeFront* const> fronts);
+
+  /// Pops the next batch from the ring of the worker owning `probe_index`.
+  /// Must be called for indices 0..count-1 in ascending order.
+  ShardBatch pop(usize probe_index);
+
+  usize shards() const noexcept { return rings_.size(); }
+
+  /// High-water ring occupancy a worker saw this round — how far decode
+  /// ran ahead of merge. Read after every batch of the round was popped.
+  usize ring_high_water(usize shard) const noexcept {
+    return high_water_[shard]->load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_main(usize shard);
+
+  std::vector<std::unique_ptr<util::SpscRing<ShardBatch>>> rings_;
+  std::vector<std::unique_ptr<std::atomic<usize>>> high_water_;
+
+  std::mutex mutex_;
+  std::condition_variable round_start_;
+  u64 round_seq_ = 0;
+  Cycles round_clock_ = 0;
+  ProbeFront* const* round_fronts_ = nullptr;
+  usize round_count_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace npat::fleet

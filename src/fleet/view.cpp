@@ -23,7 +23,15 @@ util::Style severity_style(obs::Severity severity) {
 }
 
 obs::Severity host_severity(usize host, double remote_ratio, const FleetViewOptions& options) {
-  if (host < options.host_alerts.size()) return options.host_alerts[host];
+  if (!options.host_alerts.empty()) {
+    // Alert mode: every host answers with an engine verdict. A host that
+    // joined after the severities were evaluated has no committed state
+    // yet — a fresh AlertEngine subject is Ok until its dwell commits, so
+    // report Ok rather than falling back to the raw thresholds, which
+    // would flash a one-poll Bad the engine would never have committed.
+    return host < options.host_alerts.size() ? options.host_alerts[host] : obs::Severity::kOk;
+  }
+  // Threshold mode (no engine supplied): raw remote-ratio cut-offs.
   if (remote_ratio >= options.bad_remote_ratio) return obs::Severity::kBad;
   if (remote_ratio >= options.warn_remote_ratio) return obs::Severity::kWarn;
   return obs::Severity::kOk;

@@ -23,7 +23,11 @@ struct FleetViewOptions {
   double warn_remote_ratio = 0.2;
   double bad_remote_ratio = 0.5;
   /// Committed per-host severities from an obs::AlertEngine (see
-  /// evaluate_host_alerts). When sized, the view renders an Alert column.
+  /// evaluate_host_alerts). When non-empty, the view renders an Alert
+  /// column and *every* host reports an engine verdict: a host beyond the
+  /// vector (joined after the evaluation) renders Ok — the committed
+  /// state a fresh engine subject would hold — never the raw-threshold
+  /// fallback, which applies only when no engine severities are supplied.
   std::vector<obs::Severity> host_alerts;
   /// Per-host live phase labels (phasen::OnlineDetector::phase_label(),
   /// indexed like FleetView::hosts). When non-empty, the view renders a

@@ -67,7 +67,13 @@ std::string render_health(const std::vector<HealthRow>& rows, Cycles clock,
     const bool measured = p.ingest_observations > 0;
     const util::Style lat_style = measured ? util::Style::kNone : util::Style::kDim;
     cells.push_back({measured ? cycles_compact(p.ingest_mean()) : "-", lat_style});
-    cells.push_back({measured ? cycles_compact(p.ingest_p99) : "-", lat_style});
+    // An overflowed p99 is a floor, not a measurement: ">=bound" in red so
+    // a blown-out tail is never mistaken for one that fits the buckets.
+    if (measured && p.ingest_p99_overflow) {
+      cells.push_back({">=" + cycles_compact(p.ingest_p99), util::Style::kRed});
+    } else {
+      cells.push_back({measured ? cycles_compact(p.ingest_p99) : "-", lat_style});
+    }
     cells.push_back(
         {measured ? cycles_compact(static_cast<double>(p.ingest_max)) : "-", lat_style});
     cells.push_back({p.reorder_observations > 0 ? cycles_compact(p.reorder_mean()) : "-",
@@ -86,11 +92,11 @@ std::string render_health(const std::vector<HealthRow>& rows, Cycles clock,
   return out;
 }
 
-double histogram_quantile(const obs::Histogram& histogram, double q) {
+QuantileEstimate histogram_quantile_estimate(const obs::Histogram& histogram, double q) {
   const u64 count = histogram.count();
-  if (count == 0) return 0.0;
+  if (count == 0) return {};
   const auto bounds = histogram.bounds();
-  if (bounds.empty()) return 0.0;
+  if (bounds.empty()) return {};
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(count);
   u64 cumulative = 0;
@@ -102,13 +108,18 @@ double histogram_quantile(const obs::Histogram& histogram, double q) {
       const double lower = i == 0 ? 0.0 : bounds[i - 1];
       const double fraction =
           (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
-      return lower + (bounds[i] - lower) * std::clamp(fraction, 0.0, 1.0);
+      return {lower + (bounds[i] - lower) * std::clamp(fraction, 0.0, 1.0), false};
     }
     cumulative += in_bucket;
   }
-  // The crossing lands in +Inf: report the largest finite bound — a floor
-  // on the truth, honest enough for a pane.
-  return bounds.back();
+  // The crossing lands in +Inf: the largest finite bound is only a floor
+  // on the truth — say so, instead of letting a blown-out p99 cosplay as
+  // one that just grazed the top bucket.
+  return {bounds.back(), true};
+}
+
+double histogram_quantile(const obs::Histogram& histogram, double q) {
+  return histogram_quantile_estimate(histogram, q).value;
 }
 
 std::string self_metrics_prometheus(const obs::Registry& registry,

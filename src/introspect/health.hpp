@@ -34,6 +34,10 @@ struct PipelineStats {
   double ingest_sum = 0.0;  ///< cycles, summed over observations
   Cycles ingest_max = 0;
   double ingest_p99 = 0.0;  ///< estimated from the histogram buckets
+  /// The p99 crossing landed in the histogram's +Inf bucket: ingest_p99
+  /// is only a *floor* (the largest finite bound), and the pane renders
+  /// it as ">=bound" so a blown-out tail never masquerades as healthy.
+  bool ingest_p99_overflow = false;
   u64 reorder_observations = 0;
   double reorder_sum = 0.0;
   Cycles reorder_max = 0;
@@ -78,11 +82,26 @@ struct HealthOptions {
 std::string render_health(const std::vector<HealthRow>& rows, Cycles clock,
                           const HealthOptions& options = {});
 
+/// A bucket-quantile estimate that knows when it is lying: `overflow` is
+/// set when the crossing landed in the implicit +Inf bucket, in which
+/// case `value` (the largest finite bound) is only a floor on the truth.
+struct QuantileEstimate {
+  double value = 0.0;
+  bool overflow = false;
+};
+
 /// p-quantile estimate from a fixed-bucket histogram, Prometheus
 /// histogram_quantile-style: find the bucket where the cumulative count
 /// crosses q*count, interpolate linearly inside it. Returns 0 for an
-/// empty histogram; the lowest bound for q <= 0; clamps into the last
-/// finite bound when the crossing lands in +Inf.
+/// empty histogram; the lowest bound for q <= 0; when the crossing lands
+/// in +Inf the value clamps to the last finite bound and `overflow` is
+/// set so callers can render the result as ">=bound".
+QuantileEstimate histogram_quantile_estimate(const obs::Histogram& histogram, double q);
+
+/// Value-only convenience over histogram_quantile_estimate() — the
+/// overflow flag is dropped, so the result can silently floor a
+/// blown-out tail; prefer the estimate form anywhere the distinction is
+/// user-visible.
 double histogram_quantile(const obs::Histogram& histogram, double q);
 
 /// Self-metrics exports: `registry` in Prometheus text followed by the

@@ -270,6 +270,11 @@ util::Json Registry::to_json() const {
   return doc;
 }
 
+bool Registry::remove(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return entries_.erase(name) > 0;
+}
+
 void Registry::reset() {
   std::lock_guard lock(mutex_);
   for (auto& [name, entry] : entries_) {

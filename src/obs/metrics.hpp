@@ -123,6 +123,15 @@ class Registry {
   /// Zeroes every value; metric handles stay valid.
   void reset();
 
+  /// Unregisters a metric by its exact registered name (labeled series
+  /// use the full labeled_name() spelling). Returns true when an entry
+  /// was removed. This is the one operation that invalidates a handle:
+  /// the caller owns the discipline of dropping every cached pointer to
+  /// the series first — the fleet collector retires a renamed probe's
+  /// series only after re-resolving its own handles, and only when no
+  /// sibling probe still publishes under the label.
+  bool remove(const std::string& name);
+
  private:
   enum class Kind : u8 { kCounter, kGauge, kHistogram };
   struct Entry {

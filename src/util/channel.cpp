@@ -1,11 +1,18 @@
 #include "util/channel.hpp"
 
+#include <mutex>
+
 namespace npat::util {
 
 namespace {
 
-/// Shared duplex state: two directed byte queues.
+/// Shared duplex state: two directed byte queues. The mutex makes a
+/// loopback pair safe to use from two threads (a probe thread sending
+/// while a sharded collector's decode worker drains the other end) — the
+/// socket it stands in for would be. Single-threaded users pay one
+/// uncontended lock per call.
 struct LoopbackState {
+  std::mutex mutex;
   std::deque<u8> a_to_b;
   std::deque<u8> b_to_a;
   bool a_closed = false;
@@ -18,6 +25,7 @@ class LoopbackEndpoint : public ByteChannel {
       : state_(std::move(state)), is_a_(is_a) {}
 
   bool send(const std::vector<u8>& data) override {
+    std::lock_guard lock(state_->mutex);
     if (my_closed() || peer_closed()) return false;
     auto& queue = is_a_ ? state_->a_to_b : state_->b_to_a;
     queue.insert(queue.end(), data.begin(), data.end());
@@ -25,6 +33,7 @@ class LoopbackEndpoint : public ByteChannel {
   }
 
   std::vector<u8> recv(usize max_bytes) override {
+    std::lock_guard lock(state_->mutex);
     auto& queue = is_a_ ? state_->b_to_a : state_->a_to_b;
     const usize n = std::min(max_bytes, queue.size());
     std::vector<u8> out(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(n));
@@ -32,11 +41,17 @@ class LoopbackEndpoint : public ByteChannel {
     return out;
   }
 
-  void close() override { (is_a_ ? state_->a_closed : state_->b_closed) = true; }
+  void close() override {
+    std::lock_guard lock(state_->mutex);
+    (is_a_ ? state_->a_closed : state_->b_closed) = true;
+  }
 
   // Either half-close ends the conversation: sends already fail when the
   // peer closed, and a reader whose peer closed will never see new data.
-  bool closed() const override { return my_closed() || peer_closed(); }
+  bool closed() const override {
+    std::lock_guard lock(state_->mutex);
+    return my_closed() || peer_closed();
+  }
 
  private:
   bool my_closed() const { return is_a_ ? state_->a_closed : state_->b_closed; }

@@ -1,0 +1,78 @@
+// Bounded single-producer/single-consumer ring for cross-thread handoff.
+// One decode worker pushes finished batches, one merge thread pops them;
+// head/tail are monotonic u64 indices so full/empty tests are simple
+// subtractions and the slot array never needs a sentinel. The release
+// store on publish and the acquire load on consume give the merge thread
+// a happens-before edge over *everything* the worker wrote before the
+// push — the fleet collector leans on that to read worker-owned probe
+// state lock-free after popping the probe's batch.
+//
+// Backpressure policy: push() blocks (spin + yield) while the ring is
+// full, so a slow consumer throttles its producer instead of growing an
+// unbounded queue; pop() symmetrically blocks while empty. Callers that
+// must not block use try_push()/try_pop().
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace npat::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(usize capacity) : slots_(capacity) {
+    NPAT_CHECK_MSG(capacity > 0, "SPSC ring needs a nonzero capacity");
+  }
+
+  usize capacity() const noexcept { return slots_.size(); }
+
+  /// Occupancy snapshot; exact only from the producer or consumer thread.
+  usize size() const noexcept {
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    const u64 head = head_.load(std::memory_order_acquire);
+    return tail > head ? static_cast<usize>(tail - head) : 0;
+  }
+
+  /// Producer side. Returns false (value untouched) when full.
+  bool try_push(T&& value) {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) return false;
+    slots_[static_cast<usize>(tail % slots_.size())] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side; blocks (spin + yield) while the ring is full.
+  void push(T value) {
+    while (!try_push(std::move(value))) std::this_thread::yield();
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    if (head >= tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[static_cast<usize>(head % slots_.size())]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side; blocks (spin + yield) while the ring is empty.
+  T pop() {
+    T out;
+    while (!try_pop(out)) std::this_thread::yield();
+    return out;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::atomic<u64> head_{0};  // next index to pop
+  std::atomic<u64> tail_{0};  // next index to push
+};
+
+}  // namespace npat::util

@@ -1,0 +1,361 @@
+// Sharded ingest: the FleetCollector's shards >= 2 mode must be
+// observably indistinguishable from the sequential oracle (shards=1) —
+// merged timelines, damage attribution, delivery-ledger mirrors and
+// ingest accounting all bit-identical under chaos injection — and the
+// per-shard introspection surface (ring-depth gauges) must publish.
+#include "fleet/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fleet/collector.hpp"
+#include "memhist/remote.hpp"
+#include "monitor/export.hpp"
+#include "obs/obs.hpp"
+#include "resilience/probe.hpp"
+#include "util/channel.hpp"
+#include "util/strings.hpp"
+
+namespace npat::fleet {
+namespace {
+
+namespace wire = memhist::wire;
+
+wire::MonitorSampleMsg make_sample(usize probe, usize index, u32 nodes) {
+  wire::MonitorSampleMsg sample;
+  sample.timestamp = 1000 + static_cast<Cycles>(index) * 500;
+  sample.footprint_bytes = (1u << 20) + probe * 4096 + index;
+  for (u32 n = 0; n < nodes; ++n) {
+    wire::MonitorNodeCounters row;
+    row.instructions = 500 + 10 * n + probe;
+    row.cycles = 1000 + index;
+    row.local_dram = 40 + n;
+    row.remote_dram = 10 + n + probe % 7;
+    row.remote_hitm = n;
+    row.imc_reads = 64;
+    row.imc_writes = 32;
+    row.qpi_flits = 128 + 8 * n;
+    row.resident_bytes = 4096 * (n + 1);
+    sample.nodes.push_back(row);
+  }
+  return sample;
+}
+
+/// Everything about one probe that the view/health/metrics surfaces can
+/// observe, flattened for whole-struct equality between legs.
+struct ProbeSnapshot {
+  std::string host_id;
+  bool ended = false;
+  std::vector<monitor::Sample> samples;
+  ProbeDamage damage;
+  u16 epoch = 0;
+  u32 seq_floor = 0;
+  u32 highest_seq = 0;
+  usize gap_backlog = 0;
+  u64 delivered = 0;
+  u64 duplicates = 0;
+  u64 epoch_resets = 0;
+  u64 heartbeats = 0;
+  u64 hellos = 0;
+  u64 resumes = 0;
+  u64 acks_sent = 0;
+  u64 frames = 0;
+  u64 stamped = 0;
+  u64 ingest_observations = 0;
+  Cycles ingest_max = 0;
+  u64 reorder_observations = 0;
+  Cycles reorder_max = 0;
+};
+
+ProbeSnapshot snapshot(const ProbeState& state) {
+  ProbeSnapshot snap;
+  snap.host_id = state.host_id;
+  snap.ended = state.ended;
+  snap.samples = state.samples;
+  snap.damage = state.damage;
+  snap.epoch = state.epoch;
+  snap.seq_floor = state.seq_floor;
+  snap.highest_seq = state.highest_seq;
+  snap.gap_backlog = state.gap_backlog;
+  snap.delivered = state.delivered_frames;
+  snap.duplicates = state.duplicate_frames;
+  snap.epoch_resets = state.epoch_resets;
+  snap.heartbeats = state.heartbeats;
+  snap.hellos = state.hellos;
+  snap.resumes = state.resumes;
+  snap.acks_sent = state.acks_sent;
+  snap.frames = state.pipeline.frames;
+  snap.stamped = state.pipeline.stamped_frames;
+  snap.ingest_observations = state.pipeline.ingest_observations;
+  snap.ingest_max = state.pipeline.ingest_max;
+  snap.reorder_observations = state.pipeline.reorder_observations;
+  snap.reorder_max = state.pipeline.reorder_max;
+  return snap;
+}
+
+void expect_sample_equal(const monitor::Sample& a, const monitor::Sample& b) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  EXPECT_EQ(a.timestamp, b.timestamp);
+  EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+  for (usize n = 0; n < a.nodes.size(); ++n) {
+    EXPECT_EQ(a.nodes[n].instructions, b.nodes[n].instructions);
+    EXPECT_EQ(a.nodes[n].cycles, b.nodes[n].cycles);
+    EXPECT_EQ(a.nodes[n].local_dram, b.nodes[n].local_dram);
+    EXPECT_EQ(a.nodes[n].remote_dram, b.nodes[n].remote_dram);
+    EXPECT_EQ(a.nodes[n].imc_reads, b.nodes[n].imc_reads);
+    EXPECT_EQ(a.nodes[n].imc_writes, b.nodes[n].imc_writes);
+  }
+}
+
+void expect_snapshot_equal(const ProbeSnapshot& oracle, const ProbeSnapshot& sharded,
+                           usize probe) {
+  SCOPED_TRACE(util::format("probe %zu (%s)", probe, oracle.host_id.c_str()));
+  EXPECT_EQ(oracle.host_id, sharded.host_id);
+  EXPECT_EQ(oracle.ended, sharded.ended);
+  ASSERT_EQ(oracle.samples.size(), sharded.samples.size());
+  for (usize i = 0; i < oracle.samples.size(); ++i) {
+    expect_sample_equal(oracle.samples[i], sharded.samples[i]);
+  }
+  EXPECT_EQ(oracle.damage, sharded.damage);
+  EXPECT_EQ(oracle.epoch, sharded.epoch);
+  EXPECT_EQ(oracle.seq_floor, sharded.seq_floor);
+  EXPECT_EQ(oracle.highest_seq, sharded.highest_seq);
+  EXPECT_EQ(oracle.gap_backlog, sharded.gap_backlog);
+  EXPECT_EQ(oracle.delivered, sharded.delivered);
+  EXPECT_EQ(oracle.duplicates, sharded.duplicates);
+  EXPECT_EQ(oracle.epoch_resets, sharded.epoch_resets);
+  EXPECT_EQ(oracle.heartbeats, sharded.heartbeats);
+  EXPECT_EQ(oracle.hellos, sharded.hellos);
+  EXPECT_EQ(oracle.resumes, sharded.resumes);
+  EXPECT_EQ(oracle.acks_sent, sharded.acks_sent);
+  EXPECT_EQ(oracle.frames, sharded.frames);
+  EXPECT_EQ(oracle.stamped, sharded.stamped);
+  EXPECT_EQ(oracle.ingest_observations, sharded.ingest_observations);
+  EXPECT_EQ(oracle.ingest_max, sharded.ingest_max);
+  EXPECT_EQ(oracle.reorder_observations, sharded.reorder_observations);
+  EXPECT_EQ(oracle.reorder_max, sharded.reorder_max);
+}
+
+/// Replays a deterministic chaos fleet — plain v3 over lossy+corrupting
+/// channels, supervised v4 through mid-frame disconnects, stamped v6 —
+/// and snapshots every probe. Identical inputs per leg; only `shards`
+/// varies.
+std::vector<ProbeSnapshot> run_chaos_fleet(usize shards, usize probes, usize samples) {
+  constexpr u32 kNodes = 2;
+  constexpr usize kBatch = 4;
+  FleetCollectorConfig config;
+  config.shards = shards;
+  config.ring_capacity = 4;  // small ring so backpressure actually engages
+  FleetCollector collector(config);
+
+  struct PlainLink {
+    std::shared_ptr<util::FaultyChannel> tx;
+    std::unique_ptr<memhist::Probe> probe;
+    usize cursor = 0;
+    bool ended = false;
+  };
+  struct SupLink {
+    std::unique_ptr<resilience::SupervisedProbe> probe;
+    usize slot = 0;
+    usize connections = 0;
+    usize cursor = 0;
+    bool end_sent = false;
+  };
+  std::vector<PlainLink> plain(probes);
+  std::vector<std::unique_ptr<SupLink>> supervised(probes);
+
+  for (usize h = 0; h < probes; ++h) {
+    const std::string host = util::format("chaos%02zu", h);
+    if (h % 3 == 1) {  // supervised v4 with reconnect chaos
+      auto link = std::make_unique<SupLink>();
+      SupLink* raw = link.get();
+      auto dial = [raw, h, &collector, host]() -> std::shared_ptr<util::ByteChannel> {
+        auto pair = util::make_loopback_pair();
+        if (raw->connections == 0) {
+          raw->slot = collector.add_probe(pair.b, host);
+        } else {
+          collector.reattach_probe(raw->slot, pair.b);
+        }
+        const usize attempt = raw->connections++;
+        util::DisconnectingChannel::Config cut;
+        cut.cut_after_sends = 8;
+        cut.cut_delivery_bytes = 9;
+        auto cut_channel = std::make_shared<util::DisconnectingChannel>(pair.a, cut);
+        util::FaultyChannel::Config faults;
+        faults.drop_probability = 0.05;
+        faults.seed = 77 + h * 101 + attempt;
+        return std::make_shared<util::FaultyChannel>(cut_channel, faults);
+      };
+      resilience::SupervisedProbeConfig probe_config;
+      probe_config.host_id = host;
+      probe_config.node_count = kNodes;
+      probe_config.heartbeat_interval = 2000;
+      probe_config.resume_timeout = 1000;
+      probe_config.backoff = {.initial = 64, .max = 1000, .multiplier = 2.0, .jitter = 0.5};
+      probe_config.seed = 9000 + h;
+      link->probe =
+          std::make_unique<resilience::SupervisedProbe>(std::move(probe_config), std::move(dial));
+      supervised[h] = std::move(link);
+    } else {
+      auto pair = util::make_loopback_pair();
+      util::FaultyChannel::Config faults;
+      faults.drop_probability = h % 3 == 0 ? 0.05 : 0.0;
+      faults.corrupt_probability = h % 3 == 0 ? 0.05 : 0.0;
+      faults.seed = 177 + h * 101;
+      auto tx = std::make_shared<util::FaultyChannel>(pair.a, faults);
+      collector.add_probe(pair.b, host);
+      PlainLink& link = plain[h];
+      link.tx = tx;
+      link.probe = std::make_unique<memhist::Probe>(tx);
+      if (h % 3 == 2) link.probe->set_stamp_interval(3);  // stamped v6
+      link.probe->send_hello(kNodes, host);
+    }
+  }
+
+  Cycles wall = 0;
+  const usize data_rounds = (samples + kBatch - 1) / kBatch;
+  for (usize round = 0; round < data_rounds + 96; ++round) {
+    bool busy = false;
+    for (usize h = 0; h < probes; ++h) {
+      if (h % 3 == 1) {
+        SupLink& link = *supervised[h];
+        link.probe->pump(wall);
+        for (usize i = 0; i < kBatch && link.cursor < samples; ++i, ++link.cursor) {
+          const auto sample = make_sample(h, link.cursor, kNodes);
+          wall = std::max(wall, sample.timestamp);
+          link.probe->send_sample(sample, wall);
+        }
+        if (link.cursor >= samples && !link.end_sent) {
+          link.probe->send_end(1000 + samples * 500, wall);
+          link.end_sent = true;
+        }
+        if (!(link.end_sent && link.probe->fully_acked())) busy = true;
+      } else {
+        PlainLink& link = plain[h];
+        for (usize i = 0; i < kBatch && link.cursor < samples; ++i, ++link.cursor) {
+          const auto sample = make_sample(h, link.cursor, kNodes);
+          wall = std::max(wall, sample.timestamp);
+          link.probe->set_clock(sample.timestamp);
+          link.probe->send_sample(sample);
+        }
+        if (link.cursor < samples) {
+          busy = true;
+        } else if (!link.ended) {
+          link.probe->send_end(1000 + samples * 500);
+          link.tx->close();
+          link.ended = true;
+        }
+      }
+    }
+    collector.poll(wall);
+    if (!busy && round >= data_rounds) break;
+    wall += 500;
+  }
+
+  std::vector<ProbeSnapshot> snapshots;
+  for (usize h = 0; h < probes; ++h) snapshots.push_back(snapshot(collector.probe(h)));
+  return snapshots;
+}
+
+TEST(ShardIdentity, ChaosFleetMatchesSequentialOracle) {
+  const std::vector<ProbeSnapshot> oracle = run_chaos_fleet(/*shards=*/1, 24, 12);
+  const std::vector<ProbeSnapshot> sharded = run_chaos_fleet(/*shards=*/3, 24, 12);
+  ASSERT_EQ(oracle.size(), sharded.size());
+  // The chaos must actually bite, or the identity proves nothing.
+  usize damage = 0, delivered = 0, stamped = 0;
+  for (const ProbeSnapshot& snap : oracle) {
+    damage += snap.damage.dropped_frames + snap.damage.resyncs + snap.damage.truncated_flushes;
+    delivered += snap.delivered;
+    stamped += snap.stamped;
+  }
+  EXPECT_GT(damage, 0u);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(stamped, 0u);
+  for (usize h = 0; h < oracle.size(); ++h) {
+    expect_snapshot_equal(oracle[h], sharded[h], h);
+  }
+}
+
+TEST(ShardIdentity, ShardCountDoesNotMatter) {
+  const std::vector<ProbeSnapshot> two = run_chaos_fleet(/*shards=*/2, 10, 8);
+  const std::vector<ProbeSnapshot> seven = run_chaos_fleet(/*shards=*/7, 10, 8);
+  ASSERT_EQ(two.size(), seven.size());
+  for (usize h = 0; h < two.size(); ++h) expect_snapshot_equal(two[h], seven[h], h);
+}
+
+TEST(ShardIdentity, MoreShardsThanProbes) {
+  // Workers beyond the probe count simply see an empty stride.
+  const std::vector<ProbeSnapshot> oracle = run_chaos_fleet(/*shards=*/1, 4, 6);
+  const std::vector<ProbeSnapshot> wide = run_chaos_fleet(/*shards=*/8, 4, 6);
+  ASSERT_EQ(oracle.size(), wide.size());
+  for (usize h = 0; h < oracle.size(); ++h) expect_snapshot_equal(oracle[h], wide[h], h);
+}
+
+TEST(ShardPool, PublishesPerShardRingDepthGauges) {
+  obs::EnabledGuard on(true);
+  FleetCollectorConfig config;
+  config.shards = 2;
+  FleetCollector collector(config);
+  std::vector<std::unique_ptr<memhist::Probe>> probes;
+  for (usize h = 0; h < 4; ++h) {
+    auto pair = util::make_loopback_pair();
+    collector.add_probe(pair.b, util::format("gauge%zu", h));
+    probes.push_back(std::make_unique<memhist::Probe>(pair.a));
+    probes.back()->send_hello(1, util::format("gauge%zu", h));
+    probes.back()->send_sample(make_sample(h, 0, 1));
+  }
+  collector.poll(1000);
+  const std::string text = obs::metrics().prometheus_text();
+  EXPECT_NE(text.find("npat_introspect_shard_ring_depth{shard=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("npat_introspect_shard_ring_depth{shard=\"1\"}"), std::string::npos);
+}
+
+TEST(ShardMetrics, RehandshakeRetiresStaleHostSeries) {
+  obs::EnabledGuard on(true);
+  FleetCollector collector;
+  auto pair = util::make_loopback_pair();
+  collector.add_probe(pair.b, "retire-old");
+  memhist::Probe probe(pair.a);
+  probe.send_hello(1, "retire-old");
+  probe.send_sample(make_sample(0, 0, 1));
+  collector.poll(100);
+  EXPECT_NE(obs::metrics().prometheus_text().find("host=\"retire-old\""), std::string::npos);
+
+  // The probe re-handshakes under a new host id: every series labeled
+  // with the old id must leave the registry, or a Prometheus scrape keeps
+  // reporting a host that no longer exists.
+  probe.send_hello(1, "retire-new");
+  probe.send_sample(make_sample(0, 1, 1));
+  collector.poll(200);
+  const std::string text = obs::metrics().prometheus_text();
+  EXPECT_EQ(text.find("host=\"retire-old\""), std::string::npos);
+  EXPECT_NE(text.find("host=\"retire-new\""), std::string::npos);
+  EXPECT_EQ(collector.probe(0).hellos, 2u);
+}
+
+TEST(ShardMetrics, SharedHostLabelSurvivesSiblingRename) {
+  obs::EnabledGuard on(true);
+  FleetCollector collector;
+  auto pair_a = util::make_loopback_pair();
+  auto pair_b = util::make_loopback_pair();
+  collector.add_probe(pair_a.b, "retire-shared");
+  collector.add_probe(pair_b.b, "retire-shared");
+  memhist::Probe probe_a(pair_a.a);
+  memhist::Probe probe_b(pair_b.a);
+  probe_a.send_hello(1, "retire-shared");
+  probe_b.send_hello(1, "retire-shared");
+  collector.poll(100);
+
+  // Probe A renames; probe B still publishes under the shared label, so
+  // the series must stay.
+  probe_a.send_hello(1, "retire-solo");
+  collector.poll(200);
+  const std::string text = obs::metrics().prometheus_text();
+  EXPECT_NE(text.find("host=\"retire-shared\""), std::string::npos);
+  EXPECT_NE(text.find("host=\"retire-solo\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace npat::fleet

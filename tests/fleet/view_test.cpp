@@ -92,6 +92,75 @@ TEST(FleetViewRender, ByteStableWithoutAnsi) {
   EXPECT_EQ(first.find('\x1b'), std::string::npos);
 }
 
+TEST(FleetViewRender, OutOfRangeHostGetsEngineOkNotRawThresholds) {
+  util::AnsiGuard ansi_off(false);
+  // Two hosts, but alerts were evaluated when only the first existed.
+  // The second host runs 80% remote: raw thresholds would brand it "bad",
+  // but in alert mode every host must answer with an engine verdict — and
+  // a subject the engine has never seen is Ok until its dwell commits.
+  FleetViewOptions options;
+  options.host_alerts = {obs::Severity::kOk};
+  const std::string out = render_fleet_view(two_host_view(), options);
+  EXPECT_NE(out.find("Alert"), std::string::npos);
+  EXPECT_EQ(out.find("warn"), std::string::npos);
+  // "bad-host" the id appears; "bad" the severity must not (cells are
+  // space-padded, the id is not).
+  EXPECT_EQ(out.find(" bad "), std::string::npos);
+}
+
+TEST(FleetViewRender, AggregateRowSurvivesZeroSpan) {
+  util::AnsiGuard ansi_off(false);
+  // A fleet polled before any host produced two samples has span == 0;
+  // the aggregate row's rate columns divide by span and must fall back to
+  // 1 cycle instead of emitting inf/nan.
+  FleetView view;
+  HostRow host;
+  host.host_id = "young";
+  host.hello_received = true;
+  host.samples_total = 1;
+  host.window = make_window(/*local=*/90, /*remote=*/10, 1);
+  host.window.end = host.window.start;  // single sample: no span yet
+  view.hosts = {host};
+  view.total = host.window.total();
+  view.span = 0;
+  view.samples = 1;
+  const std::string first = render_fleet_view(view);
+  EXPECT_NE(first.find("window=0"), std::string::npos);
+  EXPECT_EQ(first.find("inf"), std::string::npos);
+  EXPECT_EQ(first.find("nan"), std::string::npos);
+  // Golden: span falls back to 1 cycle, so the fleet DRAM column is
+  // (100 + 50 reads+writes) * 64 B / 1 cy * 2.4 GHz = 23040 GB/s.
+  EXPECT_NE(first.find("23040.00"), std::string::npos);
+  EXPECT_EQ(first, render_fleet_view(view));  // byte-stable
+}
+
+TEST(FleetViewRender, ShortHostWindowRatesUseOwnSpanNotFleetSpan) {
+  util::AnsiGuard ansi_off(false);
+  // Host "brief" covered only 100 cycles of the fleet's 1000-cycle span;
+  // its DRAM rate must divide by its own window, 10x the rate the fleet
+  // span would suggest for the same byte count.
+  FleetView view;
+  HostRow longhost;
+  longhost.host_id = "steady";
+  longhost.hello_received = true;
+  longhost.samples_total = 10;
+  longhost.window = make_window(90, 10, 10);  // spans [0, 1000]
+  HostRow brief;
+  brief.host_id = "brief";
+  brief.hello_received = true;
+  brief.samples_total = 2;
+  brief.window = make_window(90, 10, 2);
+  brief.window.end = 100;  // same bytes over a tenth of the span
+  view.hosts = {longhost, brief};
+  view.total = make_window(180, 20, 12).total();
+  view.span = 1000;
+  view.samples = 12;
+  const std::string out = render_fleet_view(view);
+  // (100+50)*64 B * 2.4 GHz over 1000 cy vs 100 cy.
+  EXPECT_NE(out.find(" 23.04"), std::string::npos);   // steady
+  EXPECT_NE(out.find("230.40"), std::string::npos);   // brief
+}
+
 TEST(FleetViewAlerts, EngineEvaluatesPerHost) {
   obs::AlertEngine engine;
   engine.add_rule(obs::remote_ratio_rule(0.2, 0.5, /*dwell_windows=*/1));

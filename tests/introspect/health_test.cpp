@@ -43,6 +43,25 @@ TEST(HistogramQuantile, OverflowBucketClampsToLastFiniteBound) {
   EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 10.0);
 }
 
+TEST(HistogramQuantile, EstimateFlagsTheOverflowBucket) {
+  obs::EnabledGuard on(true);
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("npat_test_q", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(1e9);
+  // The p99 crossing lands in +Inf: the clamped value is only a floor,
+  // and the estimate must say so instead of posing as a measurement.
+  const QuantileEstimate blown = histogram_quantile_estimate(h, 0.99);
+  EXPECT_DOUBLE_EQ(blown.value, 100.0);
+  EXPECT_TRUE(blown.overflow);
+  // The median crossing is in-bounds: no overflow flag.
+  const QuantileEstimate median = histogram_quantile_estimate(h, 0.25);
+  EXPECT_FALSE(median.overflow);
+  // Empty histogram: zero value, no overflow.
+  obs::Histogram& empty = registry.histogram("npat_test_q_empty", {10.0});
+  EXPECT_FALSE(histogram_quantile_estimate(empty, 0.99).overflow);
+}
+
 HealthRow demo_row() {
   HealthRow row;
   row.host = "alpha";
@@ -94,6 +113,21 @@ TEST(RenderHealth, UnmeasuredLatencyRendersAsDash) {
   // An unsupervised (or not-yet-stamped) probe has no latency estimate:
   // the pane says so instead of rendering a fake zero.
   EXPECT_NE(pane.find(" - "), std::string::npos);
+}
+
+TEST(RenderHealth, OverflowedP99RendersAsFloorNotMeasurement) {
+  obs::EnabledGuard on(true);
+  util::AnsiGuard plain(false);
+  HealthRow row = demo_row();
+  row.pipeline.ingest_p99 = 10000000.0;  // the largest finite bucket bound
+  row.pipeline.ingest_p99_overflow = true;
+  const std::string pane = render_health({row}, 1000000);
+  // A blown-out tail is a floor: ">=bound", never a bare number that
+  // could be mistaken for a bucketed estimate.
+  EXPECT_NE(pane.find(">=10 M"), std::string::npos);
+  row.pipeline.ingest_p99_overflow = false;
+  const std::string in_bounds = render_health({row}, 1000000);
+  EXPECT_EQ(in_bounds.find(">="), std::string::npos);
 }
 
 TEST(RenderHealth, IsByteStableForFixedInputs) {

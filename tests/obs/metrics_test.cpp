@@ -57,6 +57,22 @@ TEST(Histogram, BucketsObservations) {
   EXPECT_DOUBLE_EQ(h.sum(), 561.0);
 }
 
+TEST(Registry, RemoveDropsTheSeriesAndItsExport) {
+  EnabledGuard on(true);
+  Registry registry;
+  registry.counter("npat_test_keep_total", "kept").add(1);
+  registry.gauge("npat_test_drop", "dropped").set(5.0);
+  EXPECT_TRUE(registry.remove("npat_test_drop"));
+  EXPECT_FALSE(registry.remove("npat_test_drop"));    // already gone
+  EXPECT_FALSE(registry.remove("npat_test_absent"));  // never existed
+  EXPECT_EQ(registry.size(), 1u);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("npat_test_keep_total"), std::string::npos);
+  EXPECT_EQ(text.find("npat_test_drop"), std::string::npos);
+  // Re-registering after removal starts a fresh series.
+  EXPECT_DOUBLE_EQ(registry.gauge("npat_test_drop").value(), 0.0);
+}
+
 TEST(Registry, KindMismatchThrows) {
   Registry registry;
   registry.counter("npat_test_total");

@@ -1,0 +1,64 @@
+#include "util/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace npat::util {
+namespace {
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));  // full: bounded, never overwrites
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, WrapsAroundTheSlotArray) {
+  SpscRing<int> ring(3);
+  int out = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRing, TransfersEverythingAcrossThreads) {
+  // One producer, one consumer, ring much smaller than the item count so
+  // both the full-ring (producer blocks) and empty-ring (consumer blocks)
+  // paths run; every value must arrive exactly once, in order.
+  constexpr int kItems = 20000;
+  SpscRing<int> ring(8);
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) received.push_back(ring.pop());
+  });
+  for (int i = 0; i < kItems; ++i) ring.push(int(i));
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<usize>(kItems));
+  for (int i = 0; i < kItems; ++i) ASSERT_EQ(received[static_cast<usize>(i)], i);
+}
+
+}  // namespace
+}  // namespace npat::util
