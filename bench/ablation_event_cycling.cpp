@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Ablation: batched repeated runs vs event multiplexing");
   cli.add_flag("reps", &repetitions, "repetitions per strategy");
   cli.add_flag("rotation", &rotation, "multiplexing rotation interval (cycles)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   const sim::MachineConfig config = sim::hpe_dl580_gen9(2);
   auto factory = [] {

@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
   cli.add_flag("wall-budget", &wall_budget_percent, "maximum acceptable wall overhead in percent");
   cli.add_flag("wire-budget", &wire_budget_percent, "maximum acceptable wire overhead in percent");
   cli.add_flag("out", &out, "path for the BENCH_introspect.json report");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
   if (samples <= 0 || nodes <= 0 || nodes > 64 || rounds <= 0) {
     std::fprintf(stderr, "implausible --samples/--nodes/--rounds\n");
     return 1;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   using namespace npat;
 
   util::Cli cli("Ablation: Memhist threshold-cycling rate vs histogram damage");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   sim::MachineConfig config = sim::dual_socket_small(1);
   config.l3.size_bytes = KiB(512);

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   i64 accesses = 60000;
   util::Cli cli("Ablation: automatic NUMA balancing vs static first-touch mistake");
   cli.add_flag("accesses", &accesses, "random accesses per consumer thread");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   auto config = sim::hpe_dl580_gen9(1);  // one core per node: pure placement story
   config.l3.size_bytes = KiB(512);

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Ablation: online incremental pivot scan vs offline re-runs");
   cli.add_flag("max-n", &max_n, "largest trace length (halved down to 512)");
   cli.add_flag("seed", &seed, "trace noise seed");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   util::Table table({"samples", "strategy", "per-update", "speedup", "knee found", "replay"});
   table.set_title("Online phase detection: per-update cost and publication latency");

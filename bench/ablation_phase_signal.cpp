@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   i64 trials = 6;
   util::Cli cli("Ablation: footprint-based vs counter-based phase detection");
   cli.add_flag("trials", &trials, "independent runs");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   const sim::MachineConfig config = sim::hpe_dl580_gen9(2);
   sim::Machine machine(config);

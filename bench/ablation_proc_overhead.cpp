@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   cli.add_flag("period", &period, "sampling period in cycles, both legs");
   cli.add_flag("budget", &budget_percent, "maximum acceptable wall overhead in percent");
   cli.add_flag("out", &out, "path for the BENCH_proc.json report");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
   if (rounds <= 0 || threads <= 0 || elements_log2 < 8 || elements_log2 > 24) {
     std::fprintf(stderr, "implausible --rounds/--threads/--elements-log2\n");
     return 1;

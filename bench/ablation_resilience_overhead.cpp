@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   cli.add_flag("heartbeats", &heartbeats, "idle heartbeats per stream (-1 = samples/64)");
   cli.add_flag("seed", &seed, "telemetry noise seed");
   cli.add_flag("budget", &budget_percent, "maximum acceptable overhead in percent");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
   if (samples <= 0) {
     std::fprintf(stderr, "--samples must be > 0\n");
     return 1;

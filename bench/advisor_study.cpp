@@ -1,0 +1,120 @@
+// Gate for the placement advisor: given the classic master-touch STREAM
+// triad (every array bound to node 0, threads scattered), the advisor must
+// find its way back to (at least) the first-touch placement on its own —
+// profile, recommend, apply-and-rerun — and the measured "after" must
+// recover the known first-touch-vs-master-touch gap. Both endpoints of the
+// gap are measured here with the same collector settings, so the gate is a
+// pure within-bench comparison:
+//
+//   recovered = (before - after) / (before - oracle)   must be >= floor
+//
+// Results land in BENCH_advisor.json (before/after cycle counts included)
+// so CI archives the trajectory alongside the pass/fail gate.
+#include <cstdio>
+
+#include "advisor/advisor.hpp"
+#include "advisor/report.hpp"
+#include "evsel/collector.hpp"
+#include "sim/presets.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/kernels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace npat;
+
+  i64 threads = 8;
+  i64 elements = 1 << 13;
+  i64 repetitions = 3;
+  i64 top_k = 3;
+  double min_recovered = 0.9;
+  std::string out = "BENCH_advisor.json";
+  util::Cli cli("Advisor gate: recover the first-touch vs master-touch STREAM gap");
+  cli.add_flag("threads", &threads, "triad worker threads");
+  cli.add_flag("elements", &elements, "doubles per array per thread");
+  cli.add_flag("reps", &repetitions, "repetitions per measured placement");
+  cli.add_flag("top-k", &top_k, "candidates the advisor replays");
+  cli.add_flag("min-recovered", &min_recovered, "required fraction of the gap recovered");
+  cli.add_flag("out", &out, "report path");
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
+
+  const sim::MachineConfig machine_config = sim::hpe_dl580_gen9(4);
+
+  // The naive workload: master-touch (node 0) arrays. The advisor must not
+  // know the fix; it only sees this factory.
+  const auto naive_triad = [&] {
+    workloads::StreamParams params;
+    params.threads = static_cast<u32>(threads);
+    params.elements_per_thread = static_cast<usize>(elements);
+    params.placement = os::PagePolicy::kBind;  // all arrays on node 0
+    return workloads::stream_triad_program(params);
+  };
+  const auto first_touch_triad = [&] {
+    workloads::StreamParams params;
+    params.threads = static_cast<u32>(threads);
+    params.elements_per_thread = static_cast<usize>(elements);
+    params.placement = os::PagePolicy::kFirstTouch;
+    return workloads::stream_triad_program(params);
+  };
+
+  advisor::AdvisorOptions options;
+  options.baseline.affinity = os::AffinityPolicy::kScatter;
+  options.replay_repetitions = static_cast<u32>(repetitions);
+  options.replay_top_k = static_cast<usize>(top_k);
+
+  advisor::Advisor adv(machine_config);
+  const advisor::Recommendation rec = adv.advise(naive_triad, options);
+  std::fputs(advisor::render_recommendation(rec).c_str(), stdout);
+
+  // The oracle endpoint: the hand-fixed first-touch triad under the same
+  // collector settings the advisor replays with.
+  evsel::Collector collector(machine_config);
+  evsel::CollectOptions collect;
+  collect.repetitions = static_cast<u32>(repetitions);
+  collect.events = advisor::default_events();
+  collect.affinity = options.baseline.affinity;
+  const auto oracle = collector.measure("oracle first-touch", first_touch_triad, collect);
+  const double oracle_cycles = oracle.mean(sim::Event::kCycles);
+
+  const double before = rec.before_cycles;
+  const double after = rec.replays.empty() ? before : rec.best().cycles;
+  const double gap = before - oracle_cycles;
+  const double recovered = gap > 0.0 ? (before - after) / gap : 0.0;
+  const bool improved = after < before;
+  const bool pass = improved && recovered >= min_recovered;
+
+  std::puts("");
+  util::Table table({"configuration", "cycles", "vs before"});
+  table.set_title("advisor gate: master-touch triad");
+  for (usize c = 1; c < 3; ++c) table.set_align(c, util::Align::kRight);
+  table.add_row({"before (naive)", util::si_scaled(before), "1.00x"});
+  table.add_row({"after (advised)", util::si_scaled(after),
+                 util::format("%.2fx", before / after)});
+  table.add_row({"oracle (first-touch)", util::si_scaled(oracle_cycles),
+                 util::format("%.2fx", before / oracle_cycles)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nadvisor recovered %.0f%% of the first-touch gap (floor %.0f%%): %s\n",
+              100.0 * recovered, 100.0 * min_recovered, pass ? "PASS" : "FAIL");
+
+  util::JsonObject report;
+  report["bench"] = "advisor_study";
+  report["threads"] = static_cast<u64>(threads);
+  report["elements"] = static_cast<u64>(elements);
+  report["repetitions"] = static_cast<u64>(repetitions);
+  report["before_cycles"] = before;
+  report["after_cycles"] = after;
+  report["oracle_cycles"] = oracle_cycles;
+  report["advised_placement"] =
+      rec.replays.empty() ? rec.baseline.name() : rec.best().placement.name();
+  report["measured_speedup"] = before / after;
+  report["recovered_percent"] = 100.0 * recovered;
+  report["recovered_budget_percent"] = 100.0 * min_recovered;
+  report["remote_ratio_before"] = rec.signature.remote_ratio;
+  report["pass"] = pass;
+  util::write_file(out, util::Json(std::move(report)).dump(2) + "\n");
+  std::printf("wrote %s\n", out.c_str());
+
+  return pass ? 0 : 1;
+}

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Memhist extensions: coherence, multi-hop and TLB cost histograms");
   cli.add_flag("updates", &updates, "GUPS updates per thread");
   cli.add_flag("chase-steps", &chase_steps, "pointer-chase steps");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   // --- 1. cache-coherence (HITM) overhead --------------------------------
   {

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   util::Cli cli("monitor overhead: simulated-cycle cost of a modeled sampling agent");
   cli.add_flag("threads", &threads, "sort worker threads");
   cli.add_flag("read-cost", &read_cost, "simulated cycles the agent spends per sample");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   const u32 workers = static_cast<u32>(threads);
   const Cycles cost = static_cast<Cycles>(read_cost);

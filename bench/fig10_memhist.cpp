@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Fig. 10: Memhist histograms for NUMA-SIFT and mlc-remote");
   cli.add_flag("tile-kb", &tile_kb, "SIFT tile size per thread (KiB)");
   cli.add_flag("chase-steps", &chase_steps, "mlc pointer-chase steps");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   sim::MachineConfig config = sim::hpe_dl580_gen9(2);
   // Substitution for tractability: the E7's 45 MiB L3 would require

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   cli.add_flag("regions", &regions, "allocations during ramp-up");
   cli.add_flag("region-kb", &region_kb, "bytes per allocation (KiB)");
   cli.add_flag("rounds", &rounds, "computation-phase rounds");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   const sim::MachineConfig config = sim::hpe_dl580_gen9(2);
   sim::Machine machine(config);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Fig. 5: the EvSel interface, pane by pane");
   cli.add_flag("size", &size, "scan array dimension");
   cli.add_flag("reps", &repetitions, "repetitions per measurement");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   evsel::Collector collector(sim::hpe_dl580_gen9(2));
   evsel::CollectOptions options;

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Fig. 6: Memhist remote probing over a lossy transport");
   cli.add_flag("chase-steps", &chase_steps, "probe-side workload size");
   cli.add_flag("corruption", &corruption, "per-frame corruption probability");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   // --- remote server side --------------------------------------------------
   sim::MachineConfig config = sim::hpe_dl580_gen9(2);

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Fig. 8: EvSel comparison of the cache-miss micro-benchmark");
   cli.add_flag("size", &size, "array dimension (size x size floats)");
   cli.add_flag("reps", &repetitions, "repetitions per configuration");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   evsel::Collector collector(sim::hpe_dl580_gen9(2));
   evsel::CollectOptions options;

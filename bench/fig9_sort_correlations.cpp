@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   cli.add_flag("elements", &elements, "array elements (uints)");
   cli.add_flag("reps", &repetitions, "repetitions per thread count");
   cli.add_flag("threads", &thread_list, "comma-separated thread counts to sweep");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   std::vector<double> thread_counts;
   for (const auto& token : util::split(thread_list, ',')) {

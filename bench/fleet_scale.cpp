@@ -295,7 +295,7 @@ int main(int argc, char** argv) {
   cli.add_flag("p99-ceiling", &p99_ceiling,
                "maximum acceptable per-probe ingest p99 in simulated cycles");
   cli.add_flag("out", &out, "path for the BENCH_fleet.json report");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
   if (probes < 3 || probes > 100000 || samples <= 0 || nodes <= 0 || nodes > 64 || shards < 2 ||
       shards > 256 || p99_ceiling <= 0) {
     std::fprintf(stderr, "implausible --probes/--samples/--nodes/--shards/--p99-ceiling\n");

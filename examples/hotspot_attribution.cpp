@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Hotspot attribution + indicator-to-cost model demo");
   cli.add_flag("elements", &elements, "array elements (uints)");
   cli.add_flag("threads", &threads, "sort threads");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   // --- per-region hotspot attribution ------------------------------------
   const sim::MachineConfig config = sim::hpe_dl580_gen9(2);

@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   cli.add_flag("json", &json, "emit JSON instead of a table");
 
   try {
-    if (!cli.parse(argc, argv)) return 0;
+    if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
     if (list_events) {
       for (const auto& info : sim::all_events()) {

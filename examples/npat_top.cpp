@@ -55,11 +55,22 @@
 //   npat_top --health --workload=stream
 //   npat_top --fleet=3 --supervise --fault-disconnect=12 --health
 //   npat_top --health --prom=self.prom --metrics-json=self.json --flight=flight.json
+//
+// --advise (single-host) closes the detect→act loop after the run: the
+// placement advisor profiles the same workload, ranks candidate
+// thread/page placements from the counter signature, replays the top
+// picks under an os-level policy override, and appends the before/after
+// verdict pane:
+//
+//   npat_top --workload=stream --advise
+//   npat_top --workload=gups --preset=dl580 --advise
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 
+#include "advisor/advisor.hpp"
+#include "advisor/report.hpp"
 #include "fleet/collector.hpp"
 #include "fleet/view.hpp"
 #include "introspect/flight.hpp"
@@ -626,6 +637,7 @@ int main(int argc, char** argv) {
   std::string json_tasks_path;
   std::string wire_tasks_path;
   bool health = false;
+  bool advise = false;
   std::string prom_path;
   std::string metrics_json_path;
   std::string flight_path;
@@ -661,6 +673,8 @@ int main(int argc, char** argv) {
                "dump the per-task session as a v5 wire stream to this path");
   cli.add_flag("health", &health,
                "append the pipeline self-observability pane (hop latency, depths, damage)");
+  cli.add_flag("advise", &advise,
+               "append the placement-advisor pane: rank placements, apply the best and rerun");
   cli.add_flag("prom", &prom_path, "export self-metrics as Prometheus text to this path");
   cli.add_flag("metrics-json", &metrics_json_path, "export self-metrics as JSON to this path");
   cli.add_flag("flight", &flight_path,
@@ -671,7 +685,7 @@ int main(int argc, char** argv) {
   cli.add_flag("trace", &trace_path, "dump a Chrome trace (about:tracing) to this path");
 
   try {
-    if (!cli.parse(argc, argv)) return 0;
+    if (const auto rc = cli.parse_main(argc, argv)) return *rc;
     // Arm the black box before anything can crash: committed alert
     // transitions land in the flight ring, and a std::terminate dumps the
     // ring so the last events before a crash survive it.
@@ -706,6 +720,9 @@ int main(int argc, char** argv) {
     if (fleet > 0 && (!csv_tasks_path.empty() || !json_tasks_path.empty() ||
                       !wire_tasks_path.empty())) {
       throw util::CliError("task export flags are single-host only (fleet streams them as v5)");
+    }
+    if (advise && fleet > 0) {
+      throw util::CliError("--advise is single-host only (it replays the workload locally)");
     }
     if (fleet > 0) {
       FleetFlags flags;
@@ -864,6 +881,22 @@ int main(int argc, char** argv) {
     }
     if (!alerts.transitions().empty()) {
       std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
+    }
+
+    // --advise: the apply-and-rerun pane. The advisor profiles the same
+    // workload on the same machine preset, ranks candidate placements from
+    // the counter signature, replays the best under a policy override, and
+    // prints the before/after verdict right below the live view.
+    if (advise) {
+      advisor::Advisor adv(sim::preset_by_name(preset));
+      advisor::AdvisorOptions advise_options;
+      advise_options.baseline.affinity = runner_config.affinity;
+      advise_options.sample_period = static_cast<Cycles>(period);
+      const auto rec = adv.advise(
+          [&] { return workload_by_name(workload, static_cast<u32>(threads)); },
+          advise_options);
+      std::puts("");
+      std::fputs(advisor::render_recommendation(rec).c_str(), stdout);
     }
 
     if (!csv_path.empty()) {

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   util::Cli cli("NUMA latency map: median load latency per (cpu node, memory node)");
   cli.add_flag("preset", &preset, "machine preset (dl580, dual, uma, cube8)");
   cli.add_flag("chase-steps", &chase_steps, "pointer-chase steps per cell");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   sim::MachineConfig config = sim::preset_by_name(preset);
   config.l3.size_bytes = MiB(2);  // let the chase actually reach DRAM

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   util::Cli cli("Phase explorer: k-phase detection on a BSP-like program");
   cli.add_flag("supersteps", &supersteps, "BSP supersteps");
   cli.add_flag("step-kb", &step_kb, "bytes allocated per superstep (KiB)");
-  if (!cli.parse(argc, argv)) return 0;
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   const sim::MachineConfig config = sim::dual_socket_small(2);
   sim::Machine machine(config);

@@ -9,6 +9,8 @@
 // affinity policy is swept on top.
 #include <cstdio>
 
+#include "advisor/advisor.hpp"
+#include "advisor/report.hpp"
 #include "evsel/collector.hpp"
 #include "evsel/compare.hpp"
 #include "evsel/imbalance.hpp"
@@ -25,11 +27,13 @@ int main(int argc, char** argv) {
   i64 threads = 8;
   i64 elements = 1 << 15;
   i64 repetitions = 3;
+  bool advise = false;
   util::Cli cli("Placement study: first-touch vs master-touch STREAM triad");
   cli.add_flag("threads", &threads, "worker threads");
   cli.add_flag("elements", &elements, "doubles per array per thread");
   cli.add_flag("reps", &repetitions, "repetitions per configuration");
-  if (!cli.parse(argc, argv)) return 0;
+  cli.add_flag("advise", &advise, "run the placement advisor on the master-touch triad");
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
 
   evsel::Collector collector(sim::hpe_dl580_gen9(4));
   evsel::CollectOptions options;
@@ -95,5 +99,20 @@ int main(int argc, char** argv) {
   runner.run(triad(os::PagePolicy::kBind));
   std::puts("");
   std::fputs(evsel::node_imbalance(machine).render().c_str(), stdout);
+
+  // --advise: hand the broken configuration to the placement advisor and
+  // let it close the loop — profile, rank candidate placements, replay the
+  // unmodified workload under the best ones, and print the before/after
+  // delta table with the counter-signature rationale.
+  if (advise) {
+    advisor::Advisor adv(sim::hpe_dl580_gen9(4));
+    advisor::AdvisorOptions advise_options;
+    advise_options.baseline.affinity = os::AffinityPolicy::kScatter;
+    advise_options.replay_repetitions = static_cast<u32>(repetitions);
+    const auto rec =
+        adv.advise([&] { return triad(os::PagePolicy::kBind); }, advise_options);
+    std::puts("");
+    std::fputs(advisor::render_recommendation(rec).c_str(), stdout);
+  }
   return 0;
 }

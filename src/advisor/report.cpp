@@ -1,0 +1,108 @@
+#include "advisor/report.hpp"
+
+#include "evsel/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace npat::advisor {
+
+namespace {
+
+usize capped(usize count, usize cap) { return cap == 0 ? count : std::min(count, cap); }
+
+}  // namespace
+
+std::string render_profile(const Recommendation& rec, const ReportOptions& options) {
+  const CounterSignature& sig = rec.signature;
+  std::string out;
+  out += util::format(
+      "profile: compute phase %zu of %zu, %.0f%% remote loads, %.0f%% of cycles "
+      "stalled on memory, %.1f QPI flits/kinstr, peak node carries %.0f%% of cycles, "
+      "%.0f%% of sampled loads in shared areas\n",
+      rec.compute_phase + 1, rec.phases.phases.size(), 100.0 * sig.remote_ratio,
+      100.0 * sig.stall_fraction, sig.qpi_flits_per_kinstr,
+      100.0 * sig.node_cycle_imbalance, 100.0 * sig.shared_fraction);
+  if (!sig.page_share.empty()) {
+    out += "pages per node:";
+    for (usize n = 0; n < sig.page_share.size(); ++n) {
+      out += util::format(" node%zu %.0f%%", n, 100.0 * sig.page_share[n]);
+    }
+    out += '\n';
+  }
+  for (const std::string& alert : rec.alerts) out += "alert: " + alert + "\n";
+
+  if (!rec.hints.empty()) {
+    util::Table hints({"task", "hot area", "samples", "migrate to"});
+    hints.set_title("page-migration hints (hottest 1 MiB areas)");
+    hints.set_align(2, util::Align::kRight);
+    for (usize h = 0; h < capped(rec.hints.size(), options.max_hints); ++h) {
+      const MigrationHint& hint = rec.hints[h];
+      hints.add_row({hint.task.empty()
+                         ? util::format("%u/%u", hint.pid, hint.tid)
+                         : hint.task,
+                     util::format("0x%llx", static_cast<unsigned long long>(hint.area_base)),
+                     util::format("%llu", static_cast<unsigned long long>(hint.samples)),
+                     util::format("node%u", hint.target)});
+    }
+    out += hints.render();
+  }
+
+  util::Table ranked({"#", "placement", "pred. remote", "pred. cycles", "pred. speedup"});
+  ranked.set_title("ranked candidate placements");
+  for (usize c = 2; c < 5; ++c) ranked.set_align(c, util::Align::kRight);
+  for (usize i = 0; i < capped(rec.ranked.size(), options.max_candidates); ++i) {
+    const Candidate& candidate = rec.ranked[i];
+    ranked.add_row({util::format("%zu", i + 1), candidate.placement.name(),
+                    util::format("%.0f%%", 100.0 * candidate.predicted_remote_ratio),
+                    util::si_scaled(candidate.predicted_cycles),
+                    util::format("%.2fx", candidate.predicted_speedup)});
+  }
+  out += ranked.render();
+  if (!rec.ranked.empty()) out += "why: " + rec.ranked.front().rationale + "\n";
+  return out;
+}
+
+std::string render_replay(const Recommendation& rec, const ReportOptions& options) {
+  std::string out;
+  if (rec.replays.empty()) {
+    out += "no candidate replayed (top-k = 0 or every candidate equals the baseline)\n";
+    return out;
+  }
+  util::Table replays({"placement", "cycles", "measured", "predicted"});
+  replays.set_title("apply-and-rerun (measured vs predicted speedup)");
+  for (usize c = 1; c < 4; ++c) replays.set_align(c, util::Align::kRight);
+  replays.add_row({rec.baseline.name() + " (before)", util::si_scaled(rec.before_cycles),
+                   "1.00x", "1.00x"});
+  for (const Replay& replay : rec.replays) {
+    replays.add_row({replay.placement.name(), util::si_scaled(replay.cycles),
+                     util::format("%.2fx", replay.measured_speedup),
+                     util::format("%.2fx", replay.predicted_speedup)});
+  }
+  out += replays.render();
+
+  const Replay& best = rec.best();
+  if (rec.keep_current()) {
+    out += util::format(
+        "verdict: keep %s — no replayed candidate beat the baseline's %s cycles\n",
+        rec.baseline.name().c_str(), util::si_scaled(rec.before_cycles).c_str());
+  } else {
+    out += util::format("verdict: apply %s — before %s cycles, after %s cycles (%s)\n",
+                        best.placement.name().c_str(),
+                        util::si_scaled(rec.before_cycles).c_str(),
+                        util::si_scaled(best.cycles).c_str(),
+                        util::percent_delta(best.cycles / rec.before_cycles - 1.0).c_str());
+  }
+  if (options.include_event_deltas && !rec.delta.rows.empty()) {
+    evsel::ReportOptions event_options;
+    event_options.include_all_events = true;
+    event_options.show_descriptions = false;
+    out += evsel::render_comparison(rec.delta, event_options);
+  }
+  return out;
+}
+
+std::string render_recommendation(const Recommendation& rec, const ReportOptions& options) {
+  return render_profile(rec, options) + "\n" + render_replay(rec, options);
+}
+
+}  // namespace npat::advisor

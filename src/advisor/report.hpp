@@ -1,0 +1,34 @@
+// Terminal rendering of advisor output: the counter-signature rationale,
+// the ranked candidate table, migration hints, and the before/after
+// replay verdict ("before X cycles, after Y cycles") with per-event deltas.
+#pragma once
+
+#include <string>
+
+#include "advisor/advisor.hpp"
+
+namespace npat::advisor {
+
+struct ReportOptions {
+  /// Candidates listed in the ranked-prediction table (0 = all).
+  usize max_candidates = 6;
+  /// Migration hints listed (0 = all).
+  usize max_hints = 6;
+  /// Append the full per-event before/after comparison table.
+  bool include_event_deltas = true;
+};
+
+/// The profile pane: signature, phases, alerts, hints, ranked predictions.
+std::string render_profile(const Recommendation& recommendation,
+                           const ReportOptions& options = {});
+
+/// The replay pane: predicted vs measured speedups and the before/after
+/// cycle verdict with per-event deltas.
+std::string render_replay(const Recommendation& recommendation,
+                          const ReportOptions& options = {});
+
+/// Both panes — the full advisor report.
+std::string render_recommendation(const Recommendation& recommendation,
+                                  const ReportOptions& options = {});
+
+}  // namespace npat::advisor

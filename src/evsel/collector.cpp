@@ -77,16 +77,19 @@ Collector::Collector(sim::MachineConfig config)
     : config_(std::move(config)), machine_(config_) {}
 
 void Collector::run_once(const ProgramFactory& factory, u64 seed,
-                         os::AffinityPolicy affinity,
+                         const CollectOptions& options,
                          const std::function<void(trace::Runner&)>& before,
                          const std::function<void(trace::Runner&)>& after) {
   NPAT_OBS_SPAN("evsel.run");
   NPAT_OBS_COUNT("npat_evsel_runs_total", "Simulated program runs executed by EvSel", 1);
   machine_.reset();
   os::AddressSpace space(machine_.topology());
+  if (options.page_policy_override) {
+    space.set_policy_override(*options.page_policy_override, options.override_bind_node);
+  }
   trace::RunnerConfig runner_config;
   runner_config.seed = seed;
-  runner_config.affinity = affinity;
+  runner_config.affinity = options.affinity;
   trace::Runner runner(machine_, space, runner_config);
   if (before) before(runner);
   runner.run(factory());
@@ -134,7 +137,7 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
       // Arm only this group's registers; re-run the whole program.
       perf::CountingSession session(machine_, groups[g]);
       run_once(
-          factory, seed, options.affinity,
+          factory, seed, options,
           [&](trace::Runner&) { session.start(); },
           [&](trace::Runner&) { run_values[g][rep] = session.stop(); });
     };
@@ -157,6 +160,9 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
       NPAT_OBS_COUNT("npat_evsel_runs_total", "Simulated program runs executed by EvSel", 1);
       machine_.reset();
       os::AddressSpace space(machine_.topology());
+      if (options.page_policy_override) {
+        space.set_policy_override(*options.page_policy_override, options.override_bind_node);
+      }
       trace::RunnerConfig runner_config;
       runner_config.seed = seed;
       runner_config.affinity = options.affinity;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,13 @@ struct CollectOptions {
   /// honestly modelling that separate runs are never bit-identical.
   u64 seed = 2017;
   os::AffinityPolicy affinity = os::AffinityPolicy::kCompact;
+  /// numactl-style placement override for the measured program: when set,
+  /// every allocation the program makes uses this page policy (with
+  /// `override_bind_node` for kBind) regardless of what the workload asked
+  /// for — the advisor's apply-and-rerun path measures an *unmodified*
+  /// workload under an advised placement this way.
+  std::optional<os::PagePolicy> page_policy_override;
+  sim::NodeId override_bind_node = 0;
   /// Robustness screen (0 disables; needs >= 3 repetitions): a run whose
   /// count for any armed event deviates from the cross-repetition median
   /// by more than `quarantine_mad_k * 1.4826 * MAD` (plus a tiny epsilon
@@ -67,7 +75,7 @@ class Collector {
   sim::Machine& machine() noexcept { return machine_; }
 
  private:
-  void run_once(const ProgramFactory& factory, u64 seed, os::AffinityPolicy affinity,
+  void run_once(const ProgramFactory& factory, u64 seed, const CollectOptions& options,
                 const std::function<void(trace::Runner&)>& before,
                 const std::function<void(trace::Runner&)>& after);
 

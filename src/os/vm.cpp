@@ -1,11 +1,31 @@
 #include "os/vm.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace npat::os {
 
 namespace {
 constexpr u64 kSmallPagesPerHuge = kHugePageBytes / kPageBytes;
+}
+
+PagePolicy page_policy_from_name(const std::string& name) {
+  if (name == "first-touch") return PagePolicy::kFirstTouch;
+  if (name == "bind") return PagePolicy::kBind;
+  if (name == "interleave") return PagePolicy::kInterleave;
+  NPAT_CHECK_MSG(false, "unknown page policy: " + name +
+                            " (expected first-touch | bind | interleave)");
+  return PagePolicy::kFirstTouch;
+}
+
+const char* page_policy_name(PagePolicy policy) {
+  switch (policy) {
+    case PagePolicy::kFirstTouch: return "first-touch";
+    case PagePolicy::kBind: return "bind";
+    case PagePolicy::kInterleave: return "interleave";
+  }
+  return "first-touch";
 }
 
 AddressSpace::AddressSpace(const sim::Topology& topology)
@@ -17,6 +37,10 @@ VirtAddr AddressSpace::allocate_region(u64 bytes, PagePolicy policy,
                                        sim::NodeId bind_node, u64 page_bytes) {
   NPAT_CHECK_MSG(bytes > 0, "cannot allocate zero bytes");
   NPAT_CHECK_MSG(bind_node < topology_->nodes, "bind node out of range");
+  if (override_) {
+    policy = override_->policy;
+    bind_node = override_->bind_node;
+  }
 
   const u64 aligned = (bytes + page_bytes - 1) / page_bytes * page_bytes;
   // Align the base itself to the page size (huge regions must start on a
@@ -77,6 +101,67 @@ void AddressSpace::free(VirtAddr base) {
   }
   reserved_bytes_ -= region.bytes;
   regions_.erase(it);
+  if (regions_.empty()) {
+    // Empty space: restart the bump allocators so the next allocation round
+    // reuses the same virtual addresses and physical frames a fresh space
+    // would hand out — a replayed run must be bit-identical to a first run.
+    next_vaddr_ = kFirstVaddr;
+    std::fill(next_frame_.begin(), next_frame_.end(), 0);
+  }
+}
+
+void AddressSpace::set_policy_override(PagePolicy policy, sim::NodeId bind_node) {
+  NPAT_CHECK_MSG(policy != PagePolicy::kBind || bind_node < topology_->nodes,
+                 "override bind node out of range");
+  override_ = PolicyOverride{policy, bind_node};
+}
+
+u64 AddressSpace::migrate(VirtAddr base, u64 bytes, sim::NodeId target) {
+  NPAT_CHECK_MSG(target < topology_->nodes, "migration target node out of range");
+  NPAT_CHECK_MSG(bytes > 0, "cannot migrate an empty range");
+  u64 moved = 0;
+  const auto move_entry = [&](Frame& frame, u64 unmap_key, u64 page_bytes) {
+    const sim::NodeId home = sim::node_of_paddr(frame.base);
+    if (home == target) return;
+    const u64 page_units = page_bytes / kPageBytes;
+    NPAT_CHECK(node_pages_[home] >= page_units);
+    node_pages_[home] -= page_units;
+    node_pages_[target] += page_units;
+    frame.base = allocate_frame(target, page_bytes);
+    frame.remote_streak = 0;
+    ++pages_migrated_;
+    ++moved;
+    if (on_unmap) on_unmap(unmap_key);  // TLB shootdown
+    if (on_migrate) on_migrate(unmap_key, home, target);
+  };
+  for (u64 page = base / kPageBytes; page <= (base + bytes - 1) / kPageBytes; ++page) {
+    const auto entry = page_table_.find(page);
+    if (entry != page_table_.end()) move_entry(entry->second, page, kPageBytes);
+  }
+  for (u64 hpage = base / kHugePageBytes; hpage <= (base + bytes - 1) / kHugePageBytes;
+       ++hpage) {
+    const auto entry = huge_table_.find(hpage);
+    if (entry != huge_table_.end()) {
+      move_entry(entry->second, hpage | kHugeTlbKeyBit, kHugePageBytes);
+    }
+  }
+  return moved;
+}
+
+void AddressSpace::reset() {
+  if (on_unmap) {
+    for (const auto& [page, frame] : page_table_) on_unmap(page);
+    for (const auto& [hpage, frame] : huge_table_) on_unmap(hpage | kHugeTlbKeyBit);
+  }
+  regions_.clear();
+  page_table_.clear();
+  huge_table_.clear();
+  std::fill(next_frame_.begin(), next_frame_.end(), 0);
+  std::fill(node_pages_.begin(), node_pages_.end(), 0);
+  next_vaddr_ = kFirstVaddr;
+  reserved_bytes_ = 0;
+  resident_pages_ = 0;
+  pages_migrated_ = 0;
 }
 
 void AddressSpace::enable_numa_balancing(u16 threshold) {

@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,12 @@ enum class PagePolicy : u8 {
   kBind,         // all pages on a fixed node
   kInterleave,   // pages round-robin across all nodes
 };
+
+/// Parses "first-touch" | "bind" | "interleave" (the names printed by
+/// page_policy_name). Hard-errors (CheckError) on anything else — the
+/// advisor's apply path must never silently fall back to a default.
+PagePolicy page_policy_from_name(const std::string& name);
+const char* page_policy_name(PagePolicy policy);
 
 struct Region {
   VirtAddr base = 0;
@@ -62,7 +69,32 @@ class AddressSpace {
   /// Releases the region starting at `base` (must be an allocate() result).
   /// Returns pages to the OS and drops their translations; `on_unmap` (if
   /// set) is told about each vanishing page so TLBs can be shot down.
+  /// When the last region is freed the bump allocators restart, so the next
+  /// allocation round is bit-identical to one in a fresh space.
   void free(VirtAddr base);
+
+  /// numactl analogue: while set, every subsequent allocation ignores the
+  /// policy the caller asked for and uses `policy` (with `bind_node` for
+  /// kBind) instead. This is how an *unmodified* workload is replayed under
+  /// an advised placement. Already-placed pages are unaffected.
+  void set_policy_override(PagePolicy policy, sim::NodeId bind_node = 0);
+  void clear_policy_override() { override_.reset(); }
+  bool policy_override_active() const noexcept { return override_.has_value(); }
+
+  /// move_pages(2) analogue: migrates every *touched* page intersecting
+  /// [base, base + bytes) to `target`, firing on_unmap (TLB shootdown) and
+  /// on_migrate per moved page. Untouched pages are left for first touch
+  /// under the region's policy. Returns the number of page-table entries
+  /// moved (a huge page counts once).
+  u64 migrate(VirtAddr base, u64 bytes, sim::NodeId target);
+
+  /// Returns the space to its just-constructed state: every mapping is
+  /// dropped (with per-page on_unmap shootdowns) and the virtual/physical
+  /// bump allocators restart, so a replayed run allocates bit-identical
+  /// virtual addresses and physical frames to a fresh space. NUMA-balancing
+  /// configuration and the policy override survive; the migration counter
+  /// does not.
+  void reset();
 
   struct Translation {
     PhysAddr paddr = 0;
@@ -111,6 +143,14 @@ class AddressSpace {
     sim::NodeId last_remote = 0;
   };
 
+  struct PolicyOverride {
+    PagePolicy policy = PagePolicy::kFirstTouch;
+    sim::NodeId bind_node = 0;
+  };
+
+  /// First usable virtual address (skips the null page).
+  static constexpr VirtAddr kFirstVaddr = 0x10000;
+
   Region* region_of(VirtAddr vaddr);
   PhysAddr allocate_frame(sim::NodeId node, u64 page_bytes);
   VirtAddr allocate_region(u64 bytes, PagePolicy policy, sim::NodeId bind_node,
@@ -122,7 +162,8 @@ class AddressSpace {
   std::unordered_map<u64, Frame> huge_table_;  // 2 MiB vpage -> frame
   std::vector<u64> next_frame_;                // per node bump allocator
   std::vector<u64> node_pages_;
-  VirtAddr next_vaddr_ = 0x10000;  // skip the null page
+  std::optional<PolicyOverride> override_;
+  VirtAddr next_vaddr_ = kFirstVaddr;
   u64 reserved_bytes_ = 0;
   u64 resident_pages_ = 0;
   u16 balancing_threshold_ = 0;

@@ -301,6 +301,14 @@ RunResult Runner::run(const Program& program) {
   fire_samplers(machine_->max_clock());
   result.duration = machine_->max_clock() - start_clock;
   result.phase_marks = std::move(phase_marks_);
+  // Return the barrier ticket lines to the OS. They are run-local state;
+  // leaking them would leave a replay in the same address space starting
+  // from a different placement than a fresh run. Freed after the final
+  // sampler tick so in-run footprint samples are unaffected.
+  for (auto& [id, barrier] : barriers_) {
+    if (barrier.flag != 0) space_->free(barrier.flag);
+  }
+  barriers_.clear();
   threads_.clear();
   live_threads_ = 0;
   return result;

@@ -85,6 +85,17 @@ bool Cli::parse(int argc, const char* const* argv) {
   return true;
 }
 
+std::optional<int> Cli::parse_main(int argc, const char* const* argv) {
+  try {
+    if (!parse(argc, argv)) return 0;
+  } catch (const CliError& error) {
+    std::fprintf(stderr, "%s: %s\n", program_name_.c_str(), error.what());
+    std::fprintf(stderr, "Try '%s --help' for the flag list.\n", program_name_.c_str());
+    return 2;
+  }
+  return std::nullopt;
+}
+
 std::string Cli::help_text() const {
   std::string out = description_ + "\n\nUsage: " + program_name_ + " [flags]\n\nFlags:\n";
   usize width = 0;

@@ -32,6 +32,14 @@ class Cli {
   /// stdout); throws CliError on unknown flags or malformed values.
   bool parse(int argc, const char* const* argv);
 
+  /// Front door for main(): parses argv and decides the process's fate.
+  ///  - flags parsed cleanly     -> nullopt (continue with the run)
+  ///  - --help                   -> 0 (help already printed to stdout)
+  ///  - unknown flag / bad value -> 2 (diagnostic printed to stderr)
+  /// A typo'd flag must exit non-zero so CI scripts can tell it from a
+  /// clean run. Usage: `if (auto rc = cli.parse_main(argc, argv)) return *rc;`
+  std::optional<int> parse_main(int argc, const char* const* argv);
+
   std::string help_text() const;
 
   /// Positional arguments left over after flag parsing.

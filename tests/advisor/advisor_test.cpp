@@ -1,0 +1,229 @@
+#include "advisor/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "advisor/report.hpp"
+#include "evsel/collector.hpp"
+#include "sim/presets.hpp"
+#include "util/check.hpp"
+#include "workloads/kernels.hpp"
+
+namespace npat::advisor {
+namespace {
+
+constexpr u32 kThreads = 4;
+
+evsel::ProgramFactory master_touch_triad() {
+  return [] {
+    workloads::StreamParams params;
+    params.threads = kThreads;
+    params.elements_per_thread = 1 << 10;
+    params.placement = os::PagePolicy::kBind;  // everything on node 0
+    return workloads::stream_triad_program(params);
+  };
+}
+
+CounterSignature remote_heavy_signature(usize nodes) {
+  CounterSignature signature;
+  signature.cycles = 1000000;
+  signature.stall_cycles_mem = 600000;
+  signature.numa_loads = 10000;
+  signature.remote_ratio = 0.75;
+  signature.stall_fraction = 0.6;
+  signature.shared_fraction = 0.0;  // private per-thread data
+  signature.page_share.assign(nodes, 0.0);
+  signature.page_share[0] = 1.0;  // master-touch: all pages on node 0
+  return signature;
+}
+
+TEST(PlacementName, RoundTripsThroughParser) {
+  const sim::Topology topology(sim::hpe_dl580_gen9(4).topology);
+  for (const auto affinity :
+       {os::AffinityPolicy::kCompact, os::AffinityPolicy::kScatter}) {
+    for (const auto page :
+         {std::optional<os::PagePolicy>{}, std::optional{os::PagePolicy::kFirstTouch},
+          std::optional{os::PagePolicy::kInterleave}, std::optional{os::PagePolicy::kBind}}) {
+      Placement placement;
+      placement.affinity = affinity;
+      placement.page_policy = page;
+      placement.bind_node = (page == os::PagePolicy::kBind) ? 3 : 0;
+      EXPECT_EQ(placement_from_name(placement.name(), topology), placement)
+          << placement.name();
+    }
+  }
+}
+
+TEST(PlacementName, HardErrorsOnTypos) {
+  const sim::Topology topology(sim::hpe_dl580_gen9(4).topology);
+  EXPECT_THROW(placement_from_name("scatter", topology), CheckError);
+  EXPECT_THROW(placement_from_name("scatter+firsttouch", topology), CheckError);
+  EXPECT_THROW(placement_from_name("sctater+bind(0)", topology), CheckError);
+  EXPECT_THROW(placement_from_name("compact+bind(9)", topology), CheckError);
+  EXPECT_THROW(placement_from_name("compact+bind(x)", topology), CheckError);
+}
+
+TEST(ScoreCandidates, PrefersLocalPlacementForRemoteHeavyPrivateData) {
+  const sim::Topology topology(sim::hpe_dl580_gen9(4).topology);
+  Placement baseline;
+  baseline.affinity = os::AffinityPolicy::kScatter;
+  const auto ranked =
+      score_candidates(remote_heavy_signature(topology.nodes), topology, kThreads,
+                       baseline, /*remote_penalty=*/2.5);
+  ASSERT_FALSE(ranked.empty());
+  // Private remote-heavy data: first-touch should beat everything, and the
+  // winner must predict fewer cycles than the as-is baseline.
+  EXPECT_EQ(ranked.front().placement.page_policy, os::PagePolicy::kFirstTouch);
+  const auto as_is = std::find_if(ranked.begin(), ranked.end(), [&](const Candidate& c) {
+    return c.placement == baseline;
+  });
+  ASSERT_NE(as_is, ranked.end());
+  EXPECT_LT(ranked.front().predicted_cycles, as_is->predicted_cycles);
+  EXPECT_GT(ranked.front().predicted_speedup, 1.0);
+  EXPECT_FALSE(ranked.front().rationale.empty());
+}
+
+TEST(ScoreCandidates, MovesThreadsToFullySharedData) {
+  // Fully shared data piled on node 0: the model's best move is bringing
+  // the threads to the data (compact affinity keeps them co-resident with
+  // the pages, predicted remote -> 0), not spreading pages.
+  const sim::Topology topology(sim::hpe_dl580_gen9(4).topology);
+  auto signature = remote_heavy_signature(topology.nodes);
+  signature.shared_fraction = 1.0;  // every hot area touched by many tasks
+  Placement baseline;
+  baseline.affinity = os::AffinityPolicy::kScatter;
+  const auto ranked =
+      score_candidates(signature, topology, kThreads, baseline, 2.5);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().placement.affinity, os::AffinityPolicy::kCompact);
+  EXPECT_DOUBLE_EQ(ranked.front().predicted_remote_ratio, 0.0);
+  EXPECT_GT(ranked.front().predicted_speedup, 1.0);
+}
+
+TEST(Advisor, RemotePenaltyReflectsMachineConfig) {
+  Advisor numa(sim::hpe_dl580_gen9(4));
+  EXPECT_GT(numa.remote_penalty(), 1.0);
+  Advisor uma(sim::uma_single_node(2));
+  EXPECT_DOUBLE_EQ(uma.remote_penalty(), 1.0);
+}
+
+TEST(Advisor, RecoversFirstTouchGapOnMasterTouchTriad) {
+  Advisor adv(sim::hpe_dl580_gen9(4));
+  AdvisorOptions options;
+  options.baseline.affinity = os::AffinityPolicy::kScatter;
+  options.replay_repetitions = 2;
+  options.replay_top_k = 2;
+  const Recommendation rec = adv.advise(master_touch_triad(), options);
+
+  // The profile must see the problem: remote-heavy, pages piled on node 0.
+  EXPECT_GT(rec.signature.remote_ratio, 0.5);
+  ASSERT_EQ(rec.signature.page_share.size(), 4u);
+  EXPECT_GT(rec.signature.page_share[0], 0.9);
+
+  // The ranked list must lead with candidates that fix the remote traffic —
+  // predicted below the measured status quo, with a concrete page-side fix
+  // (first-touch / bind / interleave) among the top picks.
+  ASSERT_FALSE(rec.ranked.empty());
+  const auto as_is = std::find_if(rec.ranked.begin(), rec.ranked.end(), [&](const Candidate& c) {
+    return c.placement == rec.baseline;
+  });
+  ASSERT_NE(as_is, rec.ranked.end());
+  EXPECT_LT(rec.ranked.front().predicted_cycles, as_is->predicted_cycles);
+  const bool page_fix_in_top3 = std::any_of(
+      rec.ranked.begin(), rec.ranked.begin() + std::min<usize>(3, rec.ranked.size()),
+      [](const Candidate& c) { return c.placement.page_policy.has_value(); });
+  EXPECT_TRUE(page_fix_in_top3);
+
+  // ...and the replay must beat the measured before.
+  ASSERT_FALSE(rec.replays.empty());
+  EXPECT_FALSE(rec.keep_current());
+  EXPECT_GT(rec.measured_speedup(), 1.0);
+  EXPECT_LT(rec.best().cycles, rec.before_cycles);
+
+  // Migration hints target hot 1 MiB areas of remote-heavy tasks.
+  for (const auto& hint : rec.hints) {
+    EXPECT_EQ(hint.area_base % (1u << 20), 0u) << hint.area_base;
+    EXPECT_GT(hint.samples, 0u);
+    EXPECT_FALSE(hint.task.empty());
+  }
+
+  // The rendered report carries the before/after verdict.
+  const std::string report = render_recommendation(rec);
+  EXPECT_NE(report.find("verdict: apply"), std::string::npos) << report;
+  EXPECT_NE(report.find("before"), std::string::npos);
+}
+
+TEST(Advisor, PredictionRanksTrackMeasurementOnTriad) {
+  // Röhl-style validation: the replayed candidates' measured ordering must
+  // agree with the model at the extremes — the advised placement really is
+  // better than the before run (checked above); here, every replay carries
+  // both speedup columns for the report.
+  Advisor adv(sim::hpe_dl580_gen9(4));
+  AdvisorOptions options;
+  options.baseline.affinity = os::AffinityPolicy::kScatter;
+  options.replay_repetitions = 2;
+  options.replay_top_k = 2;
+  const Recommendation rec = adv.advise(master_touch_triad(), options);
+  for (const auto& replay : rec.replays) {
+    EXPECT_GT(replay.cycles, 0.0);
+    EXPECT_GT(replay.predicted_speedup, 0.0);
+    EXPECT_GT(replay.measured_speedup, 0.0);
+  }
+  // The comparison table is before vs. best replay.
+  EXPECT_FALSE(rec.delta.rows.empty());
+}
+
+TEST(Collector, PagePolicyOverrideChangesPlacement) {
+  // The numactl analogue the advisor's apply path rests on: overriding a
+  // master-touch workload to first-touch must collapse the interconnect
+  // traffic (the triad's misses are cold store misses, so QPI flits are the
+  // honest remote indicator) and buy back cycles.
+  evsel::Collector collector(sim::hpe_dl580_gen9(4));
+  evsel::CollectOptions options;
+  options.repetitions = 2;
+  options.events = {sim::Event::kCycles, sim::Event::kUncQpiTxFlits};
+  options.affinity = os::AffinityPolicy::kScatter;
+
+  const auto factory = master_touch_triad();
+  const auto before = collector.measure("master-touch", factory, options);
+
+  options.page_policy_override = os::PagePolicy::kFirstTouch;
+  const auto after = collector.measure("override", factory, options);
+
+  EXPECT_GT(before.mean(sim::Event::kUncQpiTxFlits),
+            10.0 * (1.0 + after.mean(sim::Event::kUncQpiTxFlits)));
+  EXPECT_LT(after.mean(sim::Event::kCycles), before.mean(sim::Event::kCycles));
+}
+
+TEST(Advisor, EmitsMigrationHintsForRemoteHeavyTasks) {
+  // GUPS with the table bound to node 0 and threads scattered: the random
+  // loads cold-miss to DRAM, so the per-task NUMA breakdown sees the remote
+  // thread and the advisor hints at moving its hot 1 MiB areas.
+  Advisor adv(sim::hpe_dl580_gen9(4));
+  AdvisorOptions options;
+  options.baseline.affinity = os::AffinityPolicy::kScatter;
+  options.replay_repetitions = 2;
+  options.replay_top_k = 1;
+  const Recommendation rec = adv.advise(
+      [] {
+        workloads::GupsParams params;
+        params.threads = 2;
+        params.table_bytes = 2 * 1024 * 1024;
+        params.updates_per_thread = 20000;
+        params.placement = os::PagePolicy::kBind;  // table on node 0
+        return workloads::gups_program(params);
+      },
+      options);
+  ASSERT_FALSE(rec.hints.empty());
+  for (const auto& hint : rec.hints) {
+    EXPECT_EQ(hint.area_base % (1u << 20), 0u);
+    EXPECT_GT(hint.samples, 0u);
+    EXPECT_FALSE(hint.task.empty());
+  }
+  // The shared table must show up in the signature.
+  EXPECT_GT(rec.signature.shared_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace npat::advisor

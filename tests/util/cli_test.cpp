@@ -70,6 +70,35 @@ TEST(Cli, HelpReturnsFalse) {
   EXPECT_FALSE(cli.parse(2, argv));
 }
 
+TEST(Cli, ParseMainContinuesOnCleanParse) {
+  i64 v = 0;
+  Cli cli("test");
+  cli.add_flag("v", &v, "int");
+  const char* argv[] = {"prog", "--v=3"};
+  EXPECT_EQ(cli.parse_main(2, argv), std::nullopt);
+  EXPECT_EQ(v, 3);
+}
+
+TEST(Cli, ParseMainExitsZeroOnHelp) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EQ(cli.parse_main(2, argv), std::optional<int>(0));
+}
+
+TEST(Cli, ParseMainExitsNonZeroOnBadFlags) {
+  // The bug this guards against: a malformed flag must not fall through to
+  // a successful run (or a clean exit 0) — scripts depend on the status.
+  i64 v = 0;
+  Cli cli("test");
+  cli.add_flag("v", &v, "int");
+  const char* unknown[] = {"prog", "--nope"};
+  EXPECT_EQ(cli.parse_main(2, unknown), std::optional<int>(2));
+  const char* bad_value[] = {"prog", "--v=12x"};
+  EXPECT_EQ(cli.parse_main(2, bad_value), std::optional<int>(2));
+  const char* missing[] = {"prog", "--v"};
+  EXPECT_EQ(cli.parse_main(2, missing), std::optional<int>(2));
+}
+
 TEST(Cli, HelpTextListsFlagsAndDefaults) {
   i64 v = 7;
   Cli cli("my tool");
