@@ -1,0 +1,106 @@
+// Trajectory bench for npat::validate: wall time of the full refutation
+// kernel suite plus the trust headline it produces. The suite is the gate
+// every CI run pays before trusting a single counter, so its cost is a
+// first-class budget item; the per-tier counts are the robustness
+// headline (every registry event must land exact or bounded on a clean
+// tree). Results land in BENCH_validate.json so CI can archive the
+// numbers alongside the pass/fail gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "sim/presets.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "validate/harness.hpp"
+
+namespace {
+
+using namespace npat;
+
+struct TimedSuite {
+  validate::SuiteResult result;
+  double wall_ms = 0.0;
+};
+
+TimedSuite run_once(const std::string& preset) {
+  validate::SuiteOptions options;
+  options.machine_name = preset;
+  const auto start = std::chrono::steady_clock::now();
+  TimedSuite timed;
+  timed.result = validate::run_suite(sim::preset_by_name(preset), options);
+  const auto stop = std::chrono::steady_clock::now();
+  timed.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return timed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "dual";
+  i64 rounds = 3;
+  std::string out = "BENCH_validate.json";
+
+  util::Cli cli("Bench: wall time and trust headline of the refutation kernel suite");
+  cli.add_flag("preset", &preset, "machine preset to validate (dual, uma, ...)");
+  cli.add_flag("rounds", &rounds, "timing rounds (best wall time wins)");
+  cli.add_flag("out", &out, "path for the BENCH_validate.json report");
+  if (const auto rc = cli.parse_main(argc, argv)) return *rc;
+  if (rounds <= 0) {
+    std::fprintf(stderr, "implausible --rounds\n");
+    return 1;
+  }
+
+  TimedSuite best = run_once(preset);
+  for (i64 round = 1; round < rounds; ++round) {
+    const TimedSuite next = run_once(preset);
+    best.wall_ms = std::min(best.wall_ms, next.wall_ms);
+  }
+  const validate::SuiteResult& suite = best.result;
+  const validate::TrustReport& report = suite.report;
+
+  usize kernels_run = 0;
+  usize kernels_skipped = 0;
+  for (const validate::KernelRun& run : suite.runs) {
+    if (run.skipped) {
+      ++kernels_skipped;
+    } else {
+      ++kernels_run;
+    }
+  }
+  const usize exact = report.count(validate::TrustTier::kExact);
+  const usize bounded = report.count(validate::TrustTier::kBounded);
+  const usize suspect = report.count(validate::TrustTier::kSuspect);
+  const usize refuted = report.count(validate::TrustTier::kRefuted);
+  const bool pass = suite.checks_failed() == 0 && report.all_trusted() &&
+                    report.validated_events() == sim::all_events().size();
+
+  std::fputs(validate::render_suite(suite).c_str(), stdout);
+  std::printf("\n%s: %zu kernels (%zu skipped), %zu checks in %.2f ms (best of %lld) — "
+              "%zu exact, %zu bounded, %zu suspect, %zu refuted: %s\n",
+              preset.c_str(), kernels_run, kernels_skipped, suite.checks_run(), best.wall_ms,
+              static_cast<long long>(rounds), exact, bounded, suspect, refuted,
+              pass ? "PASS" : "FAIL");
+
+  util::JsonObject doc;
+  doc["bench"] = "validate_suite";
+  doc["preset"] = preset;
+  doc["rounds"] = static_cast<u64>(rounds);
+  doc["wall_ms"] = best.wall_ms;
+  doc["kernels_run"] = static_cast<u64>(kernels_run);
+  doc["kernels_skipped"] = static_cast<u64>(kernels_skipped);
+  doc["checks_run"] = static_cast<u64>(suite.checks_run());
+  doc["checks_failed"] = static_cast<u64>(suite.checks_failed());
+  doc["validated_events"] = static_cast<u64>(report.validated_events());
+  doc["registry_events"] = static_cast<u64>(sim::all_events().size());
+  doc["exact"] = static_cast<u64>(exact);
+  doc["bounded"] = static_cast<u64>(bounded);
+  doc["suspect"] = static_cast<u64>(suspect);
+  doc["refuted"] = static_cast<u64>(refuted);
+  doc["pass"] = pass;
+  util::write_file(out, util::Json(std::move(doc)).dump(2) + "\n");
+  std::printf("wrote %s\n", out.c_str());
+
+  return pass ? 0 : 1;
+}

@@ -64,7 +64,18 @@
 //
 //   npat_top --workload=stream --advise
 //   npat_top --workload=gups --preset=dl580 --advise
+//
+// --trust (single-host) runs the npat::validate refutation-kernel suite
+// against the same machine preset before the workload, publishes the
+// resulting TrustReport process-wide — evsel comparisons quarantine
+// refuted events, the advisor degrades to its uncore fallback when a
+// primary event drops below bounded — and appends the per-event trust
+// pane (tier, deciding kernel, observed ratio) after the run:
+//
+//   npat_top --workload=stream --trust
+//   npat_top --workload=gups --trust --advise
 #include <algorithm>
+#include <optional>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -90,6 +101,8 @@
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
+#include "validate/harness.hpp"
+#include "validate/trust.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/mlc_remote.hpp"
 #include "workloads/parallel_sort.hpp"
@@ -638,6 +651,7 @@ int main(int argc, char** argv) {
   std::string wire_tasks_path;
   bool health = false;
   bool advise = false;
+  bool trust = false;
   std::string prom_path;
   std::string metrics_json_path;
   std::string flight_path;
@@ -675,6 +689,9 @@ int main(int argc, char** argv) {
                "append the pipeline self-observability pane (hop latency, depths, damage)");
   cli.add_flag("advise", &advise,
                "append the placement-advisor pane: rank placements, apply the best and rerun");
+  cli.add_flag("trust", &trust,
+               "run the counter trust harness first, degrade untrusted events downstream, "
+               "and append the trust pane");
   cli.add_flag("prom", &prom_path, "export self-metrics as Prometheus text to this path");
   cli.add_flag("metrics-json", &metrics_json_path, "export self-metrics as JSON to this path");
   cli.add_flag("flight", &flight_path,
@@ -723,6 +740,24 @@ int main(int argc, char** argv) {
     }
     if (advise && fleet > 0) {
       throw util::CliError("--advise is single-host only (it replays the workload locally)");
+    }
+    if (trust && fleet > 0) {
+      throw util::CliError("--trust is single-host only (it validates the local machine model)");
+    }
+
+    // --trust: refute the counters before trusting the telemetry built on
+    // them. The published report degrades downstream consumers process-wide
+    // (evsel comparisons quarantine refuted events, the advisor falls back
+    // to the uncore when a primary is below bounded).
+    std::optional<validate::SuiteResult> trust_result;
+    if (trust) {
+      validate::SuiteOptions suite_options;
+      suite_options.machine_name = preset;
+      trust_result = validate::run_suite(sim::preset_by_name(preset), suite_options);
+      validate::set_active_trust_report(trust_result->report);
+      std::printf("trust harness: %zu checks, %zu failed (%zu events validated)\n",
+                  trust_result->checks_run(), trust_result->checks_failed(),
+                  trust_result->report.validated_events());
     }
     if (fleet > 0) {
       FleetFlags flags;
@@ -881,6 +916,15 @@ int main(int argc, char** argv) {
     }
     if (!alerts.transitions().empty()) {
       std::printf("\nalert transitions:\n%s", alerts.render_transitions().c_str());
+    }
+
+    // --trust: the counter trust pane — per-event tiers with the deciding
+    // kernel, exact rows folded to keep the live view compact.
+    if (trust_result) {
+      std::puts("");
+      std::fputs(validate::render_trust_table(trust_result->report, /*include_exact=*/false)
+                     .c_str(),
+                 stdout);
     }
 
     // --advise: the apply-and-rerun pane. The advisor profiles the same

@@ -48,7 +48,11 @@ def fmt(value):
 
 
 def headline(report):
-    """`x_percent` paired with `x_budget_percent` -> 'x 1.2% / 3%'."""
+    """`x_percent` paired with `x_budget_percent` -> 'x 1.2% / 3%'.
+
+    Trust-harness reports (BENCH_validate.json) carry no percentages; their
+    headline is the kernel-suite wall time and the validated/refuted counts.
+    """
     cells = []
     for key in sorted(report):
         if not key.endswith("_percent") or key.endswith("_budget_percent"):
@@ -59,6 +63,16 @@ def headline(report):
         if budget is not None:
             text += f" / {fmt(budget)}%"
         cells.append(text)
+    if not cells and "wall_ms" in report:
+        cells.append(f"wall {fmt(report['wall_ms'])} ms")
+    if "validated_events" in report:
+        validated = fmt(report["validated_events"])
+        registry = report.get("registry_events")
+        text = f"validated {validated}/{fmt(registry)}" if registry is not None \
+            else f"validated {validated}"
+        cells.append(text)
+    if "refuted" in report:
+        cells.append(f"refuted {fmt(report['refuted'])}")
     return ", ".join(cells) if cells else "-"
 
 

@@ -375,7 +375,26 @@ Recommendation Advisor::advise(const evsel::ProgramFactory& factory,
       sig.numa_loads > 0
           ? static_cast<double>(remote_dram + remote_hitm) / static_cast<double>(sig.numa_loads)
           : 0.0;
-  if (sig.numa_loads == 0) {
+  // Trust gate: when the harness rated one of the load-uop DRAM events
+  // suspect or refuted, the per-uop remote ratio above is built on counts
+  // we cannot believe — fall back to the uncore estimate and flag the
+  // degraded inputs in the recommendation.
+  const validate::TrustReport* trust =
+      options.trust != nullptr ? options.trust : validate::active_trust_report();
+  bool primaries_untrusted = false;
+  if (trust != nullptr) {
+    for (const sim::Event event :
+         {sim::Event::kMemLoadLocalDram, sim::Event::kMemLoadRemoteDram,
+          sim::Event::kMemLoadRemoteHitm}) {
+      const validate::TrustTier tier = trust->tier(event);
+      if (validate::below_bounded(tier)) {
+        primaries_untrusted = true;
+        sig.degraded_inputs.push_back(std::string(sim::event_name(event)) + " (" +
+                                      validate::tier_name(tier) + ")");
+      }
+    }
+  }
+  if (sig.numa_loads == 0 || primaries_untrusted) {
     // Cache-resident working sets miss only on cold lines, and those misses
     // are often store/RFO traffic the load-uop DRAM events never see. The
     // uncore still sees every access: flits / avg-hops approximates remote
@@ -385,7 +404,21 @@ Recommendation Advisor::advise(const evsel::ProgramFactory& factory,
     const double remote_accesses =
         static_cast<double>(compute.count(sim::Event::kUncQpiTxFlits)) /
         average_hops(machine.topology());
-    if (dram_accesses > 0.0) sig.remote_ratio = clamp01(remote_accesses / dram_accesses);
+    if (dram_accesses > 0.0) {
+      sig.remote_ratio = clamp01(remote_accesses / dram_accesses);
+      sig.remote_ratio_from_uncore = true;
+    }
+    if (trust != nullptr) {
+      // The fallback is only as good as the uncore counters themselves.
+      for (const sim::Event event :
+           {sim::Event::kUncQpiTxFlits, sim::Event::kUncImcReads, sim::Event::kUncImcWrites}) {
+        const validate::TrustTier tier = trust->tier(event);
+        if (validate::below_bounded(tier)) {
+          sig.degraded_inputs.push_back(std::string(sim::event_name(event)) + " (" +
+                                        validate::tier_name(tier) + ")");
+        }
+      }
+    }
   }
   sig.stall_fraction =
       sig.cycles > 0 ? static_cast<double>(sig.stall_cycles_mem) / static_cast<double>(sig.cycles)

@@ -22,6 +22,7 @@
 #include "os/vm.hpp"
 #include "phasen/detector.hpp"
 #include "sim/machine.hpp"
+#include "validate/trust.hpp"
 
 namespace npat::advisor {
 
@@ -68,6 +69,15 @@ struct CounterSignature {
   /// style) — the scoring model's picture of where the workload's own
   /// allocation policy put the data.
   std::vector<double> page_share;
+  /// True when remote_ratio came from the uncore estimate rather than the
+  /// load-uop DRAM breakdown — either because the primary events were
+  /// silent, or because the trust harness rated them below bounded.
+  bool remote_ratio_from_uncore = false;
+  /// Events the trust harness rated suspect or refuted that this signature
+  /// would normally rely on, with their tier ("mem_load_remote_dram
+  /// (refuted)"). Non-empty means the recommendation runs on degraded
+  /// inputs and the report says so.
+  std::vector<std::string> degraded_inputs;
 };
 
 /// Page-migration hint: move one hot 1 MiB area next to its dominant task
@@ -139,6 +149,10 @@ struct AdvisorOptions {
   double bad_remote_ratio = 0.50;
   /// Migration hints emitted per task.
   usize max_hints_per_task = 2;
+  /// Trust report consulted before reading the signature's primary events;
+  /// nullptr falls back to validate::active_trust_report() (no validation
+  /// run = every event trusted, the pre-harness behavior).
+  const validate::TrustReport* trust = nullptr;
 };
 
 /// The advisor's default before/after event set (the paper's indicators).

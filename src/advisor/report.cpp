@@ -22,6 +22,14 @@ std::string render_profile(const Recommendation& rec, const ReportOptions& optio
       rec.compute_phase + 1, rec.phases.phases.size(), 100.0 * sig.remote_ratio,
       100.0 * sig.stall_fraction, sig.qpi_flits_per_kinstr,
       100.0 * sig.node_cycle_imbalance, 100.0 * sig.shared_fraction);
+  if (sig.remote_ratio_from_uncore) {
+    out += "remote ratio estimated from the uncore (QPI flits / IMC accesses)\n";
+  }
+  if (!sig.degraded_inputs.empty()) {
+    out += "degraded inputs — counter trust below bounded:";
+    for (const std::string& input : sig.degraded_inputs) out += " " + input;
+    out += '\n';
+  }
   if (!sig.page_share.empty()) {
     out += "pages per node:";
     for (usize n = 0; n < sig.page_share.size(); ++n) {

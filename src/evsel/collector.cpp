@@ -8,6 +8,7 @@
 #include "perf/session.hpp"
 #include "stats/descriptive.hpp"
 #include "util/check.hpp"
+#include "validate/trust.hpp"
 
 namespace npat::evsel {
 
@@ -110,6 +111,7 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
   u32 retry_budget = screen ? options.retry_budget : 0;
   u64 retry_serial = 0;
   usize quarantined = 0;
+  usize retry_exhausted = 0;
   const auto quarantine = [&](std::vector<std::vector<perf::EventValue>>& runs,
                               const std::vector<sim::Event>& armed,
                               const std::function<void(u32 rep, u64 seed)>& rerun) {
@@ -124,6 +126,14 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
         NPAT_OBS_COUNT("npat_evsel_quarantined_runs_total",
                        "Outlier runs quarantined and re-measured by the MAD screen", 1);
         rerun(rep, options.seed ^ (0x9E3779B97F4A7C15ULL * ++retry_serial));
+      }
+    }
+    // With the budget dry, outliers that remain (flagged but never
+    // re-measured, or re-measured into another outlier) enter the sample
+    // set untreated; count them so reports can flag the degraded inputs.
+    if (retry_budget == 0) {
+      for (const auto& run : runs) {
+        if (run_is_outlier(run, bands)) ++retry_exhausted;
       }
     }
   };
@@ -180,6 +190,10 @@ Measurement Collector::measure(const std::string& label, const ProgramFactory& f
     for (u32 rep = 0; rep < options.repetitions; ++rep) measurement.add_values(rep_values[rep]);
   }
   measurement.note_quarantined(quarantined);
+  measurement.note_retry_exhausted(retry_exhausted);
+  if (const validate::TrustReport* trust = validate::active_trust_report()) {
+    measurement.annotate_trust(*trust);
+  }
   return measurement;
 }
 

@@ -5,6 +5,7 @@
 #include "linalg/solve.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/regression.hpp"
+#include "util/check.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +22,22 @@ std::optional<CostModel> CostModel::train(const std::vector<Measurement>& traini
     for (const sim::Event event : training.front().recorded_events()) {
       if (event != options.cost) candidates.push_back(event);
     }
+  } else {
+    // Explicitly requested indicators must exist in every training
+    // measurement — mean() would otherwise quietly return 0.0 and the fit
+    // would absorb a fabricated column.
+    for (const sim::Event event : candidates) {
+      for (const auto& m : training) {
+        NPAT_CHECK_MSG(m.has(event),
+                       std::string("cost model indicator never measured in '") + m.label() +
+                           "': " + std::string(sim::event_name(event)));
+      }
+    }
+  }
+  for (const auto& m : training) {
+    NPAT_CHECK_MSG(m.has(options.cost),
+                   std::string("cost event never measured in '") + m.label() +
+                       "': " + std::string(sim::event_name(options.cost)));
   }
 
   CostModel model;
@@ -85,6 +102,10 @@ std::optional<CostModel> CostModel::train(const std::vector<Measurement>& traini
 double CostModel::predict(const Measurement& measurement) const {
   double value = intercept_;
   for (const auto& feature : features_) {
+    NPAT_CHECK_MSG(measurement.has(feature.event),
+                   std::string("cost model feature missing from measurement '") +
+                       measurement.label() + "': " +
+                       std::string(sim::event_name(feature.event)));
     value += feature.weight * measurement.mean(feature.event);
   }
   return value;

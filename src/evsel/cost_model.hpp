@@ -42,12 +42,16 @@ class CostModel {
 
   /// Trains on >= features+2 measurements, each holding the cost event and
   /// the indicator events. Returns nullopt when the system is degenerate
-  /// (too few samples, rank-deficient features).
+  /// (too few samples, rank-deficient features). Throws CheckError, naming
+  /// the event, when a requested indicator or the cost event was never
+  /// measured in some training measurement — silently substituting zeros
+  /// would fit a model to fabricated data.
   static std::optional<CostModel> train(const std::vector<Measurement>& training,
                                         const CostModelOptions& options = {});
 
-  /// Predicted cost for a measurement's mean indicator vector. Missing
-  /// indicators are treated as zero.
+  /// Predicted cost for a measurement's mean indicator vector. Throws
+  /// CheckError, naming the event, when the measurement lacks one of the
+  /// model's features.
   double predict(const Measurement& measurement) const;
   /// Predicted cost from raw per-event values.
   double predict(const std::vector<std::pair<sim::Event, double>>& indicators) const;

@@ -49,10 +49,32 @@ bool Measurement::all_zero(sim::Event event) const {
   return true;
 }
 
+void Measurement::annotate_trust(const validate::TrustReport& report) {
+  for (const sim::Event event : recorded_events()) {
+    const validate::TrustTier tier = report.tier(event);
+    if (tier != validate::TrustTier::kUnvalidated) trust_[event] = tier;
+  }
+}
+
+validate::TrustTier Measurement::trust(sim::Event event) const {
+  const auto it = trust_.find(event);
+  return it == trust_.end() ? validate::TrustTier::kUnvalidated : it->second;
+}
+
 util::Json Measurement::to_json() const {
   util::JsonObject doc;
   doc["label"] = label_;
   if (quarantined_runs_ > 0) doc["quarantined_runs"] = static_cast<double>(quarantined_runs_);
+  if (retry_exhausted_runs_ > 0) {
+    doc["retry_exhausted_runs"] = static_cast<double>(retry_exhausted_runs_);
+  }
+  if (!trust_.empty()) {
+    util::JsonObject trust;
+    for (const auto& [event, tier] : trust_) {
+      trust[std::string(sim::event_name(event))] = std::string(validate::tier_name(tier));
+    }
+    doc["trust"] = std::move(trust);
+  }
   util::JsonObject params;
   for (const auto& [name, value] : parameters_) params[name] = value;
   doc["parameters"] = std::move(params);
@@ -70,6 +92,16 @@ Measurement Measurement::from_json(const util::Json& doc) {
   Measurement m(doc.get_string("label"));
   if (const util::Json* quarantined = doc.find("quarantined_runs")) {
     m.quarantined_runs_ = static_cast<usize>(quarantined->as_number());
+  }
+  if (const util::Json* exhausted = doc.find("retry_exhausted_runs")) {
+    m.retry_exhausted_runs_ = static_cast<usize>(exhausted->as_number());
+  }
+  if (const util::Json* trust = doc.find("trust")) {
+    for (const auto& [name, tier] : trust->as_object()) {
+      const auto event = sim::event_by_name(name);
+      if (!event) continue;  // event unknown on this platform
+      m.trust_[*event] = validate::tier_from_name(tier.as_string());
+    }
   }
   if (const util::Json* params = doc.find("parameters")) {
     for (const auto& [name, value] : params->as_object()) {

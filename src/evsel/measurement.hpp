@@ -11,6 +11,7 @@
 #include "sim/events.hpp"
 #include "util/json.hpp"
 #include "util/types.hpp"
+#include "validate/trust.hpp"
 
 namespace npat::evsel {
 
@@ -53,6 +54,21 @@ class Measurement {
   void note_quarantined(usize runs) { quarantined_runs_ += runs; }
   usize quarantined_runs() const noexcept { return quarantined_runs_; }
 
+  /// Outlier runs the MAD screen flagged but could not re-measure because
+  /// the collector's retry budget ran dry. These runs stay in the sample
+  /// set, so a nonzero count means the t-test inputs still contain known
+  /// outliers — a stronger degradation signal than a quarantine that was
+  /// successfully re-measured.
+  void note_retry_exhausted(usize runs) { retry_exhausted_runs_ += runs; }
+  usize retry_exhausted_runs() const noexcept { return retry_exhausted_runs_; }
+
+  /// Copies per-event trust tiers from a validation run (see
+  /// validate::TrustReport). Only events this measurement recorded are
+  /// annotated; unlisted events stay kUnvalidated.
+  void annotate_trust(const validate::TrustReport& report);
+  validate::TrustTier trust(sim::Event event) const;
+  bool has_trust_annotations() const noexcept { return !trust_.empty(); }
+
   util::Json to_json() const;
   static Measurement from_json(const util::Json& doc);
 
@@ -60,7 +76,9 @@ class Measurement {
   std::string label_;
   std::map<std::string, double> parameters_;
   std::map<sim::Event, std::vector<double>> values_;
+  std::map<sim::Event, validate::TrustTier> trust_;
   usize quarantined_runs_ = 0;
+  usize retry_exhausted_runs_ = 0;
 };
 
 }  // namespace npat::evsel

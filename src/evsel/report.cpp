@@ -22,11 +22,20 @@ std::string confidence_text(double confidence) {
 /// Icon cues from the EvSel GUI: significant increase, significant
 /// decrease, or no significant change.
 util::Cell significance_cell(const ComparisonRow& row, double alpha) {
+  if (row.trust_quarantined) return {"⊘ quarantined", Style::kRed};
   if (row.zero_in_both) return {"0", Style::kDim};
   if (!row.significant(alpha)) return {"·", Style::kNone};
   const bool increase = row.test.mean_delta > 0;
   return {std::string(increase ? "▲ " : "▼ ") + confidence_text(row.test.confidence),
           increase ? Style::kRed : Style::kGreen};
+}
+
+util::Cell trust_cell(validate::TrustTier tier) {
+  Style style = Style::kNone;
+  if (tier == validate::TrustTier::kRefuted) style = Style::kRed;
+  if (tier == validate::TrustTier::kSuspect) style = Style::kYellow;
+  if (tier == validate::TrustTier::kExact) style = Style::kDim;
+  return {validate::tier_name(tier), style};
 }
 
 std::string delta_text(const ComparisonRow& row) {
@@ -43,14 +52,28 @@ std::string delta_text(const ComparisonRow& row) {
 
 std::string render_comparison(const Comparison& comparison, const ReportOptions& options) {
   NPAT_OBS_SPAN("evsel.report");
+  bool show_trust = false;
+  for (const auto& row : comparison.rows) {
+    if (row.trust != validate::TrustTier::kUnvalidated) show_trust = true;
+  }
   std::vector<std::string> headers = {"event", comparison.label_a, comparison.label_b,
                                       "Δ", "significance"};
+  if (show_trust) headers.push_back("trust");
   if (options.show_descriptions) headers.push_back("description");
   util::Table table(headers);
   std::string title = "EvSel comparison: " + comparison.label_a + " vs " + comparison.label_b;
   if (comparison.quarantined_a + comparison.quarantined_b > 0) {
     title += util::format(" (quarantined runs: %zu vs %zu)", comparison.quarantined_a,
                           comparison.quarantined_b);
+  }
+  if (comparison.retry_exhausted_a + comparison.retry_exhausted_b > 0) {
+    title += util::format(" (retry budget exhausted, outliers kept: %zu vs %zu)",
+                          comparison.retry_exhausted_a, comparison.retry_exhausted_b);
+  }
+  if (comparison.refuted_quarantined > 0) {
+    title += util::format(" [%zu refuted event%s excluded from testing]",
+                          comparison.refuted_quarantined,
+                          comparison.refuted_quarantined == 1 ? "" : "s");
   }
   table.set_title(std::move(title));
   table.set_align(1, util::Align::kRight);
@@ -59,7 +82,12 @@ std::string render_comparison(const Comparison& comparison, const ReportOptions&
 
   usize rendered = 0;
   for (const auto& row : comparison.rows) {
-    if (!options.include_all_events && !row.significant(options.alpha)) continue;
+    // Quarantined rows always render — hiding them would make a trust
+    // quarantine look like "no significant change".
+    if (!options.include_all_events && !row.significant(options.alpha) &&
+        !row.trust_quarantined) {
+      continue;
+    }
     if (options.max_rows > 0 && rendered >= options.max_rows) break;
     ++rendered;
 
@@ -71,6 +99,7 @@ std::string render_comparison(const Comparison& comparison, const ReportOptions&
     cells.push_back({util::si_scaled(row.test.mean_b), row_style});
     cells.push_back({delta_text(row), row_style});
     cells.push_back(significance_cell(row, options.alpha));
+    if (show_trust) cells.push_back(trust_cell(row.trust));
     if (options.show_descriptions) {
       std::string desc(info.description);
       if (desc.size() > 56) desc = desc.substr(0, 53) + "...";
@@ -124,11 +153,16 @@ std::string render_correlations(const SweepResult& result, double min_abs_r,
 
 std::string render_measurement(const Measurement& measurement, const ReportOptions& options) {
   std::vector<std::string> headers = {"event", "mean", "stddev", "reps"};
+  if (measurement.has_trust_annotations()) headers.push_back("trust");
   if (options.show_descriptions) headers.push_back("description");
   util::Table table(headers);
   std::string title = "EvSel measurement: " + measurement.label();
   if (measurement.quarantined_runs() > 0) {
     title += util::format(" (%zu quarantined runs)", measurement.quarantined_runs());
+  }
+  if (measurement.retry_exhausted_runs() > 0) {
+    title += util::format(" (retry budget exhausted, %zu outlier runs kept)",
+                          measurement.retry_exhausted_runs());
   }
   table.set_title(std::move(title));
   table.set_align(1, util::Align::kRight);
@@ -147,6 +181,7 @@ std::string render_measurement(const Measurement& measurement, const ReportOptio
     cells.push_back({util::si_scaled(measurement.mean(event)), style});
     cells.push_back({util::si_scaled(stats::stddev(samples)), style});
     cells.push_back({std::to_string(samples.size()), style});
+    if (measurement.has_trust_annotations()) cells.push_back(trust_cell(measurement.trust(event)));
     if (options.show_descriptions) {
       std::string desc(info.description);
       if (desc.size() > 56) desc = desc.substr(0, 53) + "...";
@@ -161,18 +196,29 @@ util::Json comparison_to_json(const Comparison& comparison) {
   util::JsonObject doc;
   doc["a"] = comparison.label_a;
   doc["b"] = comparison.label_b;
+  doc["quarantined_a"] = static_cast<double>(comparison.quarantined_a);
+  doc["quarantined_b"] = static_cast<double>(comparison.quarantined_b);
+  doc["retry_exhausted_a"] = static_cast<double>(comparison.retry_exhausted_a);
+  doc["retry_exhausted_b"] = static_cast<double>(comparison.retry_exhausted_b);
+  doc["refuted_quarantined"] = static_cast<double>(comparison.refuted_quarantined);
   util::JsonArray rows;
   for (const auto& row : comparison.rows) {
     util::JsonObject r;
     r["event"] = std::string(sim::event_name(row.event));
     r["mean_a"] = row.test.mean_a;
     r["mean_b"] = row.test.mean_b;
+    r["repetitions_a"] = static_cast<double>(row.repetitions_a);
+    r["repetitions_b"] = static_cast<double>(row.repetitions_b);
     r["relative_delta"] = row.test.relative_delta;
     r["t"] = row.test.t;
     r["df"] = row.test.df;
     r["p"] = row.test.p_two_tailed;
     r["p_adjusted"] = row.adjusted_p;
     r["confidence"] = row.test.confidence;
+    if (row.trust != validate::TrustTier::kUnvalidated) {
+      r["trust"] = std::string(validate::tier_name(row.trust));
+    }
+    if (row.trust_quarantined) r["trust_quarantined"] = true;
     rows.emplace_back(std::move(r));
   }
   doc["rows"] = std::move(rows);

@@ -410,18 +410,36 @@ void Machine::count_software_event(Event event, u64 count) {
   core_state(0).pmu.counters().add(event, count);
 }
 
+namespace {
+void apply_mutation(CounterBlock& block, const CounterMutation& mutation) {
+  u64& value = block.values[static_cast<usize>(mutation.event)];
+  value = static_cast<u64>(std::llround(static_cast<double>(value) * mutation.scale));
+}
+}  // namespace
+
 CounterBlock Machine::uncore_counters(NodeId node) const {
   const NodeState& state = node_state(node);
   CounterBlock snapshot = state.uncore;
   snapshot.values[static_cast<usize>(Event::kUncEnergyMicroJoules)] =
       static_cast<u64>(std::llround(state.energy_pj / 1e6));
+  if (config_.counter_mutation &&
+      event_info(config_.counter_mutation->event).scope == EventScope::kUncore) {
+    apply_mutation(snapshot, *config_.counter_mutation);
+  }
   return snapshot;
 }
 
 CounterBlock Machine::aggregate_counters() const {
   CounterBlock total;
   for (u32 c = 0; c < cores(); ++c) total += core_counters(c);
+  // Uncore snapshots arrive already mutated (per node); core-scope events
+  // are scaled once on the aggregated total so the perturbation matches
+  // what a single scaled counter bank would have reported.
   for (u32 n = 0; n < nodes(); ++n) total += uncore_counters(n);
+  if (config_.counter_mutation &&
+      event_info(config_.counter_mutation->event).scope != EventScope::kUncore) {
+    apply_mutation(total, *config_.counter_mutation);
+  }
   return total;
 }
 

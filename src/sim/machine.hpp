@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/branch_predictor.hpp"
@@ -35,6 +36,18 @@ constexpr PhysAddr make_paddr(NodeId node, u64 offset) noexcept {
 constexpr NodeId node_of_paddr(PhysAddr paddr) noexcept {
   return static_cast<NodeId>(paddr >> 40);
 }
+
+/// Deliberate perturbation of one counter path, applied when counter
+/// snapshots are read (uncore_counters / aggregate_counters). Exists for
+/// the validation harness's mutation smoke tests: the refutation gate must
+/// demonstrably catch a simulator whose counter semantics drifted, and the
+/// cheapest honest drift is scaling one event at the snapshot boundary.
+/// Per-core reads through core_counters() are unaffected (they return the
+/// raw banks by reference).
+struct CounterMutation {
+  Event event = Event::kCycles;
+  double scale = 1.0;
+};
 
 struct MachineConfig {
   Topology topology = make_fully_connected(1, 1);
@@ -71,6 +84,9 @@ struct MachineConfig {
   double energy_pj_per_hop = 4000.0;
 
   u64 seed = 12345;
+
+  /// Unset in normal operation; see CounterMutation.
+  std::optional<CounterMutation> counter_mutation;
 };
 
 class Machine {

@@ -1,0 +1,104 @@
+// The validation harness: runs the refutation kernel suite against a
+// machine configuration, classifies every measured count against its
+// analytic expectation, and distills the outcome into a TrustReport.
+//
+// The same run doubles as the sim-boundary refutation gate: the full
+// counter deltas of every kernel are compared against committed golden
+// counts, so a sim change that shifts *any* counter — including ones no
+// closed-form expectation covers — fails the `validate_sim` test instead
+// of silently repricing every result downstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+#include "validate/kernels.hpp"
+#include "validate/trust.hpp"
+
+namespace npat::validate {
+
+struct SuiteOptions {
+  /// Recorded as TrustReport::machine (preset name, model string, ...).
+  std::string machine_name;
+  /// Restrict to these kernels (empty = the full suite). Unknown names
+  /// hard-error via kernel_by_name.
+  std::vector<std::string> only;
+  /// A measured count outside its band by at least this factor is
+  /// `refuted`; anything closer (but still outside) is `suspect`.
+  double refute_factor = 2.0;
+  u64 runner_seed = 0x5eedULL;
+};
+
+/// One expectation evaluated against a measured count.
+struct CheckOutcome {
+  sim::Event event = sim::Event::kCycles;
+  double measured = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  TrustTier tier = TrustTier::kUnvalidated;
+  /// measured / band midpoint (measured itself when the midpoint is 0).
+  double ratio = 1.0;
+
+  bool passed() const noexcept {
+    return tier == TrustTier::kExact || tier == TrustTier::kBounded;
+  }
+};
+
+/// Classifies one measured count against [lo, hi]: in-band is exact
+/// (lo == hi) or bounded; out-of-band is refuted when off by at least
+/// `refute_factor` from the violated bound, suspect otherwise.
+CheckOutcome classify_check(sim::Event event, double measured, double lo, double hi,
+                            double refute_factor = 2.0);
+
+struct KernelRun {
+  std::string name;
+  bool skipped = false;
+  std::string skip_reason;
+  std::vector<CheckOutcome> checks;
+  /// Full aggregate counter delta of the run (golden-gate evidence).
+  sim::CounterBlock counters;
+
+  usize failed_checks() const noexcept;
+};
+
+struct SuiteResult {
+  TrustReport report;
+  std::vector<KernelRun> runs;
+
+  usize checks_run() const noexcept;
+  usize checks_failed() const noexcept;
+};
+
+/// Runs the (filtered) kernel suite against fresh machines built from
+/// `base` and returns per-kernel outcomes plus the merged TrustReport.
+SuiteResult run_suite(const sim::MachineConfig& base, const SuiteOptions& options = {});
+
+/// Per-kernel summary table (checks per tier, skip reasons).
+std::string render_suite(const SuiteResult& result);
+
+// --- golden refutation gate ---
+
+/// Committed golden format: {"machine": ..., "kernels": {name:
+/// {"skipped": bool, "counters": {event: count, ...}}}} with zero counts
+/// omitted. Counter values are exact — the simulator is deterministic for
+/// a fixed seed, so any drift is a semantic change, not noise.
+util::Json golden_from_result(const SuiteResult& result);
+
+struct GoldenMismatch {
+  std::string kernel;
+  sim::Event event = sim::Event::kCycles;
+  u64 measured = 0;
+  u64 expected = 0;
+};
+
+/// Compares a fresh run against committed golden counts. Structural
+/// differences (kernel sets or skip status) hard-error with CheckError;
+/// counter drift is returned for reporting.
+std::vector<GoldenMismatch> diff_golden(const SuiteResult& result, const util::Json& golden);
+
+std::string render_golden_mismatches(const std::vector<GoldenMismatch>& mismatches);
+
+}  // namespace npat::validate

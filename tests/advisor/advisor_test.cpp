@@ -8,6 +8,7 @@
 #include "evsel/collector.hpp"
 #include "sim/presets.hpp"
 #include "util/check.hpp"
+#include "validate/trust.hpp"
 #include "workloads/kernels.hpp"
 
 namespace npat::advisor {
@@ -223,6 +224,40 @@ TEST(Advisor, EmitsMigrationHintsForRemoteHeavyTasks) {
   }
   // The shared table must show up in the signature.
   EXPECT_GT(rec.signature.shared_fraction, 0.0);
+}
+
+TEST(Advisor, SuspectRemoteLoadEventFallsBackToUncore) {
+  // Graceful degradation: when the trust harness rated the remote-DRAM
+  // load-uop event suspect, the advisor must not build its remote ratio on
+  // it — it falls back to the uncore estimate and names the degraded input.
+  validate::TrustReport trust;
+  validate::EventTrust evidence;
+  evidence.event = sim::Event::kMemLoadRemoteDram;
+  evidence.tier = validate::TrustTier::kSuspect;
+  evidence.kernel = "chase_remote";
+  evidence.observed_ratio = 1.4;
+  evidence.checks = 1;
+  trust.record(evidence);
+
+  Advisor adv(sim::hpe_dl580_gen9(4));
+  AdvisorOptions options;
+  options.baseline.affinity = os::AffinityPolicy::kScatter;
+  options.replay_repetitions = 2;
+  options.replay_top_k = 1;
+  options.trust = &trust;
+  const Recommendation rec = adv.advise(master_touch_triad(), options);
+
+  EXPECT_TRUE(rec.signature.remote_ratio_from_uncore);
+  ASSERT_FALSE(rec.signature.degraded_inputs.empty());
+  EXPECT_EQ(rec.signature.degraded_inputs.front(),
+            std::string(sim::event_name(sim::Event::kMemLoadRemoteDram)) + " (suspect)");
+  // Master-touch triad still looks remote-heavy through the uncore lens.
+  EXPECT_GT(rec.signature.remote_ratio, 0.5);
+
+  const std::string profile = render_profile(rec);
+  EXPECT_NE(profile.find("degraded inputs"), std::string::npos) << profile;
+  EXPECT_NE(profile.find("suspect"), std::string::npos);
+  EXPECT_NE(profile.find("uncore"), std::string::npos);
 }
 
 }  // namespace

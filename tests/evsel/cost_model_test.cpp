@@ -4,6 +4,7 @@
 
 #include "evsel/collector.hpp"
 #include "sim/presets.hpp"
+#include "util/check.hpp"
 #include "util/random.hpp"
 #include "workloads/cache_scan.hpp"
 
@@ -123,6 +124,41 @@ TEST(CostModel, EndToEndOnSimulatedMeasurements) {
       "s192", [big] { return workloads::cache_scan_program(big); }, options);
   const double actual = target.mean(sim::Event::kCycles);
   EXPECT_NEAR(model->predict(target) / actual, 1.0, 0.15);
+}
+
+// Regression: a requested event no measurement recorded used to flow in as
+// a silent zero column; now it hard-errors naming the event.
+TEST(CostModel, TrainHardErrorsOnUnmeasuredIndicator) {
+  CostModelOptions options;
+  options.indicators = {sim::Event::kL1dMiss, sim::Event::kL3Miss};  // L3 never recorded
+  try {
+    CostModel::train(synthetic_training(), options);
+    FAIL() << "expected CheckError for the unmeasured indicator";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find(std::string(sim::event_name(sim::Event::kL3Miss))),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CostModel, TrainHardErrorsOnUnmeasuredCostEvent) {
+  CostModelOptions options;
+  options.cost = sim::Event::kUncEnergyMicroJoules;  // never recorded by synthetic()
+  options.indicators = {sim::Event::kL1dMiss};
+  EXPECT_THROW(CostModel::train(synthetic_training(), options), CheckError);
+}
+
+TEST(CostModel, PredictHardErrorsOnMissingFeature) {
+  const auto model = CostModel::train(synthetic_training());
+  ASSERT_TRUE(model.has_value());
+  Measurement incomplete("incomplete");
+  incomplete.add_value(sim::Event::kCycles, 1000.0);  // features absent
+  try {
+    model->predict(incomplete);
+    FAIL() << "expected CheckError for the missing feature";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("incomplete"), std::string::npos) << error.what();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// The sim-boundary refutation gate: kernel counter totals are committed as
+// golden JSON (tests/validate/golden_dual.json, regenerated via
+// `npat_validate --preset=dual --write-golden=...`), and any drift in the
+// machine model's counter arithmetic fails the diff. The mutation cases
+// prove the gate actually bites.
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "validate/harness.hpp"
+
+namespace npat::validate {
+namespace {
+
+SuiteResult dual_suite(std::optional<sim::CounterMutation> mutation = std::nullopt) {
+  sim::MachineConfig config = sim::preset_by_name("dual");
+  config.counter_mutation = mutation;
+  SuiteOptions options;
+  options.machine_name = "dual";
+  return run_suite(config, options);
+}
+
+TEST(GoldenGate, SelfRoundTripIsClean) {
+  const SuiteResult result = dual_suite();
+  const util::Json golden = golden_from_result(result);
+  EXPECT_TRUE(diff_golden(result, golden).empty());
+  // A fresh identically-seeded run matches too — the sim is deterministic,
+  // so the gate compares exact integers, not tolerances.
+  EXPECT_TRUE(diff_golden(dual_suite(), golden).empty());
+}
+
+TEST(GoldenGate, CommittedGoldenMatchesTheTree) {
+  const util::Json golden = util::Json::parse(util::read_file(NPAT_VALIDATE_GOLDEN));
+  const auto mismatches = diff_golden(dual_suite(), golden);
+  EXPECT_TRUE(mismatches.empty()) << render_golden_mismatches(mismatches);
+}
+
+TEST(GoldenGate, MutationSmokeCatchesAPerturbedCounterPath) {
+  const util::Json golden = golden_from_result(dual_suite());
+  const SuiteResult mutated =
+      dual_suite(sim::CounterMutation{sim::Event::kMemLoadLocalDram, 0.5});
+  const auto mismatches = diff_golden(mutated, golden);
+  ASSERT_FALSE(mismatches.empty());
+  bool names_mutated_event = false;
+  for (const GoldenMismatch& m : mismatches) {
+    if (m.event == sim::Event::kMemLoadLocalDram) names_mutated_event = true;
+    EXPECT_NE(m.measured, m.expected);
+  }
+  EXPECT_TRUE(names_mutated_event) << render_golden_mismatches(mismatches);
+}
+
+TEST(GoldenGate, StructuralMismatchesHardError) {
+  const SuiteResult result = dual_suite();
+  // No kernels object at all.
+  EXPECT_THROW(diff_golden(result, util::Json::parse("{}")), CheckError);
+  // A kernel-set mismatch (one kernel dropped) is structural, not drift.
+  util::Json golden = golden_from_result(result);
+  auto kernels = golden.at("kernels").as_object();
+  kernels.erase(kernels.begin());
+  util::JsonObject doc;
+  doc["machine"] = std::string("dual");
+  doc["kernels"] = std::move(kernels);
+  EXPECT_THROW(diff_golden(result, util::Json(std::move(doc))), CheckError);
+}
+
+TEST(GoldenGate, UnknownGoldenEventNameHardErrors) {
+  const SuiteResult result = dual_suite();
+  util::Json golden = golden_from_result(result);
+  auto kernels = golden.at("kernels").as_object();
+  auto entry = kernels.begin()->second.as_object();
+  auto counters = entry.at("counters").as_object();
+  counters["totally.made.up"] = 7.0;
+  entry["counters"] = util::Json(std::move(counters));
+  kernels.begin()->second = util::Json(std::move(entry));
+  util::JsonObject doc;
+  doc["machine"] = std::string("dual");
+  doc["kernels"] = std::move(kernels);
+  EXPECT_THROW(diff_golden(result, util::Json(std::move(doc))), CheckError);
+}
+
+}  // namespace
+}  // namespace npat::validate

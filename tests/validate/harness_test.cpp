@@ -1,0 +1,133 @@
+#include "validate/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+#include "util/check.hpp"
+
+namespace npat::validate {
+namespace {
+
+TEST(ClassifyCheck, ExactWhenBandIsDegenerateAndHit) {
+  const CheckOutcome outcome = classify_check(sim::Event::kInstructions, 1000.0, 1000.0, 1000.0);
+  EXPECT_EQ(outcome.tier, TrustTier::kExact);
+  EXPECT_TRUE(outcome.passed());
+  EXPECT_DOUBLE_EQ(outcome.ratio, 1.0);
+}
+
+TEST(ClassifyCheck, BoundedInsideABand) {
+  const CheckOutcome outcome = classify_check(sim::Event::kCycles, 105.0, 100.0, 110.0);
+  EXPECT_EQ(outcome.tier, TrustTier::kBounded);
+  EXPECT_TRUE(outcome.passed());
+}
+
+TEST(ClassifyCheck, SuspectOnSmallOvershoot) {
+  // 3% over an exact expectation: wrong, but not half/double wrong.
+  const CheckOutcome outcome = classify_check(sim::Event::kCycles, 1030.0, 1000.0, 1000.0);
+  EXPECT_EQ(outcome.tier, TrustTier::kSuspect);
+  EXPECT_FALSE(outcome.passed());
+}
+
+TEST(ClassifyCheck, RefutedAtTheFactor) {
+  // Exactly 2x the upper bound refutes at the default factor of 2.
+  EXPECT_EQ(classify_check(sim::Event::kCycles, 2000.0, 1000.0, 1000.0).tier,
+            TrustTier::kRefuted);
+  // Half the lower bound refutes symmetrically.
+  EXPECT_EQ(classify_check(sim::Event::kCycles, 500.0, 1000.0, 1000.0).tier,
+            TrustTier::kRefuted);
+}
+
+TEST(ClassifyCheck, NonzeroAgainstExactZeroRefutes) {
+  // The 0.5-count floor keeps a zero expectation refutable: one stray
+  // count against "must be zero" is a 2x violation, not a divide-by-zero.
+  const CheckOutcome outcome = classify_check(sim::Event::kMemLoadRemoteDram, 1.0, 0.0, 0.0);
+  EXPECT_EQ(outcome.tier, TrustTier::kRefuted);
+}
+
+TEST(RunSuite, DualPresetValidatesEveryEvent) {
+  const SuiteResult result = run_suite(sim::preset_by_name("dual"), {});
+  EXPECT_EQ(result.checks_failed(), 0u) << render_suite(result);
+  EXPECT_TRUE(result.report.all_trusted()) << render_trust_table(result.report);
+  EXPECT_EQ(result.report.count(TrustTier::kSuspect), 0u);
+  EXPECT_EQ(result.report.count(TrustTier::kRefuted), 0u);
+  // Every registry event carries evidence — the acceptance bar.
+  EXPECT_EQ(result.report.validated_events(), sim::all_events().size());
+}
+
+TEST(RunSuite, UmaPresetSkipsMultiNodeKernels) {
+  const SuiteResult result = run_suite(sim::preset_by_name("uma"), {});
+  usize skipped = 0;
+  for (const KernelRun& run : result.runs) {
+    if (run.skipped) {
+      ++skipped;
+      EXPECT_TRUE(run.name == "chase_remote" || run.name == "hitm_pair") << run.name;
+      EXPECT_FALSE(run.skip_reason.empty());
+    }
+  }
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(result.checks_failed(), 0u) << render_suite(result);
+}
+
+TEST(RunSuite, OnlyFilterRunsOneKernel) {
+  SuiteOptions options;
+  options.only = {"alu"};
+  const SuiteResult result = run_suite(sim::preset_by_name("dual"), options);
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_EQ(result.runs[0].name, "alu");
+  EXPECT_GT(result.runs[0].checks.size(), 0u);
+}
+
+TEST(RunSuite, OnlyFilterTypoHardErrors) {
+  SuiteOptions options;
+  options.only = {"aluu"};
+  EXPECT_THROW(run_suite(sim::preset_by_name("dual"), options), CheckError);
+}
+
+// The mutation smoke: perturb one counter path in the machine model and
+// assert the harness notices. A silent pass here would mean the kernels
+// cannot actually refute anything.
+TEST(MutationSmoke, HalvedCoreCounterIsRefuted) {
+  sim::MachineConfig config = sim::preset_by_name("dual");
+  config.counter_mutation = sim::CounterMutation{sim::Event::kInstructions, 0.5};
+  SuiteOptions options;
+  options.machine_name = "dual+mutated";
+  const SuiteResult result = run_suite(config, options);
+  EXPECT_EQ(result.report.tier(sim::Event::kInstructions), TrustTier::kRefuted)
+      << render_trust_table(result.report);
+  const EventTrust* evidence = result.report.evidence(sim::Event::kInstructions);
+  ASSERT_NE(evidence, nullptr);
+  EXPECT_FALSE(evidence->kernel.empty());
+  EXPECT_GT(result.checks_failed(), 0u);
+}
+
+TEST(MutationSmoke, SlightSkewIsSuspectNotRefuted) {
+  sim::MachineConfig config = sim::preset_by_name("dual");
+  config.counter_mutation = sim::CounterMutation{sim::Event::kInstructions, 0.97};
+  const SuiteResult result = run_suite(config, {});
+  EXPECT_EQ(result.report.tier(sim::Event::kInstructions), TrustTier::kSuspect)
+      << render_trust_table(result.report);
+}
+
+TEST(MutationSmoke, UncoreCounterPathIsCovered) {
+  // QPI flit counts are read through the uncore path, not the per-core
+  // aggregate — a mutation there must be caught by the remote kernels.
+  sim::MachineConfig config = sim::preset_by_name("dual");
+  config.counter_mutation = sim::CounterMutation{sim::Event::kUncQpiTxFlits, 0.5};
+  const SuiteResult result = run_suite(config, {});
+  EXPECT_EQ(result.report.tier(sim::Event::kUncQpiTxFlits), TrustTier::kRefuted)
+      << render_trust_table(result.report);
+}
+
+TEST(MutationSmoke, OnlyTheMutatedEventDegrades) {
+  sim::MachineConfig config = sim::preset_by_name("dual");
+  config.counter_mutation = sim::CounterMutation{sim::Event::kL1dEviction, 0.5};
+  const SuiteResult result = run_suite(config, {});
+  EXPECT_EQ(result.report.tier(sim::Event::kL1dEviction), TrustTier::kRefuted);
+  // Untouched events keep their trust — the mutation does not bleed.
+  EXPECT_EQ(result.report.tier(sim::Event::kInstructions), TrustTier::kExact);
+  EXPECT_EQ(result.report.events_at_or_below(TrustTier::kSuspect).size(), 1u)
+      << render_trust_table(result.report);
+}
+
+}  // namespace
+}  // namespace npat::validate
